@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Analyze Bechamel Bench_shapes Benchmark Dblp Hashtbl Kg List Measure Printf Provenance Rand Rdf Sparql Staged Test Time Toolkit Util Workload

@@ -1,0 +1,1 @@
+bench/exp_fig1.ml: Array Bench_shapes Conformance Kg List Printf Provenance Rand Rdf Schema Shacl Util Validate Workload

@@ -1,0 +1,1 @@
+bench/exp_fig2.ml: Array Bench_shapes Format Kg List Printf Provenance Rand Rdf Sparql Util Workload

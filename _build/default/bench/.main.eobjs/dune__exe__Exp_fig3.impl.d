@@ -1,0 +1,1 @@
+bench/exp_fig3.ml: Dblp Format List Printf Provenance Rdf Shacl Sparql Util Workload

@@ -1,0 +1,1 @@
+bench/exp_ldf.ml: Bsbm Graph List Printf Provenance Queries Rdf Sparql Util Workload

@@ -1,0 +1,1 @@
+bench/exp_survey.ml: Bsbm Format Printf Queries Rdf Util Workload

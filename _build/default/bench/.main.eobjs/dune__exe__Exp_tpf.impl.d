@@ -1,0 +1,1 @@
+bench/exp_tpf.ml: Graph Iri List Printf Provenance Rdf Term Tpf Triple Util Workload

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablation Exp_fig1 Exp_fig2 Exp_fig3 Exp_ldf Exp_survey Exp_tpf List Printf String Sys

@@ -1,0 +1,1 @@
+bench/util.ml: Bytes Format Printf String Sys Unix

@@ -1,0 +1,10 @@
+(* Section 4.1: which benchmark queries are expressible as fragments. *)
+
+open Workload
+
+let run ~quick =
+  Util.header "Section 4.1: benchmark queries as shape fragments (39 of 46)";
+  let g = Bsbm.generate ~seed:9 ~products:(if quick then 120 else 400) in
+  Printf.printf "BSBM-style data: %d triples\n\n" (Rdf.Graph.cardinal g);
+  let outcomes = Queries.survey g in
+  Format.printf "%a@." Queries.pp_survey outcomes

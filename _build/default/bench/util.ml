@@ -1,0 +1,71 @@
+(* Shared measurement helpers for the experiment harness. *)
+
+let time f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  Unix.gettimeofday () -. start, result
+
+(* Average of [runs] timed executions (the paper reports averages over
+   three runs). *)
+let timed_avg ?(runs = 3) f =
+  let total = ref 0.0 in
+  let result = ref None in
+  for _ = 1 to runs do
+    let t, r = time f in
+    total := !total +. t;
+    result := Some r
+  done;
+  ( !total /. float_of_int runs,
+    match !result with Some r -> r | None -> assert false )
+
+(* Run [f] in a forked child with a wall-clock timeout; the child sends
+   its elapsed time through a pipe.  Used for the SPARQL-translation
+   experiment, where some generated queries do not terminate in
+   reasonable time (as in the paper: 13 of 57 ran). *)
+let with_timeout ~seconds f =
+  flush stdout;
+  flush stderr;
+  let read_fd, write_fd = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close read_fd;
+      let elapsed, _ = time f in
+      let payload = Printf.sprintf "%.6f" elapsed in
+      let bytes = Bytes.of_string payload in
+      ignore (Unix.write write_fd bytes 0 (Bytes.length bytes));
+      Unix.close write_fd;
+      (* _exit: do not flush stdio buffers inherited from the parent *)
+      Unix._exit 0
+  | pid ->
+      Unix.close write_fd;
+      let deadline = Unix.gettimeofday () +. seconds in
+      let rec wait_child () =
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ ->
+            if Unix.gettimeofday () > deadline then begin
+              Unix.kill pid Sys.sigkill;
+              ignore (Unix.waitpid [] pid);
+              `Timeout
+            end
+            else begin
+              ignore (Unix.select [] [] [] 0.02);
+              wait_child ()
+            end
+        | _, Unix.WEXITED 0 ->
+            let buf = Bytes.create 64 in
+            let n = try Unix.read read_fd buf 0 64 with _ -> 0 in
+            if n > 0 then `Ok (float_of_string (Bytes.sub_string buf 0 n))
+            else `Failed
+        | _, _ -> `Failed
+      in
+      let result = wait_child () in
+      Unix.close read_fd;
+      result
+
+let pp_seconds ppf s =
+  if s < 0.001 then Format.fprintf ppf "%.0fus" (s *. 1e6)
+  else if s < 1.0 then Format.fprintf ppf "%.1fms" (s *. 1e3)
+  else Format.fprintf ppf "%.2fs" s
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')

@@ -1,0 +1,285 @@
+(* shaclprov: SHACL validation with data provenance.
+
+   Subcommands:
+     validate      validate a data graph against a SHACL shapes graph
+     neighborhood  provenance of one node for one shape (why / why-not)
+     fragment      extract the shape fragment of a graph
+     to-sparql     show the SPARQL translation of a shape's queries *)
+
+open Cmdliner
+
+(* ---------------- shared arguments and helpers -------------------- *)
+
+let data_arg =
+  let doc = "Data graph (Turtle or N-Triples file)." in
+  Arg.(required & opt (some file) None & info [ "d"; "data" ] ~docv:"FILE" ~doc)
+
+let shapes_arg =
+  let doc = "SHACL shapes graph (Turtle file)." in
+  Arg.(value & opt (some file) None & info [ "s"; "shapes" ] ~docv:"FILE" ~doc)
+
+let shape_exprs_arg =
+  let doc =
+    "Request shape in the library's text syntax, e.g. \
+     '>=1 ex:author . >=1 rdf:type . hasValue(ex:Student)'.  Repeatable."
+  in
+  Arg.(value & opt_all string [] & info [ "e"; "shape" ] ~docv:"SHAPE" ~doc)
+
+let prefix_arg =
+  let doc =
+    "Extra prefix binding PREFIX=IRI for shape expressions and output.  \
+     Repeatable.  rdf, rdfs, xsd, sh and ex are predefined."
+  in
+  Arg.(value & opt_all string [] & info [ "p"; "prefix" ] ~docv:"PFX=IRI" ~doc)
+
+let node_arg =
+  let doc = "Focus node (IRI, possibly prefixed)." in
+  Arg.(
+    required & opt (some string) None & info [ "n"; "node" ] ~docv:"IRI" ~doc)
+
+let die fmt = Format.kasprintf (fun m -> raise (Failure m)) fmt
+
+let namespaces_of prefixes =
+  List.fold_left
+    (fun acc binding ->
+      match String.index_opt binding '=' with
+      | Some i ->
+          Rdf.Namespace.add
+            (String.sub binding 0 i)
+            (String.sub binding (i + 1) (String.length binding - i - 1))
+            acc
+      | None -> die "bad --prefix %S (expected PREFIX=IRI)" binding)
+    Rdf.Namespace.default prefixes
+
+let load_graph path =
+  match Rdf.Turtle.parse_file path with
+  | Ok g -> g
+  | Error e -> die "%s: %a" path Rdf.Turtle.pp_error e
+
+let load_schema = function
+  | None -> Shacl.Schema.empty
+  | Some path -> (
+      match Shacl.Shapes_graph.load (load_graph path) with
+      | Ok schema -> schema
+      | Error e -> die "%s: %a" path Shacl.Shapes_graph.pp_error e)
+
+let parse_shapes namespaces exprs =
+  List.map
+    (fun src ->
+      match Shacl.Shape_syntax.parse ~namespaces src with
+      | Ok shape -> shape
+      | Error e -> die "shape %S: %a" src Shacl.Shape_syntax.pp_error e)
+    exprs
+
+let parse_node namespaces src =
+  if String.length src > 1 && src.[0] = '<' then
+    Rdf.Term.iri (String.sub src 1 (String.length src - 2))
+  else
+    match Rdf.Namespace.expand namespaces src with
+    | Some iri -> Rdf.Term.iri iri
+    | None -> Rdf.Term.iri src
+
+let wrap f = try Ok (f ()) with Failure m -> Error (`Msg m)
+
+(* ---------------- validate ---------------------------------------- *)
+
+let validate_cmd =
+  let rdf_report_arg =
+    let doc = "Print the result as a W3C validation report in Turtle." in
+    Arg.(value & flag & info [ "rdf-report" ] ~doc)
+  in
+  let run data shapes rdf_report =
+    wrap (fun () ->
+        let g = load_graph data in
+        let schema =
+          match shapes with
+          | Some _ -> load_schema shapes
+          | None -> die "validate requires --shapes"
+        in
+        let report = Shacl.Validate.validate schema g in
+        if rdf_report then print_string (Shacl.Report.to_turtle report)
+        else Format.printf "%a@." Shacl.Validate.pp_report report;
+        if not report.Shacl.Validate.conforms then exit 1)
+  in
+  let doc = "Validate a data graph against a SHACL shapes graph." in
+  Cmd.v
+    (Cmd.info "validate" ~doc)
+    Term.(term_result (const run $ data_arg $ shapes_arg $ rdf_report_arg))
+
+(* ---------------- neighborhood ------------------------------------ *)
+
+let neighborhood_cmd =
+  let run data shapes exprs prefixes node =
+    wrap (fun () ->
+        let namespaces = namespaces_of prefixes in
+        let g = load_graph data in
+        let schema = load_schema shapes in
+        let shapes_to_check =
+          match parse_shapes namespaces exprs with
+          | [] ->
+              (* fall back to every shape definition of the shapes graph *)
+              List.map
+                (fun (d : Shacl.Schema.def) -> d.Shacl.Schema.shape)
+                (Shacl.Schema.defs schema)
+          | l -> l
+        in
+        if shapes_to_check = [] then die "no shapes given (--shape or --shapes)";
+        let v = parse_node namespaces node in
+        List.iter
+          (fun shape ->
+            Format.printf "shape: %s@."
+              (Shacl.Shape_syntax.print ~namespaces shape);
+            match Provenance.Neighborhood.check ~schema g v shape with
+            | true, neighborhood ->
+                Format.printf "%a conforms; neighborhood:@.%s@." Rdf.Term.pp v
+                  (Rdf.Turtle.to_string ~prefixes:namespaces neighborhood)
+            | false, _ ->
+                let explanation =
+                  Option.value
+                    (Provenance.Neighborhood.why_not ~schema g v shape)
+                    ~default:Rdf.Graph.empty
+                in
+                Format.printf
+                  "%a does not conform; why-not explanation:@.%s@." Rdf.Term.pp
+                  v
+                  (Rdf.Turtle.to_string ~prefixes:namespaces explanation))
+          shapes_to_check)
+  in
+  let doc =
+    "Provenance of a node for a shape: its neighborhood when it conforms, \
+     the why-not explanation when it does not."
+  in
+  Cmd.v
+    (Cmd.info "neighborhood" ~doc)
+    Term.(
+      term_result
+        (const run $ data_arg $ shapes_arg $ shape_exprs_arg $ prefix_arg
+        $ node_arg))
+
+(* ---------------- fragment ---------------------------------------- *)
+
+let fragment_cmd =
+  let run data shapes exprs prefixes =
+    wrap (fun () ->
+        let namespaces = namespaces_of prefixes in
+        let g = load_graph data in
+        let schema = load_schema shapes in
+        let fragment =
+          match parse_shapes namespaces exprs with
+          | [] ->
+              if Shacl.Schema.defs schema = [] then
+                die "no request shapes given (--shape or --shapes)"
+              else Provenance.Fragment.frag_schema schema g
+          | request_shapes -> Provenance.Fragment.frag ~schema g request_shapes
+        in
+        print_string (Rdf.Turtle.to_string ~prefixes:namespaces fragment))
+  in
+  let doc =
+    "Extract the shape fragment: the union of the neighborhoods of all \
+     conforming nodes (for --shape requests) or of the schema's \
+     target-conjoined shapes (for --shapes)."
+  in
+  Cmd.v
+    (Cmd.info "fragment" ~doc)
+    Term.(
+      term_result
+        (const run $ data_arg $ shapes_arg $ shape_exprs_arg $ prefix_arg))
+
+(* ---------------- to-sparql --------------------------------------- *)
+
+let to_sparql_cmd =
+  let run exprs prefixes =
+    wrap (fun () ->
+        let namespaces = namespaces_of prefixes in
+        match parse_shapes namespaces exprs with
+        | [] -> die "to-sparql requires at least one --shape"
+        | shapes ->
+            List.iter
+              (fun shape ->
+                Format.printf "# neighborhood query Q_phi for %s@.%a@.@."
+                  (Shacl.Shape_syntax.print ~namespaces shape)
+                  Sparql.Algebra.pp
+                  (Provenance.To_sparql.neighborhood_query shape))
+              shapes;
+            Format.printf "# fragment query Q_S@.%a@." Sparql.Algebra.pp
+              (Provenance.To_sparql.fragment_query shapes))
+  in
+  let doc =
+    "Show the SPARQL queries of Proposition 5.3 and Corollary 5.5 generated \
+     for the given request shapes."
+  in
+  Cmd.v
+    (Cmd.info "to-sparql" ~doc)
+    Term.(term_result (const run $ shape_exprs_arg $ prefix_arg))
+
+(* ---------------- query -------------------------------------------- *)
+
+let query_cmd =
+  let query_arg =
+    let doc = "SPARQL query text (SELECT / CONSTRUCT / ASK)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+  in
+  let run data prefixes query_src =
+    wrap (fun () ->
+        let namespaces = namespaces_of prefixes in
+        let g = load_graph data in
+        match Sparql.Parser.run_string ~namespaces g query_src with
+        | Error e -> die "query: %a" Sparql.Parser.pp_error e
+        | Ok (Sparql.Parser.Bindings rows) ->
+            List.iter
+              (fun row -> Format.printf "%a@." Sparql.Binding.pp row)
+              rows;
+            Format.printf "%d solution(s)@." (List.length rows)
+        | Ok (Sparql.Parser.Graph result) ->
+            print_string (Rdf.Turtle.to_string ~prefixes:namespaces result)
+        | Ok (Sparql.Parser.Boolean b) -> Format.printf "%b@." b)
+  in
+  let doc = "Run a SPARQL query (the engine's supported subset) on a data graph." in
+  Cmd.v
+    (Cmd.info "query" ~doc)
+    Term.(term_result (const run $ data_arg $ prefix_arg $ query_arg))
+
+(* ---------------- explain ------------------------------------------ *)
+
+let explain_cmd =
+  let run data exprs prefixes node =
+    wrap (fun () ->
+        let namespaces = namespaces_of prefixes in
+        let g = load_graph data in
+        let v = parse_node namespaces node in
+        match parse_shapes namespaces exprs with
+        | [] -> die "explain requires at least one --shape"
+        | shapes ->
+            List.iter
+              (fun shape ->
+                Format.printf "shape: %s@."
+                  (Shacl.Shape_syntax.print ~namespaces shape);
+                match Provenance.Annotated.explain_why_not g v shape with
+                | None ->
+                    Format.printf "%a conforms because:@.%a@.@." Rdf.Term.pp v
+                      Provenance.Annotated.pp
+                      (Provenance.Annotated.explain g v shape)
+                | Some annotations ->
+                    Format.printf "%a does not conform because:@.%a@.@."
+                      Rdf.Term.pp v Provenance.Annotated.pp annotations)
+              shapes)
+  in
+  let doc =
+    "Per-triple explanation: each provenance triple with the constraints      that contributed it (why, or why-not on violation)."
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc)
+    Term.(
+      term_result
+        (const run $ data_arg $ shape_exprs_arg $ prefix_arg $ node_arg))
+
+(* ---------------- main --------------------------------------------- *)
+
+let () =
+  let doc = "SHACL validation with data provenance (neighborhoods and shape fragments)" in
+  let info = Cmd.info "shaclprov" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ validate_cmd; neighborhood_cmd; explain_cmd; fragment_cmd;
+            query_cmd; to_sparql_cmd ]))

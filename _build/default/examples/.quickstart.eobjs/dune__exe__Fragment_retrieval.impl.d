@@ -1,0 +1,1 @@
+examples/fragment_retrieval.ml: Bsbm Format List Provenance Queries Rdf Shacl Workload

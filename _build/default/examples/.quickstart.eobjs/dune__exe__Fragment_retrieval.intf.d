@@ -1,0 +1,1 @@
+examples/fragment_retrieval.mli:

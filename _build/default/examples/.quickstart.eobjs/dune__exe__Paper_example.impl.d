@@ -1,0 +1,1 @@
+examples/paper_example.ml: Conformance Format Graph Iri Provenance Rdf Schema Shacl Shape Shape_syntax Term Triple Validate Vocab

@@ -1,0 +1,1 @@
+examples/tpf_vs_fragments.ml: Format Graph List Provenance Rdf Shacl Tpf Turtle Workload

@@ -1,0 +1,1 @@
+examples/tpf_vs_fragments.mli:

@@ -1,0 +1,1 @@
+examples/why_not.ml: Format Graph Provenance Rdf Shacl Shape_syntax Term Turtle Vocab

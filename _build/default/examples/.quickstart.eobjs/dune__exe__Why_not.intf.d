@@ -1,0 +1,1 @@
+examples/why_not.mli:

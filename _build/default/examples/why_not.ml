@@ -1,0 +1,51 @@
+(* Why and why-not provenance (Remark 3.7).
+
+   Thanks to negation, neighborhoods explain both outcomes: if v conforms
+   to phi, B(v,G,phi) shows why; if it does not, B(v,G,¬phi) shows why
+   not.  We check hotel records against a closed-shape policy and print
+   the explanation for every violation.
+
+     dune exec examples/why_not.exe *)
+
+open Rdf
+open Shacl
+
+let data =
+  {|@prefix ex: <http://example.org/> .
+    @prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+
+    ex:alpine rdf:type ex:Hotel ;
+        ex:name "Alpine Lodge"@en ;
+        ex:rating 4 .
+
+    ex:grand rdf:type ex:Hotel ;
+        ex:name "Grand"@en , "Grand"@de , "Gross"@de ;
+        ex:rating 11 .
+
+    ex:shadow rdf:type ex:Hotel ;
+        ex:name "Shadow Inn"@en ;
+        ex:rating 3 ;
+        ex:ownedBy ex:shellCompany .
+  |}
+
+let policy =
+  (* ratings within 1..5, one name per language, and no properties beyond
+     the advertised ones *)
+  Shape_syntax.parse_exn
+    {|forall ex:rating . (test(minInclusive = 1) & test(maxInclusive = 5))
+      & uniqueLang(ex:name)
+      & closed(rdf:type, ex:name, ex:rating)|}
+
+let () =
+  let g = Turtle.parse_exn data in
+  Format.printf "policy: %s@.@." (Shape_syntax.print policy);
+  Term.Set.iter
+    (fun hotel ->
+      match Provenance.Neighborhood.why_not g hotel policy with
+      | None ->
+          let _, why = Provenance.Neighborhood.check g hotel policy in
+          Format.printf "%a conforms.  Why: %a@.@." Term.pp hotel Graph.pp why
+      | Some explanation ->
+          Format.printf "%a violates the policy.  Why not:@.%a@.@." Term.pp
+            hotel Graph.pp explanation)
+    (Graph.subjects g Vocab.Rdf.type_ (Term.iri "http://example.org/Hotel"))

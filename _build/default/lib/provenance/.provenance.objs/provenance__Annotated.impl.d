@@ -1,0 +1,1 @@
+lib/provenance/annotated.ml: Conformance Format Graph Hashtbl Iri List Literal Option Rdf Schema Shacl Shape Shape_syntax Term Triple

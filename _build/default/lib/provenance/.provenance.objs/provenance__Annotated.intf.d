@@ -1,0 +1,1 @@
+lib/provenance/annotated.mli: Format Rdf Shacl

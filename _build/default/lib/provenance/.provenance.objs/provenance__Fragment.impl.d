@@ -1,0 +1,1 @@
+lib/provenance/fragment.ml: Graph List Neighborhood Rdf Schema Shacl Shape Term

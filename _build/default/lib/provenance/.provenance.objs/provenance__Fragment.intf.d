@@ -1,0 +1,1 @@
+lib/provenance/fragment.mli: Rdf Shacl

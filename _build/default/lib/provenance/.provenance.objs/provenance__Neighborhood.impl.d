@@ -1,0 +1,1 @@
+lib/provenance/neighborhood.ml: Conformance Graph Hashtbl Iri List Literal Node_test Rdf Schema Shacl Shape Term Triple

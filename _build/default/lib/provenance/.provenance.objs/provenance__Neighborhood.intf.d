@@ -1,0 +1,1 @@
+lib/provenance/neighborhood.mli: Rdf Shacl

@@ -1,0 +1,1 @@
+lib/provenance/sufficiency.ml: Conformance Format Fragment Graph List Neighborhood Random Rdf Schema Shacl Shape Term Validate

@@ -1,0 +1,1 @@
+lib/provenance/sufficiency.mli: Format Random Rdf Shacl

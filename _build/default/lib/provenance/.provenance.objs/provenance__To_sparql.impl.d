@@ -1,0 +1,1 @@
+lib/provenance/to_sparql.ml: Format Graph Iri List Node_test Option Printf Rdf Schema Shacl Shape Sparql String Term

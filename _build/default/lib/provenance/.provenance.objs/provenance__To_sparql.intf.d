@@ -1,0 +1,1 @@
+lib/provenance/to_sparql.mli: Rdf Shacl Sparql

@@ -1,0 +1,36 @@
+(** Fine-grained provenance: which constraint contributed which triple.
+
+    The neighborhood [B(v, G, phi)] says {e which} triples witness
+    conformance; for explanation interfaces one also wants to know {e
+    why each triple is there}.  This module annotates every neighborhood
+    triple with the (NNF) sub-shapes of [phi] whose Table 2 rule put it
+    in — e.g. in Example 3.5 the triple [(Bob, type, student)] is
+    attributed to the inner [≥1 type.hasValue(student)] obligation, while
+    [(p1, auth, Bob)] is attributed to the enclosing [≤1 auth.…]
+    quantifier.
+
+    This is an extension beyond the paper (its Section 7 mentions
+    explanation applications); the unannotated projection coincides with
+    {!Neighborhood.b}, which the test suite checks. *)
+
+type annotation = {
+  triple : Rdf.Triple.t;
+  witnesses : Shacl.Shape.t list;
+      (** the contributing sub-shapes, outermost first, deduplicated *)
+}
+
+val explain :
+  ?schema:Shacl.Schema.t ->
+  Rdf.Graph.t -> Rdf.Term.t -> Shacl.Shape.t -> annotation list
+(** Annotations for every triple of [B(v, G, phi)], in canonical triple
+    order.  Empty when [v] does not conform. *)
+
+val explain_why_not :
+  ?schema:Shacl.Schema.t ->
+  Rdf.Graph.t -> Rdf.Term.t -> Shacl.Shape.t -> annotation list option
+(** Like {!Neighborhood.why_not}: annotations of [B(v, G, ¬phi)] when [v]
+    does not conform, [None] when it does. *)
+
+val pp : Format.formatter -> annotation list -> unit
+(** One line per triple with its witnesses, using the shape text
+    syntax. *)

@@ -1,0 +1,36 @@
+open Rdf
+open Shacl
+
+type algorithm = Naive | Instrumented
+
+let candidates g shape =
+  Term.Set.union (Graph.nodes g) (Shape.constants shape)
+
+let frag ?(schema = Schema.empty) ?(algorithm = Instrumented) g shapes =
+  List.fold_left
+    (fun acc shape ->
+      match algorithm with
+      | Naive ->
+          let neighborhood_of = Neighborhood.naive_checker ~schema g shape in
+          Term.Set.fold
+            (fun v acc -> Graph.union acc (neighborhood_of v))
+            (candidates g shape) acc
+      | Instrumented ->
+          let check = Neighborhood.checker ~schema g shape in
+          Term.Set.fold
+            (fun v acc ->
+              let conforms, neighborhood = check v in
+              if conforms then Graph.union acc neighborhood else acc)
+            (candidates g shape) acc)
+    Graph.empty shapes
+
+let frag_schema ?algorithm schema g =
+  frag ~schema ?algorithm g (Schema.request_shapes schema)
+
+let conforming_and_neighborhoods ?(schema = Schema.empty) g shape =
+  let check = Neighborhood.checker ~schema g shape in
+  Term.Set.fold
+    (fun v acc ->
+      let conforms, neighborhood = check v in
+      if conforms then (v, neighborhood) :: acc else acc)
+    (candidates g shape) []

@@ -1,0 +1,37 @@
+(** Shape fragments (Section 4): subgraph retrieval through shapes.
+
+    The fragment of [g] for a set [S] of request shapes is
+
+    [Frag(G, S) = ⋃ { B(v, G, phi) | v ∈ N, phi ∈ S }]
+
+    (equivalently, [v] ranging over the nodes of [g], since neighborhoods
+    are subgraphs).  For a schema [H], the fragment requests the
+    conjunction of each shape with its target:
+    [Frag(G, H) = Frag(G, {phi ∧ tau | (s, phi, tau) ∈ H})].
+
+    The Conformance theorem (4.1) — verified in the test suite — states
+    that if [g] conforms to a schema with monotone targets, so does
+    [Frag(G, H)]. *)
+
+type algorithm =
+  | Naive          (** per-node {!Neighborhood.b} calls (Section 3.3) *)
+  | Instrumented   (** single-pass {!Neighborhood.check} (Section 5.2) *)
+
+val frag :
+  ?schema:Shacl.Schema.t ->
+  ?algorithm:algorithm ->
+  Rdf.Graph.t -> Shacl.Shape.t list -> Rdf.Graph.t
+(** [frag g shapes] is [Frag(G, S)].  Default algorithm: [Instrumented]. *)
+
+val frag_schema :
+  ?algorithm:algorithm -> Shacl.Schema.t -> Rdf.Graph.t -> Rdf.Graph.t
+(** [Frag(G, H)]: fragment for the schema's request shapes, with the
+    schema in context for [hasShape] resolution. *)
+
+val conforming_and_neighborhoods :
+  ?schema:Shacl.Schema.t ->
+  Rdf.Graph.t -> Shacl.Shape.t ->
+  (Rdf.Term.t * Rdf.Graph.t) list
+(** All nodes conforming to the shape, each with its neighborhood — the
+    "validated terms and their provenance" output of the instrumented
+    engine. *)

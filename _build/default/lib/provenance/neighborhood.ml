@@ -1,0 +1,422 @@
+open Rdf
+open Shacl
+
+(* Comparison of terms under the paper's partial order < on literals;
+   non-literals are incomparable. *)
+let term_lt a b =
+  match Term.as_literal a, Term.as_literal b with
+  | Some la, Some lb -> Literal.lt la lb
+  | _ -> false
+
+let term_leq a b =
+  match Term.as_literal a, Term.as_literal b with
+  | Some la, Some lb -> Literal.leq la lb
+  | _ -> false
+
+let term_same_lang a b =
+  match Term.as_literal a, Term.as_literal b with
+  | Some la, Some lb -> Literal.same_language la lb
+  | _ -> false
+
+let singleton s p o = Graph.add s p o Graph.empty
+
+(* Triples (v, p, x) in g such that x satisfies [keep]. *)
+let p_triples g v p ~keep =
+  Term.Set.fold
+    (fun x acc -> if keep x then Graph.add v p x acc else acc)
+    (Graph.objects g v p)
+    Graph.empty
+
+(* ------------------------------------------------------------------ *)
+(* Naive algorithm (Section 3.3): conformance checks and neighborhood *)
+(* construction as separate recursions over Table 2.                  *)
+(* ------------------------------------------------------------------ *)
+
+let make_naive ?(schema = Schema.empty) g =
+  let memo : (Term.t * Shape.t, Graph.t) Hashtbl.t = Hashtbl.create 256 in
+  let conforms = Conformance.memoized schema g in
+  let rec go v phi =
+    if not (conforms v phi) then Graph.empty
+    else
+      match phi with
+      | Shape.Top | Shape.Bottom | Shape.Test _ | Shape.Has_value _
+      | Shape.Not (Shape.Test _ | Shape.Has_value _ | Shape.Top | Shape.Bottom)
+        ->
+          (* memoizing trivia costs more than recomputing it *)
+          compute v phi
+      | _ ->
+      match Hashtbl.find_opt memo (v, phi) with
+      | Some cached -> cached
+      | None ->
+          let result = compute v phi in
+          Hashtbl.add memo (v, phi) result;
+          result
+  (* Table 2, assuming conformance holds and phi is in NNF. *)
+  and compute v phi =
+    match phi with
+    | Shape.Top | Shape.Bottom | Shape.Test _ | Shape.Has_value _
+    | Shape.Closed _ | Shape.Disj _ | Shape.Less_than _ | Shape.Less_than_eq _
+    | Shape.More_than _ | Shape.More_than_eq _ | Shape.Unique_lang _ ->
+        Graph.empty
+    | Shape.Has_shape s -> go v (Shape.nnf (Schema.def_shape schema s))
+    | Shape.Eq (Shape.Id, p) -> singleton v p v
+    | Shape.Eq (Shape.Path e, p) ->
+        (* graph(paths(E ∪ p, G, v, x)) for all x reachable by E ∪ p *)
+        let ep = Rdf.Path.Alt (e, Rdf.Path.Prop p) in
+        Rdf.Path.trace_all g ep v ~targets:(Rdf.Path.eval g ep v)
+    | Shape.And l | Shape.Or l ->
+        List.fold_left (fun acc psi -> Graph.union acc (go v psi)) Graph.empty l
+    | Shape.Ge (_, e, psi) ->
+        let witnesses =
+          Term.Set.filter (fun x -> conforms x psi) (Rdf.Path.eval g e v)
+        in
+        Term.Set.fold
+          (fun x acc -> Graph.union acc (go x psi))
+          witnesses
+          (Rdf.Path.trace_all g e v ~targets:witnesses)
+    | Shape.Le (_, e, psi) ->
+        let neg = Shape.nnf (Shape.Not psi) in
+        let witnesses =
+          Term.Set.filter (fun x -> conforms x neg) (Rdf.Path.eval g e v)
+        in
+        Term.Set.fold
+          (fun x acc -> Graph.union acc (go x neg))
+          witnesses
+          (Rdf.Path.trace_all g e v ~targets:witnesses)
+    | Shape.Forall (e, psi) ->
+        let xs = Rdf.Path.eval g e v in
+        Term.Set.fold
+          (fun x acc -> Graph.union acc (go x psi))
+          xs
+          (Rdf.Path.trace_all g e v ~targets:xs)
+    | Shape.Not inner -> compute_negated v inner
+  and compute_negated v inner =
+    match inner with
+    | Shape.Has_shape s ->
+        go v (Shape.nnf (Shape.Not (Schema.def_shape schema s)))
+    | Shape.Top | Shape.Bottom | Shape.Test _ | Shape.Has_value _ ->
+        Graph.empty
+    | Shape.Eq (Shape.Id, p) -> p_triples g v p ~keep:(fun x -> not (Term.equal x v))
+    | Shape.Eq (Shape.Path e, p) ->
+        let reached = Rdf.Path.eval g e v in
+        let objects = Graph.objects g v p in
+        let t1 =
+          Rdf.Path.trace_all g e v ~targets:(Term.Set.diff reached objects)
+        in
+        let t2 =
+          p_triples g v p ~keep:(fun x -> not (Term.Set.mem x reached))
+        in
+        Graph.union t1 t2
+    | Shape.Disj (Shape.Id, p) -> singleton v p v
+    | Shape.Disj (Shape.Path e, p) ->
+        let common =
+          Term.Set.inter (Rdf.Path.eval g e v) (Graph.objects g v p)
+        in
+        Term.Set.fold
+          (fun x acc -> Graph.add v p x acc)
+          common
+          (Rdf.Path.trace_all g e v ~targets:common)
+    | Shape.Less_than (e, p) ->
+        negated_comparison v e p ~violates:(fun x y -> not (term_lt x y))
+    | Shape.Less_than_eq (e, p) ->
+        negated_comparison v e p ~violates:(fun x y -> not (term_leq x y))
+    | Shape.More_than (e, p) ->
+        negated_comparison v e p ~violates:(fun x y -> not (term_lt y x))
+    | Shape.More_than_eq (e, p) ->
+        negated_comparison v e p ~violates:(fun x y -> not (term_leq y x))
+    | Shape.Unique_lang e ->
+        let reached = Rdf.Path.eval g e v in
+        let clashing =
+          Term.Set.filter
+            (fun x ->
+              Term.Set.exists
+                (fun y -> (not (Term.equal y x)) && term_same_lang y x)
+                reached)
+            reached
+        in
+        Rdf.Path.trace_all g e v ~targets:clashing
+    | Shape.Closed allowed ->
+        List.fold_left
+          (fun acc t ->
+            if Iri.Set.mem (Triple.predicate t) allowed then acc
+            else Graph.add_triple t acc)
+          Graph.empty (Graph.subject_triples g v)
+    | Shape.Not _ | Shape.And _ | Shape.Or _ | Shape.Ge _ | Shape.Le _
+    | Shape.Forall _ ->
+        (* impossible after NNF *)
+        assert false
+  (* Witness pairs (x, y) with x in [[E]](v), (v, p, y) in G and the
+     comparison violated: contribute trace(E, v, x) plus (v, p, y). *)
+  and negated_comparison v e p ~violates =
+    let reached = Rdf.Path.eval g e v in
+    let objects = Graph.objects g v p in
+    let witnesses_x =
+      Term.Set.filter
+        (fun x -> Term.Set.exists (fun y -> violates x y) objects)
+        reached
+    in
+    let witnesses_y =
+      Term.Set.filter
+        (fun y -> Term.Set.exists (fun x -> violates x y) reached)
+        objects
+    in
+    Term.Set.fold
+      (fun y acc -> Graph.add v p y acc)
+      witnesses_y
+      (Rdf.Path.trace_all g e v ~targets:witnesses_x)
+  in
+  go
+
+let b ?schema g v phi = make_naive ?schema g v (Shape.nnf phi)
+
+(* ------------------------------------------------------------------ *)
+(* Instrumented validator (Section 5.2): one pass computing both      *)
+(* conformance and neighborhood.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let make_instrumented ?(schema = Schema.empty) g =
+  let memo : (Term.t * Shape.t, bool * Graph.t) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let rec go v phi =
+    match phi with
+    | Shape.Top | Shape.Bottom | Shape.Test _ | Shape.Has_value _
+    | Shape.Not (Shape.Test _ | Shape.Has_value _ | Shape.Top | Shape.Bottom)
+      ->
+        (* memoizing trivia costs more than recomputing it *)
+        compute v phi
+    | _ -> (
+        match Hashtbl.find_opt memo (v, phi) with
+        | Some cached -> cached
+        | None ->
+            let result = compute v phi in
+            Hashtbl.add memo (v, phi) result;
+            result)
+  and compute v phi =
+    match phi with
+    | Shape.Top -> (true, Graph.empty)
+    | Shape.Bottom -> (false, Graph.empty)
+    | Shape.Test t -> (Node_test.satisfies t v, Graph.empty)
+    | Shape.Has_value c -> (Term.equal v c, Graph.empty)
+    | Shape.Has_shape s -> go v (Shape.nnf (Schema.def_shape schema s))
+    | Shape.Eq (Shape.Id, p) ->
+        if Term.Set.equal (Graph.objects g v p) (Term.Set.singleton v) then
+          (true, singleton v p v)
+        else (false, Graph.empty)
+    | Shape.Eq (Shape.Path e, p) ->
+        let reached = Rdf.Path.eval g e v in
+        if Term.Set.equal reached (Graph.objects g v p) then
+          let ep = Rdf.Path.Alt (e, Rdf.Path.Prop p) in
+          (true, Rdf.Path.trace_all g ep v ~targets:(Rdf.Path.eval g ep v))
+        else (false, Graph.empty)
+    | Shape.Disj (Shape.Id, p) ->
+        (not (Term.Set.mem v (Graph.objects g v p)), Graph.empty)
+    | Shape.Disj (Shape.Path e, p) ->
+        ( Term.Set.disjoint (Rdf.Path.eval g e v) (Graph.objects g v p),
+          Graph.empty )
+    | Shape.Closed allowed ->
+        (Iri.Set.subset (Graph.out_predicates g v) allowed, Graph.empty)
+    | Shape.Less_than (e, p) -> (positive_comparison v e p term_lt, Graph.empty)
+    | Shape.Less_than_eq (e, p) ->
+        (positive_comparison v e p term_leq, Graph.empty)
+    | Shape.More_than (e, p) ->
+        (positive_comparison v e p (fun x y -> term_lt y x), Graph.empty)
+    | Shape.More_than_eq (e, p) ->
+        (positive_comparison v e p (fun x y -> term_leq y x), Graph.empty)
+    | Shape.Unique_lang e ->
+        let values = Term.Set.elements (Rdf.Path.eval g e v) in
+        let ok =
+          List.for_all
+            (fun x ->
+              List.for_all
+                (fun y -> Term.equal x y || not (term_same_lang x y))
+                values)
+            values
+        in
+        (ok, Graph.empty)
+    | Shape.And l ->
+        let rec all acc = function
+          | [] -> (true, acc)
+          | psi :: rest ->
+              let c, bx = go v psi in
+              if c then all (Graph.union acc bx) rest else (false, Graph.empty)
+        in
+        all Graph.empty l
+    | Shape.Or l ->
+        List.fold_left
+          (fun (any, acc) psi ->
+            let c, bx = go v psi in
+            if c then (true, Graph.union acc bx) else (any, acc))
+          (false, Graph.empty) l
+    | Shape.Ge (n, e, psi) ->
+        let xs = Rdf.Path.eval g e v in
+        let witnesses, acc =
+          Term.Set.fold
+            (fun x (witnesses, acc) ->
+              let c, bx = go x psi in
+              if c then Term.Set.add x witnesses, Graph.union acc bx
+              else witnesses, acc)
+            xs
+            (Term.Set.empty, Graph.empty)
+        in
+        if Term.Set.cardinal witnesses >= n then
+          (true, Graph.union acc (Rdf.Path.trace_all g e v ~targets:witnesses))
+        else (false, Graph.empty)
+    | Shape.Le (n, e, psi) ->
+        let neg = Shape.nnf (Shape.Not psi) in
+        let xs = Rdf.Path.eval g e v in
+        let sat_count, witnesses, acc =
+          Term.Set.fold
+            (fun x (sat_count, witnesses, acc) ->
+              let c_neg, b_neg = go x neg in
+              if c_neg then
+                sat_count, Term.Set.add x witnesses, Graph.union acc b_neg
+              else sat_count + 1, witnesses, acc)
+            xs
+            (0, Term.Set.empty, Graph.empty)
+        in
+        if sat_count <= n then
+          (true, Graph.union acc (Rdf.Path.trace_all g e v ~targets:witnesses))
+        else (false, Graph.empty)
+    | Shape.Forall (e, psi) ->
+        let xs = Rdf.Path.eval g e v in
+        let ok, acc =
+          Term.Set.fold
+            (fun x (ok, acc) ->
+              if not ok then (false, acc)
+              else
+                let c, bx = go x psi in
+                if c then (true, Graph.union acc bx)
+                else (false, Graph.empty))
+            xs (true, Graph.empty)
+        in
+        if ok then (true, Graph.union acc (Rdf.Path.trace_all g e v ~targets:xs))
+        else (false, Graph.empty)
+    | Shape.Not inner -> check_negated v inner
+  and positive_comparison v e p holds =
+    let reached = Rdf.Path.eval g e v in
+    let objects = Graph.objects g v p in
+    Term.Set.for_all
+      (fun x -> Term.Set.for_all (fun y -> holds x y) objects)
+      reached
+  and check_negated v inner =
+    match inner with
+    | Shape.Has_shape s ->
+        go v (Shape.nnf (Shape.Not (Schema.def_shape schema s)))
+    | Shape.Top -> (false, Graph.empty)
+    | Shape.Bottom -> (true, Graph.empty)
+    | Shape.Test t -> (not (Node_test.satisfies t v), Graph.empty)
+    | Shape.Has_value c -> (not (Term.equal v c), Graph.empty)
+    | Shape.Eq (Shape.Id, p) ->
+        let objects = Graph.objects g v p in
+        if Term.Set.equal objects (Term.Set.singleton v) then
+          (false, Graph.empty)
+        else
+          (true, p_triples g v p ~keep:(fun x -> not (Term.equal x v)))
+    | Shape.Eq (Shape.Path e, p) ->
+        let reached = Rdf.Path.eval g e v in
+        let objects = Graph.objects g v p in
+        if Term.Set.equal reached objects then (false, Graph.empty)
+        else begin
+          let t1 =
+            Rdf.Path.trace_all g e v ~targets:(Term.Set.diff reached objects)
+          in
+          let t2 =
+            p_triples g v p ~keep:(fun x -> not (Term.Set.mem x reached))
+          in
+          (true, Graph.union t1 t2)
+        end
+    | Shape.Disj (Shape.Id, p) ->
+        if Term.Set.mem v (Graph.objects g v p) then (true, singleton v p v)
+        else (false, Graph.empty)
+    | Shape.Disj (Shape.Path e, p) ->
+        let common =
+          Term.Set.inter (Rdf.Path.eval g e v) (Graph.objects g v p)
+        in
+        if Term.Set.is_empty common then (false, Graph.empty)
+        else
+          ( true,
+            Term.Set.fold
+              (fun x acc -> Graph.add v p x acc)
+              common
+              (Rdf.Path.trace_all g e v ~targets:common) )
+    | Shape.Less_than (e, p) ->
+        negated_comparison_check v e p ~violates:(fun x y -> not (term_lt x y))
+    | Shape.Less_than_eq (e, p) ->
+        negated_comparison_check v e p ~violates:(fun x y ->
+            not (term_leq x y))
+    | Shape.More_than (e, p) ->
+        negated_comparison_check v e p ~violates:(fun x y -> not (term_lt y x))
+    | Shape.More_than_eq (e, p) ->
+        negated_comparison_check v e p ~violates:(fun x y ->
+            not (term_leq y x))
+    | Shape.Unique_lang e ->
+        let reached = Rdf.Path.eval g e v in
+        let witnesses =
+          Term.Set.filter
+            (fun x ->
+              Term.Set.exists
+                (fun y -> (not (Term.equal y x)) && term_same_lang y x)
+                reached)
+            reached
+        in
+        if Term.Set.is_empty witnesses then (false, Graph.empty)
+        else (true, Rdf.Path.trace_all g e v ~targets:witnesses)
+    | Shape.Closed allowed ->
+        let outside =
+          List.fold_left
+            (fun acc t ->
+              if Iri.Set.mem (Triple.predicate t) allowed then acc
+              else Graph.add_triple t acc)
+            Graph.empty (Graph.subject_triples g v)
+        in
+        if Graph.is_empty outside then (false, Graph.empty)
+        else (true, outside)
+    | Shape.Not _ | Shape.And _ | Shape.Or _ | Shape.Ge _ | Shape.Le _
+    | Shape.Forall _ ->
+        assert false
+  and negated_comparison_check v e p ~violates =
+    let reached = Rdf.Path.eval g e v in
+    let objects = Graph.objects g v p in
+    let witnesses_x =
+      Term.Set.filter
+        (fun x -> Term.Set.exists (fun y -> violates x y) objects)
+        reached
+    in
+    let witnesses_y =
+      Term.Set.filter
+        (fun y -> Term.Set.exists (fun x -> violates x y) reached)
+        objects
+    in
+    let acc =
+      Term.Set.fold
+        (fun y acc -> Graph.add v p y acc)
+        witnesses_y
+        (Rdf.Path.trace_all g e v ~targets:witnesses_x)
+    in
+    if Graph.is_empty acc then
+      (* No violating pair: either the positive shape holds, or one of the
+         sets is empty (then the positive shape holds too). *)
+      (false, Graph.empty)
+    else (true, acc)
+  in
+  go
+
+let check ?schema g v phi = make_instrumented ?schema g v (Shape.nnf phi)
+
+let checker ?schema g phi =
+  let go = make_instrumented ?schema g in
+  let normalized = Shape.nnf phi in
+  fun v -> go v normalized
+
+let naive_checker ?schema g phi =
+  let go = make_naive ?schema g in
+  let normalized = Shape.nnf phi in
+  fun v -> go v normalized
+
+let why_not ?schema g v phi =
+  let conforms, _ = check ?schema g v phi in
+  if conforms then None
+  else
+    let _, explanation = check ?schema g v (Shape.Not phi) in
+    Some explanation

@@ -1,0 +1,55 @@
+(** Neighborhoods: the provenance semantics for SHACL (Section 3).
+
+    The neighborhood [B(v, G, phi)] of node [v] in graph [g] with respect
+    to shape [phi] — in the context of a schema [h] — is the subgraph of
+    [g] containing the triples that witness [v]'s conformance to [phi],
+    as defined case-by-case in Table 2 of the paper.  When [v] does not
+    conform to [phi], the neighborhood is empty.
+
+    The defining properties, both verified by the test suite:
+
+    - {b Sufficiency} (Theorem 3.4): if [G, v ⊨ phi] then [G', v ⊨ phi]
+      for every [G'] with [B(v,G,phi) ⊆ G' ⊆ G].
+    - {b Why-not provenance} (Remark 3.7): when [v] does not conform,
+      [B(v, G, ¬phi)] explains the non-conformance.
+
+    Two implementations are provided: {!b} follows the naive per-case
+    algorithm of Section 3.3 (conformance checks and tracing are separate
+    recursive passes), while {!check} is the "instrumented validator" of
+    Section 5.2 — a single pass that decides conformance and collects the
+    neighborhood simultaneously.  They compute the same function. *)
+
+val b :
+  ?schema:Shacl.Schema.t ->
+  Rdf.Graph.t -> Rdf.Term.t -> Shacl.Shape.t -> Rdf.Graph.t
+(** [b ~schema g v phi] is [B(v, G, phi)].  The shape is put in negation
+    normal form internally, so any shape is accepted.  Results for shared
+    subproblems are memoized within one call. *)
+
+val check :
+  ?schema:Shacl.Schema.t ->
+  Rdf.Graph.t -> Rdf.Term.t -> Shacl.Shape.t -> bool * Rdf.Graph.t
+(** [check ~schema g v phi] decides conformance and computes the
+    neighborhood in a single instrumented pass: returns
+    [(conforms, B(v,G,phi))], the graph being empty when [conforms] is
+    false. *)
+
+val why_not :
+  ?schema:Shacl.Schema.t ->
+  Rdf.Graph.t -> Rdf.Term.t -> Shacl.Shape.t -> Rdf.Graph.t option
+(** [why_not ~schema g v phi] is [Some (B(v, G, ¬phi))] when [v] does not
+    conform to [phi] — the explanation of the failure — and [None] when it
+    does conform. *)
+
+val checker :
+  ?schema:Shacl.Schema.t ->
+  Rdf.Graph.t -> Shacl.Shape.t -> (Rdf.Term.t -> bool * Rdf.Graph.t)
+(** Batch variant of {!check}: the shape is normalized once and one memo
+    table is shared across all focus nodes, which is how an instrumented
+    validator processes the target nodes of a shape.  Used by
+    {!Fragment.frag} and the overhead experiment. *)
+
+val naive_checker :
+  ?schema:Shacl.Schema.t ->
+  Rdf.Graph.t -> Shacl.Shape.t -> (Rdf.Term.t -> Rdf.Graph.t)
+(** Batch variant of {!b}. *)

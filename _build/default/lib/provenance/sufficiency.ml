@@ -1,0 +1,53 @@
+open Rdf
+open Shacl
+
+type failure = { node : Term.t; shape : Shape.t; subgraph : Graph.t }
+
+let pp_failure ppf f =
+  Format.fprintf ppf
+    "@[<v>sufficiency violated for node %a and shape %a@ in subgraph:@ %a@]"
+    Term.pp f.node Shape.pp f.shape Graph.pp f.subgraph
+
+let check_neighborhood ?(schema = Schema.empty) g v shape =
+  if not (Conformance.conforms schema g v shape) then Ok ()
+  else
+    let neighborhood = Neighborhood.b ~schema g v shape in
+    if Conformance.conforms schema neighborhood v shape then Ok ()
+    else Error { node = v; shape; subgraph = neighborhood }
+
+let check_intermediate ?(schema = Schema.empty) ~rand ~samples g v shape =
+  match check_neighborhood ~schema g v shape with
+  | Error _ as e -> e
+  | Ok () ->
+      if not (Conformance.conforms schema g v shape) then Ok ()
+      else begin
+        let neighborhood = Neighborhood.b ~schema g v shape in
+        let extra = Graph.to_list (Graph.diff g neighborhood) in
+        let rec sample i =
+          if i >= samples then Ok ()
+          else begin
+            (* A random G' with B ⊆ G' ⊆ G. *)
+            let g' =
+              List.fold_left
+                (fun acc t ->
+                  if Random.State.bool rand then Graph.add_triple t acc
+                  else acc)
+                neighborhood extra
+            in
+            if Conformance.conforms schema g' v shape then sample (i + 1)
+            else Error { node = v; shape; subgraph = g' }
+          end
+        in
+        sample 0
+      end
+
+let check_fragment_conformance schema g =
+  if not (Validate.conforms schema g) then Ok ()
+  else
+    let fragment = Fragment.frag_schema schema g in
+    if Validate.conforms schema fragment then Ok ()
+    else
+      Error
+        (Format.asprintf
+           "fragment of a conforming graph fails validation:@ %a" Graph.pp
+           fragment)

@@ -1,0 +1,38 @@
+(** Checking the Sufficiency property (Theorem 3.4).
+
+    Utilities used by the test suite and examples to validate, on concrete
+    inputs, the paper's correctness theorems:
+
+    - Sufficiency: [G,v ⊨ phi] implies [G',v ⊨ phi] for every
+      [B(v,G,phi) ⊆ G' ⊆ G];
+    - Corollary 4.2: conformance carries over to the shape fragment;
+    - Conformance theorem 4.1: a conforming graph's schema fragment still
+      conforms. *)
+
+type failure = {
+  node : Rdf.Term.t;
+  shape : Shacl.Shape.t;
+  subgraph : Rdf.Graph.t;   (** a [G'] in which conformance broke *)
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val check_neighborhood :
+  ?schema:Shacl.Schema.t ->
+  Rdf.Graph.t -> Rdf.Term.t -> Shacl.Shape.t -> (unit, failure) result
+(** If [v] conforms in [g], verify it still conforms in [B(v,G,phi)]
+    itself (the minimal [G'] of the theorem). *)
+
+val check_intermediate :
+  ?schema:Shacl.Schema.t ->
+  rand:Random.State.t ->
+  samples:int ->
+  Rdf.Graph.t -> Rdf.Term.t -> Shacl.Shape.t -> (unit, failure) result
+(** Additionally sample [samples] random subgraphs [G'] with
+    [B ⊆ G' ⊆ G] and verify conformance in each — exercising the full
+    strength of the theorem statement. *)
+
+val check_fragment_conformance :
+  Shacl.Schema.t -> Rdf.Graph.t -> (unit, string) result
+(** Theorem 4.1: if [g] conforms to the schema, [Frag(G,H)] must too.
+    Returns [Ok ()] when [g] does not conform (the theorem is vacuous). *)

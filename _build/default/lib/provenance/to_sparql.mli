@@ -1,0 +1,70 @@
+(** Translation of shapes to SPARQL (Section 5.1 of the paper).
+
+    Three generators, mirroring the paper's results:
+
+    - {!path_query} — Lemma 5.1: for a path expression [E], a query
+      [Q_E(?t, ?s, ?p, ?o, ?h)] whose [(?t, ?h)] projection is [[[E]]^G]
+      restricted to [N(G)] and whose [(?s, ?p, ?o)] columns, for fixed
+      [(?t, ?h) = (a, b)], enumerate [graph(paths(E, G, a, b))];
+    - {!conformance_query} — the auxiliary [CQ_phi(?v)] returning the
+      nodes of [N(G)] conforming to [phi];
+    - {!neighborhood_query} — Proposition 5.3: [Q_phi(?v, ?s, ?p, ?o)]
+      returning exactly [{(v, s, p, o) | (s, p, o) ∈ B(v, G, phi)}];
+    - {!fragment_query} — Corollary 5.5: [Q_S(?s, ?p, ?o)] returning
+      [Frag(G, S)].
+
+    All queries are {!Sparql.Algebra} values executable with
+    {!Sparql.Eval}; the test suite checks them against the direct
+    implementations in {!Neighborhood} and {!Fragment}. *)
+
+type path_columns = {
+  alg : Sparql.Algebra.t;
+  t : string;  (** tail: the start node [a] *)
+  s : string;
+  p : string;
+  o : string;  (** one traced triple (may be unbound on zero-length paths) *)
+  h : string;  (** head: the end node [b] *)
+}
+
+val path_query : Rdf.Path.t -> path_columns
+(** [Q_E] of Lemma 5.1, with freshly named columns. *)
+
+val conformance_query :
+  ?schema:Shacl.Schema.t -> Shacl.Shape.t -> var:string -> Sparql.Algebra.t
+(** [CQ_phi]: binds [var] to each node of [N(G)] (plus nothing else)
+    conforming to the shape.  The result is a [Distinct] pattern. *)
+
+val neighborhood_query :
+  ?schema:Shacl.Schema.t -> ?optimize:bool -> Shacl.Shape.t -> Sparql.Algebra.t
+(** [Q_phi] of Proposition 5.3, with columns named [v], [s], [p], [o]
+    (distinct). *)
+
+val fragment_query :
+  ?schema:Shacl.Schema.t -> ?optimize:bool -> Shacl.Shape.t list -> Sparql.Algebra.t
+(** [Q_S] of Corollary 5.5, with columns [s], [p], [o] (distinct).
+    [optimize] (default true) runs {!Sparql.Optimizer.simplify} on the
+    generated plan; disable it to measure the raw translation. *)
+
+(** {1 Execution helpers} *)
+
+val trace_via_sparql :
+  ?strategy:Sparql.Eval.strategy ->
+  Rdf.Graph.t -> Rdf.Path.t -> Rdf.Term.t -> Rdf.Term.t -> Rdf.Graph.t
+(** Compute [graph(paths(E, G, a, b))] by executing [Q_E] — the
+    SPARQL-backed alternative to {!Rdf.Path.trace}. *)
+
+val neighborhoods_via_sparql :
+  ?strategy:Sparql.Eval.strategy ->
+  ?schema:Shacl.Schema.t ->
+  Rdf.Graph.t -> Shacl.Shape.t -> Rdf.Graph.t Rdf.Term.Map.t
+(** Execute [Q_phi] and regroup the rows per focus node. *)
+
+val fragment_via_sparql :
+  ?strategy:Sparql.Eval.strategy ->
+  ?schema:Shacl.Schema.t ->
+  Rdf.Graph.t -> Shacl.Shape.t list -> Rdf.Graph.t
+(** Execute [Q_S]. *)
+
+val query_size : Sparql.Algebra.t -> int
+(** Number of algebra operators (the paper's "hundreds of lines"
+    observation; used in benchmarks). *)

@@ -1,0 +1,1 @@
+lib/rdf/iri.ml: Char Format Hashtbl Map Printf Set String

@@ -1,0 +1,1 @@
+lib/rdf/iri.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/rdf/isomorphism.ml: Graph Int Iri List Map Printf String Term Triple

@@ -1,0 +1,1 @@
+lib/rdf/isomorphism.mli: Graph

@@ -1,0 +1,1 @@
+lib/rdf/literal.ml: Buffer Format Hashtbl Iri Option Printf String Vocab

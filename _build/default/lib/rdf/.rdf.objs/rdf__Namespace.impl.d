@@ -1,0 +1,1 @@
+lib/rdf/namespace.ml: Format Iri List Option String Term Vocab

@@ -1,0 +1,1 @@
+lib/rdf/namespace.mli: Format Iri Term

@@ -1,0 +1,1 @@
+lib/rdf/path.ml: Format Graph Iri Stdlib Term

@@ -1,0 +1,1 @@
+lib/rdf/path.mli: Format Graph Iri Term

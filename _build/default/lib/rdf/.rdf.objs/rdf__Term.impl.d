@@ -1,0 +1,1 @@
+lib/rdf/term.ml: Format Hashtbl Int Iri Literal Map Set String

@@ -1,0 +1,1 @@
+lib/rdf/term.mli: Format Iri Literal Map Set

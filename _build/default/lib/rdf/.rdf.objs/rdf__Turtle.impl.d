@@ -1,0 +1,1 @@
+lib/rdf/turtle.ml: Buffer Char Format Fun Graph Iri List Literal Namespace Option Printf Result String Term Triple Vocab

@@ -1,0 +1,1 @@
+lib/rdf/vocab.ml: Iri List

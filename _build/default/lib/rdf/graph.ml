@@ -1,0 +1,200 @@
+(* Three persistent indexes over the same triple set:
+     spo : subject -> predicate -> object set
+     pos : predicate -> object -> subject set
+     osp : object -> subject -> predicate set
+   [size] caches the triple count so [cardinal] is O(1). *)
+
+type t = {
+  spo : Term.Set.t Iri.Map.t Term.Map.t;
+  pos : Term.Set.t Term.Map.t Iri.Map.t;
+  osp : Iri.Set.t Term.Map.t Term.Map.t;
+  size : int;
+}
+
+let empty =
+  { spo = Term.Map.empty; pos = Iri.Map.empty; osp = Term.Map.empty; size = 0 }
+
+let is_empty g = g.size = 0
+let cardinal g = g.size
+
+let mem_spo s p o g =
+  match Term.Map.find_opt s g.spo with
+  | None -> false
+  | Some by_p -> (
+      match Iri.Map.find_opt p by_p with
+      | None -> false
+      | Some objs -> Term.Set.mem o objs)
+
+let mem t g = mem_spo (Triple.subject t) (Triple.predicate t) (Triple.object_ t) g
+
+let add s p o g =
+  if Term.is_literal s then invalid_arg "Graph.add: literal in subject position"
+  else if mem_spo s p o g then g
+  else
+    let spo =
+      let by_p =
+        Option.value (Term.Map.find_opt s g.spo) ~default:Iri.Map.empty
+      in
+      let objs = Option.value (Iri.Map.find_opt p by_p) ~default:Term.Set.empty in
+      Term.Map.add s (Iri.Map.add p (Term.Set.add o objs) by_p) g.spo
+    in
+    let pos =
+      let by_o =
+        Option.value (Iri.Map.find_opt p g.pos) ~default:Term.Map.empty
+      in
+      let subs = Option.value (Term.Map.find_opt o by_o) ~default:Term.Set.empty in
+      Iri.Map.add p (Term.Map.add o (Term.Set.add s subs) by_o) g.pos
+    in
+    let osp =
+      let by_s =
+        Option.value (Term.Map.find_opt o g.osp) ~default:Term.Map.empty
+      in
+      let preds = Option.value (Term.Map.find_opt s by_s) ~default:Iri.Set.empty in
+      Term.Map.add o (Term.Map.add s (Iri.Set.add p preds) by_s) g.osp
+    in
+    { spo; pos; osp; size = g.size + 1 }
+
+let add_triple t g = add (Triple.subject t) (Triple.predicate t) (Triple.object_ t) g
+
+let remove t g =
+  let s = Triple.subject t and p = Triple.predicate t and o = Triple.object_ t in
+  if not (mem_spo s p o g) then g
+  else
+    let spo =
+      let by_p = Term.Map.find s g.spo in
+      let objs = Term.Set.remove o (Iri.Map.find p by_p) in
+      let by_p =
+        if Term.Set.is_empty objs then Iri.Map.remove p by_p
+        else Iri.Map.add p objs by_p
+      in
+      if Iri.Map.is_empty by_p then Term.Map.remove s g.spo
+      else Term.Map.add s by_p g.spo
+    in
+    let pos =
+      let by_o = Iri.Map.find p g.pos in
+      let subs = Term.Set.remove s (Term.Map.find o by_o) in
+      let by_o =
+        if Term.Set.is_empty subs then Term.Map.remove o by_o
+        else Term.Map.add o subs by_o
+      in
+      if Term.Map.is_empty by_o then Iri.Map.remove p g.pos
+      else Iri.Map.add p by_o g.pos
+    in
+    let osp =
+      let by_s = Term.Map.find o g.osp in
+      let preds = Iri.Set.remove p (Term.Map.find s by_s) in
+      let by_s =
+        if Iri.Set.is_empty preds then Term.Map.remove s by_s
+        else Term.Map.add s preds by_s
+      in
+      if Term.Map.is_empty by_s then Term.Map.remove o g.osp
+      else Term.Map.add o by_s g.osp
+    in
+    { spo; pos; osp; size = g.size - 1 }
+
+let fold f g acc =
+  Term.Map.fold
+    (fun s by_p acc ->
+      Iri.Map.fold
+        (fun p objs acc ->
+          Term.Set.fold (fun o acc -> f (Triple.make s p o) acc) objs acc)
+        by_p acc)
+    g.spo acc
+
+let iter f g = fold (fun t () -> f t) g ()
+let to_list g = List.rev (fold (fun t acc -> t :: acc) g [])
+
+exception Found
+
+let exists pred g =
+  try
+    iter (fun t -> if pred t then raise Found) g;
+    false
+  with Found -> true
+
+let for_all pred g = not (exists (fun t -> not (pred t)) g)
+let filter pred g = fold (fun t acc -> if pred t then add_triple t acc else acc) g empty
+let of_list ts = List.fold_left (fun g t -> add_triple t g) empty ts
+
+let union a b =
+  let small, big = if cardinal a <= cardinal b then a, b else b, a in
+  fold add_triple small big
+
+let inter a b =
+  let small, big = if cardinal a <= cardinal b then a, b else b, a in
+  fold (fun t acc -> if mem t big then add_triple t acc else acc) small empty
+
+let diff a b = fold (fun t acc -> if mem t b then acc else add_triple t acc) a empty
+let subset a b = cardinal a <= cardinal b && for_all (fun t -> mem t b) a
+let equal a b = cardinal a = cardinal b && subset a b
+
+let objects g s p =
+  match Term.Map.find_opt s g.spo with
+  | None -> Term.Set.empty
+  | Some by_p ->
+      Option.value (Iri.Map.find_opt p by_p) ~default:Term.Set.empty
+
+let subjects g p o =
+  match Iri.Map.find_opt p g.pos with
+  | None -> Term.Set.empty
+  | Some by_o ->
+      Option.value (Term.Map.find_opt o by_o) ~default:Term.Set.empty
+
+let predicates_between g s o =
+  match Term.Map.find_opt o g.osp with
+  | None -> Iri.Set.empty
+  | Some by_s -> Option.value (Term.Map.find_opt s by_s) ~default:Iri.Set.empty
+
+let subject_triples g s =
+  match Term.Map.find_opt s g.spo with
+  | None -> []
+  | Some by_p ->
+      Iri.Map.fold
+        (fun p objs acc ->
+          Term.Set.fold (fun o acc -> Triple.make s p o :: acc) objs acc)
+        by_p []
+
+let object_triples g o =
+  match Term.Map.find_opt o g.osp with
+  | None -> []
+  | Some by_s ->
+      Term.Map.fold
+        (fun s preds acc ->
+          Iri.Set.fold (fun p acc -> Triple.make s p o :: acc) preds acc)
+        by_s []
+
+let predicate_triples g p =
+  match Iri.Map.find_opt p g.pos with
+  | None -> []
+  | Some by_o ->
+      Term.Map.fold
+        (fun o subs acc ->
+          Term.Set.fold (fun s acc -> Triple.make s p o :: acc) subs acc)
+        by_o []
+
+let out_predicates g s =
+  match Term.Map.find_opt s g.spo with
+  | None -> Iri.Set.empty
+  | Some by_p -> Iri.Map.fold (fun p _ acc -> Iri.Set.add p acc) by_p Iri.Set.empty
+
+let nodes g =
+  let subs =
+    Term.Map.fold (fun s _ acc -> Term.Set.add s acc) g.spo Term.Set.empty
+  in
+  Term.Map.fold (fun o _ acc -> Term.Set.add o acc) g.osp subs
+
+let subjects_all g =
+  Term.Map.fold (fun s _ acc -> Term.Set.add s acc) g.spo Term.Set.empty
+
+let predicates_all g =
+  Iri.Map.fold (fun p _ acc -> Iri.Set.add p acc) g.pos Iri.Set.empty
+
+let to_seq g = List.to_seq (to_list g)
+
+let pp ppf g =
+  let first = ref true in
+  iter
+    (fun t ->
+      if !first then first := false else Format.pp_print_newline ppf ();
+      Triple.pp ppf t)
+    g

@@ -1,0 +1,84 @@
+(** RDF graphs.
+
+    A graph is a finite set of triples.  The implementation keeps three
+    persistent indexes (SPO, POS and OSP) so that the access patterns of
+    SHACL validation, neighborhood tracing and SPARQL evaluation — "objects
+    of [s] via [p]", "subjects reaching [o] via [p]", "all triples around a
+    node" — are logarithmic rather than linear.
+
+    All operations are purely functional; graphs can be shared freely. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val cardinal : t -> int
+(** Number of triples. *)
+
+(** {1 Building} *)
+
+val add : Term.t -> Iri.t -> Term.t -> t -> t
+(** [add s p o g] adds the triple [(s, p, o)].  Raises [Invalid_argument]
+    if [s] is a literal.  Adding an existing triple returns an equal
+    graph. *)
+
+val add_triple : Triple.t -> t -> t
+val remove : Triple.t -> t -> t
+val of_list : Triple.t list -> t
+val to_list : t -> Triple.t list
+(** In the canonical (subject, predicate, object) order. *)
+
+(** {1 Set operations} *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+
+(** {1 Membership and lookup} *)
+
+val mem : Triple.t -> t -> bool
+val mem_spo : Term.t -> Iri.t -> Term.t -> t -> bool
+
+val objects : t -> Term.t -> Iri.t -> Term.Set.t
+(** [objects g s p] is [{o | (s, p, o) ∈ g}] — the evaluation
+    [[[p]]^G(s)]. *)
+
+val subjects : t -> Iri.t -> Term.t -> Term.Set.t
+(** [subjects g p o] is [{s | (s, p, o) ∈ g}] — the evaluation
+    [[[p⁻]]^G(o)]. *)
+
+val predicates_between : t -> Term.t -> Term.t -> Iri.Set.t
+(** [predicates_between g s o] is [{p | (s, p, o) ∈ g}]. *)
+
+val subject_triples : t -> Term.t -> Triple.t list
+(** All triples with the given subject. *)
+
+val object_triples : t -> Term.t -> Triple.t list
+(** All triples with the given object. *)
+
+val predicate_triples : t -> Iri.t -> Triple.t list
+(** All triples with the given predicate. *)
+
+val out_predicates : t -> Term.t -> Iri.Set.t
+(** Predicates of the outgoing edges of a node. *)
+
+(** {1 Whole-graph views} *)
+
+val nodes : t -> Term.Set.t
+(** [N(G)]: all subjects and objects of triples in the graph. *)
+
+val subjects_all : t -> Term.Set.t
+val predicates_all : t -> Iri.Set.t
+
+val fold : (Triple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Triple.t -> unit) -> t -> unit
+val for_all : (Triple.t -> bool) -> t -> bool
+val exists : (Triple.t -> bool) -> t -> bool
+val filter : (Triple.t -> bool) -> t -> t
+val to_seq : t -> Triple.t Seq.t
+
+val pp : Format.formatter -> t -> unit
+(** N-Triples, one triple per line. *)

@@ -1,0 +1,23 @@
+type t = string
+
+let is_forbidden_char c =
+  match c with
+  | '<' | '>' | '"' | '{' | '}' | '|' | '^' | '`' | '\\' -> true
+  | c -> Char.code c <= 0x20
+
+let valid s = s <> "" && not (String.exists is_forbidden_char s)
+
+let of_string_opt s = if valid s then Some s else None
+
+let of_string s =
+  if valid s then s
+  else invalid_arg (Printf.sprintf "Iri.of_string: invalid IRI %S" s)
+
+let to_string s = s
+let equal = String.equal
+let compare = String.compare
+let hash = Hashtbl.hash
+let pp ppf s = Format.fprintf ppf "<%s>" s
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)

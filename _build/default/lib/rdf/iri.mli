@@ -1,0 +1,31 @@
+(** Internationalized Resource Identifiers.
+
+    IRIs are the primary identifiers of RDF: they name graph nodes and edge
+    labels (properties).  This module represents them as validated opaque
+    strings and provides the total order used by the indexed graph
+    structures. *)
+
+type t
+(** An absolute IRI such as [http://example.org/ns#author]. *)
+
+val of_string : string -> t
+(** [of_string s] makes an IRI from its string form.  Raises
+    [Invalid_argument] if [s] is empty or contains characters that cannot
+    appear in an IRI reference: whitespace, angle brackets, double quote,
+    braces, pipe, caret, backslash, backtick, or control characters. *)
+
+val of_string_opt : string -> t option
+(** Like {!of_string} but returns [None] instead of raising. *)
+
+val to_string : t -> string
+(** The string form of the IRI, without angle brackets. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints the IRI in N-Triples form, i.e. enclosed in angle brackets. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,98 @@
+module Smap = Map.Make (String)
+
+let bnodes g =
+  Graph.fold
+    (fun t acc ->
+      let add term acc =
+        match term with
+        | Term.Blank b -> b :: acc
+        | Term.Iri _ | Term.Literal _ -> acc
+      in
+      add (Triple.subject t) (add (Triple.object_ t) acc))
+    g []
+  |> List.sort_uniq String.compare
+
+(* A relabeling-invariant signature of a blank node: the multiset of its
+   incident triples with blank nodes erased to a marker. *)
+let signature g b =
+  let node = Term.Blank b in
+  let erase term =
+    match term with
+    | Term.Blank _ -> "_"
+    | t -> Term.to_string t
+  in
+  let out =
+    List.map
+      (fun t ->
+        Printf.sprintf "+%s>%s"
+          (Iri.to_string (Triple.predicate t))
+          (erase (Triple.object_ t)))
+      (Graph.subject_triples g node)
+  in
+  let inc =
+    List.map
+      (fun t ->
+        Printf.sprintf "-%s<%s"
+          (Iri.to_string (Triple.predicate t))
+          (erase (Triple.subject t)))
+      (Graph.object_triples g node)
+  in
+  List.sort String.compare (out @ inc)
+
+let rename_term mapping term =
+  match term with
+  | Term.Blank b -> (
+      match Smap.find_opt b mapping with
+      | Some b' -> Term.Blank b'
+      | None -> term)
+  | t -> t
+
+let apply_mapping mapping g =
+  Graph.fold
+    (fun t acc ->
+      Graph.add
+        (rename_term mapping (Triple.subject t))
+        (Triple.predicate t)
+        (rename_term mapping (Triple.object_ t))
+        acc)
+    g Graph.empty
+
+let find_mapping g1 g2 =
+  if Graph.cardinal g1 <> Graph.cardinal g2 then None
+  else
+    let b1 = bnodes g1 and b2 = bnodes g2 in
+    if List.length b1 <> List.length b2 then None
+    else begin
+      let sig1 = List.map (fun b -> b, signature g1 b) b1 in
+      let sig2 = List.map (fun b -> b, signature g2 b) b2 in
+      (* candidates per g1-bnode: g2-bnodes with the same signature *)
+      let candidates =
+        List.map
+          (fun (b, s) ->
+            b, List.filter_map (fun (b', s') -> if s = s' then Some b' else None) sig2)
+          sig1
+      in
+      (* assign scarcest first *)
+      let ordered =
+        List.sort
+          (fun (_, c1) (_, c2) ->
+            Int.compare (List.length c1) (List.length c2))
+          candidates
+      in
+      let rec assign mapping used = function
+        | [] ->
+            if Graph.equal (apply_mapping mapping g1) g2 then Some mapping
+            else None
+        | (b, cands) :: rest ->
+            List.find_map
+              (fun b' ->
+                if List.mem b' used then None
+                else assign (Smap.add b b' mapping) (b' :: used) rest)
+              cands
+      in
+      match assign Smap.empty [] ordered with
+      | Some mapping -> Some (Smap.bindings mapping)
+      | None -> None
+    end
+
+let isomorphic g1 g2 = find_mapping g1 g2 <> None

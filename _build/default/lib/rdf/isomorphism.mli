@@ -1,0 +1,18 @@
+(** RDF graph isomorphism.
+
+    Two RDF graphs are isomorphic when some bijection between their blank
+    nodes maps one onto the other (ground terms fixed).  This is the
+    right notion of equality for graphs with anonymous nodes — e.g.
+    comparing a written shapes graph or validation report against an
+    expected one — where {!Graph.equal}'s label-sensitive comparison is
+    too strict.
+
+    The implementation backtracks over blank-node bijections, pruned by
+    structural signatures; fine for the library's graph sizes (worst-case
+    exponential on pathological symmetric graphs, like the problem
+    itself). *)
+
+val isomorphic : Graph.t -> Graph.t -> bool
+
+val find_mapping : Graph.t -> Graph.t -> (string * string) list option
+(** The witnessing blank-node relabeling [g1 → g2], if any. *)

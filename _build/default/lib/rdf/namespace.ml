@@ -1,0 +1,54 @@
+type t = (string * string) list
+(* Association list, most recent binding first. *)
+
+let empty = []
+
+let default =
+  [ "rdf", Vocab.Rdf.ns;
+    "rdfs", Vocab.Rdfs.ns;
+    "xsd", Vocab.Xsd.ns;
+    "sh", Vocab.Sh.ns;
+    "ex", "http://example.org/" ]
+
+let add prefix ns t = (prefix, ns) :: List.remove_assoc prefix t
+let bindings t = t
+
+let expand t name =
+  match String.index_opt name ':' with
+  | None -> None
+  | Some i ->
+      let prefix = String.sub name 0 i in
+      let local = String.sub name (i + 1) (String.length name - i - 1) in
+      Option.map (fun ns -> ns ^ local) (List.assoc_opt prefix t)
+
+let local_name_ok s =
+  s = ""
+  || String.for_all
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' -> true
+         | _ -> false)
+       s
+     && s.[0] <> '.'
+     && s.[String.length s - 1] <> '.'
+
+let shorten t iri =
+  let s = Iri.to_string iri in
+  let fits (prefix, ns) =
+    let nlen = String.length ns in
+    if nlen > 0 && String.length s >= nlen && String.sub s 0 nlen = ns then
+      let local = String.sub s nlen (String.length s - nlen) in
+      if local_name_ok local then Some (prefix ^ ":" ^ local) else None
+    else None
+  in
+  List.find_map fits t
+
+let pp_iri t ppf iri =
+  match shorten t iri with
+  | Some short -> Format.pp_print_string ppf short
+  | None -> Iri.pp ppf iri
+
+let pp_term t ppf term =
+  match term with
+  | Term.Iri i -> pp_iri t ppf i
+  | Term.Blank _ | Term.Literal _ -> Term.pp ppf term

@@ -1,0 +1,28 @@
+(** Prefix tables for compact IRI rendering and parsing. *)
+
+type t
+(** A mapping between prefixes (like ["rdf"]) and namespace IRIs. *)
+
+val empty : t
+
+val default : t
+(** Bindings for [rdf], [rdfs], [xsd], [sh] and [ex]
+    (["http://example.org/"]). *)
+
+val add : string -> string -> t -> t
+(** [add prefix namespace t]; later bindings shadow earlier ones. *)
+
+val bindings : t -> (string * string) list
+
+val expand : t -> string -> string option
+(** [expand t "rdf:type"] resolves a prefixed name to a full IRI string.
+    Returns [None] when the prefix is unbound or the string has no colon. *)
+
+val shorten : t -> Iri.t -> string option
+(** [shorten t iri] is [Some "pfx:local"] when some bound namespace is a
+    prefix of [iri] and the remainder is a well-formed local name. *)
+
+val pp_iri : t -> Format.formatter -> Iri.t -> unit
+(** Prints the prefixed form when possible, [<iri>] otherwise. *)
+
+val pp_term : t -> Format.formatter -> Term.t -> unit

@@ -1,0 +1,159 @@
+type t =
+  | Prop of Iri.t
+  | Inv of t
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Opt of t
+
+let prop s = Prop (Iri.of_string s)
+
+let rec of_nonempty mk = function
+  | [] -> invalid_arg "Path: empty list"
+  | [ e ] -> e
+  | e :: rest -> mk e (of_nonempty mk rest)
+
+let seq_list es = of_nonempty (fun a b -> Seq (a, b)) es
+let alt_list es = of_nonempty (fun a b -> Alt (a, b)) es
+let plus e = Seq (e, Star e)
+
+let rec equal a b =
+  match a, b with
+  | Prop p, Prop q -> Iri.equal p q
+  | Inv x, Inv y | Star x, Star y | Opt x, Opt y -> equal x y
+  | Seq (x1, x2), Seq (y1, y2) | Alt (x1, x2), Alt (y1, y2) ->
+      equal x1 y1 && equal x2 y2
+  | (Prop _ | Inv _ | Seq _ | Alt _ | Star _ | Opt _), _ -> false
+
+let compare = Stdlib.compare
+
+(* Fixpoint closure of a one-step function, starting from [seeds].
+   Returns all nodes reachable in >= 0 steps. *)
+let closure step seeds =
+  let rec loop visited frontier =
+    if Term.Set.is_empty frontier then visited
+    else
+      let next =
+        Term.Set.fold
+          (fun x acc -> Term.Set.union acc (step x))
+          frontier Term.Set.empty
+      in
+      let fresh = Term.Set.diff next visited in
+      loop (Term.Set.union visited fresh) fresh
+  in
+  loop seeds seeds
+
+let rec eval g e a =
+  match e with
+  | Prop p -> Graph.objects g a p
+  | Inv e -> eval_inv g e a
+  | Seq (e1, e2) ->
+      Term.Set.fold
+        (fun m acc -> Term.Set.union acc (eval g e2 m))
+        (eval g e1 a) Term.Set.empty
+  | Alt (e1, e2) -> Term.Set.union (eval g e1 a) (eval g e2 a)
+  | Opt e -> Term.Set.add a (eval g e a)
+  | Star e -> closure (fun x -> eval g e x) (Term.Set.singleton a)
+
+and eval_inv g e b =
+  match e with
+  | Prop p -> Graph.subjects g p b
+  | Inv e -> eval g e b
+  | Seq (e1, e2) ->
+      Term.Set.fold
+        (fun m acc -> Term.Set.union acc (eval_inv g e1 m))
+        (eval_inv g e2 b) Term.Set.empty
+  | Alt (e1, e2) -> Term.Set.union (eval_inv g e1 b) (eval_inv g e2 b)
+  | Opt e -> Term.Set.add b (eval_inv g e b)
+  | Star e -> closure (fun x -> eval_inv g e x) (Term.Set.singleton b)
+
+let holds g e a b = Term.Set.mem b (eval g e a)
+
+let pairs g e =
+  let ns = Graph.nodes g in
+  (* Identity pairs are restricted to N(G); Star/Opt starting points beyond
+     N(G) cannot reach anything anyway. *)
+  Term.Set.fold
+    (fun a acc ->
+      Term.Set.fold
+        (fun b acc -> if Term.Set.mem b ns then (a, b) :: acc else acc)
+        (eval g e a) acc)
+    ns []
+
+let eval_set g e sources =
+  Term.Set.fold
+    (fun a acc -> Term.Set.union acc (eval g e a))
+    sources Term.Set.empty
+
+let eval_inv_set g e targets =
+  Term.Set.fold
+    (fun b acc -> Term.Set.union acc (eval_inv g e b))
+    targets Term.Set.empty
+
+(* trace_set computes, in one pass per path operator,
+     ⋃ { graph(paths(E, G, a, b)) | a ∈ sources, b ∈ targets }.
+   The per-pair definition distributes over this union: for a sequence,
+   every connecting midpoint lies in (E1-image of sources) ∩ (E2-preimage
+   of targets), and each contributed leg belongs to some valid (a, b)
+   pair; similarly for star via the forward/backward reachability zones
+   (cf. the Q construction of Lemma 5.1). *)
+let rec trace_set g e ~sources ~targets =
+  if Term.Set.is_empty sources || Term.Set.is_empty targets then Graph.empty
+  else
+    match e with
+    | Prop p ->
+        Term.Set.fold
+          (fun a acc ->
+            Term.Set.fold
+              (fun b acc ->
+                if Term.Set.mem b targets then Graph.add a p b acc else acc)
+              (Graph.objects g a p) acc)
+          sources Graph.empty
+    | Inv e -> trace_set g e ~sources:targets ~targets:sources
+    | Alt (e1, e2) ->
+        Graph.union
+          (trace_set g e1 ~sources ~targets)
+          (trace_set g e2 ~sources ~targets)
+    | Opt e -> trace_set g e ~sources ~targets
+    | Seq (e1, e2) ->
+        let mids =
+          Term.Set.inter (eval_set g e1 sources) (eval_inv_set g e2 targets)
+        in
+        if Term.Set.is_empty mids then Graph.empty
+        else
+          Graph.union
+            (trace_set g e1 ~sources ~targets:mids)
+            (trace_set g e2 ~sources:mids ~targets)
+    | Star e ->
+        let forward = eval_set g (Star e) sources in
+        let backward = eval_inv_set g (Star e) targets in
+        let from_zone = Term.Set.inter forward backward in
+        (* every E-step inside the forward/backward zone lies on a valid
+           star path between some source and some target *)
+        trace_set g e ~sources:from_zone ~targets:from_zone
+
+let trace g e a b =
+  trace_set g e ~sources:(Term.Set.singleton a) ~targets:(Term.Set.singleton b)
+
+let trace_all g e a ~targets =
+  trace_set g e ~sources:(Term.Set.singleton a) ~targets
+
+let rec pp_prec pp_iri prec ppf e =
+  let paren needed body =
+    if needed then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  match e with
+  | Prop p -> pp_iri ppf p
+  | Inv e -> Format.fprintf ppf "^%a" (pp_prec pp_iri 3) e
+  | Seq (e1, e2) ->
+      paren (prec > 1) (fun ppf ->
+          Format.fprintf ppf "%a/%a" (pp_prec pp_iri 1) e1 (pp_prec pp_iri 1) e2)
+  | Alt (e1, e2) ->
+      paren (prec > 0) (fun ppf ->
+          Format.fprintf ppf "%a|%a" (pp_prec pp_iri 0) e1 (pp_prec pp_iri 0) e2)
+  | Star e -> Format.fprintf ppf "%a*" (pp_prec pp_iri 3) e
+  | Opt e -> Format.fprintf ppf "%a?" (pp_prec pp_iri 3) e
+
+let pp_with pp_iri ppf e = pp_prec pp_iri 0 ppf e
+let pp ppf e = pp_with Iri.pp ppf e
+let to_string e = Format.asprintf "%a" pp e

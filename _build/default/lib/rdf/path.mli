@@ -1,0 +1,82 @@
+(** SHACL/SPARQL property-path expressions.
+
+    Implements the grammar [E := p | E⁻ | E/E | E ∪ E | E* | E?] of the
+    paper (Section 2), its evaluation [[[E]]^G] to a binary relation on
+    terms (via {!eval}, {!eval_inv} and {!pairs}), and — the ingredient the
+    provenance semantics is built on — the subgraph
+    [graph(paths(E, G, a, b))] traced out by all [E]-paths from [a] to [b]
+    (Section 3.2), via {!trace}.
+
+    {!trace} satisfies Proposition 3.1 of the paper: for
+    [F = trace g e a b], [(a,b) ∈ [[E]]^G] iff [(a,b) ∈ [[E]]^F]. *)
+
+type t =
+  | Prop of Iri.t        (** a single property [p] *)
+  | Inv of t             (** inverse path [E⁻] *)
+  | Seq of t * t         (** sequence [E₁/E₂] *)
+  | Alt of t * t         (** alternative [E₁ ∪ E₂] *)
+  | Star of t            (** zero-or-more [E*] *)
+  | Opt of t             (** zero-or-one [E?] *)
+
+val prop : string -> t
+(** [prop s] is [Prop (Iri.of_string s)]. *)
+
+val seq_list : t list -> t
+(** Right-nested sequence of a non-empty list.  Raises [Invalid_argument]
+    on the empty list. *)
+
+val alt_list : t list -> t
+(** Right-nested alternative of a non-empty list. *)
+
+val plus : t -> t
+(** One-or-more, encoded as [E/E*] (how SHACL's [sh:oneOrMorePath] is
+    translated in Appendix A of the paper). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** {1 Evaluation} *)
+
+val eval : Graph.t -> t -> Term.t -> Term.Set.t
+(** [eval g e a] is [[[E]]^G(a) = {b | (a,b) ∈ [[E]]^G}].  For [E*] and
+    [E?] this includes [a] itself (the identity is over all of [N]). *)
+
+val eval_inv : Graph.t -> t -> Term.t -> Term.Set.t
+(** [eval_inv g e b] is [{a | (a,b) ∈ [[E]]^G}]. *)
+
+val holds : Graph.t -> t -> Term.t -> Term.t -> bool
+(** [holds g e a b] iff [(a,b) ∈ [[E]]^G]. *)
+
+val pairs : Graph.t -> t -> (Term.t * Term.t) list
+(** [[[E]]^G] restricted to [N(G)] (as in Lemma 5.1 of the paper): for
+    [E*] and [E?] the identity pairs range over the nodes of [g] only. *)
+
+(** {1 Path tracing} *)
+
+val trace : Graph.t -> t -> Term.t -> Term.t -> Graph.t
+(** [trace g e a b] is [graph(paths(E, G, a, b))]: the union of the triples
+    underlying every [E]-path from [a] to [b] in [g].  Empty when no such
+    path exists.  Note that zero-length paths (through [E?] or [E*]) trace
+    no triples, per the paper's definition [paths(E?, G) = paths(E, G)]. *)
+
+val trace_all : Graph.t -> t -> Term.t -> targets:Term.Set.t -> Graph.t
+(** [trace_all g e a ~targets] is [⋃ {trace g e a x | x ∈ targets}],
+    computed with shared traversal state. *)
+
+val trace_set :
+  Graph.t -> t -> sources:Term.Set.t -> targets:Term.Set.t -> Graph.t
+(** [⋃ {trace g e a b | a ∈ sources, b ∈ targets}] in one pass per path
+    operator (midpoints and star zones are aggregated over the whole
+    source/target sets rather than per pair). *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+(** SPARQL property-path syntax with full IRIs: [^E], [E₁/E₂], [E₁|E₂],
+    [E*], [E?], parenthesized as needed. *)
+
+val pp_with : (Format.formatter -> Iri.t -> unit) -> Format.formatter -> t -> unit
+(** Like {!pp} but rendering property IRIs with the given printer (e.g. to
+    use prefixed names). *)
+
+val to_string : t -> string

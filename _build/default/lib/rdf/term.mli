@@ -1,0 +1,39 @@
+(** RDF terms (nodes).
+
+    The set [N = I ∪ B ∪ L] of the paper: an RDF term is an IRI, a blank
+    node, or a literal. *)
+
+type t =
+  | Iri of Iri.t
+  | Blank of string        (** blank node with its local label *)
+  | Literal of Literal.t
+
+val iri : string -> t
+(** [iri s] is [Iri (Iri.of_string s)]. *)
+
+val blank : string -> t
+val literal : Literal.t -> t
+val str : string -> t
+(** [str s] is the [xsd:string] literal term [s]. *)
+
+val int : int -> t
+val bool : bool -> t
+
+val is_iri : t -> bool
+val is_blank : t -> bool
+val is_literal : t -> bool
+
+val as_iri : t -> Iri.t option
+val as_literal : t -> Literal.t option
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** N-Triples syntax: [<iri>], [_:label], or a literal. *)
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,31 @@
+type t = { s : Term.t; p : Iri.t; o : Term.t }
+
+let make s p o =
+  if Term.is_literal s then
+    invalid_arg "Triple.make: literal in subject position"
+  else { s; p; o }
+
+let subject t = t.s
+let predicate t = t.p
+let object_ t = t.o
+
+let equal a b =
+  Term.equal a.s b.s && Iri.equal a.p b.p && Term.equal a.o b.o
+
+let compare a b =
+  let c = Term.compare a.s b.s in
+  if c <> 0 then c
+  else
+    let c = Iri.compare a.p b.p in
+    if c <> 0 then c else Term.compare a.o b.o
+
+let hash t = Hashtbl.hash (Term.hash t.s, Iri.hash t.p, Term.hash t.o)
+
+let pp ppf t =
+  Format.fprintf ppf "%a %a %a ." Term.pp t.s Iri.pp t.p Term.pp t.o
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

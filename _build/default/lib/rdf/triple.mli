@@ -1,0 +1,23 @@
+(** RDF triples.
+
+    A triple [(s, p, o)] is an element of [(I ∪ B) × I × N]: the subject is
+    an IRI or blank node, the property an IRI, the object any term. *)
+
+type t = private { s : Term.t; p : Iri.t; o : Term.t }
+
+val make : Term.t -> Iri.t -> Term.t -> t
+(** [make s p o] builds the triple.  Raises [Invalid_argument] if [s] is a
+    literal. *)
+
+val subject : t -> Term.t
+val predicate : t -> Iri.t
+val object_ : t -> Term.t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** N-Triples syntax, including the terminating [" ."]. *)
+
+module Set : Set.S with type elt = t

@@ -1,0 +1,589 @@
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+exception Error of error
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Iriref of string           (* contents of <...>, unresolved *)
+  | Pname of string            (* prefixed name, e.g. "rdf:type" or ":x" *)
+  | Pname_ns of string         (* "rdf:" as it appears after @prefix *)
+  | Blank_label of string      (* label after _: *)
+  | String_lit of string
+  | Lang_tag of string
+  | Integer_lit of string
+  | Decimal_lit of string
+  | Double_lit of string
+  | Kw_prefix                  (* @prefix or PREFIX *)
+  | Kw_base
+  | Kw_a
+  | Kw_true
+  | Kw_false
+  | Dot
+  | Semicolon
+  | Comma
+  | Lbracket
+  | Rbracket
+  | Lparen
+  | Rparen
+  | Carets                     (* ^^ *)
+  | Eof
+
+type lexer = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+}
+
+let fail lx message = raise (Error { line = lx.line; message })
+
+let peek_char lx =
+  if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx =
+  (match peek_char lx with Some '\n' -> lx.line <- lx.line + 1 | _ -> ());
+  lx.pos <- lx.pos + 1
+
+let rec skip_ws lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_ws lx
+  | Some '#' ->
+      let rec to_eol () =
+        match peek_char lx with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance lx;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws lx
+  | _ -> ()
+
+let is_pn_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' -> true
+  | c -> Char.code c >= 128 (* permissive UTF-8 continuation *)
+
+let take_while lx pred =
+  let start = lx.pos in
+  let rec go () =
+    match peek_char lx with
+    | Some c when pred c ->
+        advance lx;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  String.sub lx.src start (lx.pos - start)
+
+let hex_value c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> -1
+
+(* Encode a Unicode scalar value as UTF-8 into [buf]. *)
+let add_utf8 buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let read_unicode_escape lx n =
+  let code = ref 0 in
+  for _ = 1 to n do
+    match peek_char lx with
+    | Some c when hex_value c >= 0 ->
+        code := (!code * 16) + hex_value c;
+        advance lx
+    | _ -> fail lx "invalid \\u escape"
+  done;
+  !code
+
+let read_escape lx buf =
+  advance lx;
+  (* consume backslash *)
+  match peek_char lx with
+  | Some 't' -> advance lx; Buffer.add_char buf '\t'
+  | Some 'n' -> advance lx; Buffer.add_char buf '\n'
+  | Some 'r' -> advance lx; Buffer.add_char buf '\r'
+  | Some 'b' -> advance lx; Buffer.add_char buf '\b'
+  | Some 'f' -> advance lx; Buffer.add_char buf '\012'
+  | Some '"' -> advance lx; Buffer.add_char buf '"'
+  | Some '\'' -> advance lx; Buffer.add_char buf '\''
+  | Some '\\' -> advance lx; Buffer.add_char buf '\\'
+  | Some 'u' -> advance lx; add_utf8 buf (read_unicode_escape lx 4)
+  | Some 'U' -> advance lx; add_utf8 buf (read_unicode_escape lx 8)
+  | _ -> fail lx "invalid escape sequence"
+
+let read_string lx quote =
+  (* Called with lx.pos on the opening quote. *)
+  advance lx;
+  let long =
+    lx.pos + 1 < String.length lx.src
+    && lx.src.[lx.pos] = quote
+    && lx.src.[lx.pos + 1] = quote
+  in
+  if long then begin
+    advance lx;
+    advance lx
+  end;
+  let buf = Buffer.create 16 in
+  let at_long_close () =
+    lx.pos + 2 < String.length lx.src
+    && lx.src.[lx.pos] = quote
+    && lx.src.[lx.pos + 1] = quote
+    && lx.src.[lx.pos + 2] = quote
+  in
+  let rec go () =
+    match peek_char lx with
+    | None -> fail lx "unterminated string literal"
+    | Some '\\' -> read_escape lx buf; go ()
+    | Some c when c = quote && not long -> advance lx
+    | Some c when c = quote && at_long_close () ->
+        advance lx; advance lx; advance lx
+    | Some c ->
+        if (not long) && (c = '\n' || c = '\r') then
+          fail lx "newline in string literal"
+        else begin
+          advance lx;
+          Buffer.add_char buf c;
+          go ()
+        end
+  in
+  go ();
+  Buffer.contents buf
+
+let read_number lx =
+  let start = lx.pos in
+  (match peek_char lx with
+   | Some ('+' | '-') -> advance lx
+   | _ -> ());
+  let _ = take_while lx (function '0' .. '9' -> true | _ -> false) in
+  let has_dot =
+    match peek_char lx with
+    | Some '.' when
+        lx.pos + 1 < String.length lx.src
+        && (match lx.src.[lx.pos + 1] with '0' .. '9' -> true | _ -> false) ->
+        advance lx;
+        let _ = take_while lx (function '0' .. '9' -> true | _ -> false) in
+        true
+    | _ -> false
+  in
+  let has_exp =
+    match peek_char lx with
+    | Some ('e' | 'E') ->
+        advance lx;
+        (match peek_char lx with
+         | Some ('+' | '-') -> advance lx
+         | _ -> ());
+        let _ = take_while lx (function '0' .. '9' -> true | _ -> false) in
+        true
+    | _ -> false
+  in
+  let text = String.sub lx.src start (lx.pos - start) in
+  if has_exp then Double_lit text
+  else if has_dot then Decimal_lit text
+  else Integer_lit text
+
+let strip_trailing_dot lx s =
+  (* A pname like "ex:x." followed by end-of-statement: the final dot is
+     punctuation, not part of the name.  Push it back. *)
+  if s <> "" && s.[String.length s - 1] = '.' then begin
+    lx.pos <- lx.pos - 1;
+    String.sub s 0 (String.length s - 1)
+  end
+  else s
+
+let next_token lx =
+  skip_ws lx;
+  match peek_char lx with
+  | None -> Eof
+  | Some '<' ->
+      advance lx;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek_char lx with
+        | None -> fail lx "unterminated IRI"
+        | Some '>' -> advance lx
+        | Some '\\' -> read_escape lx buf; go ()
+        | Some c ->
+            advance lx;
+            Buffer.add_char buf c;
+            go ()
+      in
+      go ();
+      Iriref (Buffer.contents buf)
+  | Some '"' -> String_lit (read_string lx '"')
+  | Some '\'' -> String_lit (read_string lx '\'')
+  | Some '@' ->
+      advance lx;
+      let word = take_while lx (function
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' -> true
+        | _ -> false)
+      in
+      (match String.lowercase_ascii word with
+       | "prefix" -> Kw_prefix
+       | "base" -> Kw_base
+       | _ -> Lang_tag word)
+  | Some '_' ->
+      advance lx;
+      (match peek_char lx with
+       | Some ':' ->
+           advance lx;
+           let label = take_while lx is_pn_char in
+           Blank_label (strip_trailing_dot lx label)
+       | _ -> fail lx "expected ':' after '_'")
+  | Some '.' ->
+      (* distinguish statement dot from decimal like .5 (rare; treat as dot) *)
+      advance lx;
+      Dot
+  | Some ';' -> advance lx; Semicolon
+  | Some ',' -> advance lx; Comma
+  | Some '[' -> advance lx; Lbracket
+  | Some ']' -> advance lx; Rbracket
+  | Some '(' -> advance lx; Lparen
+  | Some ')' -> advance lx; Rparen
+  | Some '^' ->
+      advance lx;
+      (match peek_char lx with
+       | Some '^' -> advance lx; Carets
+       | _ -> fail lx "expected '^^'")
+  | Some (('0' .. '9' | '+' | '-') as _c) -> read_number lx
+  | Some _ ->
+      let word =
+        take_while lx (fun c -> is_pn_char c || c = ':' || c = '%')
+      in
+      if word = "" then fail lx "unexpected character"
+      else if String.contains word ':' then
+        let word = strip_trailing_dot lx word in
+        if word.[String.length word - 1] = ':' then Pname_ns word
+        else Pname word
+      else
+        match word with
+        | "a" -> Kw_a
+        | "true" -> Kw_true
+        | "false" -> Kw_false
+        | "PREFIX" | "prefix" -> Kw_prefix
+        | "BASE" | "base" -> Kw_base
+        | w ->
+            (* A bare word followed by ':'?  Handled above; otherwise error. *)
+            fail lx (Printf.sprintf "unexpected token %S" w)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type parser_state = {
+  lx : lexer;
+  mutable tok : token;
+  mutable prefixes : (string * string) list;
+  mutable base : string;
+  mutable bnode_count : int;
+  mutable graph : Graph.t;
+}
+
+let bump st = st.tok <- next_token st.lx
+let perror st message = raise (Error { line = st.lx.line; message })
+
+let expect st tok what =
+  if st.tok = tok then bump st else perror st ("expected " ^ what)
+
+let fresh_bnode st =
+  let label = Printf.sprintf "genid%d" st.bnode_count in
+  st.bnode_count <- st.bnode_count + 1;
+  Term.Blank label
+
+let resolve_iri st raw =
+  (* Minimal relative-reference handling: anything without a scheme is
+     appended to the base. *)
+  let has_scheme =
+    match String.index_opt raw ':' with
+    | None -> false
+    | Some i ->
+        i > 0
+        && String.for_all
+             (fun c ->
+               match c with
+               | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '+' | '-' | '.' -> true
+               | _ -> false)
+             (String.sub raw 0 i)
+  in
+  let full = if has_scheme then raw else st.base ^ raw in
+  match Iri.of_string_opt full with
+  | Some iri -> iri
+  | None -> perror st (Printf.sprintf "invalid IRI %S" full)
+
+let expand_pname st name =
+  match String.index_opt name ':' with
+  | None -> perror st "not a prefixed name"
+  | Some i ->
+      let prefix = String.sub name 0 i in
+      let local = String.sub name (i + 1) (String.length name - i - 1) in
+      (match List.assoc_opt prefix st.prefixes with
+       | Some ns -> resolve_iri st (ns ^ local)
+       | None -> perror st (Printf.sprintf "unbound prefix %S" prefix))
+
+let emit st s p o = st.graph <- Graph.add s p o st.graph
+
+let parse_iri st =
+  match st.tok with
+  | Iriref raw ->
+      bump st;
+      resolve_iri st raw
+  | Pname name ->
+      bump st;
+      expand_pname st name
+  | Kw_a ->
+      bump st;
+      Vocab.Rdf.type_
+  | _ -> perror st "expected IRI"
+
+let rec parse_object st : Term.t =
+  match st.tok with
+  | Iriref _ | Pname _ -> Term.Iri (parse_iri st)
+  | Blank_label label ->
+      bump st;
+      Term.Blank label
+  | Lbracket ->
+      bump st;
+      let node = fresh_bnode st in
+      if st.tok <> Rbracket then parse_predicate_object_list st node;
+      expect st Rbracket "']'";
+      node
+  | Lparen ->
+      bump st;
+      parse_collection st
+  | String_lit s -> (
+      bump st;
+      match st.tok with
+      | Lang_tag tag ->
+          bump st;
+          Term.Literal (Literal.lang_string s ~lang:tag)
+      | Carets ->
+          bump st;
+          let dt = parse_iri st in
+          Term.Literal (Literal.make ~datatype:dt s)
+      | _ -> Term.str s)
+  | Integer_lit s ->
+      bump st;
+      Term.Literal (Literal.make ~datatype:Vocab.Xsd.integer s)
+  | Decimal_lit s ->
+      bump st;
+      Term.Literal (Literal.make ~datatype:Vocab.Xsd.decimal s)
+  | Double_lit s ->
+      bump st;
+      Term.Literal (Literal.make ~datatype:Vocab.Xsd.double s)
+  | Kw_true ->
+      bump st;
+      Term.bool true
+  | Kw_false ->
+      bump st;
+      Term.bool false
+  | _ -> perror st "expected object term"
+
+and parse_collection st : Term.t =
+  (* Already past '('.  Builds the rdf:first/rdf:rest chain. *)
+  let rec items acc =
+    if st.tok = Rparen then begin
+      bump st;
+      List.rev acc
+    end
+    else items (parse_object st :: acc)
+  in
+  let elements = items [] in
+  match elements with
+  | [] -> Term.Iri Vocab.Rdf.nil
+  | _ ->
+      let cells = List.map (fun _ -> fresh_bnode st) elements in
+      List.iteri
+        (fun i (cell, elt) ->
+          emit st cell Vocab.Rdf.first elt;
+          let rest =
+            match List.nth_opt cells (i + 1) with
+            | Some next -> next
+            | None -> Term.Iri Vocab.Rdf.nil
+          in
+          emit st cell Vocab.Rdf.rest rest)
+        (List.combine cells elements);
+      List.hd cells
+
+and parse_object_list st subject pred =
+  let obj = parse_object st in
+  emit st subject pred obj;
+  if st.tok = Comma then begin
+    bump st;
+    parse_object_list st subject pred
+  end
+
+and parse_predicate_object_list st subject =
+  let pred = parse_iri st in
+  parse_object_list st subject pred;
+  let rec more () =
+    if st.tok = Semicolon then begin
+      bump st;
+      (* Trailing semicolons before ']' or '.' are allowed. *)
+      match st.tok with
+      | Rbracket | Dot | Semicolon -> more ()
+      | _ ->
+          parse_predicate_object_list st subject
+    end
+  in
+  more ()
+
+let parse_subject st : Term.t =
+  match st.tok with
+  | Iriref _ | Pname _ -> Term.Iri (parse_iri st)
+  | Blank_label label ->
+      bump st;
+      Term.Blank label
+  | Lparen ->
+      bump st;
+      parse_collection st
+  | _ -> perror st "expected subject"
+
+let parse_statement st =
+  match st.tok with
+  | Kw_prefix ->
+      bump st;
+      let prefix =
+        match st.tok with
+        | Pname_ns name ->
+            bump st;
+            String.sub name 0 (String.length name - 1)
+        | _ -> perror st "expected prefix name after @prefix"
+      in
+      let ns =
+        match st.tok with
+        | Iriref raw ->
+            bump st;
+            Iri.to_string (resolve_iri st raw)
+        | _ -> perror st "expected IRI after prefix name"
+      in
+      st.prefixes <- (prefix, ns) :: List.remove_assoc prefix st.prefixes;
+      if st.tok = Dot then bump st
+  | Kw_base ->
+      bump st;
+      (match st.tok with
+       | Iriref raw ->
+           bump st;
+           st.base <- raw
+       | _ -> perror st "expected IRI after @base");
+      if st.tok = Dot then bump st
+  | Lbracket ->
+      bump st;
+      let node = fresh_bnode st in
+      if st.tok <> Rbracket then parse_predicate_object_list st node;
+      expect st Rbracket "']'";
+      if st.tok <> Dot then parse_predicate_object_list st node;
+      expect st Dot "'.'"
+  | _ ->
+      let subject = parse_subject st in
+      parse_predicate_object_list st subject;
+      expect st Dot "'.'"
+
+let parse ?(base = "") src =
+  let lx = { src; pos = 0; line = 1 } in
+  let st =
+    { lx; tok = Eof; prefixes = []; base; bnode_count = 0; graph = Graph.empty }
+  in
+  try
+    st.tok <- next_token lx;
+    while st.tok <> Eof do
+      parse_statement st
+    done;
+    Ok st.graph
+  with Error e -> Result.Error e
+
+let parse_exn ?base src =
+  match parse ?base src with
+  | Ok g -> g
+  | Result.Error e -> failwith (Format.asprintf "Turtle: %a" pp_error e)
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_file ?base path = parse ?base (read_whole_file path)
+let parse_file_exn ?base path = parse_exn ?base (read_whole_file path)
+
+(* ------------------------------------------------------------------ *)
+(* Serializer                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let to_string ?(prefixes = Namespace.default) g =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  let used = ref [] in
+  let pp_iri ppf iri =
+    match Namespace.shorten prefixes iri with
+    | Some short ->
+        let prefix = List.hd (String.split_on_char ':' short) in
+        if not (List.mem prefix !used) then used := prefix :: !used;
+        Format.pp_print_string ppf short
+    | None -> Iri.pp ppf iri
+  in
+  let pp_term ppf = function
+    | Term.Iri i -> pp_iri ppf i
+    | (Term.Blank _ | Term.Literal _) as t -> Term.pp ppf t
+  in
+  let body = Buffer.create 1024 in
+  let bppf = Format.formatter_of_buffer body in
+  let by_subject =
+    Graph.fold
+      (fun t acc ->
+        let s = Triple.subject t in
+        let existing = Option.value (Term.Map.find_opt s acc) ~default:[] in
+        Term.Map.add s (t :: existing) acc)
+      g Term.Map.empty
+  in
+  Term.Map.iter
+    (fun s triples ->
+      Format.fprintf bppf "@[<v 2>%a" pp_term s;
+      let triples = List.rev triples in
+      List.iteri
+        (fun i t ->
+          if i > 0 then Format.fprintf bppf " ;@ ";
+          Format.fprintf bppf " %a %a" pp_iri (Triple.predicate t) pp_term
+            (Triple.object_ t))
+        triples;
+      Format.fprintf bppf " .@]@.")
+    by_subject;
+  Format.pp_print_flush bppf ();
+  List.iter
+    (fun prefix ->
+      match List.assoc_opt prefix (Namespace.bindings prefixes) with
+      | Some ns -> Format.fprintf ppf "@@prefix %s: <%s> .@." prefix ns
+      | None -> ())
+    (List.sort String.compare !used);
+  if !used <> [] then Format.pp_print_newline ppf ();
+  Format.pp_print_flush ppf ();
+  Buffer.add_buffer buf body;
+  Buffer.contents buf
+
+let write_file ?prefixes path g =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ?prefixes g))

@@ -1,0 +1,29 @@
+(** Turtle reader and writer.
+
+    Supports the Turtle subset needed to exchange data and SHACL shapes
+    graphs: [@prefix]/[@base] (and SPARQL-style [PREFIX]/[BASE])
+    directives, prefixed names, the [a] keyword, predicate-object lists
+    ([;]) and object lists ([,]), anonymous blank nodes ([[ ... ]]),
+    collections ([( ... )], producing [rdf:first]/[rdf:rest] lists),
+    string literals with escapes (including long [""" """] strings),
+    language tags, [^^] datatypes, and numeric/boolean shorthand.
+
+    N-Triples documents are valid input as well. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : ?base:string -> string -> (Graph.t, error) result
+(** Parse a Turtle document given as a string. *)
+
+val parse_exn : ?base:string -> string -> Graph.t
+(** Like {!parse}; raises [Failure] with a located message on error. *)
+
+val parse_file : ?base:string -> string -> (Graph.t, error) result
+val parse_file_exn : ?base:string -> string -> Graph.t
+
+val to_string : ?prefixes:Namespace.t -> Graph.t -> string
+(** Serialize with [@prefix] directives, grouping triples by subject. *)
+
+val write_file : ?prefixes:Namespace.t -> string -> Graph.t -> unit

@@ -1,0 +1,101 @@
+module Rdf = struct
+  let ns = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+  let iri local = Iri.of_string (ns ^ local)
+  let type_ = iri "type"
+  let first = iri "first"
+  let rest = iri "rest"
+  let nil = iri "nil"
+  let lang_string = iri "langString"
+end
+
+module Rdfs = struct
+  let ns = "http://www.w3.org/2000/01/rdf-schema#"
+  let iri local = Iri.of_string (ns ^ local)
+  let sub_class_of = iri "subClassOf"
+  let label = iri "label"
+  let comment = iri "comment"
+end
+
+module Xsd = struct
+  let ns = "http://www.w3.org/2001/XMLSchema#"
+  let iri local = Iri.of_string (ns ^ local)
+  let string = iri "string"
+  let boolean = iri "boolean"
+  let integer = iri "integer"
+  let decimal = iri "decimal"
+  let double = iri "double"
+  let float = iri "float"
+  let date = iri "date"
+  let date_time = iri "dateTime"
+  let any_uri = iri "anyURI"
+
+  let derived_integer_locals =
+    [ "int"; "long"; "short"; "byte"; "nonNegativeInteger";
+      "nonPositiveInteger"; "negativeInteger"; "positiveInteger";
+      "unsignedInt"; "unsignedLong"; "unsignedShort"; "unsignedByte" ]
+
+  let numeric_set =
+    List.fold_left
+      (fun acc l -> Iri.Set.add (iri l) acc)
+      (Iri.Set.of_list [ integer; decimal; double; float ])
+      derived_integer_locals
+
+  let numeric dt = Iri.Set.mem dt numeric_set
+end
+
+module Sh = struct
+  let ns = "http://www.w3.org/ns/shacl#"
+  let iri local = Iri.of_string (ns ^ local)
+  let node_shape = iri "NodeShape"
+  let property_shape = iri "PropertyShape"
+  let path = iri "path"
+  let target_node = iri "targetNode"
+  let target_class = iri "targetClass"
+  let target_subjects_of = iri "targetSubjectsOf"
+  let target_objects_of = iri "targetObjectsOf"
+  let inverse_path = iri "inversePath"
+  let alternative_path = iri "alternativePath"
+  let zero_or_more_path = iri "zeroOrMorePath"
+  let one_or_more_path = iri "oneOrMorePath"
+  let zero_or_one_path = iri "zeroOrOnePath"
+  let and_ = iri "and"
+  let or_ = iri "or"
+  let not_ = iri "not"
+  let xone = iri "xone"
+  let node = iri "node"
+  let property = iri "property"
+  let qualified_value_shape = iri "qualifiedValueShape"
+  let qualified_min_count = iri "qualifiedMinCount"
+  let qualified_max_count = iri "qualifiedMaxCount"
+  let qualified_value_shapes_disjoint = iri "qualifiedValueShapesDisjoint"
+  let min_count = iri "minCount"
+  let max_count = iri "maxCount"
+  let class_ = iri "class"
+  let datatype = iri "datatype"
+  let node_kind = iri "nodeKind"
+  let min_exclusive = iri "minExclusive"
+  let min_inclusive = iri "minInclusive"
+  let max_exclusive = iri "maxExclusive"
+  let max_inclusive = iri "maxInclusive"
+  let min_length = iri "minLength"
+  let max_length = iri "maxLength"
+  let pattern = iri "pattern"
+  let flags = iri "flags"
+  let language_in = iri "languageIn"
+  let unique_lang = iri "uniqueLang"
+  let equals = iri "equals"
+  let disjoint = iri "disjoint"
+  let less_than = iri "lessThan"
+  let less_than_or_equals = iri "lessThanOrEquals"
+  let has_value = iri "hasValue"
+  let in_ = iri "in"
+  let closed = iri "closed"
+  let ignored_properties = iri "ignoredProperties"
+  let iri_node_kind = iri "IRI"
+  let blank_node = iri "BlankNode"
+  let literal = iri "Literal"
+  let blank_node_or_iri = iri "BlankNodeOrIRI"
+  let blank_node_or_literal = iri "BlankNodeOrLiteral"
+  let iri_or_literal = iri "IRIOrLiteral"
+  let iri = iri_node_kind
+end

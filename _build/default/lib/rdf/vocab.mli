@@ -1,0 +1,113 @@
+(** Well-known RDF vocabularies.
+
+    Pre-built IRIs for the namespaces the library manipulates: RDF, RDF
+    Schema, XML Schema datatypes and SHACL.  Each submodule also exposes its
+    namespace prefix string under [ns]. *)
+
+module Rdf : sig
+  val ns : string
+  val type_ : Iri.t
+  val first : Iri.t
+  val rest : Iri.t
+  val nil : Iri.t
+  val lang_string : Iri.t
+end
+
+module Rdfs : sig
+  val ns : string
+  val sub_class_of : Iri.t
+  val label : Iri.t
+  val comment : Iri.t
+end
+
+module Xsd : sig
+  val ns : string
+  val string : Iri.t
+  val boolean : Iri.t
+  val integer : Iri.t
+  val decimal : Iri.t
+  val double : Iri.t
+  val float : Iri.t
+  val date : Iri.t
+  val date_time : Iri.t
+  val any_uri : Iri.t
+
+  val numeric : Iri.t -> bool
+  (** Whether the datatype is one of the XSD numeric types (including the
+      derived integer types such as [xsd:int] and [xsd:long]). *)
+end
+
+module Sh : sig
+  val ns : string
+
+  (* Shape declarations *)
+  val node_shape : Iri.t
+  val property_shape : Iri.t
+  val path : Iri.t
+
+  (* Targets *)
+  val target_node : Iri.t
+  val target_class : Iri.t
+  val target_subjects_of : Iri.t
+  val target_objects_of : Iri.t
+
+  (* Path constructors *)
+  val inverse_path : Iri.t
+  val alternative_path : Iri.t
+  val zero_or_more_path : Iri.t
+  val one_or_more_path : Iri.t
+  val zero_or_one_path : Iri.t
+
+  (* Logical constraint components *)
+  val and_ : Iri.t
+  val or_ : Iri.t
+  val not_ : Iri.t
+  val xone : Iri.t
+
+  (* Shape-based constraint components *)
+  val node : Iri.t
+  val property : Iri.t
+  val qualified_value_shape : Iri.t
+  val qualified_min_count : Iri.t
+  val qualified_max_count : Iri.t
+  val qualified_value_shapes_disjoint : Iri.t
+
+  (* Cardinality *)
+  val min_count : Iri.t
+  val max_count : Iri.t
+
+  (* Value type / range / string-based tests *)
+  val class_ : Iri.t
+  val datatype : Iri.t
+  val node_kind : Iri.t
+  val min_exclusive : Iri.t
+  val min_inclusive : Iri.t
+  val max_exclusive : Iri.t
+  val max_inclusive : Iri.t
+  val min_length : Iri.t
+  val max_length : Iri.t
+  val pattern : Iri.t
+  val flags : Iri.t
+  val language_in : Iri.t
+  val unique_lang : Iri.t
+
+  (* Property pair *)
+  val equals : Iri.t
+  val disjoint : Iri.t
+  val less_than : Iri.t
+  val less_than_or_equals : Iri.t
+
+  (* Other *)
+  val has_value : Iri.t
+  val in_ : Iri.t
+  val closed : Iri.t
+  val ignored_properties : Iri.t
+
+  (* Node kind values *)
+  val iri : Iri.t
+  val blank_node : Iri.t
+  val literal : Iri.t
+  val blank_node_or_iri : Iri.t
+  val blank_node_or_literal : Iri.t
+  val iri_or_literal : Iri.t
+end

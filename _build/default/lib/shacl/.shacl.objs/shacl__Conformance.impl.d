@@ -1,0 +1,1 @@
+lib/shacl/conformance.ml: Graph Hashtbl Iri List Literal Node_test Rdf Schema Shape Term

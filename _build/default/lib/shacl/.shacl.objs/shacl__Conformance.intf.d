@@ -1,0 +1,1 @@
+lib/shacl/conformance.mli: Rdf Schema Shape

@@ -1,0 +1,1 @@
+lib/shacl/node_test.ml: Buffer Char Format Iri Literal Rdf Stdlib Str String Term

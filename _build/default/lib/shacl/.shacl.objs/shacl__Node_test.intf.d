@@ -1,0 +1,1 @@
+lib/shacl/node_test.mli: Format Rdf

@@ -1,0 +1,1 @@
+lib/shacl/report.ml: Graph Iri List Printf Rdf Term Turtle Validate Vocab

@@ -1,0 +1,1 @@
+lib/shacl/report.mli: Rdf Stdlib Validate

@@ -1,0 +1,1 @@
+lib/shacl/schema.ml: Format List Rdf Shape Term

@@ -1,0 +1,1 @@
+lib/shacl/schema.mli: Format Rdf Shape

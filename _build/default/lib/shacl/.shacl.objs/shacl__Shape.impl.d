@@ -1,0 +1,1 @@
+lib/shacl/shape.ml: Format Iri List Node_test Rdf Stdlib Term

@@ -1,0 +1,1 @@
+lib/shacl/shape.mli: Format Node_test Rdf

@@ -1,0 +1,1 @@
+lib/shacl/shape_syntax.ml: Buffer Format Iri List Literal Namespace Node_test Printf Rdf Shape String Term

@@ -1,0 +1,1 @@
+lib/shacl/shape_syntax.mli: Format Rdf Shape

@@ -1,0 +1,1 @@
+lib/shacl/shapes_graph.ml: Format Graph Iri List Literal Node_test Rdf Schema Shape Term Triple Turtle Vocab

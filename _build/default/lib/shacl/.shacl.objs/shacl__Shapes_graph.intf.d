@@ -1,0 +1,1 @@
+lib/shacl/shapes_graph.mli: Format Rdf Schema

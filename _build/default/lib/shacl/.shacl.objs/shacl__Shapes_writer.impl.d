@@ -1,0 +1,1 @@
+lib/shacl/shapes_writer.ml: Format Graph Iri List Node_test Option Printf Rdf Result Schema Shape Term Turtle Vocab

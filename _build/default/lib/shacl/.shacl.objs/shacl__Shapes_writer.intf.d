@@ -1,0 +1,1 @@
+lib/shacl/shapes_writer.mli: Format Rdf Schema Shape

@@ -1,0 +1,1 @@
+lib/shacl/validate.ml: Conformance Format Graph Iri List Rdf Schema Shape Term Triple Vocab

@@ -1,0 +1,1 @@
+lib/shacl/validate.mli: Format Rdf Schema

@@ -1,0 +1,136 @@
+open Rdf
+
+type env = {
+  schema : Schema.t;
+  g : Graph.t;
+  memo : (Term.t * Shape.t, bool) Hashtbl.t option;
+}
+
+let rec conforms_env env a phi =
+  match env.memo, phi with
+  | None, _
+  | ( _,
+      ( Shape.Top | Shape.Bottom | Shape.Test _ | Shape.Has_value _
+      | Shape.Not (Shape.Test _ | Shape.Has_value _ | Shape.Top | Shape.Bottom)
+        ) ) ->
+      compute env a phi
+  | Some table, _ -> (
+      let key = a, phi in
+      match Hashtbl.find_opt table key with
+      | Some cached -> cached
+      | None ->
+          let result = compute env a phi in
+          Hashtbl.add table key result;
+          result)
+
+and compute env a phi =
+  let g = env.g in
+  match phi with
+  | Shape.Top -> true
+  | Shape.Bottom -> false
+  | Shape.Has_value c -> Term.equal a c
+  | Shape.Test t -> Node_test.satisfies t a
+  | Shape.Has_shape s -> conforms_env env a (Schema.def_shape env.schema s)
+  | Shape.Not phi -> not (conforms_env env a phi)
+  | Shape.And l -> List.for_all (fun phi -> conforms_env env a phi) l
+  | Shape.Or l -> List.exists (fun phi -> conforms_env env a phi) l
+  | Shape.Ge (n, e, psi) ->
+      n = 0
+      ||
+      (* Early exit once n conforming successors are found. *)
+      let found = ref 0 in
+      (try
+         Term.Set.iter
+           (fun b ->
+             if conforms_env env b psi then begin
+               incr found;
+               if !found >= n then raise Exit
+             end)
+           (Rdf.Path.eval g e a);
+         false
+       with Exit -> true)
+  | Shape.Le (n, e, psi) ->
+      let found = ref 0 in
+      (try
+         Term.Set.iter
+           (fun b ->
+             if conforms_env env b psi then begin
+               incr found;
+               if !found > n then raise Exit
+             end)
+           (Rdf.Path.eval g e a);
+         true
+       with Exit -> false)
+  | Shape.Forall (e, psi) ->
+      Term.Set.for_all (fun b -> conforms_env env b psi) (Rdf.Path.eval g e a)
+  | Shape.Eq (Shape.Id, p) ->
+      Term.Set.equal (Graph.objects g a p) (Term.Set.singleton a)
+  | Shape.Eq (Shape.Path e, p) ->
+      Term.Set.equal (Rdf.Path.eval g e a) (Graph.objects g a p)
+  | Shape.Disj (Shape.Id, p) -> not (Term.Set.mem a (Graph.objects g a p))
+  | Shape.Disj (Shape.Path e, p) ->
+      Term.Set.disjoint (Rdf.Path.eval g e a) (Graph.objects g a p)
+  | Shape.Closed allowed -> Iri.Set.subset (Graph.out_predicates g a) allowed
+  | Shape.Less_than (e, p) ->
+      compare_all g a e p ~holds:(fun b c ->
+          match Term.as_literal b, Term.as_literal c with
+          | Some lb, Some lc -> Literal.lt lb lc
+          | _ -> false)
+  | Shape.Less_than_eq (e, p) ->
+      compare_all g a e p ~holds:(fun b c ->
+          match Term.as_literal b, Term.as_literal c with
+          | Some lb, Some lc -> Literal.leq lb lc
+          | _ -> false)
+  | Shape.More_than (e, p) ->
+      compare_all g a e p ~holds:(fun b c ->
+          match Term.as_literal b, Term.as_literal c with
+          | Some lb, Some lc -> Literal.lt lc lb
+          | _ -> false)
+  | Shape.More_than_eq (e, p) ->
+      compare_all g a e p ~holds:(fun b c ->
+          match Term.as_literal b, Term.as_literal c with
+          | Some lb, Some lc -> Literal.leq lc lb
+          | _ -> false)
+  | Shape.Unique_lang e ->
+      let values = Term.Set.elements (Rdf.Path.eval g e a) in
+      let rec pairwise = function
+        | [] -> true
+        | b :: rest ->
+            List.for_all
+              (fun c ->
+                match Term.as_literal b, Term.as_literal c with
+                | Some lb, Some lc -> not (Literal.same_language lb lc)
+                | _ -> true)
+              rest
+            && pairwise rest
+      in
+      pairwise values
+
+(* b R c must hold for all b in [[E]](a) and c in [[p]](a). *)
+and compare_all g a e p ~holds =
+  let values = Rdf.Path.eval g e a in
+  let objects = Graph.objects g a p in
+  Term.Set.for_all
+    (fun b -> Term.Set.for_all (fun c -> holds b c) objects)
+    values
+
+let conforms h g a phi = conforms_env { schema = h; g; memo = None } a phi
+
+let memoized h g =
+  let env = { schema = h; g; memo = Some (Hashtbl.create 256) } in
+  fun a phi -> conforms_env env a phi
+
+let checker h g phi =
+  let check = memoized h g in
+  fun a -> check a phi
+
+let conforming_nodes h g phi =
+  let candidates = Term.Set.union (Graph.nodes g) (Shape.constants phi) in
+  let check = checker h g phi in
+  Term.Set.filter check candidates
+
+let count_path_satisfying h g a e phi =
+  Term.Set.fold
+    (fun b n -> if conforms h g b phi then n + 1 else n)
+    (Rdf.Path.eval g e a)
+    0

@@ -1,0 +1,30 @@
+(** Conformance of nodes to shapes — Table 1 of the paper.
+
+    Defines the satisfaction relation [H, G, a ⊨ phi]: whether focus node
+    [a] conforms to shape [phi] in graph [g], in the context of schema
+    [h] (used to resolve [hasShape] references). *)
+
+val conforms : Schema.t -> Rdf.Graph.t -> Rdf.Term.t -> Shape.t -> bool
+(** [conforms h g a phi] is [H, G, a ⊨ phi]. *)
+
+val checker : Schema.t -> Rdf.Graph.t -> Shape.t -> Rdf.Term.t -> bool
+(** [checker h g phi] is a batch variant of {!conforms}: partially applied
+    to a shape it returns a closure sharing a memo table across focus
+    nodes, so validating many nodes against one shape does not recompute
+    shared subproblems (e.g. conformance of common successors to
+    quantifier bodies). *)
+
+val memoized : Schema.t -> Rdf.Graph.t -> Rdf.Term.t -> Shape.t -> bool
+(** Like {!checker}, but sharing one memo table across arbitrary shapes
+    (partially apply to the schema and graph). *)
+
+val conforming_nodes :
+  Schema.t -> Rdf.Graph.t -> Shape.t -> Rdf.Term.Set.t
+(** The shape viewed as a unary query: all nodes of [N(G)] — plus the
+    constants mentioned in [hasValue] subshapes of [phi], so that node
+    targets work even for isolated nodes — that conform to [phi]. *)
+
+val count_path_satisfying :
+  Schema.t -> Rdf.Graph.t -> Rdf.Term.t -> Rdf.Path.t -> Shape.t -> int
+(** [♯{b ∈ [[E]]^G(a) | H,G,b ⊨ phi}] — exposed for reuse by validation
+    reports and benchmarks. *)

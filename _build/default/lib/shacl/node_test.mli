@@ -1,0 +1,47 @@
+(** Node tests.
+
+    The paper abstracts SHACL's tests on individual nodes as a set [Ω] of
+    node tests, where satisfaction of a test by a node is well defined
+    independently of the graph.  This module instantiates [Ω] with the
+    tests of the SHACL core constraint components: node kind, datatype,
+    value range, string length, regular-expression pattern, and language
+    tag. *)
+
+type kind =
+  | Iri_kind
+  | Blank_kind
+  | Literal_kind
+  | Blank_or_iri
+  | Blank_or_literal
+  | Iri_or_literal
+
+type t =
+  | Node_kind of kind                          (** [sh:nodeKind] *)
+  | Datatype of Rdf.Iri.t                      (** [sh:datatype] *)
+  | Min_exclusive of Rdf.Literal.t             (** [sh:minExclusive] *)
+  | Min_inclusive of Rdf.Literal.t             (** [sh:minInclusive] *)
+  | Max_exclusive of Rdf.Literal.t             (** [sh:maxExclusive] *)
+  | Max_inclusive of Rdf.Literal.t             (** [sh:maxInclusive] *)
+  | Min_length of int                          (** [sh:minLength] *)
+  | Max_length of int                          (** [sh:maxLength] *)
+  | Pattern of { regex : string; flags : string option }  (** [sh:pattern] *)
+  | Language of string                         (** one range of [sh:languageIn] *)
+
+val satisfies : t -> Rdf.Term.t -> bool
+(** Whether the node satisfies the test.  Follows the SHACL semantics:
+    range tests hold only for literals with a comparable value; length and
+    pattern tests apply to the lexical form of literals and to IRI strings,
+    and always fail on blank nodes. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Concrete syntax accepted by {!Shape_syntax}, e.g.
+    [test(datatype = <http://...#integer>)]. *)
+
+val pp_with :
+  (Format.formatter -> Rdf.Iri.t -> unit) -> Format.formatter -> t -> unit
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option

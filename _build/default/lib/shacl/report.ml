@@ -1,0 +1,74 @@
+open Rdf
+module Sh = Vocab.Sh
+
+let shi local = Iri.of_string (Sh.ns ^ local)
+let validation_report = Term.Iri (shi "ValidationReport")
+let validation_result = Term.Iri (shi "ValidationResult")
+let conforms_p = shi "conforms"
+let result_p = shi "result"
+let focus_node_p = shi "focusNode"
+let source_shape_p = shi "sourceShape"
+let severity_p = shi "resultSeverity"
+let violation = Term.Iri (shi "Violation")
+
+let to_graph (report : Validate.report) =
+  let root = Term.Blank "report" in
+  let g =
+    Graph.empty
+    |> Graph.add root Vocab.Rdf.type_ validation_report
+    |> Graph.add root conforms_p (Term.bool report.Validate.conforms)
+  in
+  let _, g =
+    List.fold_left
+      (fun (i, g) (r : Validate.result) ->
+        if r.Validate.conforms then i, g
+        else
+          let node = Term.Blank (Printf.sprintf "result%d" i) in
+          ( i + 1,
+            g
+            |> Graph.add root result_p node
+            |> Graph.add node Vocab.Rdf.type_ validation_result
+            |> Graph.add node focus_node_p r.Validate.focus
+            |> Graph.add node source_shape_p r.Validate.shape_name
+            |> Graph.add node severity_p violation ))
+      (0, g) report.Validate.results
+  in
+  g
+
+let to_turtle report = Turtle.to_string (to_graph report)
+
+type parsed_result = {
+  focus : Term.t;
+  source_shape : Term.t option;
+}
+
+type parsed = {
+  conforms : bool;
+  results : parsed_result list;
+}
+
+let of_graph g =
+  match
+    Term.Set.choose_opt (Graph.subjects g Vocab.Rdf.type_ validation_report)
+  with
+  | None -> Error "no sh:ValidationReport node found"
+  | Some root ->
+      let conforms =
+        Term.Set.mem (Term.bool true) (Graph.objects g root conforms_p)
+      in
+      let results =
+        Term.Set.fold
+          (fun node acc ->
+            match Term.Set.choose_opt (Graph.objects g node focus_node_p) with
+            | None -> acc
+            | Some focus ->
+                {
+                  focus;
+                  source_shape =
+                    Term.Set.choose_opt (Graph.objects g node source_shape_p);
+                }
+                :: acc)
+          (Graph.objects g root result_p)
+          []
+      in
+      Ok { conforms; results }

@@ -1,0 +1,28 @@
+(** W3C-style validation reports as RDF.
+
+    A SHACL validator's outward-facing artifact is an RDF validation
+    report ([sh:ValidationReport] with one [sh:ValidationResult] per
+    violation).  This module renders {!Validate.report} values in that
+    vocabulary, so the library's output can be consumed by standard SHACL
+    tooling — and, dually, parses such report graphs back. *)
+
+val to_graph : Validate.report -> Rdf.Graph.t
+(** Render the report: a [sh:ValidationReport] node with [sh:conforms],
+    and one [sh:ValidationResult] per violation carrying [sh:focusNode],
+    [sh:sourceShape] and [sh:resultSeverity sh:Violation]. *)
+
+val to_turtle : Validate.report -> string
+
+type parsed_result = {
+  focus : Rdf.Term.t;
+  source_shape : Rdf.Term.t option;
+}
+
+type parsed = {
+  conforms : bool;
+  results : parsed_result list;
+}
+
+val of_graph : Rdf.Graph.t -> (parsed, string) Stdlib.result
+(** Parse a validation-report graph (e.g. produced by another validator).
+    Returns an error when no [sh:ValidationReport] node is present. *)

@@ -1,0 +1,514 @@
+open Rdf
+module Sh = Vocab.Sh
+
+type error = { subject : Term.t option; message : string }
+
+let pp_error ppf e =
+  match e.subject with
+  | Some s -> Format.fprintf ppf "at %a: %s" Term.pp s e.message
+  | None -> Format.pp_print_string ppf e.message
+
+exception Err of error
+
+let err ?subject fmt =
+  Format.kasprintf (fun message -> raise (Err { subject; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Graph access helpers                                               *)
+(* ------------------------------------------------------------------ *)
+
+let objects_of g x p = Term.Set.elements (Graph.objects g x p)
+
+let object_opt g x p =
+  match objects_of g x p with
+  | [] -> None
+  | [ o ] -> Some o
+  | _ -> err ~subject:x "multiple values for %a" Iri.pp p
+
+let as_iri_exn x = function
+  | Term.Iri i -> i
+  | t -> err ~subject:x "expected an IRI, got %a" Term.pp t
+
+let as_int_exn x t =
+  match t with
+  | Term.Literal l -> (
+      match Literal.canonical_int l with
+      | Some n -> n
+      | None -> err ~subject:x "expected an integer literal, got %a" Term.pp t)
+  | _ -> err ~subject:x "expected an integer literal, got %a" Term.pp t
+
+let rdf_list_exn g head =
+  let rec go node acc steps =
+    if steps > Graph.cardinal g + 1 then
+      err ~subject:head "cyclic RDF list"
+    else
+      match node with
+      | Term.Iri i when Iri.equal i Vocab.Rdf.nil -> List.rev acc
+      | _ -> (
+          match object_opt g node Vocab.Rdf.first with
+          | None -> err ~subject:node "malformed RDF list: missing rdf:first"
+          | Some first -> (
+              match object_opt g node Vocab.Rdf.rest with
+              | None ->
+                  err ~subject:node "malformed RDF list: missing rdf:rest"
+              | Some rest -> go rest (first :: acc) (steps + 1)))
+  in
+  go head [] 0
+
+let rdf_list g head =
+  try Ok (rdf_list_exn g head) with Err e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* t_path (Appendix A.2)                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec t_path g pp : Rdf.Path.t =
+  match pp with
+  | Term.Iri i -> Rdf.Path.Prop i
+  | node -> (
+      match object_opt g node Sh.inverse_path with
+      | Some y -> Rdf.Path.Inv (t_path g y)
+      | None -> (
+          match object_opt g node Sh.zero_or_more_path with
+          | Some y -> Rdf.Path.Star (t_path g y)
+          | None -> (
+              match object_opt g node Sh.one_or_more_path with
+              | Some y -> Rdf.Path.plus (t_path g y)
+              | None -> (
+                  match object_opt g node Sh.zero_or_one_path with
+                  | Some y -> Rdf.Path.Opt (t_path g y)
+                  | None -> (
+                      match object_opt g node Sh.alternative_path with
+                      | Some y ->
+                          let members = rdf_list_exn g y in
+                          Rdf.Path.alt_list (List.map (t_path g) members)
+                      | None ->
+                          (* a plain RDF list: sequence path *)
+                          let members = rdf_list_exn g node in
+                          if members = [] then
+                            err ~subject:node "empty sequence path"
+                          else Rdf.Path.seq_list (List.map (t_path g) members))))))
+
+let parse_path g node = try Ok (t_path g node) with Err e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Shape node discovery                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Properties whose object is (a reference to) another shape. *)
+let direct_shape_refs = [ Sh.node; Sh.property; Sh.qualified_value_shape; Sh.not_ ]
+let list_shape_refs = [ Sh.and_; Sh.or_; Sh.xone ]
+
+let constraint_params =
+  [ Sh.class_; Sh.datatype; Sh.node_kind; Sh.min_exclusive; Sh.min_inclusive;
+    Sh.max_exclusive; Sh.max_inclusive; Sh.min_length; Sh.max_length;
+    Sh.pattern; Sh.language_in; Sh.unique_lang; Sh.equals; Sh.disjoint;
+    Sh.less_than; Sh.less_than_or_equals; Sh.min_count; Sh.max_count;
+    Sh.qualified_value_shape; Sh.has_value; Sh.in_; Sh.closed; Sh.node;
+    Sh.property; Sh.and_; Sh.or_; Sh.not_; Sh.xone; Sh.path ]
+
+let references g x =
+  let direct =
+    List.concat_map (fun p -> objects_of g x p) direct_shape_refs
+  in
+  let from_lists =
+    List.concat_map
+      (fun p ->
+        List.concat_map (fun head -> rdf_list_exn g head) (objects_of g x p))
+      list_shape_refs
+  in
+  direct @ from_lists
+
+let shape_nodes g =
+  let explicitly_typed =
+    Term.Set.union
+      (Graph.subjects g Vocab.Rdf.type_ (Term.Iri Sh.node_shape))
+      (Graph.subjects g Vocab.Rdf.type_ (Term.Iri Sh.property_shape))
+  in
+  let with_params =
+    Graph.fold
+      (fun t acc ->
+        if List.exists (Iri.equal (Triple.predicate t)) constraint_params then
+          Term.Set.add (Triple.subject t) acc
+        else acc)
+      g Term.Set.empty
+  in
+  (* Remove list cells and path nodes mistaken for shapes: a node that has
+     only rdf:first/rdf:rest, or only path constructors, is not a shape. *)
+  let path_constructors =
+    [ Sh.inverse_path; Sh.zero_or_more_path; Sh.one_or_more_path;
+      Sh.zero_or_one_path; Sh.alternative_path ]
+  in
+  let is_plumbing x =
+    let preds = Graph.out_predicates g x in
+    (not (Iri.Set.is_empty preds))
+    && Iri.Set.for_all
+         (fun p ->
+           Iri.equal p Vocab.Rdf.first || Iri.equal p Vocab.Rdf.rest
+           || List.exists (Iri.equal p) path_constructors)
+         preds
+  in
+  let seeds =
+    Term.Set.filter
+      (fun x -> not (is_plumbing x))
+      (Term.Set.union explicitly_typed with_params)
+  in
+  (* Close under shape references. *)
+  let rec close frontier acc =
+    if Term.Set.is_empty frontier then acc
+    else
+      let next =
+        Term.Set.fold
+          (fun x acc ->
+            List.fold_left (fun acc y -> Term.Set.add y acc) acc (references g x))
+          frontier Term.Set.empty
+      in
+      let fresh = Term.Set.diff next acc in
+      close fresh (Term.Set.union acc fresh)
+  in
+  close seeds seeds
+
+(* ------------------------------------------------------------------ *)
+(* Shape translation (Appendix A.1, A.3)                              *)
+(* ------------------------------------------------------------------ *)
+
+let is_property_shape g x = Graph.objects g x Sh.path |> Term.Set.is_empty |> not
+
+(* t_shape: sh:node and sh:property become shape references. *)
+let t_shape g x =
+  Shape.and_
+    (List.map
+       (fun y -> Shape.Has_shape y)
+       (objects_of g x Sh.node @ objects_of g x Sh.property))
+
+(* t_logic: sh:and, sh:or, sh:not, sh:xone. *)
+let t_logic g x =
+  let conj_of p mk =
+    List.map
+      (fun head ->
+        let members = rdf_list_exn g head in
+        mk (List.map (fun m -> Shape.Has_shape m) members))
+      (objects_of g x p)
+  in
+  let ands = conj_of Sh.and_ Shape.and_ in
+  let ors = conj_of Sh.or_ Shape.or_ in
+  let xones =
+    conj_of Sh.xone (fun members ->
+        (* exactly one of the members holds *)
+        Shape.or_
+          (List.mapi
+             (fun i m ->
+               let others = List.filteri (fun j _ -> j <> i) members in
+               Shape.and_ (m :: List.map Shape.not_ others))
+             members))
+  in
+  let nots =
+    List.map (fun y -> Shape.not_ (Shape.Has_shape y)) (objects_of g x Sh.not_)
+  in
+  Shape.and_ (ands @ ors @ xones @ nots)
+
+(* t_tests: value type, range and string-based components. *)
+let t_tests g x =
+  let tests = ref [] in
+  let push s = tests := s :: !tests in
+  List.iter
+    (fun y ->
+      let cls = y in
+      push
+        (Shape.Ge
+           ( 1,
+             Rdf.Path.Seq
+               ( Rdf.Path.Prop Vocab.Rdf.type_,
+                 Rdf.Path.Star (Rdf.Path.Prop Vocab.Rdfs.sub_class_of) ),
+             Shape.Has_value cls )))
+    (objects_of g x Sh.class_);
+  List.iter
+    (fun y -> push (Shape.Test (Node_test.Datatype (as_iri_exn x y))))
+    (objects_of g x Sh.datatype);
+  List.iter
+    (fun y ->
+      let kind_iri = as_iri_exn x y in
+      let kind =
+        if Iri.equal kind_iri Sh.iri then Node_test.Iri_kind
+        else if Iri.equal kind_iri Sh.blank_node then Node_test.Blank_kind
+        else if Iri.equal kind_iri Sh.literal then Node_test.Literal_kind
+        else if Iri.equal kind_iri Sh.blank_node_or_iri then
+          Node_test.Blank_or_iri
+        else if Iri.equal kind_iri Sh.blank_node_or_literal then
+          Node_test.Blank_or_literal
+        else if Iri.equal kind_iri Sh.iri_or_literal then
+          Node_test.Iri_or_literal
+        else err ~subject:x "unknown sh:nodeKind %a" Iri.pp kind_iri
+      in
+      push (Shape.Test (Node_test.Node_kind kind)))
+    (objects_of g x Sh.node_kind);
+  let literal_param p mk =
+    List.iter
+      (fun y ->
+        match y with
+        | Term.Literal l -> push (Shape.Test (mk l))
+        | _ -> err ~subject:x "expected literal for %a" Iri.pp p)
+      (objects_of g x p)
+  in
+  literal_param Sh.min_exclusive (fun l -> Node_test.Min_exclusive l);
+  literal_param Sh.min_inclusive (fun l -> Node_test.Min_inclusive l);
+  literal_param Sh.max_exclusive (fun l -> Node_test.Max_exclusive l);
+  literal_param Sh.max_inclusive (fun l -> Node_test.Max_inclusive l);
+  List.iter
+    (fun y -> push (Shape.Test (Node_test.Min_length (as_int_exn x y))))
+    (objects_of g x Sh.min_length);
+  List.iter
+    (fun y -> push (Shape.Test (Node_test.Max_length (as_int_exn x y))))
+    (objects_of g x Sh.max_length);
+  List.iter
+    (fun y ->
+      match y with
+      | Term.Literal l ->
+          let flags =
+            match object_opt g x Sh.flags with
+            | Some (Term.Literal f) -> Some (Literal.lexical f)
+            | _ -> None
+          in
+          push (Shape.Test (Node_test.Pattern { regex = Literal.lexical l; flags }))
+      | _ -> err ~subject:x "expected literal for sh:pattern")
+    (objects_of g x Sh.pattern);
+  Shape.and_ (List.rev !tests)
+
+(* t_languagein, as a test on a single node (node-shape position) or the
+   disjunction used under a universal quantifier (property-shape position). *)
+let t_languagein_disj g x =
+  List.map
+    (fun head ->
+      let langs = rdf_list_exn g head in
+      Shape.or_
+        (List.map
+           (fun l ->
+             match l with
+             | Term.Literal lit ->
+                 Shape.Test (Node_test.Language (Literal.lexical lit))
+             | _ -> err ~subject:x "expected literal in sh:languageIn list")
+           langs))
+    (objects_of g x Sh.language_in)
+
+let t_value g x =
+  Shape.and_ (List.map (fun y -> Shape.Has_value y) (objects_of g x Sh.has_value))
+
+let t_in g x =
+  Shape.and_
+    (List.map
+       (fun head ->
+         let members = rdf_list_exn g head in
+         Shape.or_ (List.map (fun m -> Shape.Has_value m) members))
+       (objects_of g x Sh.in_))
+
+(* t_closed: the allowed properties are the (IRI) paths of the property
+   shapes of x, plus sh:ignoredProperties. *)
+let t_closed g x =
+  match object_opt g x Sh.closed with
+  | Some (Term.Literal l) when Literal.lexical l = "true" ->
+      let from_property_shapes =
+        List.filter_map
+          (fun y ->
+            match object_opt g y Sh.path with
+            | Some (Term.Iri p) -> Some p
+            | _ -> None)
+          (objects_of g x Sh.property)
+      in
+      let ignored =
+        match object_opt g x Sh.ignored_properties with
+        | None -> []
+        | Some head ->
+            List.map (fun t -> as_iri_exn x t) (rdf_list_exn g head)
+      in
+      Shape.Closed (Iri.Set.of_list (from_property_shapes @ ignored))
+  | _ -> Shape.Top
+
+(* t_pair for node shapes (operand id) and property shapes (operand E). *)
+let t_pair_node g x =
+  if
+    objects_of g x Sh.less_than <> [] || objects_of g x Sh.less_than_or_equals <> []
+  then Shape.Bottom
+  else
+    Shape.and_
+      (List.map
+         (fun y -> Shape.Eq (Shape.Id, as_iri_exn x y))
+         (objects_of g x Sh.equals)
+      @ List.map
+          (fun y -> Shape.Disj (Shape.Id, as_iri_exn x y))
+          (objects_of g x Sh.disjoint))
+
+let t_pair_prop g x e =
+  Shape.and_
+    (List.map
+       (fun y -> Shape.Eq (Shape.Path e, as_iri_exn x y))
+       (objects_of g x Sh.equals)
+    @ List.map
+        (fun y -> Shape.Disj (Shape.Path e, as_iri_exn x y))
+        (objects_of g x Sh.disjoint)
+    @ List.map
+        (fun y -> Shape.Less_than (e, as_iri_exn x y))
+        (objects_of g x Sh.less_than)
+    @ List.map
+        (fun y -> Shape.Less_than_eq (e, as_iri_exn x y))
+        (objects_of g x Sh.less_than_or_equals))
+
+(* The constraint components shared between node- and property-shape
+   positions (Appendix A.3.4 applies them under a universal quantifier). *)
+let t_common g x =
+  Shape.and_
+    ([ t_shape g x; t_logic g x; t_tests g x; t_in g x; t_closed g x ]
+    @ t_languagein_disj g x)
+
+let t_nodeshape g x =
+  Shape.and_ [ t_common g x; t_value g x; t_pair_node g x ]
+
+(* t_qual (Appendix A.3.3) *)
+let t_qual g x e =
+  let qshapes = objects_of g x Sh.qualified_value_shape in
+  if qshapes = [] then Shape.Top
+  else
+    let qmin = List.map (as_int_exn x) (objects_of g x Sh.qualified_min_count) in
+    let qmax = List.map (as_int_exn x) (objects_of g x Sh.qualified_max_count) in
+    let disjoint_siblings =
+      match object_opt g x Sh.qualified_value_shapes_disjoint with
+      | Some (Term.Literal l) -> Literal.lexical l = "true"
+      | _ -> false
+    in
+    let body y =
+      if not disjoint_siblings then Shape.Has_shape y
+      else begin
+        (* sibling qualified value shapes: those of the other property
+           shapes of x's parent shapes *)
+        let parents = Term.Set.elements (Graph.subjects g Sh.property x) in
+        let siblings =
+          List.concat_map
+            (fun v ->
+              List.concat_map
+                (fun y' -> objects_of g y' Sh.qualified_value_shape)
+                (objects_of g v Sh.property))
+            parents
+        in
+        let others =
+          List.filter (fun s -> not (Term.equal s y)) siblings
+        in
+        Shape.and_
+          (Shape.Has_shape y
+          :: List.map (fun s -> Shape.not_ (Shape.Has_shape s)) others)
+      end
+    in
+    Shape.and_
+      (List.concat_map
+         (fun y ->
+           List.map (fun n -> Shape.Ge (n, e, body y)) qmin
+           @ List.map (fun n -> Shape.Le (n, e, body y)) qmax)
+         qshapes)
+
+let t_propertyshape g x =
+  let path_node =
+    match object_opt g x Sh.path with
+    | Some pn -> pn
+    | None -> err ~subject:x "property shape without sh:path"
+  in
+  let e = t_path g path_node in
+  let t_card =
+    Shape.and_
+      (List.map
+         (fun y -> Shape.Ge (as_int_exn x y, e, Shape.Top))
+         (objects_of g x Sh.min_count)
+      @ List.map
+          (fun y -> Shape.Le (as_int_exn x y, e, Shape.Top))
+          (objects_of g x Sh.max_count))
+  in
+  let t_uniquelang =
+    match object_opt g x Sh.unique_lang with
+    | Some (Term.Literal l) when Literal.lexical l = "true" ->
+        Shape.Unique_lang e
+    | _ -> Shape.Top
+  in
+  (* t_all: the common components apply to every value node; sh:hasValue
+     is existential instead (Appendix A.3.4). *)
+  let t_all =
+    let common = t_common g x in
+    let quantified =
+      match common with Shape.Top -> Shape.Top | c -> Shape.Forall (e, c)
+    in
+    let value =
+      match objects_of g x Sh.has_value with
+      | [] -> Shape.Top
+      | _ -> Shape.Ge (1, e, t_value g x)
+    in
+    Shape.and_ [ quantified; value ]
+  in
+  Shape.and_ [ t_card; t_pair_prop g x e; t_qual g x e; t_all; t_uniquelang ]
+
+(* t_target (Appendix A.4) *)
+let t_target g x =
+  let node_targets =
+    List.map (fun y -> Shape.Has_value y) (objects_of g x Sh.target_node)
+  in
+  let class_targets =
+    List.map
+      (fun y ->
+        Shape.Ge
+          ( 1,
+            Rdf.Path.Seq
+              ( Rdf.Path.Prop Vocab.Rdf.type_,
+                Rdf.Path.Star (Rdf.Path.Prop Vocab.Rdfs.sub_class_of) ),
+            Shape.Has_value y ))
+      (objects_of g x Sh.target_class)
+  in
+  let subjects_of =
+    List.map
+      (fun y -> Shape.Ge (1, Rdf.Path.Prop (as_iri_exn x y), Shape.Top))
+      (objects_of g x Sh.target_subjects_of)
+  in
+  let objects_of_t =
+    List.map
+      (fun y ->
+        Shape.Ge (1, Rdf.Path.Inv (Rdf.Path.Prop (as_iri_exn x y)), Shape.Top))
+      (objects_of g x Sh.target_objects_of)
+  in
+  match node_targets @ class_targets @ subjects_of @ objects_of_t with
+  | [] -> Shape.Bottom
+  | targets -> Shape.or_ targets
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let load g =
+  try
+    let nodes = shape_nodes g in
+    let defs =
+      Term.Set.fold
+        (fun x acc ->
+          let shape =
+            if is_property_shape g x then t_propertyshape g x
+            else t_nodeshape g x
+          in
+          { Schema.name = x; shape; target = t_target g x } :: acc)
+        nodes []
+    in
+    match Schema.make (List.rev defs) with
+    | Ok schema -> Ok schema
+    | Error e ->
+        Error { subject = None; message = Format.asprintf "%a" Schema.pp_error e }
+  with Err e -> Error e
+
+let load_exn g =
+  match load g with
+  | Ok schema -> schema
+  | Error e -> failwith (Format.asprintf "Shapes_graph.load: %a" pp_error e)
+
+let load_turtle src =
+  match Turtle.parse src with
+  | Error e -> Error (Format.asprintf "%a" Turtle.pp_error e)
+  | Ok g -> (
+      match load g with
+      | Ok schema -> Ok schema
+      | Error e -> Error (Format.asprintf "%a" pp_error e))
+
+let load_turtle_exn src =
+  match load_turtle src with Ok s -> s | Error m -> failwith m
+
+let load_file_exn path = load_exn (Turtle.parse_file_exn path)

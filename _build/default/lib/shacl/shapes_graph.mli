@@ -1,0 +1,41 @@
+(** Loading real SHACL shapes graphs.
+
+    Implements the translation [t(S)] of Appendix A of the paper, mapping
+    a SHACL shapes graph (an RDF graph using the [sh:] vocabulary) to a
+    formal schema: every node shape and property shape in the graph
+    becomes a shape definition [(name, t_shape(d_x), t_target(d_x))].
+
+    Covered constraint components: [sh:node], [sh:property], [sh:and],
+    [sh:or], [sh:not], [sh:xone], [sh:class], [sh:datatype], [sh:nodeKind],
+    [sh:minExclusive]/[sh:minInclusive]/[sh:maxExclusive]/[sh:maxInclusive],
+    [sh:minLength]/[sh:maxLength], [sh:pattern] (+[sh:flags]),
+    [sh:languageIn], [sh:uniqueLang], [sh:equals], [sh:disjoint],
+    [sh:lessThan], [sh:lessThanOrEquals], [sh:minCount], [sh:maxCount],
+    [sh:qualifiedValueShape] (+counts and [...Disjoint]), [sh:hasValue],
+    [sh:in], [sh:closed]/[sh:ignoredProperties], all SHACL property paths,
+    and the four target declarations. *)
+
+type error = { subject : Rdf.Term.t option; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val shape_nodes : Rdf.Graph.t -> Rdf.Term.Set.t
+(** All nodes recognized as shapes: explicitly typed [sh:NodeShape] or
+    [sh:PropertyShape], carrying shape-defining properties, or reachable
+    from such nodes through shape-referencing properties. *)
+
+val load : Rdf.Graph.t -> (Schema.t, error) result
+(** Translate a shapes graph into a schema. *)
+
+val load_exn : Rdf.Graph.t -> Schema.t
+val load_turtle : string -> (Schema.t, string) result
+(** Parse Turtle text and translate. *)
+
+val load_turtle_exn : string -> Schema.t
+val load_file_exn : string -> Schema.t
+
+val parse_path : Rdf.Graph.t -> Rdf.Term.t -> (Rdf.Path.t, error) result
+(** The [t_path] translation of Appendix A.2, exposed for reuse. *)
+
+val rdf_list : Rdf.Graph.t -> Rdf.Term.t -> (Rdf.Term.t list, error) result
+(** Read an RDF collection ([rdf:first]/[rdf:rest] chain). *)

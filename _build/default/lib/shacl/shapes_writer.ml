@@ -1,0 +1,195 @@
+open Rdf
+module Sh = Vocab.Sh
+
+type error = { shape : Shape.t; message : string }
+
+let pp_error ppf e =
+  Format.fprintf ppf "cannot render %a: %s" Shape.pp e.shape e.message
+
+exception Err of error
+
+type state = { mutable graph : Graph.t; mutable bnodes : int }
+
+let add st s p o = st.graph <- Graph.add s p o st.graph
+
+let fresh st =
+  st.bnodes <- st.bnodes + 1;
+  Term.Blank (Printf.sprintf "w%d" st.bnodes)
+
+(* Emit an rdf:first/rdf:rest list and return its head. *)
+let rdf_list st elements =
+  match elements with
+  | [] -> Term.Iri Vocab.Rdf.nil
+  | _ ->
+      let cells = List.map (fun _ -> fresh st) elements in
+      List.iteri
+        (fun i (cell, element) ->
+          add st cell Vocab.Rdf.first element;
+          let rest =
+            match List.nth_opt cells (i + 1) with
+            | Some next -> next
+            | None -> Term.Iri Vocab.Rdf.nil
+          in
+          add st cell Vocab.Rdf.rest rest)
+        (List.combine cells elements);
+      List.hd cells
+
+(* Inverse of t_path (Appendix A.2). *)
+let rec emit_path st (e : Rdf.Path.t) : Term.t =
+  match e with
+  | Rdf.Path.Prop p -> Term.Iri p
+  | Rdf.Path.Inv inner ->
+      let b = fresh st in
+      add st b Sh.inverse_path (emit_path st inner);
+      b
+  | Rdf.Path.Star inner ->
+      let b = fresh st in
+      add st b Sh.zero_or_more_path (emit_path st inner);
+      b
+  | Rdf.Path.Opt inner ->
+      let b = fresh st in
+      add st b Sh.zero_or_one_path (emit_path st inner);
+      b
+  | Rdf.Path.Seq _ ->
+      (* flatten the sequence spine into a SHACL list path *)
+      let rec spine = function
+        | Rdf.Path.Seq (a, b) -> spine a @ spine b
+        | e -> [ e ]
+      in
+      rdf_list st (List.map (emit_path st) (spine e))
+  | Rdf.Path.Alt _ ->
+      let rec alts = function
+        | Rdf.Path.Alt (a, b) -> alts a @ alts b
+        | e -> [ e ]
+      in
+      let b = fresh st in
+      add st b Sh.alternative_path (rdf_list st (List.map (emit_path st) (alts e)));
+      b
+
+let node_kind_term (k : Node_test.kind) =
+  match k with
+  | Node_test.Iri_kind -> Term.Iri Sh.iri
+  | Node_test.Blank_kind -> Term.Iri Sh.blank_node
+  | Node_test.Literal_kind -> Term.Iri Sh.literal
+  | Node_test.Blank_or_iri -> Term.Iri Sh.blank_node_or_iri
+  | Node_test.Blank_or_literal -> Term.Iri Sh.blank_node_or_literal
+  | Node_test.Iri_or_literal -> Term.Iri Sh.iri_or_literal
+
+let emit_test st b (t : Node_test.t) =
+  match t with
+  | Node_test.Node_kind k -> add st b Sh.node_kind (node_kind_term k)
+  | Node_test.Datatype dt -> add st b Sh.datatype (Term.Iri dt)
+  | Node_test.Min_exclusive l -> add st b Sh.min_exclusive (Term.Literal l)
+  | Node_test.Min_inclusive l -> add st b Sh.min_inclusive (Term.Literal l)
+  | Node_test.Max_exclusive l -> add st b Sh.max_exclusive (Term.Literal l)
+  | Node_test.Max_inclusive l -> add st b Sh.max_inclusive (Term.Literal l)
+  | Node_test.Min_length n -> add st b Sh.min_length (Term.int n)
+  | Node_test.Max_length n -> add st b Sh.max_length (Term.int n)
+  | Node_test.Pattern { regex; flags } ->
+      add st b Sh.pattern (Term.str regex);
+      Option.iter (fun f -> add st b Sh.flags (Term.str f)) flags
+  | Node_test.Language range ->
+      add st b Sh.language_in (rdf_list st [ Term.str range ])
+
+(* Emit [shape] as a fresh anonymous node shape and return its term.
+   Each anonymous shape carries exactly one constraint, so parameters can
+   never collide. *)
+let rec emit_shape st (shape : Shape.t) : Term.t =
+  let b = fresh st in
+  add st b Vocab.Rdf.type_ (Term.Iri Sh.node_shape);
+  (match shape with
+   | Shape.Top -> ()
+   | Shape.Bottom ->
+       (* the empty disjunction loads back as ⊥ *)
+       add st b Sh.or_ (Term.Iri Vocab.Rdf.nil)
+   | Shape.And l -> add st b Sh.and_ (rdf_list st (List.map (emit_shape st) l))
+   | Shape.Or l -> add st b Sh.or_ (rdf_list st (List.map (emit_shape st) l))
+   | Shape.Not inner -> add st b Sh.not_ (emit_shape st inner)
+   | Shape.Has_shape name -> add st b Sh.node name
+   | Shape.Test t -> emit_test st b t
+   | Shape.Has_value c -> add st b Sh.has_value c
+   | Shape.Eq (Shape.Id, p) -> add st b Sh.equals (Term.Iri p)
+   | Shape.Disj (Shape.Id, p) -> add st b Sh.disjoint (Term.Iri p)
+   | Shape.Closed allowed ->
+       add st b Sh.closed (Term.bool true);
+       add st b Sh.ignored_properties
+         (rdf_list st
+            (List.map (fun p -> Term.Iri p) (Iri.Set.elements allowed)))
+   | Shape.Eq (Shape.Path e, p) ->
+       property st b e (fun pb -> add st pb Sh.equals (Term.Iri p))
+   | Shape.Disj (Shape.Path e, p) ->
+       property st b e (fun pb -> add st pb Sh.disjoint (Term.Iri p))
+   | Shape.Less_than (e, p) ->
+       property st b e (fun pb -> add st pb Sh.less_than (Term.Iri p))
+   | Shape.Less_than_eq (e, p) ->
+       property st b e (fun pb ->
+           add st pb Sh.less_than_or_equals (Term.Iri p))
+   | Shape.Unique_lang e ->
+       property st b e (fun pb -> add st pb Sh.unique_lang (Term.bool true))
+   | Shape.Ge (n, e, psi) ->
+       property st b e (fun pb ->
+           add st pb Sh.qualified_value_shape (emit_shape st psi);
+           add st pb Sh.qualified_min_count (Term.int n))
+   | Shape.Le (n, e, psi) ->
+       property st b e (fun pb ->
+           add st pb Sh.qualified_value_shape (emit_shape st psi);
+           add st pb Sh.qualified_max_count (Term.int n))
+   | Shape.Forall (e, psi) ->
+       property st b e (fun pb -> add st pb Sh.node (emit_shape st psi))
+   | Shape.More_than _ | Shape.More_than_eq _ ->
+       raise
+         (Err
+            { shape;
+              message =
+                "moreThan/moreThanEq have no SHACL counterpart (Remark 2.3)" }));
+  b
+
+and property st b e constraints =
+  let pb = fresh st in
+  add st b Sh.property pb;
+  add st pb Vocab.Rdf.type_ (Term.Iri Sh.property_shape);
+  add st pb Sh.path (emit_path st e);
+  constraints pb
+
+(* Inverse of t_target (Appendix A.4). *)
+let rec emit_target st name (target : Shape.t) =
+  match target with
+  | Shape.Bottom -> ()
+  | Shape.Or parts -> List.iter (emit_target st name) parts
+  | Shape.Has_value c -> add st name Sh.target_node c
+  | Shape.Ge
+      ( 1,
+        Rdf.Path.Seq (Rdf.Path.Prop ty, Rdf.Path.Star (Rdf.Path.Prop sub)),
+        Shape.Has_value cls )
+    when Iri.equal ty Vocab.Rdf.type_ && Iri.equal sub Vocab.Rdfs.sub_class_of
+    ->
+      add st name Sh.target_class cls
+  | Shape.Ge (1, Rdf.Path.Prop p, Shape.Top) ->
+      add st name Sh.target_subjects_of (Term.Iri p)
+  | Shape.Ge (1, Rdf.Path.Inv (Rdf.Path.Prop p), Shape.Top) ->
+      add st name Sh.target_objects_of (Term.Iri p)
+  | other ->
+      raise
+        (Err
+           { shape = other;
+             message = "not a real-SHACL target form (node/class/subjects/objects)" })
+
+let write schema =
+  let st = { graph = Graph.empty; bnodes = 0 } in
+  try
+    List.iter
+      (fun (def : Schema.def) ->
+        add st def.Schema.name Vocab.Rdf.type_ (Term.Iri Sh.node_shape);
+        add st def.Schema.name Sh.node (emit_shape st def.Schema.shape);
+        emit_target st def.Schema.name def.Schema.target)
+      (Schema.defs schema);
+    Ok st.graph
+  with Err e -> Error e
+
+let write_exn schema =
+  match write schema with
+  | Ok g -> g
+  | Error e -> failwith (Format.asprintf "Shapes_writer: %a" pp_error e)
+
+let to_turtle schema =
+  Result.map (fun g -> Turtle.to_string g) (write schema)

@@ -1,0 +1,24 @@
+(** Serializing schemas back to real SHACL shapes graphs.
+
+    The (partial) inverse of the Appendix A translation implemented in
+    {!Shapes_graph}: a formal schema is rendered as an RDF graph over the
+    [sh:] vocabulary, such that loading the result yields a schema with
+    the same conformance behavior (verified by property tests; the ASTs
+    need not be syntactically identical, since e.g. a [≥n E.phi] may come
+    back as a qualified-value-shape conjunction).
+
+    Every construct of the formal grammar is expressible except the
+    [moreThan]/[moreThanEq] extension, which has no SHACL counterpart
+    (Remark 2.3) and is reported as an error. *)
+
+type error = { shape : Shape.t; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val write : Schema.t -> (Rdf.Graph.t, error) result
+(** Render the schema as a shapes graph. *)
+
+val write_exn : Schema.t -> Rdf.Graph.t
+
+val to_turtle : Schema.t -> (string, error) result
+(** Render and serialize with the default prefixes. *)

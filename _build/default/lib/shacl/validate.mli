@@ -1,0 +1,33 @@
+(** Validation of graphs against schemas.
+
+    A graph [G] conforms to a schema [H] if for every definition
+    [(s, phi, tau) ∈ H] and every node [a] with [H,G,a ⊨ tau], also
+    [H,G,a ⊨ phi].  The report records the outcome per (target node,
+    shape definition) pair, in the spirit of SHACL validation reports. *)
+
+type result = {
+  focus : Rdf.Term.t;          (** the target node that was checked *)
+  shape_name : Rdf.Term.t;     (** the shape definition it was checked against *)
+  conforms : bool;
+}
+
+type report = {
+  conforms : bool;             (** no violations *)
+  results : result list;       (** one per (focus, definition) pair *)
+}
+
+val target_nodes : Schema.t -> Rdf.Graph.t -> Schema.def -> Rdf.Term.Set.t
+(** The nodes targeted by a definition.  The four real-SHACL target forms
+    (node, class-based, subjects-of, objects-of) are answered directly
+    from the graph indexes; arbitrary target shapes fall back to testing
+    all graph nodes. *)
+
+val validate : Schema.t -> Rdf.Graph.t -> report
+
+val conforms : Schema.t -> Rdf.Graph.t -> bool
+(** [conforms h g] = [(validate h g).conforms], with early exit on the
+    first violation. *)
+
+val violations : report -> result list
+
+val pp_report : Format.formatter -> report -> unit

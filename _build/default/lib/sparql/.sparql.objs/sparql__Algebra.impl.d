@@ -1,0 +1,1 @@
+lib/sparql/algebra.ml: Binding Format Iri List Option Rdf Set String Term

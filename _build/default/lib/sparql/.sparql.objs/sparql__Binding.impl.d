@@ -1,0 +1,1 @@
+lib/sparql/binding.ml: Format List Map Rdf String Term

@@ -1,0 +1,1 @@
+lib/sparql/eval.ml: Algebra Binding Graph Hashtbl Int Iri List Literal Option Rdf String Term Triple

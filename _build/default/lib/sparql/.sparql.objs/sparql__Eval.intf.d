@@ -1,0 +1,1 @@
+lib/sparql/eval.mli: Algebra Binding Rdf

@@ -1,0 +1,1 @@
+lib/sparql/optimizer.mli: Algebra

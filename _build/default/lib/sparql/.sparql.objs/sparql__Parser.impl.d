@@ -1,0 +1,1 @@
+lib/sparql/parser.ml: Algebra Binding Buffer Eval Format Iri List Literal Namespace Printf Rdf String Term Vocab

@@ -1,0 +1,323 @@
+open Rdf
+
+type term_pattern = Var of string | Const of Term.t
+
+type pred_pattern =
+  | Pred of Iri.t
+  | Pvar of string
+  | Ppath of Rdf.Path.t
+
+type triple_pattern = {
+  tp_s : term_pattern;
+  tp_p : pred_pattern;
+  tp_o : term_pattern;
+}
+
+type expr =
+  | E_var of string
+  | E_term of Term.t
+  | E_eq of expr * expr
+  | E_neq of expr * expr
+  | E_lt of expr * expr
+  | E_le of expr * expr
+  | E_gt of expr * expr
+  | E_ge of expr * expr
+  | E_and of expr * expr
+  | E_or of expr * expr
+  | E_not of expr
+  | E_bound of string
+  | E_is_iri of expr
+  | E_is_literal of expr
+  | E_is_blank of expr
+  | E_lang of expr
+  | E_lang_matches of expr * expr
+  | E_datatype of expr
+  | E_str_len of expr
+  | E_regex of expr * string * string option
+  | E_in of expr * Term.t list
+  | E_exists of t
+  | E_not_exists of t
+  | E_fun of { name : string; f : Term.t -> bool; arg : expr }
+
+and aggregate = Count_star | Count_distinct of string
+
+and t =
+  | Unit
+  | BGP of triple_pattern list
+  | Join of t * t
+  | Left_join of t * t * expr
+  | Union of t * t
+  | Minus of t * t
+  | Filter of expr * t
+  | Extend of string * expr * t
+  | Project of string list * t
+  | Distinct of t
+  | Values of Binding.t list
+  | Group of { keys : string list; aggs : (string * aggregate) list; sub : t }
+
+let v name = Var name
+let c term = Const term
+let ci s = Const (Term.iri s)
+let tp tp_s tp_p tp_o = { tp_s; tp_p; tp_o }
+let bgp1 s p o = BGP [ tp s p o ]
+let e_true = E_term (Term.bool true)
+let e_false = E_term (Term.bool false)
+
+let node_pattern var =
+  Distinct
+    (Project
+       ( [ var ],
+         Union
+           ( BGP [ tp (Var var) (Pvar (var ^ "!p1")) (Var (var ^ "!o1")) ],
+             BGP [ tp (Var (var ^ "!s2")) (Pvar (var ^ "!p2")) (Var var) ] ) ))
+
+let join_all = function
+  | [] -> Unit
+  | first :: rest -> List.fold_left (fun acc a -> Join (acc, a)) first rest
+
+let union_all = function
+  | [] -> Values []
+  | first :: rest -> List.fold_left (fun acc a -> Union (acc, a)) first rest
+
+module Svars = Set.Make (String)
+
+let rec expr_vars_set e =
+  match e with
+  | E_var v | E_bound v -> Svars.singleton v
+  | E_term _ -> Svars.empty
+  | E_eq (a, b) | E_neq (a, b) | E_lt (a, b) | E_le (a, b) | E_gt (a, b)
+  | E_ge (a, b) | E_and (a, b) | E_or (a, b) | E_lang_matches (a, b) ->
+      Svars.union (expr_vars_set a) (expr_vars_set b)
+  | E_not a | E_is_iri a | E_is_literal a | E_is_blank a | E_lang a
+  | E_datatype a | E_str_len a | E_regex (a, _, _) | E_in (a, _) ->
+      expr_vars_set a
+  | E_exists a | E_not_exists a -> free_vars_set a
+  | E_fun { arg; _ } -> expr_vars_set arg
+
+and free_vars_set alg =
+  match alg with
+  | Unit -> Svars.empty
+  | BGP tps ->
+      List.fold_left
+        (fun acc { tp_s; tp_p; tp_o } ->
+          let add_t acc = function Var v -> Svars.add v acc | Const _ -> acc in
+          let acc = add_t (add_t acc tp_s) tp_o in
+          match tp_p with Pvar v -> Svars.add v acc | _ -> acc)
+        Svars.empty tps
+  | Join (a, b) | Union (a, b) -> Svars.union (free_vars_set a) (free_vars_set b)
+  | Left_join (a, b, e) ->
+      Svars.union (expr_vars_set e)
+        (Svars.union (free_vars_set a) (free_vars_set b))
+  | Minus (a, _) -> free_vars_set a
+  | Filter (e, a) -> Svars.union (expr_vars_set e) (free_vars_set a)
+  | Distinct a -> free_vars_set a
+  | Extend (v, e, a) ->
+      Svars.add v (Svars.union (expr_vars_set e) (free_vars_set a))
+  | Project (vs, _) -> Svars.of_list vs
+  | Values bindings ->
+      List.fold_left
+        (fun acc b -> Svars.union acc (Svars.of_list (Binding.domain b)))
+        Svars.empty bindings
+  | Group { keys; aggs; _ } ->
+      Svars.union (Svars.of_list keys) (Svars.of_list (List.map fst aggs))
+
+let vars_set = free_vars_set
+let vars alg = Svars.elements (vars_set alg)
+
+let rename mapping alg =
+  let lk v = Option.value (List.assoc_opt v mapping) ~default:v in
+  let rn_t = function Var v -> Var (lk v) | Const _ as c -> c in
+  let rn_p = function Pvar v -> Pvar (lk v) | p -> p in
+  let rec rn_e e =
+    match e with
+    | E_var v -> E_var (lk v)
+    | E_bound v -> E_bound (lk v)
+    | E_term _ -> e
+    | E_eq (a, b) -> E_eq (rn_e a, rn_e b)
+    | E_neq (a, b) -> E_neq (rn_e a, rn_e b)
+    | E_lt (a, b) -> E_lt (rn_e a, rn_e b)
+    | E_le (a, b) -> E_le (rn_e a, rn_e b)
+    | E_gt (a, b) -> E_gt (rn_e a, rn_e b)
+    | E_ge (a, b) -> E_ge (rn_e a, rn_e b)
+    | E_and (a, b) -> E_and (rn_e a, rn_e b)
+    | E_or (a, b) -> E_or (rn_e a, rn_e b)
+    | E_not a -> E_not (rn_e a)
+    | E_is_iri a -> E_is_iri (rn_e a)
+    | E_is_literal a -> E_is_literal (rn_e a)
+    | E_is_blank a -> E_is_blank (rn_e a)
+    | E_lang a -> E_lang (rn_e a)
+    | E_lang_matches (a, b) -> E_lang_matches (rn_e a, rn_e b)
+    | E_datatype a -> E_datatype (rn_e a)
+    | E_str_len a -> E_str_len (rn_e a)
+    | E_regex (a, r, f) -> E_regex (rn_e a, r, f)
+    | E_in (a, ts) -> E_in (rn_e a, ts)
+    | E_exists a -> E_exists (rn a)
+    | E_not_exists a -> E_not_exists (rn a)
+    | E_fun { name; f; arg } -> E_fun { name; f; arg = rn_e arg }
+  and rn alg =
+    match alg with
+    | Unit -> Unit
+    | BGP tps ->
+        BGP
+          (List.map
+             (fun { tp_s; tp_p; tp_o } ->
+               { tp_s = rn_t tp_s; tp_p = rn_p tp_p; tp_o = rn_t tp_o })
+             tps)
+    | Join (a, b) -> Join (rn a, rn b)
+    | Left_join (a, b, e) -> Left_join (rn a, rn b, rn_e e)
+    | Union (a, b) -> Union (rn a, rn b)
+    | Minus (a, b) -> Minus (rn a, rn b)
+    | Filter (e, a) -> Filter (rn_e e, rn a)
+    | Extend (v, e, a) -> Extend (lk v, rn_e e, rn a)
+    | Project (vs, a) -> Project (List.map lk vs, rn a)
+    | Distinct a -> Distinct (rn a)
+    | Values rows ->
+        Values
+          (List.map
+             (fun row ->
+               Binding.of_list
+                 (List.map (fun (v, t) -> lk v, t) (Binding.to_list row)))
+             rows)
+    | Group { keys; aggs; sub } ->
+        Group
+          {
+            keys = List.map lk keys;
+            aggs =
+              List.map
+                (fun (v, agg) ->
+                  ( lk v,
+                    match agg with
+                    | Count_star -> Count_star
+                    | Count_distinct x -> Count_distinct (lk x) ))
+                aggs;
+            sub = rn sub;
+          }
+  in
+  rn alg
+
+(* ------------------------------------------------------------------ *)
+(* Printing (SPARQL-like concrete syntax)                             *)
+(* ------------------------------------------------------------------ *)
+
+let pp_term_pattern ppf = function
+  | Var v -> Format.fprintf ppf "?%s" v
+  | Const t -> Term.pp ppf t
+
+let pp_pred_pattern ppf = function
+  | Pred p -> Iri.pp ppf p
+  | Pvar v -> Format.fprintf ppf "?%s" v
+  | Ppath e -> Rdf.Path.pp ppf e
+
+let pp_triple_pattern ppf { tp_s; tp_p; tp_o } =
+  Format.fprintf ppf "%a %a %a ." pp_term_pattern tp_s pp_pred_pattern tp_p
+    pp_term_pattern tp_o
+
+let rec pp_expr ppf = function
+  | E_var v -> Format.fprintf ppf "?%s" v
+  | E_term t -> Term.pp ppf t
+  | E_eq (a, b) -> Format.fprintf ppf "(%a = %a)" pp_expr a pp_expr b
+  | E_neq (a, b) -> Format.fprintf ppf "(%a != %a)" pp_expr a pp_expr b
+  | E_lt (a, b) -> Format.fprintf ppf "(%a < %a)" pp_expr a pp_expr b
+  | E_le (a, b) -> Format.fprintf ppf "(%a <= %a)" pp_expr a pp_expr b
+  | E_gt (a, b) -> Format.fprintf ppf "(%a > %a)" pp_expr a pp_expr b
+  | E_ge (a, b) -> Format.fprintf ppf "(%a >= %a)" pp_expr a pp_expr b
+  | E_and (a, b) -> Format.fprintf ppf "(%a && %a)" pp_expr a pp_expr b
+  | E_or (a, b) -> Format.fprintf ppf "(%a || %a)" pp_expr a pp_expr b
+  | E_not a -> Format.fprintf ppf "(! %a)" pp_expr a
+  | E_bound v -> Format.fprintf ppf "BOUND(?%s)" v
+  | E_is_iri a -> Format.fprintf ppf "isIRI(%a)" pp_expr a
+  | E_is_literal a -> Format.fprintf ppf "isLiteral(%a)" pp_expr a
+  | E_is_blank a -> Format.fprintf ppf "isBlank(%a)" pp_expr a
+  | E_lang a -> Format.fprintf ppf "LANG(%a)" pp_expr a
+  | E_lang_matches (a, b) ->
+      Format.fprintf ppf "langMatches(%a, %a)" pp_expr a pp_expr b
+  | E_datatype a -> Format.fprintf ppf "DATATYPE(%a)" pp_expr a
+  | E_str_len a -> Format.fprintf ppf "STRLEN(%a)" pp_expr a
+  | E_regex (a, re, None) ->
+      Format.fprintf ppf "REGEX(%a, \"%s\")" pp_expr a (String.escaped re)
+  | E_regex (a, re, Some f) ->
+      Format.fprintf ppf "REGEX(%a, \"%s\", \"%s\")" pp_expr a
+        (String.escaped re) (String.escaped f)
+  | E_in (a, ts) ->
+      Format.fprintf ppf "(%a IN (%a))" pp_expr a
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           Term.pp)
+        ts
+  | E_exists a -> Format.fprintf ppf "EXISTS { %a }" pp_pattern a
+  | E_not_exists a -> Format.fprintf ppf "NOT EXISTS { %a }" pp_pattern a
+  | E_fun { name; arg; _ } ->
+      Format.fprintf ppf "%s(%a)" name pp_expr arg
+
+and pp_pattern ppf alg =
+  match alg with
+  | Unit -> Format.fprintf ppf "{}"
+  | BGP tps ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ")
+        pp_triple_pattern ppf tps
+  | Join (a, b) -> Format.fprintf ppf "%a@ %a" pp_group a pp_group b
+  | Left_join (a, b, cond) ->
+      Format.fprintf ppf "%a@ OPTIONAL { %a%a }" pp_group a pp_pattern b
+        pp_opt_filter cond
+  | Union (a, b) ->
+      Format.fprintf ppf "{ %a }@ UNION@ { %a }" pp_pattern a pp_pattern b
+  | Minus (a, b) ->
+      Format.fprintf ppf "%a@ MINUS { %a }" pp_group a pp_pattern b
+  | Filter (cond, a) ->
+      Format.fprintf ppf "%a@ FILTER %a" pp_group a pp_expr cond
+  | Extend (v, e, a) ->
+      Format.fprintf ppf "%a@ BIND(%a AS ?%s)" pp_group a pp_expr e v
+  | Project _ | Distinct _ | Group _ ->
+      Format.fprintf ppf "{ %a }" pp_subselect alg
+  | Values bindings ->
+      Format.fprintf ppf "VALUES %d bindings" (List.length bindings)
+
+and pp_opt_filter ppf cond =
+  match cond with
+  | E_term t when Term.equal t (Term.bool true) -> ()
+  | cond -> Format.fprintf ppf " FILTER %a" pp_expr cond
+
+and pp_group ppf alg =
+  match alg with
+  | BGP _ | Unit | Join _ | Filter _ | Extend _ | Left_join _ | Minus _ ->
+      pp_pattern ppf alg
+  | _ -> Format.fprintf ppf "{ %a }" pp_pattern alg
+
+and pp_subselect ppf alg =
+  match alg with
+  | Project (vs, sub) ->
+      Format.fprintf ppf "SELECT %a WHERE { %a }"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+           (fun ppf v -> Format.fprintf ppf "?%s" v))
+        vs pp_pattern sub
+  | Distinct (Project (vs, sub)) ->
+      Format.fprintf ppf "SELECT DISTINCT %a WHERE { %a }"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+           (fun ppf v -> Format.fprintf ppf "?%s" v))
+        vs pp_pattern sub
+  | Distinct sub ->
+      Format.fprintf ppf "SELECT DISTINCT * WHERE { %a }" pp_pattern sub
+  | Group { keys; aggs; sub } ->
+      Format.fprintf ppf "SELECT %a %a WHERE { %a } GROUP BY %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+           (fun ppf v -> Format.fprintf ppf "?%s" v))
+        keys
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+           (fun ppf (v, agg) ->
+             match agg with
+             | Count_star -> Format.fprintf ppf "(COUNT(*) AS ?%s)" v
+             | Count_distinct x ->
+                 Format.fprintf ppf "(COUNT(DISTINCT ?%s) AS ?%s)" x v))
+        aggs pp_pattern sub
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+           (fun ppf v -> Format.fprintf ppf "?%s" v))
+        keys
+  | alg -> Format.fprintf ppf "SELECT * WHERE { %a }" pp_pattern alg
+
+let pp ppf alg = Format.fprintf ppf "@[<v>%a@]" pp_pattern alg

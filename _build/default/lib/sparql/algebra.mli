@@ -1,0 +1,107 @@
+(** SPARQL algebra.
+
+    The fragment of the SPARQL 1.1 algebra needed to express shape
+    conformance and neighborhood queries (Section 5.1 of the paper): basic
+    graph patterns with property paths, join, left join (OPTIONAL), union,
+    minus, filters with EXISTS/NOT EXISTS, extend (BIND), projection,
+    distinct, and grouping with COUNT (for the counting quantifiers). *)
+
+type term_pattern =
+  | Var of string
+  | Const of Rdf.Term.t
+
+type pred_pattern =
+  | Pred of Rdf.Iri.t           (** fixed property *)
+  | Pvar of string              (** variable in property position *)
+  | Ppath of Rdf.Path.t         (** property path (never binds) *)
+
+type triple_pattern = {
+  tp_s : term_pattern;
+  tp_p : pred_pattern;
+  tp_o : term_pattern;
+}
+
+type expr =
+  | E_var of string
+  | E_term of Rdf.Term.t
+  | E_eq of expr * expr         (** [=]: value equality on literals, term equality otherwise *)
+  | E_neq of expr * expr
+  | E_lt of expr * expr
+  | E_le of expr * expr
+  | E_gt of expr * expr
+  | E_ge of expr * expr
+  | E_and of expr * expr
+  | E_or of expr * expr
+  | E_not of expr
+  | E_bound of string
+  | E_is_iri of expr
+  | E_is_literal of expr
+  | E_is_blank of expr
+  | E_lang of expr              (** language tag as an [xsd:string] literal *)
+  | E_lang_matches of expr * expr
+  | E_datatype of expr
+  | E_str_len of expr
+  | E_regex of expr * string * string option
+  | E_in of expr * Rdf.Term.t list
+  | E_exists of t
+  | E_not_exists of t
+  | E_fun of { name : string; f : Rdf.Term.t -> bool; arg : expr }
+      (** An extension function (engine-evaluated predicate on one term);
+          used to expose SHACL node tests to generated queries exactly,
+          the way SPARQL engines expose extension functions. *)
+
+and aggregate =
+  | Count_star
+  | Count_distinct of string
+
+and t =
+  | Unit                                    (** the single empty mapping *)
+  | BGP of triple_pattern list
+  | Join of t * t
+  | Left_join of t * t * expr               (** OPTIONAL with condition *)
+  | Union of t * t
+  | Minus of t * t
+  | Filter of expr * t
+  | Extend of string * expr * t             (** BIND(expr AS ?v) *)
+  | Project of string list * t
+  | Distinct of t
+  | Values of Binding.t list
+  | Group of {
+      keys : string list;
+      aggs : (string * aggregate) list;     (** (result var, aggregate) *)
+      sub : t;
+    }
+
+(** {1 Helpers} *)
+
+val v : string -> term_pattern
+val c : Rdf.Term.t -> term_pattern
+val ci : string -> term_pattern
+(** [ci s] is [Const (Term.iri s)]. *)
+
+val tp : term_pattern -> pred_pattern -> term_pattern -> triple_pattern
+val bgp1 : term_pattern -> pred_pattern -> term_pattern -> t
+val e_true : expr
+val e_false : expr
+
+val node_pattern : string -> t
+(** Binds the variable to every node of the graph ([N(G)]): the union of
+    subjects and objects, projected and deduplicated. *)
+
+val join_all : t list -> t
+val union_all : t list -> t
+
+val vars : t -> string list
+(** In-scope (potentially bound) variables of the pattern, sorted. *)
+
+val rename : (string * string) list -> t -> t
+(** Alpha-rename variables throughout the pattern (patterns, expressions,
+    projection lists, group keys, extend targets, VALUES rows).  Sound
+    only when the new names do not capture existing ones — the query
+    generators use globally fresh names. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as SPARQL-like concrete syntax (for inspection and the CLI;
+    {!Parser} reads a compatible dialect). *)
+
+val pp_expr : Format.formatter -> expr -> unit

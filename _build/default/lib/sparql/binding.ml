@@ -1,0 +1,36 @@
+open Rdf
+module Smap = Map.Make (String)
+
+type t = Term.t Smap.t
+
+let empty = Smap.empty
+let singleton v t = Smap.singleton v t
+let add = Smap.add
+let find v b = Smap.find_opt v b
+let mem = Smap.mem
+let domain b = List.map fst (Smap.bindings b)
+
+let compatible a b =
+  Smap.for_all
+    (fun v t ->
+      match Smap.find_opt v b with
+      | None -> true
+      | Some t' -> Term.equal t t')
+    a
+
+let merge a b =
+  if compatible a b then Some (Smap.union (fun _ t _ -> Some t) a b) else None
+
+let restrict vars b = Smap.filter (fun v _ -> List.mem v vars) b
+let equal = Smap.equal Term.equal
+let compare = Smap.compare Term.compare
+let fold = Smap.fold
+let of_list l = List.fold_left (fun acc (v, t) -> Smap.add v t acc) Smap.empty l
+let to_list = Smap.bindings
+
+let pp ppf b =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf (v, t) -> Format.fprintf ppf "?%s=%a" v Term.pp t))
+    (to_list b)

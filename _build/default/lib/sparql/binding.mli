@@ -1,0 +1,30 @@
+(** Solution mappings.
+
+    A solution mapping is a partial function from variables to RDF terms
+    (Section 5.1 of the paper; Pérez et al.).  Two mappings are
+    {e compatible} when they agree on every shared variable; compatible
+    mappings can be merged. *)
+
+type t
+
+val empty : t
+val singleton : string -> Rdf.Term.t -> t
+val add : string -> Rdf.Term.t -> t -> t
+val find : string -> t -> Rdf.Term.t option
+val mem : string -> t -> bool
+val domain : t -> string list
+(** Variables bound by the mapping, sorted. *)
+
+val compatible : t -> t -> bool
+val merge : t -> t -> t option
+(** [merge a b] is the union when [compatible a b], [None] otherwise. *)
+
+val restrict : string list -> t -> t
+(** Keep only the given variables (SPARQL projection). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val fold : (string -> Rdf.Term.t -> 'a -> 'a) -> t -> 'a -> 'a
+val of_list : (string * Rdf.Term.t) list -> t
+val to_list : t -> (string * Rdf.Term.t) list
+val pp : Format.formatter -> t -> unit

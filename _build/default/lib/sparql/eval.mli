@@ -1,0 +1,42 @@
+(** SPARQL algebra evaluation over an {!Rdf.Graph}.
+
+    Bag semantics: evaluation returns a list of solution mappings, with
+    duplicates unless [Distinct] is applied.
+
+    Two basic-graph-pattern strategies are provided, used by the paper's
+    engine-comparison experiment (Figure 3):
+
+    - [Indexed] (default): each triple pattern is matched through the
+      graph's SPO/POS/OSP indexes, most selective access path first;
+    - [Naive]: each triple pattern scans the full triple list, as a stand-in
+      for an engine without index support. *)
+
+type strategy = Indexed | Naive
+
+val eval :
+  ?strategy:strategy -> Rdf.Graph.t -> Algebra.t -> Binding.t list
+
+val eval_expr :
+  ?strategy:strategy ->
+  Rdf.Graph.t -> Binding.t -> Algebra.expr -> Rdf.Term.t option
+(** Expression evaluation; [None] is the SPARQL error value. *)
+
+val truthy : Rdf.Term.t option -> bool
+(** SPARQL effective boolean value of an expression result; errors are
+    false. *)
+
+val select :
+  ?strategy:strategy ->
+  Rdf.Graph.t -> vars:string list -> Algebra.t -> Binding.t list
+(** Project and evaluate. *)
+
+val construct :
+  ?strategy:strategy ->
+  Rdf.Graph.t ->
+  template:Algebra.triple_pattern list ->
+  Algebra.t ->
+  Rdf.Graph.t
+(** Instantiate the template with every solution; solutions that leave a
+    template position unbound or ill-typed (a literal subject, a
+    non-IRI predicate) are skipped for that template triple, as in SPARQL
+    CONSTRUCT. *)

@@ -1,0 +1,131 @@
+open Algebra
+
+let is_true = function
+  | E_term (Rdf.Term.Literal l) -> (
+      match Rdf.Literal.value l with Rdf.Literal.Bool b -> b | _ -> false)
+  | _ -> false
+
+let is_false = function
+  | E_term (Rdf.Term.Literal l) -> (
+      match Rdf.Literal.value l with
+      | Rdf.Literal.Bool b -> not b
+      | _ -> false)
+  | _ -> false
+
+let empty_result = Values []
+
+let rec simplify_expr e =
+  match e with
+  | E_and (a, b) -> (
+      let a = simplify_expr a and b = simplify_expr b in
+      if is_true a then b
+      else if is_true b then a
+      else if is_false a || is_false b then e_false
+      else E_and (a, b))
+  | E_or (a, b) -> (
+      let a = simplify_expr a and b = simplify_expr b in
+      if is_false a then b
+      else if is_false b then a
+      else if is_true a || is_true b then e_true
+      else E_or (a, b))
+  | E_not a -> (
+      let a = simplify_expr a in
+      match a with
+      | _ when is_true a -> e_false
+      | _ when is_false a -> e_true
+      | E_not inner -> inner
+      | a -> E_not a)
+  | E_eq (a, b) -> E_eq (simplify_expr a, simplify_expr b)
+  | E_neq (a, b) -> E_neq (simplify_expr a, simplify_expr b)
+  | E_lt (a, b) -> E_lt (simplify_expr a, simplify_expr b)
+  | E_le (a, b) -> E_le (simplify_expr a, simplify_expr b)
+  | E_gt (a, b) -> E_gt (simplify_expr a, simplify_expr b)
+  | E_ge (a, b) -> E_ge (simplify_expr a, simplify_expr b)
+  | E_is_iri a -> E_is_iri (simplify_expr a)
+  | E_is_literal a -> E_is_literal (simplify_expr a)
+  | E_is_blank a -> E_is_blank (simplify_expr a)
+  | E_lang a -> E_lang (simplify_expr a)
+  | E_lang_matches (a, b) -> E_lang_matches (simplify_expr a, simplify_expr b)
+  | E_datatype a -> E_datatype (simplify_expr a)
+  | E_str_len a -> E_str_len (simplify_expr a)
+  | E_regex (a, r, f) -> E_regex (simplify_expr a, r, f)
+  | E_in (a, ts) -> E_in (simplify_expr a, ts)
+  | E_exists a -> (
+      match simplify a with
+      | Values [] -> e_false
+      | Unit -> e_true
+      | a -> E_exists a)
+  | E_not_exists a -> (
+      match simplify a with
+      | Values [] -> e_true
+      | Unit -> e_false
+      | a -> E_not_exists a)
+  | E_fun { name; f; arg } -> E_fun { name; f; arg = simplify_expr arg }
+  | E_var _ | E_term _ | E_bound _ -> e
+
+(* children are simplified first, then local rules apply; every rule's
+   result is already in normal form, so one bottom-up pass suffices *)
+and simplify alg =
+  match alg with
+  | Unit | Values _ -> alg
+  | BGP [] -> Unit
+  | BGP _ -> alg
+  | Join (a, b) -> (
+      let a = simplify a and b = simplify b in
+      match a, b with
+      | Unit, x | x, Unit -> x
+      | (Values [] as e), _ | _, (Values [] as e) -> e
+      | BGP xs, BGP ys ->
+          (* fuse adjacent patterns so the evaluator can order all of
+             them by selectivity at once *)
+          BGP (xs @ ys)
+      | BGP xs, Join (BGP ys, rest) -> Join (BGP (xs @ ys), rest)
+      | a, b -> Join (a, b))
+  | Left_join (a, b, e) -> (
+      let a = simplify a and b = simplify b and e = simplify_expr e in
+      match a, b with
+      | (Values [] as empty), _ -> empty
+      | a, Values [] -> a
+      | a, b -> Left_join (a, b, e))
+  | Union (a, b) -> (
+      let a = simplify a and b = simplify b in
+      match a, b with
+      | Values [], x | x, Values [] -> x
+      | a, b -> Union (a, b))
+  | Minus (a, b) -> (
+      let a = simplify a and b = simplify b in
+      match a, b with
+      | (Values [] as empty), _ -> empty
+      | a, Values [] -> a
+      | a, b -> Minus (a, b))
+  | Filter (e, a) -> (
+      let e = simplify_expr e and a = simplify a in
+      if is_true e then a
+      else if is_false e then empty_result
+      else
+        match a with
+        | Values [] -> empty_result
+        | Filter (e', a') -> Filter (simplify_expr (E_and (e, e')), a')
+        | a -> Filter (e, a))
+  | Extend (v, e, a) -> (
+      let a = simplify a in
+      match a with
+      | Values [] -> empty_result
+      | a -> Extend (v, simplify_expr e, a))
+  | Project (vs, a) -> (
+      let a = simplify a in
+      match a with
+      | Values [] -> empty_result
+      | Project (ws, inner) when List.for_all (fun v -> List.mem v ws) vs ->
+          Project (vs, inner)
+      | a -> Project (vs, a))
+  | Distinct a -> (
+      let a = simplify a in
+      match a with
+      | Values [] -> empty_result
+      | Distinct inner -> Distinct inner
+      | a -> Distinct a)
+  | Group { keys; aggs; sub } -> (
+      match simplify sub with
+      | Values [] -> empty_result
+      | sub -> Group { keys; aggs; sub })

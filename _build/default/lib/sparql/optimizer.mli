@@ -1,0 +1,20 @@
+(** Algebraic simplification of query plans.
+
+    The SPARQL queries generated from shapes (Section 5.1 of the paper)
+    are deeply nested and full of structural noise — unit joins, empty
+    union branches, constant filters, stacked projections.  The paper
+    notes its translation "is not yet optimized to generate efficient
+    SPARQL expressions" and calls query optimization for shape-derived
+    queries a topic for further research; this module implements the
+    first layer of that: semantics-preserving (bag-equivalent) rewrites.
+
+    Rules: unit/empty elimination for join, left join, union, minus and
+    filter; basic-graph-pattern fusion across joins (enabling the
+    evaluator's selectivity ordering); projection and distinct collapse;
+    and boolean constant folding in filter expressions. *)
+
+val simplify : Algebra.t -> Algebra.t
+(** Apply all rules bottom-up to a fixpoint.  The result evaluates to the
+    same bag of solutions on every graph. *)
+
+val simplify_expr : Algebra.expr -> Algebra.expr

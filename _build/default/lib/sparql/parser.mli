@@ -1,0 +1,54 @@
+(** A parser for a practical SPARQL subset.
+
+    Supports the fragment of SPARQL 1.1 that the library's engine
+    evaluates and that the paper's translation targets:
+
+    {v
+    PREFIX ex: <http://example.org/>
+    SELECT DISTINCT ?x ?y WHERE {
+      ?x ex:p/ex:q* ?y ; ex:r "lit"@en .
+      OPTIONAL { ?y ex:s ?z }
+      FILTER (?z > 3 && langMatches(LANG(?y), "en"))
+      MINUS { ?x ex:t ?w }
+      { ?x ex:a ?y } UNION { ?x ex:b ?y }
+      BIND(?y AS ?copy)
+      FILTER NOT EXISTS { ?x ex:u ?x }
+    }
+    v}
+
+    plus [CONSTRUCT { ... } WHERE { ... }] and [ASK { ... }].  Property
+    paths use SPARQL syntax ([^], [/], [|], [*], [?], [+]).  Not
+    supported: aggregates/GROUP BY (build those with {!Algebra.Group}
+    directly), subqueries, VALUES, federation, and updates. *)
+
+type error = { position : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+type query =
+  | Select of { distinct : bool; vars : string list option; pattern : Algebra.t }
+      (** [vars = None] means [SELECT *] *)
+  | Construct of { template : Algebra.triple_pattern list; pattern : Algebra.t }
+  | Ask of Algebra.t
+
+val parse : ?namespaces:Rdf.Namespace.t -> string -> (query, error) result
+(** [PREFIX] directives in the query extend (and shadow) [namespaces]
+    (default {!Rdf.Namespace.default}). *)
+
+val parse_exn : ?namespaces:Rdf.Namespace.t -> string -> query
+
+(** {1 Execution} *)
+
+type answer =
+  | Bindings of Binding.t list
+  | Graph of Rdf.Graph.t
+  | Boolean of bool
+
+val run :
+  ?strategy:Eval.strategy -> Rdf.Graph.t -> query -> answer
+
+val run_string :
+  ?strategy:Eval.strategy ->
+  ?namespaces:Rdf.Namespace.t ->
+  Rdf.Graph.t -> string -> (answer, error) result
+(** Parse and execute in one step. *)

@@ -1,0 +1,1 @@
+lib/workload/bench_shapes.ml: Iri Kg List Literal Node_test Printf Rdf Schema Shacl Shape Term Vocab

@@ -1,0 +1,1 @@
+lib/workload/bsbm.ml: Graph Iri Literal Printf Rand Rdf Term Vocab

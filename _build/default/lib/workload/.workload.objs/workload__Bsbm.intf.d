@@ -1,0 +1,1 @@
+lib/workload/bsbm.mli: Rdf

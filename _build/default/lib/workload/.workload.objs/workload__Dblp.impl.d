@@ -1,0 +1,1 @@
+lib/workload/dblp.ml: Graph Iri Literal Printf Rand Rdf Shacl Term Triple Vocab

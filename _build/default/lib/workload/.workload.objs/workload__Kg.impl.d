@@ -1,0 +1,1 @@
+lib/workload/kg.ml: Array Graph Iri List Literal Printf Rand Rdf String Term Triple Vocab

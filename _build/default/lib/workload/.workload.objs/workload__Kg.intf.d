@@ -1,0 +1,1 @@
+lib/workload/kg.mli: Rand Rdf

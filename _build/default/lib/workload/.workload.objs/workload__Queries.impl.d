@@ -1,0 +1,1 @@
+lib/workload/queries.ml: Bsbm Format Graph List Literal Node_test Printf Provenance Rdf Shacl Shape Sparql Term Vocab

@@ -1,0 +1,1 @@
+lib/workload/rand.ml: Array List Random

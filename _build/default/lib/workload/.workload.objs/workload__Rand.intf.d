@@ -1,0 +1,1 @@
+lib/workload/rand.mli: Random

@@ -1,0 +1,1 @@
+lib/workload/tpf.ml: Format Graph Int Iri List Map Rdf Shacl Shape Term Triple

@@ -1,0 +1,1 @@
+lib/workload/tpf.mli: Rdf Shacl

@@ -1,0 +1,259 @@
+open Rdf
+open Shacl
+module V = Kg.Voc
+
+type entry = {
+  id : string;
+  description : string;
+  target : Shape.t;
+  shape : Shape.t;
+}
+
+(* --- building blocks ---------------------------------------------- *)
+
+let p i = Rdf.Path.Prop i
+let inv i = Rdf.Path.Inv (Rdf.Path.Prop i)
+let seq a b = Rdf.Path.Seq (a, b)
+
+let class_path =
+  seq (p Vocab.Rdf.type_) (Rdf.Path.Star (p Vocab.Rdfs.sub_class_of))
+
+let has_class c = Shape.Ge (1, class_path, Shape.Has_value c)
+let target_class c = has_class c
+let target_subjects_of prop = Shape.Ge (1, p prop, Shape.Top)
+let target_objects_of prop = Shape.Ge (1, inv prop, Shape.Top)
+let min_count n e = Shape.Ge (n, e, Shape.Top)
+let max_count n e = Shape.Le (n, e, Shape.Top)
+let datatype dt = Shape.Test (Node_test.Datatype dt)
+let kind k = Shape.Test (Node_test.Node_kind k)
+let forall e s = Shape.Forall (e, s)
+let all_ = Shape.and_
+let any_ = Shape.or_
+
+let int_lit n = Literal.int n
+
+(* --- the 57 shapes ------------------------------------------------ *)
+
+let entries =
+  [
+    (* Cardinality components *)
+    ( "every accommodation has at least one name",
+      target_class V.accommodation,
+      min_count 1 (p V.name) );
+    ( "every place has at most five names",
+      target_class V.place,
+      max_count 5 (p V.name) );
+    ( "every review has exactly one rating",
+      target_class V.review,
+      all_ [ min_count 1 (p V.rating); max_count 1 (p V.rating) ] );
+    ( "every offer has exactly one price",
+      target_class V.offer,
+      all_ [ min_count 1 (p V.price); max_count 1 (p V.price) ] );
+    ( "every person has exactly one email",
+      target_class V.person,
+      all_ [ min_count 1 (p V.email); max_count 1 (p V.email) ] );
+    ( "reviewed things have at most 50 reviews",
+      target_subjects_of V.has_review,
+      max_count 50 (p V.has_review) );
+    ( "hotels have at least one offer",
+      target_class V.hotel,
+      min_count 1 (p V.offers) );
+    ( "everything located somewhere is located in at most one place",
+      target_subjects_of V.located_in,
+      max_count 1 (p V.located_in) );
+    (* Value type components (datatype / nodeKind under forall) *)
+    ( "ratings are integers",
+      target_class V.review,
+      forall (p V.rating) (datatype Vocab.Xsd.integer) );
+    ( "prices are decimals",
+      target_class V.offer,
+      forall (p V.price) (datatype Vocab.Xsd.decimal) );
+    ( "names are language-tagged strings",
+      target_class V.place,
+      forall (p V.name) (datatype Vocab.Rdf.lang_string) );
+    ( "emails are plain strings",
+      target_class V.person,
+      forall (p V.email) (datatype Vocab.Xsd.string) );
+    ( "review targets are IRIs",
+      target_subjects_of V.has_review,
+      forall (p V.has_review) (kind Node_test.Iri_kind) );
+    ( "reviewers are IRIs",
+      target_class V.review,
+      forall (p V.reviewer) (kind Node_test.Iri_kind) );
+    (* Value range components *)
+    ( "ratings are at least 1",
+      target_class V.review,
+      forall (p V.rating) (Shape.Test (Node_test.Min_inclusive (int_lit 1))) );
+    ( "ratings are at most 5",
+      target_class V.review,
+      forall (p V.rating) (Shape.Test (Node_test.Max_inclusive (int_lit 5))) );
+    ( "capacities are positive",
+      target_subjects_of V.capacity,
+      forall (p V.capacity) (Shape.Test (Node_test.Min_exclusive (int_lit 0))) );
+    ( "capacities are below 1000",
+      target_subjects_of V.capacity,
+      forall (p V.capacity) (Shape.Test (Node_test.Max_exclusive (int_lit 1000))) );
+    ( "prices are under 500 (often violated)",
+      target_class V.offer,
+      forall (p V.price)
+        (Shape.Test
+           (Node_test.Max_exclusive
+              (Literal.make ~datatype:Vocab.Xsd.decimal "500.0"))) );
+    ( "checkins are after 2014",
+      target_subjects_of V.checkin,
+      forall (p V.checkin)
+        (Shape.Test
+           (Node_test.Min_exclusive (Literal.date_time "2014-12-31T23:59:59"))) );
+    (* String components *)
+    ( "names are non-empty",
+      target_class V.place,
+      forall (p V.name) (Shape.Test (Node_test.Min_length 1)) );
+    ( "names are short",
+      target_class V.place,
+      forall (p V.name) (Shape.Test (Node_test.Max_length 100)) );
+    ( "emails match a mail pattern",
+      target_class V.person,
+      forall (p V.email)
+        (Shape.Test (Node_test.Pattern { regex = "@mail[.]example$"; flags = None })) );
+    ( "descriptions mention their entity",
+      target_subjects_of V.description,
+      forall (p V.description)
+        (Shape.Test (Node_test.Pattern { regex = "description|review"; flags = None })) );
+    (* Logic components *)
+    ( "places are named or described",
+      target_class V.place,
+      any_ [ min_count 1 (p V.name); min_count 1 (p V.description) ] );
+    ( "reviews are rated and described",
+      target_class V.review,
+      all_ [ min_count 1 (p V.rating); min_count 1 (p V.description) ] );
+    ( "no unrated review with a reviewer",
+      target_class V.review,
+      Shape.not_
+        (all_ [ max_count 0 (p V.rating); min_count 1 (p V.reviewer) ]) );
+    ( "accommodation xor restaurant",
+      target_class V.place,
+      any_
+        [ all_ [ has_class V.accommodation; Shape.not_ (has_class V.restaurant) ];
+          all_ [ has_class V.restaurant; Shape.not_ (has_class V.accommodation) ];
+          all_
+            [ Shape.not_ (has_class V.accommodation);
+              Shape.not_ (has_class V.restaurant) ] ] );
+    ( "persons are not places",
+      target_class V.person,
+      Shape.not_ (has_class V.place) );
+    ( "offers are neither people nor reviews",
+      target_class V.offer,
+      all_ [ Shape.not_ (has_class V.person); Shape.not_ (has_class V.review) ] );
+    (* Shape-based (class constraints on linked entities) *)
+    ( "reviewers are persons",
+      target_class V.review,
+      forall (p V.reviewer) (has_class V.person) );
+    ( "reviews of places are reviews",
+      target_subjects_of V.has_review,
+      forall (p V.has_review) (has_class V.review) );
+    ( "locations are places",
+      target_subjects_of V.located_in,
+      forall (p V.located_in) (has_class V.place) );
+    ( "offers of hotels are offers",
+      target_class V.hotel,
+      forall (p V.offers) (has_class V.offer) );
+    ( "acquaintances are persons",
+      target_class V.person,
+      forall (p V.knows) (has_class V.person) );
+    ( "review authors wrote their review (inverse class)",
+      target_objects_of V.reviewer,
+      has_class V.person );
+    (* Pair components: equality / disjointness *)
+    ( "knows is symmetric-free of self (disjoint id)",
+      target_class V.person,
+      Shape.Disj (Shape.Id, V.knows) );
+    ( "nothing is located in itself",
+      target_subjects_of V.located_in,
+      Shape.Disj (Shape.Id, V.located_in) );
+    ( "checkin and checkout differ",
+      target_class V.offer,
+      Shape.Disj (Shape.Path (p V.checkin), V.checkout) );
+    ( "name and email are disjoint",
+      target_class V.person,
+      Shape.Disj (Shape.Path (p V.name), V.email) );
+    (* Pair components: order comparisons *)
+    ( "checkin is before checkout",
+      target_class V.offer,
+      Shape.Less_than (p V.checkin, V.checkout) );
+    ( "checkin is at or before checkout",
+      target_class V.offer,
+      Shape.Less_than_eq (p V.checkin, V.checkout) );
+    ( "ratings never exceed capacity (cross-type, often vacuous)",
+      target_class V.review,
+      Shape.Less_than_eq (p V.rating, V.capacity) );
+    (* Language components *)
+    ( "at most one name per language",
+      target_class V.place,
+      Shape.Unique_lang (p V.name) );
+    ( "event names unique per language",
+      target_class V.event,
+      Shape.Unique_lang (p V.name) );
+    ( "descriptions unique per language",
+      target_subjects_of V.description,
+      Shape.Unique_lang (p V.description) );
+    (* Closedness *)
+    ( "reviews are closed records",
+      target_class V.review,
+      Shape.Closed
+        (Iri.Set.of_list
+           [ Vocab.Rdf.type_; V.rating; V.description; V.reviewer ]) );
+    ( "offers are closed records",
+      target_class V.offer,
+      Shape.Closed
+        (Iri.Set.of_list [ Vocab.Rdf.type_; V.price; V.checkin; V.checkout ]) );
+    ( "persons expose at least one extra property (non-closed)",
+      target_class V.person,
+      Shape.not_ (Shape.Closed (Iri.Set.of_list [ Vocab.Rdf.type_ ])) );
+    (* Property paths *)
+    ( "reviewed places reach a reviewer (sequence path)",
+      target_subjects_of V.has_review,
+      min_count 1 (seq (p V.has_review) (p V.reviewer)) );
+    ( "offers belong to an accommodation (inverse path)",
+      target_class V.offer,
+      min_count 1 (inv V.offers) );
+    ( "social closure stays small (star path)",
+      target_class V.person,
+      max_count 60 (Rdf.Path.Star (p V.knows)) );
+    ( "reviewers of reviews of my location exist (long path)",
+      target_subjects_of V.located_in,
+      min_count 0
+        (seq (p V.located_in) (seq (p V.has_review) (p V.reviewer))) );
+    (* Existential shapes with many targets and large neighborhoods —
+       the paper's worst case for extraction overhead. *)
+    ( "every place has a review (existential, heavy)",
+      target_class V.place,
+      min_count 1 (p V.has_review) );
+    ( "every accommodation has a priced offer (existential, heavy)",
+      target_class V.accommodation,
+      Shape.Ge (1, p V.offers, min_count 1 (p V.price)) );
+    ( "every place has a well-rated review (existential, heavy)",
+      target_class V.place,
+      Shape.Ge
+        ( 1,
+          p V.has_review,
+          Shape.Ge
+            (1, p V.rating, Shape.Test (Node_test.Min_inclusive (int_lit 3))) ) );
+    ( "somebody knows somebody who reviewed something (deep existential)",
+      target_class V.person,
+      min_count 0 (seq (p V.knows) (inv V.reviewer)) );
+  ]
+
+let all =
+  List.mapi
+    (fun i (description, target, shape) ->
+      { id = Printf.sprintf "S%02d" (i + 1); description; target; shape })
+    entries
+
+let schema_of entry =
+  Schema.make_exn
+    [ { Schema.name = Term.iri (Kg.ns ^ "bench/" ^ entry.id);
+        shape = entry.shape;
+        target = entry.target } ]
+
+let request_shape entry = Shape.and_ [ entry.shape; entry.target ]
+let find id = List.find_opt (fun e -> e.id = id) all

@@ -1,0 +1,29 @@
+(** The 57-shape benchmark suite.
+
+    A reconstruction of the performance benchmark of Schaffenrath et al.
+    used in Section 5.3.1 of the paper: 57 shapes over the synthetic
+    knowledge graph of {!Kg}, spanning every SHACL core constraint
+    component family — cardinality, value type, value range, string,
+    pair (equality/disjointness/lessThan), logic, shape-based, closedness,
+    language, and property paths.  Each entry carries a target, so it can
+    be validated as a one-definition schema, and a request shape
+    (target ∧ shape) for fragment extraction. *)
+
+type entry = {
+  id : string;              (** "S01" .. "S57" *)
+  description : string;
+  target : Shacl.Shape.t;
+  shape : Shacl.Shape.t;
+}
+
+val all : entry list
+(** The 57 entries, in id order. *)
+
+val schema_of : entry -> Shacl.Schema.t
+(** A one-definition schema for validation. *)
+
+val request_shape : entry -> Shacl.Shape.t
+(** [target ∧ shape] — the request shape used for fragments. *)
+
+val find : string -> entry option
+(** Look up an entry by id. *)

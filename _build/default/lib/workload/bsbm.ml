@@ -1,0 +1,114 @@
+open Rdf
+
+let ns = "http://bsbm.example.org/"
+let iri local = Iri.of_string (ns ^ local)
+let term local = Term.Iri (iri local)
+
+module Voc = struct
+  let product = term "Product"
+  let review = term "Review"
+  let offer = term "Offer"
+  let person = term "Person"
+  let producer = term "Producer"
+  let vendor = term "Vendor"
+  let label = iri "label"
+  let comment = iri "comment"
+  let feature = iri "productFeature"
+  let producer_p = iri "producer"
+  let numeric1 = iri "productPropertyNumeric1"
+  let numeric2 = iri "productPropertyNumeric2"
+  let has_review = iri "hasReview"
+  let review_for = iri "reviewFor"
+  let reviewer = iri "reviewer"
+  let rating1 = iri "rating1"
+  let rating2 = iri "rating2"
+  let text = iri "text"
+  let title = iri "title"
+  let name = iri "name"
+  let country = iri "country"
+  let offer_of = iri "offerOf"
+  let vendor_p = iri "vendor"
+  let price = iri "price"
+  let valid_to = iri "validTo"
+  let feature_term n = term (Printf.sprintf "feature/%d" n)
+  let country_term c = term ("country/" ^ c)
+end
+
+let countries = [ "US"; "DE"; "JP"; "BE"; "FR" ]
+let langs = [ "en"; "de"; "fr" ]
+
+let generate ~seed ~products =
+  let rand = Rand.create seed in
+  let g = ref Graph.empty in
+  let add s p o = g := Graph.add s p o !g in
+  let producers = max 1 (products / 10) in
+  let vendors = max 1 (products / 8) in
+  let persons = max 1 (products / 2) in
+  let node kind i = term (Printf.sprintf "%s/%d" kind i) in
+  for i = 0 to producers - 1 do
+    add (node "producer" i) Vocab.Rdf.type_ Voc.producer;
+    add (node "producer" i) Voc.label (Term.str (Printf.sprintf "Producer %d" i))
+  done;
+  for i = 0 to vendors - 1 do
+    add (node "vendor" i) Vocab.Rdf.type_ Voc.vendor;
+    add (node "vendor" i) Voc.label (Term.str (Printf.sprintf "Vendor %d" i))
+  done;
+  for i = 0 to persons - 1 do
+    let person = node "person" i in
+    add person Vocab.Rdf.type_ Voc.person;
+    add person Voc.name (Term.str (Printf.sprintf "Reviewer %d" i));
+    add person Voc.country (Voc.country_term (Rand.pick rand countries))
+  done;
+  let review_count = ref 0 and offer_count = ref 0 in
+  for i = 0 to products - 1 do
+    let product = node "product" i in
+    add product Vocab.Rdf.type_ Voc.product;
+    add product Voc.label (Term.str (Printf.sprintf "Product %d" i));
+    add product Voc.comment
+      (Term.str (Printf.sprintf "A fine product number %d" i));
+    add product Voc.producer_p (node "producer" (Rand.int rand producers));
+    add product Voc.numeric1 (Term.int (Rand.int rand 2000));
+    add product Voc.numeric2 (Term.int (Rand.int rand 2000));
+    (* features follow a skewed distribution: low-numbered features (like
+       the paper's feature 870 vs 59 idiom) are common *)
+    let n_features = 2 + Rand.int rand 4 in
+    for _ = 1 to n_features do
+      add product Voc.feature (Voc.feature_term (Rand.zipf rand ~n:100 ~skew:0.7))
+    done;
+    let n_reviews = Rand.int rand 4 in
+    for _ = 1 to n_reviews do
+      incr review_count;
+      let review = node "review" !review_count in
+      add review Vocab.Rdf.type_ Voc.review;
+      add product Voc.has_review review;
+      add review Voc.review_for product;
+      add review Voc.reviewer (node "person" (Rand.int rand persons));
+      add review Voc.title (Term.str (Printf.sprintf "Review %d" !review_count));
+      add review Voc.text
+        (Term.Literal
+           (Literal.lang_string
+              (Printf.sprintf "review text %d" !review_count)
+              ~lang:(Rand.pick rand langs)));
+      add review Voc.rating1 (Term.int (1 + Rand.int rand 10));
+      if Rand.bool rand 0.6 then
+        add review Voc.rating2 (Term.int (1 + Rand.int rand 10))
+    done;
+    let n_offers = 1 + Rand.int rand 3 in
+    for _ = 1 to n_offers do
+      incr offer_count;
+      let offer = node "offer" !offer_count in
+      add offer Vocab.Rdf.type_ Voc.offer;
+      add offer Voc.offer_of product;
+      add offer Voc.vendor_p (node "vendor" (Rand.int rand vendors));
+      add offer Voc.price
+        (Term.Literal
+           (Literal.make ~datatype:Vocab.Xsd.decimal
+              (Printf.sprintf "%d.%02d" (5 + Rand.int rand 995)
+                 (Rand.int rand 100))));
+      add offer Voc.valid_to
+        (Term.Literal
+           (Literal.date_time
+              (Printf.sprintf "20%02d-06-01T00:00:00" (20 + Rand.int rand 6))))
+    done
+  done;
+  !g

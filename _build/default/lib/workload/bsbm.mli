@@ -1,0 +1,48 @@
+(** BSBM/WatDiv-flavoured e-commerce data.
+
+    A seeded generator for the product/review/offer universe that the
+    benchmark queries of Section 4.1 range over: products with labels,
+    numeric properties and features; producers; vendors with offers and
+    prices; reviewers with ratings and language-tagged review texts. *)
+
+val ns : string
+
+module Voc : sig
+  (* Classes *)
+  val product : Rdf.Term.t
+  val review : Rdf.Term.t
+  val offer : Rdf.Term.t
+  val person : Rdf.Term.t
+  val producer : Rdf.Term.t
+  val vendor : Rdf.Term.t
+
+  (* Properties *)
+  val label : Rdf.Iri.t
+  val comment : Rdf.Iri.t
+  val feature : Rdf.Iri.t           (* product -> feature IRI *)
+  val producer_p : Rdf.Iri.t        (* product -> producer *)
+  val numeric1 : Rdf.Iri.t          (* product -> integer *)
+  val numeric2 : Rdf.Iri.t
+  val has_review : Rdf.Iri.t        (* product -> review *)
+  val review_for : Rdf.Iri.t        (* review -> product *)
+  val reviewer : Rdf.Iri.t          (* review -> person *)
+  val rating1 : Rdf.Iri.t           (* review -> integer 1..10 *)
+  val rating2 : Rdf.Iri.t
+  val text : Rdf.Iri.t              (* review -> lang string *)
+  val title : Rdf.Iri.t             (* review -> string *)
+  val name : Rdf.Iri.t              (* person -> string *)
+  val country : Rdf.Iri.t           (* person -> country IRI *)
+  val offer_of : Rdf.Iri.t          (* offer -> product *)
+  val vendor_p : Rdf.Iri.t          (* offer -> vendor *)
+  val price : Rdf.Iri.t             (* offer -> decimal *)
+  val valid_to : Rdf.Iri.t          (* offer -> dateTime *)
+
+  val feature_term : int -> Rdf.Term.t
+  (** [feature_term n] is the IRI of product feature [n]. *)
+
+  val country_term : string -> Rdf.Term.t
+end
+
+val generate : seed:int -> products:int -> Rdf.Graph.t
+(** Scaled like BSBM: per product roughly 2 reviews, 2 offers, shared
+    producers, vendors and reviewers. *)

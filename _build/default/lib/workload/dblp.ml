@@ -1,0 +1,64 @@
+open Rdf
+
+let ns = "http://dblp.example.org/"
+let authored_by = Iri.of_string (ns ^ "authoredBy")
+let year = Iri.of_string (ns ^ "year")
+let publication = Term.Iri (Iri.of_string (ns ^ "Publication"))
+let hub = Term.Iri (Iri.of_string (ns ^ "author/hub"))
+
+let generate ~seed ~years:(lo, hi) ~papers_per_year ~authors =
+  let rand = Rand.create seed in
+  let author i = Term.Iri (Iri.of_string (Printf.sprintf "%sauthor/a%d" ns i)) in
+  let g = ref Graph.empty in
+  let add s p o = g := Graph.add s p o !g in
+  let paper_count = ref 0 in
+  for y = lo to hi do
+    for _ = 1 to papers_per_year do
+      incr paper_count;
+      let paper =
+        Term.Iri (Iri.of_string (Printf.sprintf "%spaper/p%d" ns !paper_count))
+      in
+      add paper Vocab.Rdf.type_ publication;
+      add paper year (Term.int y);
+      let n_authors = 1 + Rand.int rand 6 in
+      (* The hub participates in ~8% of papers, like a prolific central
+         author; co-authors follow a Zipf draw for a power-law graph. *)
+      let with_hub = Rand.bool rand 0.08 in
+      if with_hub then add paper authored_by hub;
+      for _ = 1 to n_authors - (if with_hub then 1 else 0) do
+        let a = Rand.zipf rand ~n:authors ~skew:0.8 in
+        add paper authored_by (author a)
+      done
+    done
+  done;
+  !g
+
+let slice g ~from_year =
+  Graph.fold
+    (fun t acc ->
+      let keep =
+        match Term.as_literal (Triple.object_ t), Iri.equal (Triple.predicate t) year with
+        | Some l, true -> (
+            match Literal.canonical_int l with
+            | Some y -> y >= from_year
+            | None -> false)
+        | _ ->
+            (* non-year triple: keep iff its paper's year qualifies *)
+            let paper = Triple.subject t in
+            Term.Set.exists
+              (fun y_term ->
+                match Term.as_literal y_term with
+                | Some l -> (
+                    match Literal.canonical_int l with
+                    | Some y -> y >= from_year
+                    | None -> false)
+                | None -> false)
+              (Graph.objects g paper year)
+      in
+      if keep then Graph.add_triple t acc else acc)
+    g Graph.empty
+
+let vardi_shape ~distance =
+  let step = Rdf.Path.Seq (Rdf.Path.Inv (Rdf.Path.Prop authored_by), Rdf.Path.Prop authored_by) in
+  let rec repeat n = if n <= 1 then step else Rdf.Path.Seq (step, repeat (n - 1)) in
+  Shacl.Shape.Ge (1, repeat distance, Shacl.Shape.Has_value hub)

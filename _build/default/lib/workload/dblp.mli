@@ -1,0 +1,30 @@
+(** Synthetic co-authorship graph for the "Vardi experiment"
+    (Section 5.3.2, Figure 3).
+
+    The paper computes, over year-slices of the DBLP RDF dump, the shape
+    fragment of [≥1 (a⁻/a)³ . hasValue(MYV)] — all authors at co-author
+    distance ≤ 3 from Moshe Y. Vardi, together with every [authoredBy]
+    triple on the connecting paths.
+
+    This generator reproduces the relevant structure: papers dated by
+    year, 1–6 authors per paper drawn by preferential attachment (a
+    power-law collaboration graph), and one designated prolific "hub"
+    author standing in for Vardi. *)
+
+val authored_by : Rdf.Iri.t
+val year : Rdf.Iri.t
+val publication : Rdf.Term.t
+val hub : Rdf.Term.t
+(** The designated prolific author. *)
+
+val generate :
+  seed:int -> years:int * int -> papers_per_year:int -> authors:int ->
+  Rdf.Graph.t
+(** [generate ~seed ~years:(lo, hi) ~papers_per_year ~authors]. *)
+
+val slice : Rdf.Graph.t -> from_year:int -> Rdf.Graph.t
+(** Papers with year ≥ [from_year], with their triples — the paper's
+    cumulative slices going backwards in time. *)
+
+val vardi_shape : distance:int -> Shacl.Shape.t
+(** [≥1 (a⁻/a)^distance . hasValue(hub)]. *)

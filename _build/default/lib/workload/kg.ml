@@ -1,0 +1,191 @@
+open Rdf
+
+let ns = "http://kg.example.org/"
+let iri local = Iri.of_string (ns ^ local)
+let term local = Term.Iri (iri local)
+
+module Voc = struct
+  let place = term "Place"
+  let accommodation = term "Accommodation"
+  let hotel = term "Hotel"
+  let hostel = term "Hostel"
+  let restaurant = term "Restaurant"
+  let event = term "Event"
+  let concert = term "Concert"
+  let festival = term "Festival"
+  let person = term "Person"
+  let review = term "Review"
+  let offer = term "Offer"
+  let name = iri "name"
+  let description = iri "description"
+  let rating = iri "rating"
+  let price = iri "price"
+  let located_in = iri "locatedIn"
+  let offers = iri "offers"
+  let has_review = iri "hasReview"
+  let reviewer = iri "reviewer"
+  let knows = iri "knows"
+  let checkin = iri "checkin"
+  let checkout = iri "checkout"
+  let email = iri "email"
+  let capacity = iri "capacity"
+end
+
+let class_hierarchy =
+  let sub a b = Triple.make a Vocab.Rdfs.sub_class_of b in
+  [ sub Voc.accommodation Voc.place;
+    sub Voc.hotel Voc.accommodation;
+    sub Voc.hostel Voc.accommodation;
+    sub Voc.restaurant Voc.place;
+    sub Voc.concert Voc.event;
+    sub Voc.festival Voc.event ]
+
+(* Entity kinds with their relative frequencies, shaped like a tourism
+   knowledge graph: many reviews and offers, fewer places. *)
+type kind = Hotel | Hostel | Restaurant | Concert | Festival | Person | Review_e | Offer_e | Region
+
+let kind_weights =
+  [ 6, Hotel; 3, Hostel; 8, Restaurant; 4, Concert; 3, Festival;
+    22, Person; 30, Review_e; 20, Offer_e; 4, Region ]
+
+let langs = [ "de"; "en"; "it" ]
+
+let date_time_lit rand =
+  let y = 2015 + Rand.int rand 7 in
+  let m = 1 + Rand.int rand 12 in
+  let d = 1 + Rand.int rand 28 in
+  let h = Rand.int rand 24 in
+  Term.Literal
+    (Literal.date_time (Printf.sprintf "%04d-%02d-%02dT%02d:00:00" y m d h))
+
+let generate ~seed ~individuals =
+  let rand = Rand.create seed in
+  let node i = Term.Iri (iri (Printf.sprintf "e%d" i)) in
+  (* Assign kinds up front so links can pick targets of the right kind. *)
+  let kinds = Array.init individuals (fun _ -> Rand.pick_weighted rand kind_weights) in
+  let of_kind k =
+    let matching = ref [] in
+    Array.iteri (fun i k' -> if k' = k then matching := i :: !matching) kinds;
+    !matching
+  in
+  let hotels = of_kind Hotel and hostels = of_kind Hostel in
+  let restaurants = of_kind Restaurant in
+  let concerts = of_kind Concert and festivals = of_kind Festival in
+  let persons = of_kind Person in
+  let regions = of_kind Region in
+  let places = hotels @ hostels @ restaurants @ regions in
+  let accommodations = hotels @ hostels in
+  let reviewables = places @ concerts @ festivals in
+  let g = ref (Graph.of_list class_hierarchy) in
+  let add s p o = g := Graph.add s p o !g in
+  let pick_opt rand = function [] -> None | l -> Some (Rand.pick rand l) in
+  let add_names i count =
+    let chosen = List.filteri (fun j _ -> j < count) (Rand.shuffle rand langs) in
+    List.iter
+      (fun lang ->
+        add (node i) Voc.name
+          (Term.Literal
+             (Literal.lang_string (Printf.sprintf "entity %d (%s)" i lang) ~lang)))
+      chosen
+  in
+  let type_of = function
+    | Hotel -> Voc.hotel
+    | Hostel -> Voc.hostel
+    | Restaurant -> Voc.restaurant
+    | Concert -> Voc.concert
+    | Festival -> Voc.festival
+    | Person -> Voc.person
+    | Review_e -> Voc.review
+    | Offer_e -> Voc.offer
+    | Region -> Voc.place
+  in
+  Array.iteri
+    (fun i kind ->
+      add (node i) Vocab.Rdf.type_ (type_of kind);
+      match kind with
+      | Hotel | Hostel | Restaurant | Region ->
+          add_names i (1 + Rand.int rand 3);
+          add (node i) Voc.description
+            (Term.str (Printf.sprintf "description of %d" i));
+          (match pick_opt rand regions with
+           | Some r when r <> i -> add (node i) Voc.located_in (node r)
+           | _ -> ());
+          if kind <> Region then
+            add (node i) Voc.capacity (Term.int (10 + Rand.int rand 490))
+      | Concert | Festival ->
+          add_names i 1;
+          (match pick_opt rand places with
+           | Some pl -> add (node i) Voc.located_in (node pl)
+           | None -> ())
+      | Person ->
+          add_names i 1;
+          add (node i) Voc.email
+            (Term.str (Printf.sprintf "user%d@mail.example" i));
+          (* small social degree *)
+          for _ = 1 to Rand.int rand 3 do
+            match pick_opt rand persons with
+            | Some other when other <> i -> add (node i) Voc.knows (node other)
+            | _ -> ()
+          done
+      | Review_e ->
+          add (node i) Voc.rating (Term.int (1 + Rand.int rand 5));
+          add (node i) Voc.description
+            (Term.Literal
+               (Literal.lang_string
+                  (Printf.sprintf "review %d" i)
+                  ~lang:(Rand.pick rand langs)));
+          (match pick_opt rand persons with
+           | Some p -> add (node i) Voc.reviewer (node p)
+           | None -> ());
+          (match pick_opt rand reviewables with
+           | Some r -> add (node r) Voc.has_review (node i)
+           | None -> ())
+      | Offer_e ->
+          add (node i) Voc.price
+            (Term.Literal
+               (Literal.make ~datatype:Vocab.Xsd.decimal
+                  (Printf.sprintf "%d.%02d" (30 + Rand.int rand 470)
+                     (Rand.int rand 100))));
+          let checkin_t = date_time_lit rand in
+          add (node i) Voc.checkin checkin_t;
+          (* checkout after checkin, lexicographically later year *)
+          (match checkin_t with
+           | Term.Literal l ->
+               let lex = Literal.lexical l in
+               let year = int_of_string (String.sub lex 0 4) in
+               add (node i) Voc.checkout
+                 (Term.Literal
+                    (Literal.date_time
+                       (Printf.sprintf "%04d%s" (year + 1)
+                          (String.sub lex 4 (String.length lex - 4)))))
+           | _ -> ());
+          (match pick_opt rand accommodations with
+           | Some a -> add (node a) Voc.offers (node i)
+           | None -> ()))
+    kinds;
+  !g
+
+let sample_induced rand g ~nodes =
+  let hierarchy = Graph.of_list class_hierarchy in
+  let class_nodes = Graph.nodes hierarchy in
+  let individuals =
+    Term.Set.elements
+      (Term.Set.filter
+         (fun t ->
+           match t with
+           | Term.Iri _ -> not (Term.Set.mem t class_nodes)
+           | _ -> false)
+         (Graph.subjects_all g))
+  in
+  let chosen =
+    List.filteri (fun i _ -> i < nodes) (Rand.shuffle rand individuals)
+  in
+  let chosen_set = Term.Set.of_list chosen in
+  Graph.fold
+    (fun t acc ->
+      if
+        Term.Set.mem (Triple.subject t) chosen_set
+        || Term.Set.mem (Triple.object_ t) chosen_set
+      then Graph.add_triple t acc
+      else acc)
+    g hierarchy

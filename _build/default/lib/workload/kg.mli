@@ -1,0 +1,56 @@
+(** Synthetic typed knowledge graph.
+
+    A seeded generator producing tourism-flavoured data modeled on the
+    "Tyrolean Knowledge Graph" used in the paper's overhead experiment
+    (Section 5.3.1): a class hierarchy of places, accommodations, events,
+    people and reviews; multilingual labels; numeric ratings and prices;
+    dateTime ranges; and inter-entity links.  The per-entity triple
+    statistics are fixed, so graph size scales linearly with the number of
+    individuals (roughly 11 triples per individual).
+
+    The paper slices its 30M-triple graph by sampling individuals and
+    taking all triples they participate in; {!sample_induced} reproduces
+    that procedure. *)
+
+val ns : string
+(** Namespace of the generated vocabulary. *)
+
+module Voc : sig
+  (* Classes *)
+  val place : Rdf.Term.t
+  val accommodation : Rdf.Term.t
+  val hotel : Rdf.Term.t
+  val hostel : Rdf.Term.t
+  val restaurant : Rdf.Term.t
+  val event : Rdf.Term.t
+  val concert : Rdf.Term.t
+  val festival : Rdf.Term.t
+  val person : Rdf.Term.t
+  val review : Rdf.Term.t
+  val offer : Rdf.Term.t
+
+  (* Properties *)
+  val name : Rdf.Iri.t           (* language-tagged label (de/en/it) *)
+  val description : Rdf.Iri.t
+  val rating : Rdf.Iri.t         (* integer 1..5 *)
+  val price : Rdf.Iri.t          (* decimal *)
+  val located_in : Rdf.Iri.t     (* entity -> place *)
+  val offers : Rdf.Iri.t         (* accommodation -> offer *)
+  val has_review : Rdf.Iri.t     (* place -> review *)
+  val reviewer : Rdf.Iri.t       (* review -> person *)
+  val knows : Rdf.Iri.t          (* person -> person *)
+  val checkin : Rdf.Iri.t        (* offer -> dateTime *)
+  val checkout : Rdf.Iri.t       (* offer -> dateTime *)
+  val email : Rdf.Iri.t          (* person -> string *)
+  val capacity : Rdf.Iri.t       (* accommodation -> integer *)
+end
+
+val generate : seed:int -> individuals:int -> Rdf.Graph.t
+(** Generate a graph with the given number of individuals (excluding the
+    class-hierarchy triples, which are always present). *)
+
+val sample_induced :
+  Rand.t -> Rdf.Graph.t -> nodes:int -> Rdf.Graph.t
+(** The paper's slicing procedure: sample [nodes] individuals uniformly
+    and keep every triple having a sampled node as subject or object
+    (class-hierarchy triples are always kept). *)

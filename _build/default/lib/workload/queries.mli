@@ -1,0 +1,52 @@
+(** The benchmark-query survey of Section 4.1.
+
+    46 subgraph queries modeled on the BSBM and WatDiv workloads, each
+    given as a SPARQL [CONSTRUCT WHERE] (returning all images of its
+    pattern).  39 of them are expressible as shape fragments — tree-shaped
+    patterns with fixed predicates, filters as node tests, OPTIONAL as
+    [≥0], negated-bound as [≤0] — and carry their request shape; the
+    remaining 7 use features outside SHACL (variables in the property
+    position, arithmetic over two variables) and carry the reason.
+
+    {!survey} evaluates every query on a data graph and checks, per
+    expressible query, that the CONSTRUCT image is contained in the shape
+    fragment — with equality whenever the translation is exact (no [≤0]
+    conjunct, which legitimately over-approximates). *)
+
+type expressibility =
+  | Shape_fragment of { shape : Shacl.Shape.t; exact : bool }
+  | Not_expressible of string  (** why (paper: variable predicates, arithmetic) *)
+
+type t = {
+  id : string;                 (** "B01".."B12", "W01".."W34" *)
+  source : string;             (** "BSBM" or "WatDiv" *)
+  description : string;
+  template : Sparql.Algebra.triple_pattern list;
+  where : Sparql.Algebra.t;
+  expressibility : expressibility;
+}
+
+val all : t list
+
+val expressible_count : int
+val inexpressible_count : int
+
+val run_construct : Rdf.Graph.t -> t -> Rdf.Graph.t
+(** Execute the CONSTRUCT WHERE. *)
+
+val run_fragment : Rdf.Graph.t -> t -> Rdf.Graph.t option
+(** The shape fragment for the request shape, when expressible. *)
+
+type outcome = {
+  query : t;
+  image_size : int;
+  fragment_size : int option;
+  image_in_fragment : bool option;
+  exact_match : bool option;   (** only meaningful when the query is exact *)
+}
+
+val survey : Rdf.Graph.t -> outcome list
+
+val pp_survey : Format.formatter -> outcome list -> unit
+(** The Section 4.1 table: per query, expressibility and the
+    image-vs-fragment comparison, with the 39/46 summary line. *)

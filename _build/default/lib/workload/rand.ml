@@ -1,0 +1,44 @@
+type t = Random.State.t
+
+let create seed = Random.State.make [| seed; 0x9e3779b9 |]
+let int t bound = if bound <= 0 then 0 else Random.State.int t bound
+
+let pick t = function
+  | [] -> invalid_arg "Rand.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let pick_weighted t weighted =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 weighted in
+  if total <= 0 then invalid_arg "Rand.pick_weighted: zero total weight";
+  let target = int t total in
+  let rec go acc = function
+    | [] -> invalid_arg "Rand.pick_weighted: empty list"
+    | (w, x) :: rest -> if acc + w > target then x else go (acc + w) rest
+  in
+  go 0 weighted
+
+let bool t p = Random.State.float t 1.0 < p
+
+let zipf t ~n ~skew =
+  if n <= 1 then 0
+  else begin
+    (* Inverse-CDF sampling over precomputed-ish weights would need a
+       table per n; a simple rejection loop is adequate for generation. *)
+    let rec draw () =
+      let i = int t n in
+      let accept = 1.0 /. ((float_of_int i +. 1.0) ** skew) in
+      if Random.State.float t 1.0 < accept then i else draw ()
+    in
+    draw ()
+  end
+
+let shuffle t l =
+  let arr = Array.of_list l in
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr

@@ -1,0 +1,22 @@
+(** Seeded randomness helpers for deterministic workload generation. *)
+
+type t = Random.State.t
+
+val create : int -> t
+(** A PRNG state from an integer seed. *)
+
+val int : t -> int -> int
+(** [int t bound] in [0, bound). *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice; raises [Invalid_argument] on the empty list. *)
+
+val pick_weighted : t -> (int * 'a) list -> 'a
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val zipf : t -> n:int -> skew:float -> int
+(** A Zipf-like draw in [0, n): index [i] with probability proportional
+    to [1 / (i+1)^skew].  Used for preferential attachment. *)
+
+val shuffle : t -> 'a list -> 'a list

@@ -1,0 +1,131 @@
+open Rdf
+open Shacl
+
+type position = Var of int | Term of Term.t
+type pred_position = Pvar of int | Pterm of Iri.t
+type t = { s : position; p : pred_position; o : position }
+
+let make s p o = { s; p; o }
+
+module Imap = Map.Make (Int)
+
+let bind id value bindings =
+  match Imap.find_opt id bindings with
+  | None -> Some (Imap.add id value bindings)
+  | Some v when Term.equal v value -> Some bindings
+  | Some _ -> None
+
+let matches q triple =
+  let step bindings position value =
+    match bindings with
+    | None -> None
+    | Some b -> (
+        match position with
+        | Term t -> if Term.equal t value then Some b else None
+        | Var id -> bind id value b)
+  in
+  let bindings = step (Some Imap.empty) q.s (Triple.subject triple) in
+  let bindings =
+    match bindings, q.p with
+    | None, _ -> None
+    | Some b, Pterm p ->
+        if Iri.equal p (Triple.predicate triple) then Some b else None
+    | Some b, Pvar id -> bind id (Term.Iri (Triple.predicate triple)) b
+  in
+  step bindings q.o (Triple.object_ triple) <> None
+
+let eval g q =
+  Graph.filter (fun triple -> matches q triple) g
+
+let shape_for q =
+  match q.s, q.p, q.o with
+  | Var x, Pterm p, Var y when x <> y ->
+      Some (Shape.Ge (1, Rdf.Path.Prop p, Shape.Top))
+  | Var x, Pterm p, Var y when x = y ->
+      Some (Shape.Not (Shape.Disj (Shape.Id, p)))
+  | Var _, Pterm p, Term c ->
+      Some (Shape.Ge (1, Rdf.Path.Prop p, Shape.Has_value c))
+  | Term c, Pterm p, Var _ ->
+      Some (Shape.Ge (1, Rdf.Path.Inv (Rdf.Path.Prop p), Shape.Has_value c))
+  | Term c, Pterm p, Term d ->
+      Some
+        (Shape.and_
+           [ Shape.Has_value c;
+             Shape.Ge (1, Rdf.Path.Prop p, Shape.Has_value d) ])
+  | Var x, Pvar y, Var z when x <> z && x <> y && y <> z ->
+      Some (Shape.Not (Shape.Closed Iri.Set.empty))
+  | Term c, Pvar y, Var z when y <> z ->
+      Some
+        (Shape.and_
+           [ Shape.Has_value c; Shape.Not (Shape.Closed Iri.Set.empty) ])
+  | _ -> None
+
+let pp_position names ppf = function
+  | Var id -> Format.fprintf ppf "?%s" (List.nth names (id mod 3))
+  | Term t -> Rdf.Term.pp ppf t
+
+let form_name q =
+  let names = [ "x"; "y"; "z" ] in
+  Format.asprintf "(%a, %a, %a)"
+    (pp_position names) q.s
+    (fun ppf -> function
+      | Pvar id -> Format.fprintf ppf "?%s" (List.nth names (id mod 3))
+      | Pterm p -> Iri.pp ppf p)
+    q.p
+    (pp_position names) q.o
+
+(* Fixed vocabulary for the representative forms. *)
+let ex local = Rdf.Term.iri ("http://example.org/" ^ local)
+let exi local = Iri.of_string ("http://example.org/" ^ local)
+let prop = exi "p"
+let c = ex "c"
+let d = ex "d"
+
+let expressible_forms =
+  [ make (Var 0) (Pterm prop) (Var 1);
+    make (Var 0) (Pterm prop) (Term c);
+    make (Term c) (Pterm prop) (Var 0);
+    make (Term c) (Pterm prop) (Term d);
+    make (Var 0) (Pterm prop) (Var 0);
+    make (Var 0) (Pvar 1) (Var 2);
+    make (Term c) (Pvar 0) (Var 1) ]
+
+let inexpressible_forms =
+  [ make (Var 0) (Pvar 1) (Var 0);
+    make (Var 0) (Pvar 0) (Var 0);
+    make (Var 0) (Pvar 1) (Term c);
+    make (Var 0) (Pvar 0) (Term c);
+    make (Term c) (Pvar 0) (Var 0);
+    make (Term c) (Pvar 0) (Term d) ]
+
+let counterexamples =
+  let a = ex "cex-a" and b = ex "cex-b" in
+  let ai = exi "cex-a" and bi = exi "cex-b" in
+   
+  let e = ex "cex-e" in
+  let g = Graph.of_list in
+  let tr s p o = Triple.make s p o in
+  [ (* (?x, ?y, ?x) *)
+    make (Var 0) (Pvar 1) (Var 0), g [ tr a bi a; tr a bi c ];
+    (* (?x, ?x, ?x) *)
+    make (Var 0) (Pvar 0) (Var 0), g [ tr a ai a; tr a ai b ];
+    (* (?x, ?y, c) *)
+    make (Var 0) (Pvar 1) (Term c), g [ tr a bi c; tr a bi d ];
+    (* (?x, ?x, c) — needs subject = predicate, so subject is IRI a used
+       as property a as well *)
+    make (Var 0) (Pvar 0) (Term c), g [ tr a ai c; tr a ai d ];
+    (* (c, ?x, ?x) *)
+    make (Term c) (Pvar 0) (Var 0), g [ tr c ai a; tr c ai b ];
+    (* (c, ?x, d) *)
+    make (Term c) (Pvar 0) (Term d), g [ tr c ai d; tr c ai e ] ]
+
+
+let lemma_d1_violated q g =
+  let result = eval g q in
+  (not (Graph.is_empty result))
+  && Term.Set.exists
+       (fun s ->
+         List.exists
+           (fun t -> not (Graph.mem t result))
+           (Graph.subject_triples g s))
+       (Graph.subjects_all result)

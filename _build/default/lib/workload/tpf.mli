@@ -1,0 +1,52 @@
+(** Triple Pattern Fragments (Section 6.1, Proposition 6.2).
+
+    A TPF query is a single triple pattern; on a graph it returns the
+    subset of triples matching the pattern.  Proposition 6.2
+    characterizes exactly which TPF forms are expressible as shape
+    fragments; {!shape_for} returns the request shape for the seven
+    expressible forms and [None] otherwise, and {!counterexamples}
+    provides the Appendix D witness graphs used to test the
+    inexpressibility argument (Lemma D.1). *)
+
+type position =
+  | Var of int                (** variable, identified by number (so
+                                  [(?x, p, ?x)] repeats the identifier) *)
+  | Term of Rdf.Term.t
+
+type pred_position =
+  | Pvar of int
+  | Pterm of Rdf.Iri.t
+
+type t = { s : position; p : pred_position; o : position }
+
+val make : position -> pred_position -> position -> t
+
+val eval : Rdf.Graph.t -> t -> Rdf.Graph.t
+(** All triples of the graph matching the pattern. *)
+
+val shape_for : t -> Shacl.Shape.t option
+(** The request shape of Proposition 6.2, or [None] for forms that are
+    not expressible. *)
+
+val form_name : t -> string
+(** A display name like ["(?x, p, ?y)"]. *)
+
+val expressible_forms : t list
+(** One representative of each of the seven expressible forms (over a
+    fixed property [p] and constants). *)
+
+val inexpressible_forms : t list
+(** Representatives of the remaining forms. *)
+
+val counterexamples : (t * Rdf.Graph.t) list
+(** The Appendix D table: for each inexpressible form, a graph [G] on
+    which any candidate shape fragment would have to disagree with the
+    TPF (by Lemma D.1: a fragment containing a triple whose property is
+    unmentioned in the shape contains all such sibling triples). *)
+
+val lemma_d1_violated : t -> Rdf.Graph.t -> bool
+(** [lemma_d1_violated q g]: the TPF result [q(G)] contains some triple
+    [(s, p, o)] but not all triples [(s, p', o')] of [g] — the property
+    that, by Lemma D.1, no shape fragment result can have when the
+    properties involved are unmentioned.  Witnesses inexpressibility on
+    the counterexample graphs. *)

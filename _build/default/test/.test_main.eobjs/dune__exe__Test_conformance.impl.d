@@ -1,0 +1,1 @@
+test/test_conformance.ml: Alcotest Conformance Graph Iri Literal Node_test QCheck Rdf Schema Shacl Shape Term Tgen Triple

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Graph Iri Isomorphism List Provenance QCheck Rdf Report Schema Shacl Shape Shape_syntax Term Tgen Triple Turtle Validate Vocab

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Format Iri List Literal Namespace Rand Rdf Vocab Workload

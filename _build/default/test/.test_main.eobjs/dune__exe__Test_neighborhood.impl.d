@@ -1,0 +1,1 @@
+test/test_neighborhood.ml: Alcotest Conformance Format Graph Iri List Literal Neighborhood Node_test Provenance QCheck Rdf Schema Shacl Shape Term Tgen Triple Vocab

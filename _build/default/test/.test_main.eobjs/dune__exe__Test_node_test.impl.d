@@ -1,0 +1,1 @@
+test/test_node_test.ml: Alcotest List Literal Node_test Rdf Shacl Shape Shape_syntax Term Vocab

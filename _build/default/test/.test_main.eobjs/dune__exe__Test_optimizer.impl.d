@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Algebra Binding Eval Iri List Optimizer Provenance QCheck Rdf Shacl Sparql Term Tgen

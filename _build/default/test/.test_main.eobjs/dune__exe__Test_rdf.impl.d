@@ -1,0 +1,1 @@
+test/test_rdf.ml: Alcotest Graph Iri List Literal QCheck Rdf Term Tgen Triple Vocab

@@ -1,0 +1,1 @@
+test/test_shape.ml: Alcotest Node_test QCheck Rdf Result Shacl Shape Shape_syntax Tgen

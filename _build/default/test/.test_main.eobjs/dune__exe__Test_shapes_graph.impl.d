@@ -1,0 +1,1 @@
+test/test_shapes_graph.ml: Alcotest Conformance Graph Iri List Literal Printf Rdf Result Schema Shacl Shape Shapes_graph Term Tgen Triple Turtle Validate Vocab

@@ -1,0 +1,1 @@
+test/test_shapes_writer.ml: Alcotest Conformance Graph Iri List Printf QCheck Rdf Result Schema Shacl Shape Shape_syntax Shapes_graph Shapes_writer Term Tgen Triple Validate Vocab

@@ -1,0 +1,1 @@
+test/test_sparql.ml: Alcotest Binding Eval Graph Iri List Literal QCheck Rdf Sparql Term Tgen Triple

@@ -1,0 +1,1 @@
+test/test_sparql_parser.ml: Alcotest Binding Graph Iri List Literal Parser Rdf Result Sparql Term Triple Vocab

@@ -1,0 +1,1 @@
+test/test_sufficiency.ml: Alcotest Conformance Format Fragment Graph Iri List Neighborhood Printf Provenance QCheck Rdf Schema Shacl Shape Sufficiency Term Tgen Triple

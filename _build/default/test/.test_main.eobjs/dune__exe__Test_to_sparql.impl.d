@@ -1,0 +1,1 @@
+test/test_to_sparql.ml: Alcotest Conformance Format Fragment Graph Iri List Neighborhood Option Provenance QCheck Rdf Schema Shacl Shape Sparql Term Tgen To_sparql Triple

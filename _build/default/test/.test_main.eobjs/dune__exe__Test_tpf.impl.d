@@ -1,0 +1,1 @@
+test/test_tpf.ml: Alcotest Graph Iri List Printf Provenance QCheck Rdf Term Tgen Tpf Triple Workload

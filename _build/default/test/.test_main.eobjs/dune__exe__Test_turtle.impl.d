@@ -1,0 +1,1 @@
+test/test_turtle.ml: Alcotest Graph Iri List Literal QCheck Rdf Result Shacl String Term Tgen Triple Turtle Vocab

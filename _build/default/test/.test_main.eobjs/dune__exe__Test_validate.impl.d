@@ -1,0 +1,1 @@
+test/test_validate.ml: Alcotest Conformance Gen Graph Iri List QCheck Rdf Schema Shacl Shape Shape_syntax Term Test Tgen Triple Validate Vocab

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Bench_shapes Bsbm Dblp Graph Iri Kg List Printf Provenance Queries Rand Rdf Shacl Term Triple Vocab Workload

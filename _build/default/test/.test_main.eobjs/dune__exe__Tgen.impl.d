@@ -1,0 +1,1 @@
+test/tgen.ml: Alcotest Format Gen Graph Iri List Literal QCheck QCheck_alcotest Random Rdf Shacl Term Triple Vocab

@@ -1,0 +1,14 @@
+  $ shaclprov validate -d data.ttl -s shapes.ttl
+  $ shaclprov neighborhood -d data.ttl -n ex:p1 \
+  >   -e '>=1 ex:author . >=1 rdf:type . hasValue(ex:Student)'
+  $ shaclprov neighborhood -d data.ttl -n ex:p2 \
+  >   -e '>=1 ex:author . >=1 rdf:type . hasValue(ex:Student)'
+  $ shaclprov fragment -d data.ttl -s shapes.ttl
+  $ shaclprov fragment -d data.ttl -e '>=1 rdf:type . hasValue(ex:Student)'
+  $ shaclprov fragment -d data.ttl
+  $ shaclprov neighborhood -d data.ttl -n ex:p1 -e 'not-a-shape('
+  $ shaclprov explain -d data.ttl -n ex:p1 \
+  >   -e '>=1 ex:author . >=1 rdf:type . hasValue(ex:Student)'
+  $ shaclprov query -d data.ttl 'SELECT ?a WHERE { ?p ex:author ?a }'
+  $ shaclprov query -d data.ttl 'ASK { ex:p1 ex:author ex:bob }'
+  $ shaclprov validate -d data.ttl -s shapes.ttl --rdf-report

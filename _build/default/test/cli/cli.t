@@ -1,0 +1,96 @@
+Validate a data graph against a shapes graph; exit 1 on violations.
+
+  $ shaclprov validate -d data.ttl -s shapes.ttl
+  does not conform: 1 violation(s)
+    node <http://example.org/p2> violates shape <http://example.org/WorkshopShape>
+  
+  [1]
+
+Provenance of a conforming node (why) and of a violating one (why not).
+
+  $ shaclprov neighborhood -d data.ttl -n ex:p1 \
+  >   -e '>=1 ex:author . >=1 rdf:type . hasValue(ex:Student)'
+  shape: >=1 ex:author . (>=1 rdf:type . hasValue(ex:Student))
+  <http://example.org/p1> conforms; neighborhood:
+  @prefix ex: <http://example.org/> .
+  @prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+  
+  ex:bob rdf:type ex:Student .
+  ex:p1 ex:author ex:bob .
+  
+
+  $ shaclprov neighborhood -d data.ttl -n ex:p2 \
+  >   -e '>=1 ex:author . >=1 rdf:type . hasValue(ex:Student)'
+  shape: >=1 ex:author . (>=1 rdf:type . hasValue(ex:Student))
+  <http://example.org/p2> does not conform; why-not explanation:
+  @prefix ex: <http://example.org/> .
+  @prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+  
+  ex:carl rdf:type ex:Prof .
+  ex:p2 ex:author ex:carl .
+  
+
+Shape fragments: for the schema, and for an ad-hoc request shape.
+
+  $ shaclprov fragment -d data.ttl -s shapes.ttl
+  @prefix ex: <http://example.org/> .
+  @prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+  
+  ex:bob rdf:type ex:Student .
+  ex:p1 ex:author ex:bob ;
+     rdf:type ex:Paper .
+
+  $ shaclprov fragment -d data.ttl -e '>=1 rdf:type . hasValue(ex:Student)'
+  @prefix ex: <http://example.org/> .
+  @prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+  
+  ex:bob rdf:type ex:Student .
+
+Errors are reported with a nonzero exit code.
+
+  $ shaclprov fragment -d data.ttl
+  shaclprov: no request shapes given (--shape or --shapes)
+  [124]
+
+  $ shaclprov neighborhood -d data.ttl -n ex:p1 -e 'not-a-shape('
+  shaclprov: shape "not-a-shape(": at offset 0: unexpected keyword "not-a-shape"
+  [124]
+
+Per-triple explanations attribute each provenance triple to constraints.
+
+  $ shaclprov explain -d data.ttl -n ex:p1 \
+  >   -e '>=1 ex:author . >=1 rdf:type . hasValue(ex:Student)'
+  shape: >=1 ex:author . (>=1 rdf:type . hasValue(ex:Student))
+  <http://example.org/p1> conforms because:
+  <http://example.org/bob> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://example.org/Student> .
+      because of: >=1 rdf:type . hasValue(ex:Student)
+  <http://example.org/p1> <http://example.org/author> <http://example.org/bob> .
+      because of: >=1 ex:author . (>=1 rdf:type . hasValue(ex:Student))
+  
+  
+
+SPARQL queries run directly on the data.
+
+  $ shaclprov query -d data.ttl 'SELECT ?a WHERE { ?p ex:author ?a }'
+  {?a=<http://example.org/carl>}
+  {?a=<http://example.org/bob>}
+  2 solution(s)
+
+  $ shaclprov query -d data.ttl 'ASK { ex:p1 ex:author ex:bob }'
+  true
+
+An RDF validation report in the W3C vocabulary.
+
+  $ shaclprov validate -d data.ttl -s shapes.ttl --rdf-report
+  @prefix ex: <http://example.org/> .
+  @prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+  @prefix sh: <http://www.w3.org/ns/shacl#> .
+  
+  _:report rdf:type sh:ValidationReport ;
+     sh:conforms "false"^^<http://www.w3.org/2001/XMLSchema#boolean> ;
+     sh:result _:result0 .
+  _:result0 rdf:type sh:ValidationResult ;
+     sh:focusNode ex:p2 ;
+     sh:resultSeverity sh:Violation ;
+     sh:sourceShape ex:WorkshopShape .
+  [1]

@@ -1,0 +1,202 @@
+(* Extensions: RDF validation reports, graph isomorphism, annotated
+   provenance. *)
+
+open Rdf
+open Shacl
+
+let ex local = Term.iri ("http://example.org/" ^ local)
+let exi local = Iri.of_string ("http://example.org/" ^ local)
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- validation reports ------------------------------------------- *)
+
+let test_report_roundtrip () =
+  let schema =
+    Schema.def_list
+      [ "http://example.org/S",
+        Shape_syntax.parse_exn ">=1 ex:author . top",
+        Shape_syntax.parse_exn ">=1 rdf:type . hasValue(ex:Paper)" ]
+  in
+  let g =
+    Graph.of_list
+      [ Triple.make (ex "p1") Vocab.Rdf.type_ (ex "Paper");
+        Triple.make (ex "p1") (exi "author") (ex "a");
+        Triple.make (ex "p2") Vocab.Rdf.type_ (ex "Paper") ]
+  in
+  let report = Validate.validate schema g in
+  let rdf_report = Report.to_graph report in
+  check "report graph nonempty" true (not (Graph.is_empty rdf_report));
+  (* reparse through Turtle and the report reader *)
+  let reparsed = Turtle.parse_exn (Report.to_turtle report) in
+  match Report.of_graph reparsed with
+  | Error m -> Alcotest.failf "of_graph: %s" m
+  | Ok parsed ->
+      check "conforms flag" report.Validate.conforms parsed.Report.conforms;
+      check_int "one violation" 1 (List.length parsed.Report.results);
+      (match parsed.Report.results with
+       | [ r ] ->
+           check "violating focus" true (Term.equal r.Report.focus (ex "p2"));
+           check "source shape recorded" true
+             (r.Report.source_shape = Some (ex "S"))
+       | _ -> Alcotest.fail "expected one result")
+
+let test_report_conforming () =
+  let report = Validate.validate Schema.empty Graph.empty in
+  match Report.of_graph (Report.to_graph report) with
+  | Ok parsed ->
+      check "conforms" true parsed.Report.conforms;
+      check_int "no results" 0 (List.length parsed.Report.results)
+  | Error m -> Alcotest.failf "of_graph: %s" m
+
+(* --- isomorphism --------------------------------------------------- *)
+
+let p = exi "p"
+
+let test_isomorphic_relabeling () =
+  let g1 =
+    Graph.of_list
+      [ Triple.make (Term.blank "a") p (Term.blank "b");
+        Triple.make (Term.blank "b") p (ex "x") ]
+  in
+  let g2 =
+    Graph.of_list
+      [ Triple.make (Term.blank "n1") p (Term.blank "n2");
+        Triple.make (Term.blank "n2") p (ex "x") ]
+  in
+  check "relabeled chain isomorphic" true (Isomorphism.isomorphic g1 g2);
+  check "plain equality too strict" false (Graph.equal g1 g2)
+
+let test_non_isomorphic () =
+  let g1 =
+    Graph.of_list
+      [ Triple.make (Term.blank "a") p (Term.blank "b");
+        Triple.make (Term.blank "b") p (Term.blank "a") ]
+  in
+  let g2 =
+    Graph.of_list
+      [ Triple.make (Term.blank "a") p (Term.blank "a");
+        Triple.make (Term.blank "b") p (Term.blank "b") ]
+  in
+  check "cycle vs self-loops" false (Isomorphism.isomorphic g1 g2);
+  let g3 = Graph.of_list [ Triple.make (ex "x") p (ex "y") ] in
+  let g4 = Graph.of_list [ Triple.make (ex "x") p (ex "z") ] in
+  check "different ground triples" false (Isomorphism.isomorphic g3 g4)
+
+let test_symmetric_backtracking () =
+  (* two interchangeable bnodes plus one that is not *)
+  let mk labels =
+    Graph.of_list
+      (List.concat_map
+         (fun l ->
+           [ Triple.make (Term.blank l) p (ex "hub") ])
+         labels
+      @ [ Triple.make (Term.blank "special") (exi "q") (ex "hub") ])
+  in
+  check "symmetric bnodes" true
+    (Isomorphism.isomorphic (mk [ "a"; "b" ]) (mk [ "u"; "v" ]))
+
+let prop_rename_isomorphic =
+  QCheck.Test.make ~name:"bnode renaming preserves isomorphism" ~count:100
+    Tgen.arbitrary_graph
+    (fun g ->
+      (* inject bnodes by renaming one IRI node to a blank *)
+      let blankify term =
+        match term with
+        | Term.Iri i when Iri.to_string i = "http://example.org/a" ->
+            Term.blank "orig"
+        | t -> t
+      in
+      let rename label term =
+        match term with
+        | Term.Blank _ -> Term.blank label
+        | t -> t
+      in
+      let map f g =
+        Graph.fold
+          (fun t acc ->
+            Graph.add (f (Triple.subject t)) (Triple.predicate t)
+              (f (Triple.object_ t)) acc)
+          g Graph.empty
+      in
+      let g1 = map blankify g in
+      let g2 = map (fun t -> rename "fresh" (blankify t)) g1 in
+      Isomorphism.isomorphic g1 g2)
+
+(* --- annotated provenance ------------------------------------------ *)
+
+let prop_annotations_cover_neighborhood =
+  QCheck.Test.make
+    ~name:"annotated triples equal the neighborhood" ~count:300
+    QCheck.(pair Tgen.arbitrary_graph (pair Tgen.arbitrary_node Tgen.arbitrary_shape))
+    (fun (g, (v, s)) ->
+      let annotated = Provenance.Annotated.explain g v s in
+      let from_annotations =
+        List.fold_left
+          (fun acc a -> Graph.add_triple a.Provenance.Annotated.triple acc)
+          Graph.empty annotated
+      in
+      let every_triple_has_witness =
+        List.for_all
+          (fun a -> a.Provenance.Annotated.witnesses <> [])
+          annotated
+      in
+      Graph.equal from_annotations (Provenance.Neighborhood.b g v s)
+      && every_triple_has_witness)
+
+let test_example_3_5_attribution () =
+  let ty = Vocab.Rdf.type_ and auth = exi "auth" in
+  let g =
+    Graph.of_list
+      [ Triple.make (ex "p1") ty (ex "paper");
+        Triple.make (ex "p1") auth (ex "Anne");
+        Triple.make (ex "p1") auth (ex "Bob");
+        Triple.make (ex "Anne") ty (ex "prof");
+        Triple.make (ex "Bob") ty (ex "student") ]
+  in
+  let phi2 =
+    Shape_syntax.parse_exn
+      "<=1 ex:auth . !(>=1 rdf:type . hasValue(ex:student))"
+  in
+  let annotations = Provenance.Annotated.explain g (ex "p1") phi2 in
+  check_int "two annotated triples" 2 (List.length annotations);
+  (* Bob's type triple is attributed to the inner obligation, not the
+     outer quantifier *)
+  let bob_type =
+    List.find
+      (fun a ->
+        Term.equal
+          (Triple.subject a.Provenance.Annotated.triple)
+          (ex "Bob"))
+      annotations
+  in
+  check "inner witness mentions hasValue(student)" true
+    (List.exists
+       (fun w ->
+         match w with
+         | Shape.Ge (1, _, Shape.Has_value c) -> Term.equal c (ex "student")
+         | _ -> false)
+       bob_type.Provenance.Annotated.witnesses)
+
+let test_why_not_annotations () =
+  let g = Graph.of_list [ Triple.make (ex "a") p (ex "b") ] in
+  let shape = Shape_syntax.parse_exn "<=0 ex:p . top" in
+  (match Provenance.Annotated.explain_why_not g (ex "a") shape with
+   | Some [ a ] ->
+       check "the p-edge explains the failure" true
+         (Term.equal (Triple.object_ a.Provenance.Annotated.triple) (ex "b"))
+   | Some _ -> Alcotest.fail "expected exactly one annotation"
+   | None -> Alcotest.fail "expected non-conformance");
+  check "conforming node yields None" true
+    (Provenance.Annotated.explain_why_not g (ex "b") shape = None)
+
+let suite =
+  [ "validation report roundtrip", `Quick, test_report_roundtrip;
+    "conforming report", `Quick, test_report_conforming;
+    "isomorphism under relabeling", `Quick, test_isomorphic_relabeling;
+    "non-isomorphic graphs", `Quick, test_non_isomorphic;
+    "symmetric backtracking", `Quick, test_symmetric_backtracking;
+    "Example 3.5 attribution", `Quick, test_example_3_5_attribution;
+    "why-not annotations", `Quick, test_why_not_annotations ]
+
+let props = [ prop_rename_isomorphic; prop_annotations_cover_neighborhood ]

@@ -1,0 +1,37 @@
+(* Test runner: unit suites plus property suites per module. *)
+
+let () =
+  Alcotest.run "shaclprov"
+    [ "rdf", Test_rdf.suite;
+      Tgen.qsuite "rdf:props" Test_rdf.props;
+      "turtle", Test_turtle.suite;
+      Tgen.qsuite "turtle:props" Test_turtle.props;
+      "path", Test_path.suite;
+      Tgen.qsuite "path:props" Test_path.props;
+      "shape", Test_shape.suite;
+      Tgen.qsuite "shape:props" Test_shape.props;
+      "conformance", Test_conformance.suite;
+      Tgen.qsuite "conformance:props" Test_conformance.props;
+      "shapes-graph", Test_shapes_graph.suite;
+      "sparql", Test_sparql.suite;
+      Tgen.qsuite "sparql:props" Test_sparql.props;
+      "neighborhood", Test_neighborhood.suite;
+      Tgen.qsuite "neighborhood:props" Test_neighborhood.props;
+      "sufficiency", Test_sufficiency.suite;
+      Tgen.qsuite "sufficiency:props" Test_sufficiency.props;
+      "to-sparql", Test_to_sparql.suite;
+      Tgen.qsuite "to-sparql:props" Test_to_sparql.props;
+      "tpf", Test_tpf.suite;
+      Tgen.qsuite "tpf:props" Test_tpf.props;
+      "workload", Test_workload.suite;
+      "sparql-parser", Test_sparql_parser.suite;
+      "shapes-writer", Test_shapes_writer.suite;
+      Tgen.qsuite "shapes-writer:props" Test_shapes_writer.props;
+      "optimizer", Test_optimizer.suite;
+      Tgen.qsuite "optimizer:props" Test_optimizer.props;
+      "node-test", Test_node_test.suite;
+      "validate", Test_validate.suite;
+      Tgen.qsuite "validate:props" Test_validate.props;
+      "misc", Test_misc.suite;
+      "extensions", Test_extensions.suite;
+      Tgen.qsuite "extensions:props" Test_extensions.props ]

@@ -1,0 +1,98 @@
+(* Namespaces, vocabulary, and the workload PRNG helpers. *)
+
+open Rdf
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+let test_namespace_expand () =
+  let t = Namespace.default in
+  Alcotest.(check (option string))
+    "rdf:type"
+    (Some "http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+    (Namespace.expand t "rdf:type");
+  Alcotest.(check (option string)) "unbound" None (Namespace.expand t "zz:x");
+  Alcotest.(check (option string)) "no colon" None (Namespace.expand t "type");
+  let t2 = Namespace.add "my" "http://my.example/" t in
+  Alcotest.(check (option string))
+    "custom" (Some "http://my.example/a") (Namespace.expand t2 "my:a");
+  (* shadowing *)
+  let t3 = Namespace.add "rdf" "http://other/" t in
+  Alcotest.(check (option string))
+    "shadowed" (Some "http://other/type") (Namespace.expand t3 "rdf:type")
+
+let test_namespace_shorten () =
+  let t = Namespace.default in
+  (match Namespace.shorten t Vocab.Rdf.type_ with
+   | Some s -> check_str "shorten rdf:type" "rdf:type" s
+   | None -> Alcotest.fail "expected prefixed form");
+  check "unknown namespace" true
+    (Namespace.shorten t (Iri.of_string "urn:uuid:123") = None);
+  (* local names with illegal characters are not shortened *)
+  check "slash local name not shortened" true
+    (Namespace.shorten t (Iri.of_string "http://example.org/a/b") = None)
+
+let test_vocab_numeric () =
+  check "integer numeric" true (Vocab.Xsd.numeric Vocab.Xsd.integer);
+  check "decimal numeric" true (Vocab.Xsd.numeric Vocab.Xsd.decimal);
+  check "derived int numeric" true
+    (Vocab.Xsd.numeric (Iri.of_string (Vocab.Xsd.ns ^ "long")));
+  check "string not numeric" false (Vocab.Xsd.numeric Vocab.Xsd.string)
+
+let test_iri_validation () =
+  check "valid" true (Iri.of_string_opt "http://example.org/x" <> None);
+  check "space rejected" true (Iri.of_string_opt "http://a b" = None);
+  check "angle rejected" true (Iri.of_string_opt "http://a<b" = None);
+  check "empty rejected" true (Iri.of_string_opt "" = None)
+
+let test_rand_determinism () =
+  let open Workload in
+  let r1 = Rand.create 99 and r2 = Rand.create 99 in
+  let seq r = List.init 20 (fun _ -> Rand.int r 1000) in
+  Alcotest.(check (list int)) "same seed same stream" (seq r1) (seq r2);
+  let r3 = Rand.create 100 in
+  check "different seed differs" true (seq (Rand.create 99) <> seq r3)
+
+let test_rand_helpers () =
+  let open Workload in
+  let r = Rand.create 7 in
+  for _ = 1 to 100 do
+    let z = Rand.zipf r ~n:10 ~skew:1.0 in
+    check "zipf in range" true (z >= 0 && z < 10)
+  done;
+  let picked = Rand.pick r [ "only" ] in
+  check_str "singleton pick" "only" picked;
+  let weighted = Rand.pick_weighted r [ 0, "never"; 5, "always" ] in
+  check_str "weighted pick skips zero" "always" weighted;
+  check_int "shuffle preserves elements" 5
+    (List.length (List.sort_uniq compare (Rand.shuffle r [ 1; 2; 3; 4; 5 ])))
+
+let test_literal_printing () =
+  check_str "plain string" {|"hi"|}
+    (Format.asprintf "%a" Literal.pp (Literal.string "hi"));
+  check_str "escaped" {|"a\"b\nc"|}
+    (Format.asprintf "%a" Literal.pp (Literal.string "a\"b\nc"));
+  check_str "language tag" {|"hi"@en|}
+    (Format.asprintf "%a" Literal.pp (Literal.lang_string "hi" ~lang:"EN"));
+  check "typed literal shows datatype" true
+    (let s = Format.asprintf "%a" Literal.pp (Literal.int 5) in
+     s = {|"5"^^<http://www.w3.org/2001/XMLSchema#integer>|})
+
+let test_canonical_int () =
+  check "int literal" true (Literal.canonical_int (Literal.int 42) = Some 42);
+  check "string literal" true (Literal.canonical_int (Literal.string "42") = None);
+  check "bad lexical" true
+    (Literal.canonical_int (Literal.make ~datatype:Vocab.Xsd.integer "4x") = None)
+
+let suite =
+  [ "namespace expand", `Quick, test_namespace_expand;
+    "namespace shorten", `Quick, test_namespace_shorten;
+    "numeric datatypes", `Quick, test_vocab_numeric;
+    "IRI validation", `Quick, test_iri_validation;
+    "rand determinism", `Quick, test_rand_determinism;
+    "rand helpers", `Quick, test_rand_helpers;
+    "literal printing", `Quick, test_literal_printing;
+    "canonical integers", `Quick, test_canonical_int ]
+
+let props = []

@@ -1,0 +1,91 @@
+(* Algebra simplification: rules fire, and evaluation is preserved. *)
+
+open Rdf
+open Sparql
+open Sparql.Algebra
+
+let ex local = Term.iri ("http://example.org/" ^ local)
+let p = Iri.of_string "http://example.org/p"
+let q = Iri.of_string "http://example.org/q"
+
+let check = Alcotest.(check bool)
+
+let test_unit_and_empty () =
+  let pat = bgp1 (Var "x") (Pred p) (Var "y") in
+  check "join unit left" true (Optimizer.simplify (Join (Unit, pat)) = pat);
+  check "join unit right" true (Optimizer.simplify (Join (pat, Unit)) = pat);
+  check "join empty" true (Optimizer.simplify (Join (pat, Values [])) = Values []);
+  check "union empty" true (Optimizer.simplify (Union (Values [], pat)) = pat);
+  check "minus empty right" true (Optimizer.simplify (Minus (pat, Values [])) = pat);
+  check "left join empty optional" true
+    (Optimizer.simplify (Left_join (pat, Values [], e_true)) = pat);
+  check "filter true" true (Optimizer.simplify (Filter (e_true, pat)) = pat);
+  check "filter false" true
+    (Optimizer.simplify (Filter (e_false, pat)) = Values [])
+
+let test_bgp_fusion () =
+  let t1 = tp (Var "x") (Pred p) (Var "y") in
+  let t2 = tp (Var "y") (Pred q) (Var "z") in
+  match Optimizer.simplify (Join (BGP [ t1 ], BGP [ t2 ])) with
+  | BGP [ _; _ ] -> ()
+  | other -> Alcotest.failf "expected fused BGP, got %a" Algebra.pp other
+
+let test_expr_folding () =
+  check "and true" true
+    (Optimizer.simplify_expr (E_and (e_true, E_var "x")) = E_var "x");
+  check "or false" true
+    (Optimizer.simplify_expr (E_or (E_var "x", e_false)) = E_var "x");
+  check "double negation" true
+    (Optimizer.simplify_expr (E_not (E_not (E_var "x"))) = E_var "x");
+  check "not exists of empty" true
+    (Optimizer.simplify_expr (E_not_exists (Values [])) = e_true)
+
+let test_projection_collapse () =
+  let pat = bgp1 (Var "x") (Pred p) (Var "y") in
+  match Optimizer.simplify (Project ([ "x" ], Project ([ "x"; "y" ], pat))) with
+  | Project ([ "x" ], BGP _) -> ()
+  | other -> Alcotest.failf "expected collapsed projection, got %a" Algebra.pp other
+
+let test_translation_shrinks () =
+  let shape =
+    Shacl.Shape_syntax.parse_exn
+      "forall ex:p . >=1 ex:q . hasValue(ex:c)"
+  in
+  (* conformance_query is simplified internally; rebuilding the raw query
+     requires the unsimplified generator, so compare against a nested
+     no-op wrapper instead: simplify is idempotent and non-increasing. *)
+  let q1 = Provenance.To_sparql.neighborhood_query shape in
+  let q2 = Optimizer.simplify q1 in
+  check "idempotent" true
+    (Provenance.To_sparql.query_size q2 = Provenance.To_sparql.query_size q1)
+
+(* Evaluation invariance on random graphs over generated shape queries —
+   the strongest check: simplified translated queries must return the
+   same bags. *)
+let prop_eval_invariant =
+  QCheck.Test.make ~name:"simplify preserves evaluation" ~count:150
+    QCheck.(pair Tgen.arbitrary_graph Tgen.arbitrary_shape)
+    (fun (g, shape) ->
+      (* build a query with plenty of structure: the conformance query
+         plus a raw unsimplified wrapper *)
+      let raw =
+        Join
+          ( Unit,
+            Filter
+              ( E_and (e_true, e_true),
+                Provenance.To_sparql.conformance_query shape ~var:"v" ) )
+      in
+      let simplified = Optimizer.simplify raw in
+      let normalize rows = List.sort Binding.compare rows in
+      let r1 = normalize (Eval.eval g (Project ([ "v" ], raw))) in
+      let r2 = normalize (Eval.eval g (Project ([ "v" ], simplified))) in
+      r1 = r2)
+
+let suite =
+  [ "unit and empty elimination", `Quick, test_unit_and_empty;
+    "BGP fusion", `Quick, test_bgp_fusion;
+    "expression folding", `Quick, test_expr_folding;
+    "projection collapse", `Quick, test_projection_collapse;
+    "simplify idempotent on translations", `Quick, test_translation_shrinks ]
+
+let props = [ prop_eval_invariant ]

@@ -1,0 +1,172 @@
+(* Path expression evaluation and tracing (Section 3.2, Prop 3.1). *)
+
+open Rdf
+
+let ex local = Term.iri ("http://example.org/" ^ local)
+let exi local = Iri.of_string ("http://example.org/" ^ local)
+let p = exi "p"
+let q = exi "q"
+let pp_ = Rdf.Path.Prop p
+let qp = Rdf.Path.Prop q
+
+(* a -p-> b -p-> c -q-> d ;  a -q-> c ;  c -p-> a (cycle) *)
+let g =
+  Graph.of_list
+    [ Triple.make (ex "a") p (ex "b");
+      Triple.make (ex "b") p (ex "c");
+      Triple.make (ex "c") q (ex "d");
+      Triple.make (ex "a") q (ex "c");
+      Triple.make (ex "c") p (ex "a") ]
+
+let set l = Term.Set.of_list l
+let check_set = Alcotest.check Tgen.term_set_testable
+let check_graph = Alcotest.check Tgen.graph_testable
+
+let test_eval_prop () =
+  check_set "p from a" (set [ ex "b" ]) (Rdf.Path.eval g pp_ (ex "a"));
+  check_set "inv p from b" (set [ ex "a" ])
+    (Rdf.Path.eval g (Rdf.Path.Inv pp_) (ex "b"));
+  check_set "p from d" Term.Set.empty (Rdf.Path.eval g pp_ (ex "d"))
+
+let test_eval_compound () =
+  check_set "p/p from a" (set [ ex "c" ])
+    (Rdf.Path.eval g (Rdf.Path.Seq (pp_, pp_)) (ex "a"));
+  check_set "p|q from a" (set [ ex "b"; ex "c" ])
+    (Rdf.Path.eval g (Rdf.Path.Alt (pp_, qp)) (ex "a"));
+  check_set "p? from d includes d" (set [ ex "d" ])
+    (Rdf.Path.eval g (Rdf.Path.Opt pp_) (ex "d"));
+  check_set "p* from a walks the cycle" (set [ ex "a"; ex "b"; ex "c" ])
+    (Rdf.Path.eval g (Rdf.Path.Star pp_) (ex "a"));
+  check_set "p+ from a" (set [ ex "a"; ex "b"; ex "c" ])
+    (Rdf.Path.eval g (Rdf.Path.plus pp_) (ex "a"));
+  (* zero p-steps allow a's own q-edge to c, too *)
+  check_set "(p*)/q from a" (set [ ex "c"; ex "d" ])
+    (Rdf.Path.eval g (Rdf.Path.Seq (Rdf.Path.Star pp_, qp)) (ex "a"))
+
+let test_eval_inv_consistency () =
+  (* eval_inv agrees with eval on a handful of compound paths *)
+  let paths =
+    [ pp_; Rdf.Path.Seq (pp_, qp); Rdf.Path.Star pp_;
+      Rdf.Path.Alt (pp_, Rdf.Path.Inv qp); Rdf.Path.Opt (Rdf.Path.Seq (pp_, pp_)) ]
+  in
+  let ns = Term.Set.elements (Graph.nodes g) in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              let fwd = Term.Set.mem b (Rdf.Path.eval g e a) in
+              let bwd = Term.Set.mem a (Rdf.Path.eval_inv g e b) in
+              if fwd <> bwd then
+                Alcotest.failf "eval/eval_inv disagree on %s for (%a, %a)"
+                  (Rdf.Path.to_string e) Term.pp a Term.pp b)
+            ns)
+        ns)
+    paths
+
+let test_trace_simple () =
+  check_graph "trace p a b"
+    (Graph.of_list [ Triple.make (ex "a") p (ex "b") ])
+    (Rdf.Path.trace g pp_ (ex "a") (ex "b"));
+  check_graph "trace inverse"
+    (Graph.of_list [ Triple.make (ex "a") p (ex "b") ])
+    (Rdf.Path.trace g (Rdf.Path.Inv pp_) (ex "b") (ex "a"));
+  check_graph "no path, no trace" Graph.empty
+    (Rdf.Path.trace g pp_ (ex "a") (ex "d"))
+
+let test_trace_seq () =
+  check_graph "trace p/p a c"
+    (Graph.of_list
+       [ Triple.make (ex "a") p (ex "b"); Triple.make (ex "b") p (ex "c") ])
+    (Rdf.Path.trace g (Rdf.Path.Seq (pp_, pp_)) (ex "a") (ex "c"))
+
+let test_trace_star_cycle () =
+  (* From a to a through the p-cycle: zero-length contributes nothing,
+     but the cycle a->b->c->a is also a path, so its triples appear. *)
+  let cycle =
+    Graph.of_list
+      [ Triple.make (ex "a") p (ex "b");
+        Triple.make (ex "b") p (ex "c");
+        Triple.make (ex "c") p (ex "a") ]
+  in
+  check_graph "trace p* a a" cycle
+    (Rdf.Path.trace g (Rdf.Path.Star pp_) (ex "a") (ex "a"));
+  (* d is isolated for p: only the zero-length path, tracing nothing *)
+  check_graph "trace p* d d" Graph.empty
+    (Rdf.Path.trace g (Rdf.Path.Star pp_) (ex "d") (ex "d"))
+
+let test_trace_opt_zero_length () =
+  (* paths(E?, G) = paths(E, G): no triples for the identity pair. *)
+  check_graph "trace p? a a" Graph.empty
+    (Rdf.Path.trace g (Rdf.Path.Opt pp_) (ex "a") (ex "a"))
+
+let test_pairs_restricted () =
+  let pairs = Rdf.Path.pairs g (Rdf.Path.Opt pp_) in
+  let all_in_ng =
+    List.for_all
+      (fun (a, b) ->
+        Term.Set.mem a (Graph.nodes g) && Term.Set.mem b (Graph.nodes g))
+      pairs
+  in
+  Alcotest.(check bool) "pairs restricted to N(G)" true all_in_ng;
+  (* identity on all 4 nodes plus the p-edges *)
+  Alcotest.(check int) "pair count" 7 (List.length pairs)
+
+(* Proposition 3.1: (a,b) ∈ [[E]]^G  iff  (a,b) ∈ [[E]]^F
+   where F = graph(paths(E,G,a,b)). *)
+let prop_3_1 =
+  QCheck.Test.make ~name:"Proposition 3.1 (trace preserves reachability)"
+    ~count:300
+    QCheck.(triple Tgen.arbitrary_graph Tgen.arbitrary_path
+              (pair Tgen.arbitrary_node Tgen.arbitrary_node))
+    (fun (g, e, (a, b)) ->
+      let f = Rdf.Path.trace g e a b in
+      let in_g = Rdf.Path.holds g e a b in
+      let in_f = Rdf.Path.holds f e a b in
+      (* trace is always a subgraph of g, and reachability transfers *)
+      Graph.subset f g && (not in_g || in_f) && (in_g || Graph.is_empty f))
+
+let prop_trace_subset =
+  QCheck.Test.make ~name:"trace is a subgraph of its input" ~count:200
+    QCheck.(pair Tgen.arbitrary_graph Tgen.arbitrary_path)
+    (fun (g, e) ->
+      let ns = Term.Set.elements (Graph.nodes g) in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b -> Graph.subset (Rdf.Path.trace g e a b) g)
+            ns)
+        (match ns with [] -> [] | x :: _ -> [ x ]))
+
+let prop_eval_monotone =
+  QCheck.Test.make ~name:"path evaluation is monotone" ~count:200
+    QCheck.(triple Tgen.arbitrary_graph Tgen.arbitrary_graph Tgen.arbitrary_path)
+    (fun (g1, g2, e) ->
+      let g = Graph.union g1 g2 in
+      Term.Set.for_all
+        (fun a ->
+          Term.Set.subset (Rdf.Path.eval g1 e a) (Rdf.Path.eval g e a))
+        (Graph.nodes g1))
+
+let test_printer () =
+  Alcotest.(check string)
+    "pretty printing"
+    "(<http://example.org/p>/<http://example.org/q>)*"
+    (Rdf.Path.to_string (Rdf.Path.Star (Rdf.Path.Seq (pp_, qp))));
+  Alcotest.(check string)
+    "inverse binds tight" "^<http://example.org/p>|<http://example.org/q>"
+    (Rdf.Path.to_string (Rdf.Path.Alt (Rdf.Path.Inv pp_, qp)))
+
+let suite =
+  [ "eval single property", `Quick, test_eval_prop;
+    "eval compound paths", `Quick, test_eval_compound;
+    "eval_inv consistency", `Quick, test_eval_inv_consistency;
+    "trace single step", `Quick, test_trace_simple;
+    "trace sequence", `Quick, test_trace_seq;
+    "trace star over a cycle", `Quick, test_trace_star_cycle;
+    "trace zero-length is empty", `Quick, test_trace_opt_zero_length;
+    "pairs restricted to N(G)", `Quick, test_pairs_restricted;
+    "path printer", `Quick, test_printer ]
+
+let props = [ prop_3_1; prop_trace_subset; prop_eval_monotone ]

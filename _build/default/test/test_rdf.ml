@@ -1,0 +1,163 @@
+(* Unit tests for the RDF substrate: literals, terms, graphs. *)
+
+open Rdf
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- literals ----------------------------------------------------- *)
+
+let test_literal_values () =
+  check "int lt" true (Literal.lt (Literal.int 1) (Literal.int 2));
+  check "int not lt self" false (Literal.lt (Literal.int 2) (Literal.int 2));
+  check "int leq self" true (Literal.leq (Literal.int 2) (Literal.int 2));
+  check "decimal vs integer comparable" true
+    (Literal.lt (Literal.int 1)
+       (Literal.make ~datatype:Vocab.Xsd.decimal "1.5"));
+  check "cross-datatype value equality in leq" true
+    (Literal.leq (Literal.int 1)
+       (Literal.make ~datatype:Vocab.Xsd.decimal "1.0"));
+  check "string lt" true (Literal.lt (Literal.string "a") (Literal.string "b"));
+  check "string int incomparable" false
+    (Literal.lt (Literal.string "a") (Literal.int 5));
+  check "comparable strings" true
+    (Literal.comparable (Literal.string "a") (Literal.string "b"));
+  check "incomparable" false
+    (Literal.comparable (Literal.string "a") (Literal.int 1));
+  check "bool order" true (Literal.lt (Literal.bool false) (Literal.bool true));
+  check "dateTime order" true
+    (Literal.lt
+       (Literal.date_time "2020-01-01T00:00:00")
+       (Literal.date_time "2021-06-01T00:00:00"))
+
+let test_literal_language () =
+  let en1 = Literal.lang_string "hello" ~lang:"en" in
+  let en2 = Literal.lang_string "bye" ~lang:"EN" in
+  let fr = Literal.lang_string "salut" ~lang:"fr" in
+  let plain = Literal.string "plain" in
+  check "same language, case-insensitive" true (Literal.same_language en1 en2);
+  check "different languages" false (Literal.same_language en1 fr);
+  check "untagged never same" false (Literal.same_language plain plain);
+  check "langMatches exact" true (Literal.language_matches en1 ~range:"en");
+  check "langMatches star" true (Literal.language_matches fr ~range:"*");
+  check "langMatches subtag" true
+    (Literal.language_matches
+       (Literal.lang_string "g'day" ~lang:"en-AU")
+       ~range:"en");
+  check "langMatches mismatch" false (Literal.language_matches fr ~range:"en");
+  check "langString datatype" true
+    (Iri.equal (Literal.datatype en1) Vocab.Rdf.lang_string)
+
+let test_literal_invalid () =
+  Alcotest.check_raises "lang with wrong datatype"
+    (Invalid_argument "Literal.make: language tag with non-langString datatype")
+    (fun () ->
+      ignore (Literal.make ~lang:"en" ~datatype:Vocab.Xsd.string "x"))
+
+(* --- terms -------------------------------------------------------- *)
+
+let test_term_order () =
+  let i = Term.iri "http://example.org/a" in
+  let b = Term.blank "b0" in
+  let l = Term.str "lit" in
+  check "iri < blank" true (Term.compare i b < 0);
+  check "blank < literal" true (Term.compare b l < 0);
+  check "equal iris" true (Term.equal i (Term.iri "http://example.org/a"));
+  check "as_iri" true (Term.as_iri i <> None);
+  check "literal is_literal" true (Term.is_literal l)
+
+(* --- graphs ------------------------------------------------------- *)
+
+let a = Term.iri "http://example.org/a"
+let b = Term.iri "http://example.org/b"
+let c = Term.iri "http://example.org/c"
+let p = Iri.of_string "http://example.org/p"
+let q = Iri.of_string "http://example.org/q"
+
+let sample =
+  Graph.of_list
+    [ Triple.make a p b; Triple.make b p c; Triple.make a q c;
+      Triple.make c p a ]
+
+let test_graph_basics () =
+  check_int "cardinal" 4 (Graph.cardinal sample);
+  check "mem" true (Graph.mem (Triple.make a p b) sample);
+  check "not mem" false (Graph.mem (Triple.make a p c) sample);
+  check "idempotent add" true
+    (Graph.equal sample (Graph.add a p b sample));
+  let removed = Graph.remove (Triple.make a p b) sample in
+  check_int "remove" 3 (Graph.cardinal removed);
+  check "removed gone" false (Graph.mem (Triple.make a p b) removed)
+
+let test_graph_lookups () =
+  Alcotest.check Tgen.term_set_testable "objects a p"
+    (Term.Set.singleton b) (Graph.objects sample a p);
+  Alcotest.check Tgen.term_set_testable "subjects p c"
+    (Term.Set.singleton b) (Graph.subjects sample p c);
+  check_int "subject triples of a" 2 (List.length (Graph.subject_triples sample a));
+  check_int "object triples of c" 2 (List.length (Graph.object_triples sample c));
+  check_int "predicate triples of p" 3
+    (List.length (Graph.predicate_triples sample p));
+  check_int "out predicates of a" 2
+    (Iri.Set.cardinal (Graph.out_predicates sample a));
+  check_int "nodes" 3 (Term.Set.cardinal (Graph.nodes sample))
+
+let test_graph_sets () =
+  let g1 = Graph.of_list [ Triple.make a p b; Triple.make b p c ] in
+  let g2 = Graph.of_list [ Triple.make b p c; Triple.make a q c ] in
+  check_int "union" 3 (Graph.cardinal (Graph.union g1 g2));
+  check_int "inter" 1 (Graph.cardinal (Graph.inter g1 g2));
+  check_int "diff" 1 (Graph.cardinal (Graph.diff g1 g2));
+  check "subset" true (Graph.subset g1 sample);
+  check "not subset" false (Graph.subset g2 g1);
+  check "equal self" true (Graph.equal sample sample)
+
+let test_graph_literal_subject () =
+  Alcotest.check_raises "literal subject rejected"
+    (Invalid_argument "Graph.add: literal in subject position") (fun () ->
+      ignore (Graph.add (Term.str "l") p b Graph.empty))
+
+(* --- properties --------------------------------------------------- *)
+
+let prop_union_commutative =
+  QCheck.Test.make ~name:"graph union commutative" ~count:100
+    (QCheck.pair Tgen.arbitrary_graph Tgen.arbitrary_graph)
+    (fun (g1, g2) -> Graph.equal (Graph.union g1 g2) (Graph.union g2 g1))
+
+let prop_diff_union =
+  QCheck.Test.make ~name:"(g1 - g2) ∪ (g1 ∩ g2) = g1" ~count:100
+    (QCheck.pair Tgen.arbitrary_graph Tgen.arbitrary_graph)
+    (fun (g1, g2) ->
+      Graph.equal (Graph.union (Graph.diff g1 g2) (Graph.inter g1 g2)) g1)
+
+let prop_roundtrip_list =
+  QCheck.Test.make ~name:"of_list . to_list = id" ~count:100
+    Tgen.arbitrary_graph
+    (fun g -> Graph.equal g (Graph.of_list (Graph.to_list g)))
+
+let prop_indexes_consistent =
+  QCheck.Test.make ~name:"all index views agree" ~count:100
+    Tgen.arbitrary_graph
+    (fun g ->
+      Graph.for_all
+        (fun t ->
+          let s = Triple.subject t and p = Triple.predicate t
+          and o = Triple.object_ t in
+          Term.Set.mem o (Graph.objects g s p)
+          && Term.Set.mem s (Graph.subjects g p o)
+          && Iri.Set.mem p (Graph.predicates_between g s o))
+        g)
+
+let suite =
+  [ "literal value order", `Quick, test_literal_values;
+    "literal language tags", `Quick, test_literal_language;
+    "literal validation", `Quick, test_literal_invalid;
+    "term ordering", `Quick, test_term_order;
+    "graph basics", `Quick, test_graph_basics;
+    "graph lookups", `Quick, test_graph_lookups;
+    "graph set operations", `Quick, test_graph_sets;
+    "graph rejects literal subjects", `Quick, test_graph_literal_subject ]
+
+let props =
+  [ prop_union_commutative; prop_diff_union; prop_roundtrip_list;
+    prop_indexes_consistent ]

@@ -1,0 +1,141 @@
+(* Shape AST: NNF, smart constructors, syntax roundtrip. *)
+
+open Shacl
+
+let ex local = "http://example.org/" ^ local
+let p = Rdf.Iri.of_string (ex "p")
+let path_p = Rdf.Path.Prop p
+
+let check = Alcotest.(check bool)
+let check_shape = Alcotest.check Tgen.shape_testable
+
+let test_nnf_quantifiers () =
+  check_shape "¬≥n+1 ≡ ≤n"
+    (Shape.Le (1, path_p, Shape.Top))
+    (Shape.nnf (Shape.Not (Shape.Ge (2, path_p, Shape.Top))));
+  check_shape "¬≤n ≡ ≥n+1"
+    (Shape.Ge (3, path_p, Shape.Top))
+    (Shape.nnf (Shape.Not (Shape.Le (2, path_p, Shape.Top))));
+  check_shape "¬≥0 ≡ ⊥" Shape.Bottom
+    (Shape.nnf (Shape.Not (Shape.Ge (0, path_p, Shape.Top))));
+  check_shape "¬∀ ≡ ≥1 ¬"
+    (Shape.Ge (1, path_p, Shape.Not (Shape.Has_value (Rdf.Term.iri (ex "c")))))
+    (Shape.nnf
+       (Shape.Not (Shape.Forall (path_p, Shape.Has_value (Rdf.Term.iri (ex "c"))))))
+
+let test_nnf_de_morgan () =
+  let a = Shape.Has_value (Rdf.Term.iri (ex "a")) in
+  let b = Shape.Has_value (Rdf.Term.iri (ex "b")) in
+  check_shape "¬(a ∧ b)"
+    (Shape.Or [ Shape.Not a; Shape.Not b ])
+    (Shape.nnf (Shape.Not (Shape.And [ a; b ])));
+  check_shape "double negation" a (Shape.nnf (Shape.Not (Shape.Not a)))
+
+let test_smart_constructors () =
+  check_shape "and_ flattens"
+    (Shape.And
+       [ Shape.Has_value (Rdf.Term.iri (ex "a"));
+         Shape.Has_value (Rdf.Term.iri (ex "b"));
+         Shape.Has_value (Rdf.Term.iri (ex "c")) ])
+    (Shape.and_
+       [ Shape.And
+           [ Shape.Has_value (Rdf.Term.iri (ex "a"));
+             Shape.Has_value (Rdf.Term.iri (ex "b")) ];
+         Shape.Top;
+         Shape.Has_value (Rdf.Term.iri (ex "c")) ]);
+  check_shape "and_ with bottom" Shape.Bottom
+    (Shape.and_ [ Shape.Top; Shape.Bottom ]);
+  check_shape "or_ with top" Shape.Top (Shape.or_ [ Shape.Bottom; Shape.Top ]);
+  check_shape "or_ singleton unwraps"
+    (Shape.Has_value (Rdf.Term.iri (ex "a")))
+    (Shape.or_ [ Shape.Has_value (Rdf.Term.iri (ex "a")) ]);
+  check_shape "not_ collapses" (Shape.Has_value (Rdf.Term.iri (ex "a")))
+    (Shape.not_ (Shape.Not (Shape.Has_value (Rdf.Term.iri (ex "a")))))
+
+let test_is_nnf () =
+  check "atom is nnf" true (Shape.is_nnf (Shape.Eq (Shape.Id, p)));
+  check "¬atom is nnf" true (Shape.is_nnf (Shape.Not (Shape.Eq (Shape.Id, p))));
+  check "¬∧ is not nnf" false
+    (Shape.is_nnf (Shape.Not (Shape.And [ Shape.Top ])));
+  check "nested ok" true
+    (Shape.is_nnf
+       (Shape.Ge (1, path_p, Shape.Not (Shape.Closed Rdf.Iri.Set.empty))))
+
+let test_parse_examples () =
+  let parse = Shape_syntax.parse_exn in
+  (* The paper's WorkshopShape (Example 2.2) *)
+  let workshop =
+    parse ">=1 ex:author . >=1 rdf:type/rdfs:subClassOf* . hasValue(ex:Student)"
+  in
+  (match workshop with
+   | Shape.Ge (1, Rdf.Path.Prop _, Shape.Ge (1, Rdf.Path.Seq (_, Rdf.Path.Star _), Shape.Has_value _)) ->
+       ()
+   | s -> Alcotest.failf "unexpected parse: %a" Shape.pp s);
+  (* happy-at-work (Example 2.2) *)
+  (match parse "!disj(ex:friend, ex:colleague)" with
+   | Shape.Not (Shape.Disj (Shape.Path (Rdf.Path.Prop _), _)) -> ()
+   | s -> Alcotest.failf "unexpected parse: %a" Shape.pp s);
+  (* self-loop shapes *)
+  (match parse "eq(id, ex:p)" with
+   | Shape.Eq (Shape.Id, _) -> ()
+   | s -> Alcotest.failf "unexpected parse: %a" Shape.pp s);
+  (* operators and precedence: & binds tighter than | *)
+  (match parse "top & bottom | top" with
+   | Shape.Or [ Shape.And [ Shape.Top; Shape.Bottom ]; Shape.Top ] -> ()
+   | s -> Alcotest.failf "unexpected precedence: %a" Shape.pp s);
+  (* quantifier body binds tightest *)
+  (match parse ">=1 ex:p . top & bottom" with
+   | Shape.And [ Shape.Ge (1, _, Shape.Top); Shape.Bottom ] -> ()
+   | s -> Alcotest.failf "unexpected body scope: %a" Shape.pp s)
+
+let test_parse_tests () =
+  let parse = Shape_syntax.parse_exn in
+  (match parse "test(datatype = xsd:integer)" with
+   | Shape.Test (Node_test.Datatype _) -> ()
+   | s -> Alcotest.failf "unexpected: %a" Shape.pp s);
+  (match parse {|test(pattern = "^ab+", flags = "i")|} with
+   | Shape.Test (Node_test.Pattern { regex = "^ab+"; flags = Some "i" }) -> ()
+   | s -> Alcotest.failf "unexpected: %a" Shape.pp s);
+  (match parse {|test(minInclusive = 5)|} with
+   | Shape.Test (Node_test.Min_inclusive _) -> ()
+   | s -> Alcotest.failf "unexpected: %a" Shape.pp s);
+  (match parse {|closed(ex:p, ex:q)|} with
+   | Shape.Closed s when Rdf.Iri.Set.cardinal s = 2 -> ()
+   | s -> Alcotest.failf "unexpected: %a" Shape.pp s)
+
+let test_parse_errors () =
+  check "unbalanced" true (Result.is_error (Shape_syntax.parse "(top"));
+  check "trailing" true (Result.is_error (Shape_syntax.parse "top top"));
+  check "unknown keyword" true (Result.is_error (Shape_syntax.parse "frobnicate(top)"));
+  check "bad count" true (Result.is_error (Shape_syntax.parse ">= ex:p . top"))
+
+(* print-then-parse is the identity *)
+let prop_syntax_roundtrip =
+  QCheck.Test.make ~name:"shape syntax roundtrip" ~count:500
+    Tgen.arbitrary_shape_deep
+    (fun s ->
+      let printed = Shape_syntax.print s in
+      match Shape_syntax.parse printed with
+      | Ok s' -> Shape.equal s s'
+      | Error e ->
+          QCheck.Test.fail_reportf "cannot re-parse %S: %a" printed
+            Shape_syntax.pp_error e)
+
+let prop_nnf_is_nnf =
+  QCheck.Test.make ~name:"nnf produces NNF" ~count:500 Tgen.arbitrary_shape_deep
+    (fun s -> Shape.is_nnf (Shape.nnf s))
+
+let prop_nnf_idempotent =
+  QCheck.Test.make ~name:"nnf idempotent" ~count:500 Tgen.arbitrary_shape_deep
+    (fun s -> Shape.equal (Shape.nnf s) (Shape.nnf (Shape.nnf s)))
+
+let suite =
+  [ "NNF of quantifiers", `Quick, test_nnf_quantifiers;
+    "NNF De Morgan", `Quick, test_nnf_de_morgan;
+    "smart constructors", `Quick, test_smart_constructors;
+    "is_nnf", `Quick, test_is_nnf;
+    "parse paper examples", `Quick, test_parse_examples;
+    "parse node tests", `Quick, test_parse_tests;
+    "parse errors", `Quick, test_parse_errors ]
+
+let props = [ prop_syntax_roundtrip; prop_nnf_is_nnf; prop_nnf_idempotent ]

@@ -1,0 +1,391 @@
+(* Loading real SHACL shapes graphs (Appendix A translation). *)
+
+open Rdf
+open Shacl
+
+let ex local = Term.iri ("http://example.org/" ^ local)
+
+let prefixes =
+  {|@prefix sh: <http://www.w3.org/ns/shacl#> .
+    @prefix ex: <http://example.org/> .
+    @prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+    @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+    @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+  |}
+
+let load src = Shapes_graph.load_turtle_exn (prefixes ^ src)
+
+let find schema name =
+  match Schema.find schema (ex name) with
+  | Some def -> def
+  | None -> Alcotest.failf "shape %s not found" name
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* The paper's Example 1.1 WorkshopShape. *)
+let test_workshop_shape () =
+  let schema =
+    load
+      {|ex:WorkshopShape a sh:NodeShape ;
+          sh:targetClass ex:Paper ;
+          sh:property [
+            sh:path ex:author ;
+            sh:qualifiedMinCount 1 ;
+            sh:qualifiedValueShape [ sh:class ex:Student ] ] .
+      |}
+  in
+  let def = find schema "WorkshopShape" in
+  (* target: >=1 type/subClassOf* . hasValue(Paper) *)
+  (match def.Schema.target with
+   | Shape.Ge (1, _, Shape.Has_value c) ->
+       check "target class" true (Term.equal c (ex "Paper"))
+   | t -> Alcotest.failf "unexpected target %a" Shape.pp t);
+  (* Validate the intended behaviour end to end. *)
+  let data =
+    Turtle.parse_exn
+      (prefixes
+      ^ {|ex:p1 rdf:type ex:Paper ; ex:author ex:bob .
+          ex:bob rdf:type ex:Student .
+          ex:p2 rdf:type ex:Paper ; ex:author ex:anne .
+          ex:anne rdf:type ex:Prof .
+        |})
+  in
+  let report = Validate.validate schema data in
+  check "graph does not conform (p2)" false report.Validate.conforms;
+  let violators =
+    List.filter_map
+      (fun (r : Validate.result) ->
+        if r.Validate.conforms then None else Some r.Validate.focus)
+      report.Validate.results
+  in
+  Alcotest.check (Alcotest.list Tgen.term_testable) "only p2 violates"
+    [ ex "p2" ] violators
+
+let test_node_shape_components () =
+  let schema =
+    load
+      {|ex:S a sh:NodeShape ;
+          sh:targetNode ex:n ;
+          sh:nodeKind sh:IRI ;
+          sh:hasValue ex:n ;
+          sh:in ( ex:n ex:m ) ;
+          sh:equals ex:self .
+      |}
+  in
+  let def = find schema "S" in
+  let g =
+    Graph.of_list
+      [ Triple.make (ex "n") (Iri.of_string "http://example.org/self") (ex "n") ]
+  in
+  check "n conforms" true (Conformance.conforms schema g (ex "n") def.Schema.shape);
+  let g_bad = Graph.empty in
+  check "without self loop fails" false
+    (Conformance.conforms schema g_bad (ex "n") def.Schema.shape)
+
+let test_property_shape_cardinality () =
+  let schema =
+    load
+      {|ex:S a sh:NodeShape ;
+          sh:targetSubjectsOf ex:p ;
+          sh:property [ sh:path ex:p ; sh:minCount 1 ; sh:maxCount 2 ] .
+      |}
+  in
+  let p = Iri.of_string "http://example.org/p" in
+  let mk n =
+    List.init n (fun i -> Triple.make (ex "s") p (ex (Printf.sprintf "o%d" i)))
+    |> Graph.of_list
+  in
+  check "1 value ok" true (Validate.conforms schema (mk 1));
+  check "2 values ok" true (Validate.conforms schema (mk 2));
+  check "3 values violate maxCount" false (Validate.conforms schema (mk 3))
+
+let test_property_shape_datatype_forall () =
+  (* datatype constraints on property shapes are universally quantified *)
+  let schema =
+    load
+      {|ex:S a sh:NodeShape ;
+          sh:targetSubjectsOf ex:age ;
+          sh:property [ sh:path ex:age ; sh:datatype xsd:integer ] .
+      |}
+  in
+  let age = Iri.of_string "http://example.org/age" in
+  let ok = Graph.of_list [ Triple.make (ex "s") age (Term.int 5) ] in
+  let bad =
+    Graph.of_list
+      [ Triple.make (ex "s") age (Term.int 5);
+        Triple.make (ex "s") age (Term.str "five") ]
+  in
+  check "integers conform" true (Validate.conforms schema ok);
+  check "string age violates" false (Validate.conforms schema bad)
+
+let test_paths () =
+  let schema =
+    load
+      {|ex:S a sh:NodeShape ;
+          sh:targetNode ex:a ;
+          sh:property [
+            sh:path ( ex:p [ sh:inversePath ex:q ] ) ;
+            sh:minCount 1 ] .
+        ex:T a sh:NodeShape ;
+          sh:targetNode ex:a ;
+          sh:property [
+            sh:path [ sh:zeroOrMorePath ex:p ] ;
+            sh:maxCount 3 ] .
+        ex:U a sh:NodeShape ;
+          sh:targetNode ex:a ;
+          sh:property [
+            sh:path [ sh:alternativePath ( ex:p ex:q ) ] ;
+            sh:minCount 2 ] .
+      |}
+  in
+  let def_s = find schema "S" and def_t = find schema "T" and def_u = find schema "U" in
+  let shape_path shape =
+    match shape with
+    | Shape.Ge (_, e, _) | Shape.Le (_, e, _) -> Rdf.Path.to_string e
+    | s -> Alcotest.failf "unexpected shape %a" Shape.pp s
+  in
+  (* node shapes reference their property shapes by name; follow the
+     reference and extract the single cardinality conjunct *)
+  let rec card shape =
+    match shape with
+    | Shape.Ge _ | Shape.Le _ -> shape
+    | Shape.Has_shape name -> card (Schema.def_shape schema name)
+    | Shape.And l -> (
+        match
+          List.find_map
+            (fun s ->
+              match s with
+              | Shape.Ge _ | Shape.Le _ -> Some s
+              | Shape.Has_shape name -> (
+                  match card (Schema.def_shape schema name) with
+                  | exception _ -> None
+                  | found -> Some found)
+              | _ -> None)
+            l
+        with
+        | Some s -> s
+        | None -> Alcotest.failf "no cardinality conjunct in %a" Shape.pp shape)
+    | s -> Alcotest.failf "unexpected shape %a" Shape.pp s
+  in
+  Alcotest.(check string) "sequence with inverse"
+    "<http://example.org/p>/^<http://example.org/q>"
+    (shape_path (card def_s.Schema.shape));
+  Alcotest.(check string) "zero or more" "<http://example.org/p>*"
+    (shape_path (card def_t.Schema.shape));
+  Alcotest.(check string) "alternative"
+    "<http://example.org/p>|<http://example.org/q>"
+    (shape_path (card def_u.Schema.shape))
+
+let test_logic () =
+  let schema =
+    load
+      {|ex:S a sh:NodeShape ;
+          sh:targetNode ex:a ;
+          sh:not [ sh:class ex:Banned ] ;
+          sh:or ( ex:A ex:B ) .
+        ex:A a sh:NodeShape ; sh:hasValue ex:a .
+        ex:B a sh:NodeShape ; sh:hasValue ex:b .
+      |}
+  in
+  let g = Graph.of_list [ Triple.make (ex "a") Vocab.Rdf.type_ (ex "Ok") ] in
+  check "a conforms via ex:A" true (Validate.conforms schema g);
+  let banned =
+    Graph.of_list [ Triple.make (ex "a") Vocab.Rdf.type_ (ex "Banned") ]
+  in
+  check "banned violates" false (Validate.conforms schema banned)
+
+let test_xone () =
+  let schema =
+    load
+      {|ex:S a sh:NodeShape ;
+          sh:targetNode ex:a ;
+          sh:xone ( ex:A ex:B ) .
+        ex:A a sh:NodeShape ; sh:property [ sh:path ex:p ; sh:minCount 1 ] .
+        ex:B a sh:NodeShape ; sh:property [ sh:path ex:q ; sh:minCount 1 ] .
+      |}
+  in
+  let p = Iri.of_string "http://example.org/p" in
+  let q = Iri.of_string "http://example.org/q" in
+  let only_p = Graph.of_list [ Triple.make (ex "a") p (ex "x") ] in
+  let both =
+    Graph.of_list [ Triple.make (ex "a") p (ex "x"); Triple.make (ex "a") q (ex "y") ]
+  in
+  check "exactly one ok" true (Validate.conforms schema only_p);
+  check "both violates xone" false (Validate.conforms schema both)
+
+let test_closed () =
+  let schema =
+    load
+      {|ex:S a sh:NodeShape ;
+          sh:targetNode ex:a ;
+          sh:closed true ;
+          sh:ignoredProperties ( rdf:type ) ;
+          sh:property [ sh:path ex:p ; sh:minCount 0 ] .
+      |}
+  in
+  let p = Iri.of_string "http://example.org/p" in
+  let q = Iri.of_string "http://example.org/q" in
+  let ok =
+    Graph.of_list
+      [ Triple.make (ex "a") p (ex "x");
+        Triple.make (ex "a") Vocab.Rdf.type_ (ex "T") ]
+  in
+  let bad = Graph.of_list [ Triple.make (ex "a") q (ex "x") ] in
+  check "allowed properties ok" true (Validate.conforms schema ok);
+  check "extra property violates" false (Validate.conforms schema bad)
+
+let test_language_in_unique_lang () =
+  let schema =
+    load
+      {|ex:S a sh:NodeShape ;
+          sh:targetSubjectsOf ex:label ;
+          sh:property [ sh:path ex:label ;
+                        sh:languageIn ( "en" "fr" ) ;
+                        sh:uniqueLang true ] .
+      |}
+  in
+  let label = Iri.of_string "http://example.org/label" in
+  let lit tag s = Term.Literal (Literal.lang_string s ~lang:tag) in
+  let ok =
+    Graph.of_list
+      [ Triple.make (ex "a") label (lit "en" "hi");
+        Triple.make (ex "a") label (lit "fr" "salut") ]
+  in
+  let dup =
+    Graph.of_list
+      [ Triple.make (ex "a") label (lit "en" "hi");
+        Triple.make (ex "a") label (lit "en" "hello") ]
+  in
+  let wrong_lang =
+    Graph.of_list [ Triple.make (ex "a") label (lit "de" "hallo") ]
+  in
+  check "en+fr ok" true (Validate.conforms schema ok);
+  check "duplicate en violates uniqueLang" false (Validate.conforms schema dup);
+  check "german violates languageIn" false (Validate.conforms schema wrong_lang)
+
+let test_pair_constraints_property () =
+  let schema =
+    load
+      {|ex:S a sh:NodeShape ;
+          sh:targetSubjectsOf ex:start ;
+          sh:property [ sh:path ex:start ; sh:lessThan ex:end ] .
+      |}
+  in
+  let s = Iri.of_string "http://example.org/start" in
+  let e = Iri.of_string "http://example.org/end" in
+  let ok =
+    Graph.of_list
+      [ Triple.make (ex "a") s (Term.int 1); Triple.make (ex "a") e (Term.int 2) ]
+  in
+  let bad =
+    Graph.of_list
+      [ Triple.make (ex "a") s (Term.int 3); Triple.make (ex "a") e (Term.int 2) ]
+  in
+  check "start < end ok" true (Validate.conforms schema ok);
+  check "start >= end violates" false (Validate.conforms schema bad)
+
+let test_recursive_rejected () =
+  let result =
+    Shapes_graph.load_turtle
+      (prefixes
+      ^ {|ex:A a sh:NodeShape ; sh:targetNode ex:x ; sh:node ex:B .
+          ex:B a sh:NodeShape ; sh:node ex:A .
+        |})
+  in
+  check "recursive schema rejected" true (Result.is_error result)
+
+let test_target_kinds () =
+  let schema =
+    load
+      {|ex:S1 a sh:NodeShape ; sh:targetNode ex:n1 .
+        ex:S2 a sh:NodeShape ; sh:targetClass ex:C .
+        ex:S3 a sh:NodeShape ; sh:targetSubjectsOf ex:p .
+        ex:S4 a sh:NodeShape ; sh:targetObjectsOf ex:p .
+      |}
+  in
+  let p = Iri.of_string "http://example.org/p" in
+  let g =
+    Graph.of_list
+      [ Triple.make (ex "i") Vocab.Rdf.type_ (ex "C");
+        Triple.make (ex "sub") Vocab.Rdfs.sub_class_of (ex "C") |> fun t -> t ]
+  in
+  let g = Graph.add (ex "j") Vocab.Rdf.type_ (ex "sub") g in
+  let g = Graph.add (ex "s") p (ex "o") g in
+  let targets name =
+    Validate.target_nodes schema g (find schema name)
+  in
+  Alcotest.check Tgen.term_set_testable "node target"
+    (Term.Set.singleton (ex "n1")) (targets "S1");
+  Alcotest.check Tgen.term_set_testable "class target incl. subclass"
+    (Term.Set.of_list [ ex "i"; ex "j" ])
+    (targets "S2");
+  Alcotest.check Tgen.term_set_testable "subjects-of"
+    (Term.Set.singleton (ex "s")) (targets "S3");
+  Alcotest.check Tgen.term_set_testable "objects-of"
+    (Term.Set.singleton (ex "o")) (targets "S4")
+
+let test_qualified_disjoint () =
+  (* sibling-disjoint qualified shapes *)
+  let schema =
+    load
+      {|ex:Hand a sh:NodeShape ;
+          sh:targetSubjectsOf ex:digit ;
+          sh:property ex:ThumbProp ;
+          sh:property ex:FingerProp .
+        ex:ThumbProp a sh:PropertyShape ;
+          sh:path ex:digit ;
+          sh:qualifiedValueShape [ sh:class ex:Thumb ] ;
+          sh:qualifiedValueShapesDisjoint true ;
+          sh:qualifiedMinCount 1 .
+        ex:FingerProp a sh:PropertyShape ;
+          sh:path ex:digit ;
+          sh:qualifiedValueShape [ sh:class ex:Finger ] ;
+          sh:qualifiedValueShapesDisjoint true ;
+          sh:qualifiedMinCount 4 .
+      |}
+  in
+  let digit = Iri.of_string "http://example.org/digit" in
+  let mk_digit name cls g =
+    Graph.add (ex name) Vocab.Rdf.type_ (ex cls)
+      (Graph.add (ex "hand") digit (ex name) g)
+  in
+  let hand =
+    Graph.empty
+    |> mk_digit "t" "Thumb"
+    |> mk_digit "f1" "Finger" |> mk_digit "f2" "Finger"
+    |> mk_digit "f3" "Finger" |> mk_digit "f4" "Finger"
+  in
+  check "proper hand conforms" true (Validate.conforms schema hand);
+  (* a digit that is both thumb and finger cannot be counted for either *)
+  let weird = Graph.add (ex "t") Vocab.Rdf.type_ (ex "Finger") hand in
+  check "ambiguous digit violates" false (Validate.conforms schema weird)
+
+let test_shape_nodes_discovery () =
+  let g =
+    Turtle.parse_exn
+      (prefixes
+      ^ {|ex:S a sh:NodeShape ; sh:and ( [ sh:class ex:C ] [ sh:nodeKind sh:IRI ] ) .
+        |})
+  in
+  (* S plus the two anonymous member shapes *)
+  check_int "discovered shapes" 3
+    (Term.Set.cardinal (Shapes_graph.shape_nodes g))
+
+let suite =
+  [ "WorkshopShape end to end", `Quick, test_workshop_shape;
+    "node shape components", `Quick, test_node_shape_components;
+    "cardinality", `Quick, test_property_shape_cardinality;
+    "datatype under forall", `Quick, test_property_shape_datatype_forall;
+    "property paths", `Quick, test_paths;
+    "logical components", `Quick, test_logic;
+    "xone", `Quick, test_xone;
+    "closed", `Quick, test_closed;
+    "languageIn and uniqueLang", `Quick, test_language_in_unique_lang;
+    "lessThan pair constraint", `Quick, test_pair_constraints_property;
+    "recursion rejected", `Quick, test_recursive_rejected;
+    "target kinds", `Quick, test_target_kinds;
+    "qualified value shapes disjoint", `Quick, test_qualified_disjoint;
+    "shape node discovery", `Quick, test_shape_nodes_discovery ]
+
+let props = []

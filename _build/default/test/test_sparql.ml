@@ -1,0 +1,166 @@
+(* SPARQL algebra evaluation. *)
+
+open Rdf
+open Sparql
+open Sparql.Algebra
+
+let ex local = Term.iri ("http://example.org/" ^ local)
+let exi local = Iri.of_string ("http://example.org/" ^ local)
+let p = exi "p"
+let q = exi "q"
+
+let g =
+  Graph.of_list
+    [ Triple.make (ex "a") p (ex "b");
+      Triple.make (ex "b") p (ex "c");
+      Triple.make (ex "a") q (Term.int 1);
+      Triple.make (ex "b") q (Term.int 2);
+      Triple.make (ex "c") q (Term.int 3) ]
+
+let count_solutions ?strategy alg = List.length (Eval.eval ?strategy g alg)
+let check_int = Alcotest.(check int)
+
+let test_bgp () =
+  check_int "single pattern" 2 (count_solutions (bgp1 (v "x") (Pred p) (v "y")));
+  check_int "join in bgp" 1
+    (count_solutions
+       (BGP [ tp (v "x") (Pred p) (v "y"); tp (v "y") (Pred p) (v "z") ]));
+  check_int "constant subject" 1
+    (count_solutions (bgp1 (c (ex "a")) (Pred p) (v "y")));
+  check_int "bound to constant" 1
+    (count_solutions (bgp1 (c (ex "a")) (Pred p) (c (ex "b"))));
+  check_int "no match" 0 (count_solutions (bgp1 (c (ex "c")) (Pred p) (v "y")));
+  check_int "predicate variable" 5
+    (count_solutions (bgp1 (v "x") (Pvar "pr") (v "y")))
+
+let test_path_pattern () =
+  check_int "star path from a" 3
+    (count_solutions
+       (bgp1 (c (ex "a")) (Ppath (Rdf.Path.Star (Rdf.Path.Prop p))) (v "y")));
+  check_int "seq path" 1
+    (count_solutions
+       (bgp1 (c (ex "a"))
+          (Ppath (Rdf.Path.Seq (Rdf.Path.Prop p, Rdf.Path.Prop p)))
+          (v "y")))
+
+let test_union_minus () =
+  let pat1 = bgp1 (v "x") (Pred p) (v "y") in
+  let pat2 = bgp1 (v "x") (Pred q) (v "n") in
+  check_int "union" 5 (count_solutions (Union (pat1, pat2)));
+  (* x with a p-edge but considering MINUS of those with p to c *)
+  check_int "minus" 1
+    (count_solutions
+       (Minus (pat1, bgp1 (v "x") (Pred p) (c (ex "c")))))
+
+let test_optional () =
+  (* every node with q, optionally its p-successor *)
+  let left = bgp1 (v "x") (Pred q) (v "n") in
+  let right = bgp1 (v "x") (Pred p) (v "y") in
+  let rows = Eval.eval g (Left_join (left, right, e_true)) in
+  check_int "all left rows kept" 3 (List.length rows);
+  let bound_y =
+    List.length (List.filter (fun b -> Binding.mem "y" b) rows)
+  in
+  check_int "optional bound where possible" 2 bound_y
+
+let test_filter_exprs () =
+  let pat = bgp1 (v "x") (Pred q) (v "n") in
+  check_int "numeric filter" 2
+    (count_solutions
+       (Filter (E_gt (E_var "n", E_term (Term.int 1)), pat)));
+  check_int "equality filter" 1
+    (count_solutions (Filter (E_eq (E_var "x", E_term (ex "a")), pat)));
+  check_int "in filter" 2
+    (count_solutions (Filter (E_in (E_var "x", [ ex "a"; ex "b" ]), pat)));
+  check_int "isIRI" 3
+    (count_solutions (Filter (E_is_iri (E_var "x"), pat)));
+  check_int "not exists" 1
+    (count_solutions
+       (Filter (E_not_exists (bgp1 (Var "x") (Pred p) (Var "w")), pat)))
+
+let test_exists_substitution () =
+  (* EXISTS sees the outer binding of x *)
+  let pat = bgp1 (v "x") (Pred q) (v "n") in
+  let with_exists =
+    Filter (E_exists (bgp1 (Var "x") (Pred p) (c (ex "b"))), pat)
+  in
+  check_int "exists substitutes x" 1 (count_solutions with_exists)
+
+let test_group () =
+  (* count p+q successors per subject *)
+  let pat = bgp1 (v "x") (Pvar "pr") (v "y") in
+  let grouped =
+    Group { keys = [ "x" ]; aggs = [ "cnt", Count_distinct "y" ]; sub = pat }
+  in
+  let rows = Eval.eval g grouped in
+  check_int "three groups" 3 (List.length rows);
+  let count_of node =
+    List.find_map
+      (fun b ->
+        match Binding.find "x" b, Binding.find "cnt" b with
+        | Some t, Some (Term.Literal l) when Term.equal t node ->
+            Literal.canonical_int l
+        | _ -> None)
+      rows
+  in
+  Alcotest.(check (option int)) "a has 2" (Some 2) (count_of (ex "a"));
+  Alcotest.(check (option int)) "c has 1" (Some 1) (count_of (ex "c"))
+
+let test_extend_project_distinct () =
+  let pat = bgp1 (v "x") (Pred p) (v "y") in
+  let rows =
+    Eval.eval g (Extend ("flag", E_term (Term.bool true), pat))
+  in
+  Alcotest.(check bool) "extend binds" true
+    (List.for_all (fun b -> Binding.mem "flag" b) rows);
+  check_int "project+distinct dedups" 1
+    (count_solutions
+       (Distinct
+          (Project ([ "k" ], Extend ("k", E_term (Term.int 7), pat)))))
+
+let test_node_pattern () =
+  let rows = Eval.eval g (node_pattern "n") in
+  (* nodes: a, b, c, and the literals 1, 2, 3 *)
+  check_int "all graph nodes" 6 (List.length rows)
+
+let test_construct () =
+  let result =
+    Eval.construct g
+      ~template:[ tp (v "y") (Pred q) (v "x") ]
+      (bgp1 (v "x") (Pred p) (v "y"))
+  in
+  Alcotest.check Tgen.graph_testable "reversed edges"
+    (Graph.of_list [ Triple.make (ex "b") q (ex "a"); Triple.make (ex "c") q (ex "b") ])
+    result
+
+(* Naive and indexed strategies agree on arbitrary BGPs. *)
+let prop_strategies_agree =
+  QCheck.Test.make ~name:"naive and indexed evaluation agree" ~count:200
+    QCheck.(pair Tgen.arbitrary_graph Tgen.arbitrary_path)
+    (fun (g, path) ->
+      let alg =
+        Union
+          ( BGP
+              [ tp (Var "x") (Pred Tgen.prop_p) (Var "y");
+                tp (Var "y") (Ppath path) (Var "z") ],
+            bgp1 (Var "x") (Pvar "w") (Var "z") )
+      in
+      let normalize rows =
+        List.sort Binding.compare rows
+      in
+      normalize (Eval.eval ~strategy:Eval.Indexed g alg)
+      = normalize (Eval.eval ~strategy:Eval.Naive g alg))
+
+let suite =
+  [ "basic graph patterns", `Quick, test_bgp;
+    "property path patterns", `Quick, test_path_pattern;
+    "union and minus", `Quick, test_union_minus;
+    "optional", `Quick, test_optional;
+    "filter expressions", `Quick, test_filter_exprs;
+    "exists substitutes outer bindings", `Quick, test_exists_substitution;
+    "group and count", `Quick, test_group;
+    "extend, project, distinct", `Quick, test_extend_project_distinct;
+    "node pattern", `Quick, test_node_pattern;
+    "construct", `Quick, test_construct ]
+
+let props = [ prop_strategies_agree ]

@@ -1,0 +1,160 @@
+(* The SPARQL translation (Lemma 5.1, Prop 5.3, Cor 5.5) against the
+   direct implementations. *)
+
+open Rdf
+open Shacl
+open Provenance
+
+let schema = Schema.empty
+
+(* Lemma 5.1 part 1: the (?t, ?h) projection of Q_E is [[E]] on N(G). *)
+let prop_qe_relation =
+  QCheck.Test.make ~name:"Q_E projects to [[E]] on N(G)" ~count:150
+    QCheck.(pair Tgen.arbitrary_graph Tgen.arbitrary_path)
+    (fun (g, e) ->
+      let q = To_sparql.path_query e in
+      let rows = Sparql.Eval.eval g q.To_sparql.alg in
+      let from_query =
+        List.filter_map
+          (fun row ->
+            match
+              Sparql.Binding.find q.To_sparql.t row,
+              Sparql.Binding.find q.To_sparql.h row
+            with
+            | Some a, Some b -> Some (a, b)
+            | _ -> None)
+          rows
+        |> List.sort_uniq compare
+      in
+      let direct = List.sort_uniq compare (Rdf.Path.pairs g e) in
+      if from_query <> direct then
+        QCheck.Test.fail_reportf
+          "pairs differ for %s:@ query %d vs direct %d"
+          (Rdf.Path.to_string e) (List.length from_query) (List.length direct)
+      else true)
+
+(* Lemma 5.1 part 2: fixing (?t, ?h) = (a, b) yields the traced graph. *)
+let prop_qe_trace =
+  QCheck.Test.make ~name:"Q_E traces graph(paths(E,G,a,b))" ~count:150
+    QCheck.(triple Tgen.arbitrary_graph Tgen.arbitrary_path
+              (pair Tgen.arbitrary_node Tgen.arbitrary_node))
+    (fun (g, e, (a, b)) ->
+      let via_sparql = To_sparql.trace_via_sparql g e a b in
+      let direct = Rdf.Path.trace g e a b in
+      (* restricted to N(G): skip nodes outside the graph *)
+      if
+        Term.Set.mem a (Graph.nodes g)
+        && Term.Set.mem b (Graph.nodes g)
+        && not (Graph.equal via_sparql direct)
+      then
+        QCheck.Test.fail_reportf
+          "trace differs for %s from %a to %a:@ sparql=%a@ direct=%a"
+          (Rdf.Path.to_string e) Term.pp a Term.pp b Graph.pp via_sparql
+          Graph.pp direct
+      else true)
+
+(* CQ_phi returns exactly the conforming nodes of N(G). *)
+let prop_cq =
+  QCheck.Test.make ~name:"CQ_phi = conforming nodes of N(G)" ~count:200
+    QCheck.(pair Tgen.arbitrary_graph Tgen.arbitrary_shape)
+    (fun (g, s) ->
+      let alg = To_sparql.conformance_query s ~var:"v" in
+      let rows = Sparql.Eval.eval g (Sparql.Algebra.Distinct (Sparql.Algebra.Project ([ "v" ], alg))) in
+      let from_query =
+        List.filter_map (fun row -> Sparql.Binding.find "v" row) rows
+        |> Term.Set.of_list
+      in
+      let direct =
+        Term.Set.filter
+          (fun v -> Conformance.conforms schema g v s)
+          (Graph.nodes g)
+      in
+      if not (Term.Set.equal from_query direct) then
+        QCheck.Test.fail_reportf
+          "conforming sets differ for %a:@ query {%a}@ direct {%a}" Shape.pp s
+          (Format.pp_print_list Term.pp) (Term.Set.elements from_query)
+          (Format.pp_print_list Term.pp) (Term.Set.elements direct)
+      else true)
+
+(* Prop 5.3: Q_phi rows regrouped per node equal B(v, G, phi), for nodes
+   of N(G). *)
+let prop_q_phi =
+  QCheck.Test.make ~name:"Q_phi = neighborhoods (Prop 5.3)" ~count:200
+    QCheck.(pair Tgen.arbitrary_graph Tgen.arbitrary_shape)
+    (fun (g, s) ->
+      let via_sparql = To_sparql.neighborhoods_via_sparql g s in
+      Term.Set.for_all
+        (fun v ->
+          let direct = Neighborhood.b ~schema g v s in
+          let from_query =
+            Option.value (Term.Map.find_opt v via_sparql) ~default:Graph.empty
+          in
+          if not (Graph.equal direct from_query) then
+            QCheck.Test.fail_reportf
+              "neighborhood differs at %a for %a:@ sparql=%a@ direct=%a"
+              Term.pp v Shape.pp s Graph.pp from_query Graph.pp direct
+          else true)
+        (Graph.nodes g))
+
+(* Cor 5.5: the fragment query computes Frag(G, S) (over graph nodes). *)
+let prop_q_s =
+  QCheck.Test.make ~name:"Q_S = Frag(G,S) (Cor 5.5)" ~count:150
+    QCheck.(pair Tgen.arbitrary_graph (pair Tgen.arbitrary_shape Tgen.arbitrary_shape))
+    (fun (g, (s1, s2)) ->
+      let shapes = [ s1; s2 ] in
+      let via_sparql = To_sparql.fragment_via_sparql g shapes in
+      (* Frag over graph nodes only: hasValue constants outside N(G) have
+         empty neighborhoods anyway, so the sets agree. *)
+      let direct = Fragment.frag ~schema g shapes in
+      if not (Graph.equal via_sparql direct) then
+        QCheck.Test.fail_reportf "fragment differs:@ sparql=%a@ direct=%a"
+          Graph.pp via_sparql Graph.pp direct
+      else true)
+
+(* Unit: Example 5.6 — friends who all like ping-pong. *)
+let test_example_5_6 () =
+  let ex l = Term.iri ("http://example.org/" ^ l) in
+  let exi l = Iri.of_string ("http://example.org/" ^ l) in
+  let friend = exi "friend" and likes = exi "likes" in
+  let pingpong = ex "PingPong" in
+  let tr s p o = Triple.make s p o in
+  let g =
+    Graph.of_list
+      [ tr (ex "v") friend (ex "f1");
+        tr (ex "f1") likes pingpong;
+        tr (ex "v") friend (ex "f2");
+        tr (ex "f2") likes pingpong;
+        tr (ex "w") friend (ex "f3");
+        tr (ex "f3") likes (ex "Tennis") ]
+  in
+  let shape =
+    Shape.Forall
+      ( Rdf.Path.Prop friend,
+        Shape.Ge (1, Rdf.Path.Prop likes, Shape.Has_value pingpong) )
+  in
+  let fragment = To_sparql.fragment_via_sparql g [ shape ] in
+  (* v conforms: fragment has v's friend edges and their likes.
+     w does not conform.  f1..f3 and pingpong trivially conform
+     (no friends), contributing nothing. *)
+  let expected =
+    Graph.of_list
+      [ tr (ex "v") friend (ex "f1");
+        tr (ex "f1") likes pingpong;
+        tr (ex "v") friend (ex "f2");
+        tr (ex "f2") likes pingpong ]
+  in
+  Alcotest.check Tgen.graph_testable "example 5.6 fragment" expected fragment
+
+(* The generated query size is linear in the shape size (sanity bound). *)
+let prop_query_linear =
+  QCheck.Test.make ~name:"query size linear in shape size" ~count:100
+    Tgen.arbitrary_shape_deep
+    (fun s ->
+      let alg = To_sparql.neighborhood_query s in
+      To_sparql.query_size alg <= 220 * (Shape.size s + 8))
+
+let suite = [ "Example 5.6", `Quick, test_example_5_6 ]
+
+let props =
+  [ prop_qe_relation; prop_qe_trace; prop_cq; prop_q_phi; prop_q_s;
+    prop_query_linear ]

@@ -1,0 +1,85 @@
+(* Triple pattern fragments vs shape fragments (Prop 6.2, Appendix D). *)
+
+open Rdf
+open Workload
+
+let check = Alcotest.(check bool)
+
+(* The seven expressible forms: the shape fragment equals the TPF result
+   on arbitrary graphs (the generator's vocabulary matches Tpf's: nodes
+   a..e and properties p,q,r over http://example.org/). *)
+let prop_expressible_forms =
+  QCheck.Test.make ~name:"Prop 6.2: expressible TPFs = shape fragments"
+    ~count:300 Tgen.arbitrary_graph
+    (fun g ->
+      List.for_all
+        (fun form ->
+          match Tpf.shape_for form with
+          | None -> QCheck.Test.fail_reportf "form %s unexpectedly inexpressible"
+                      (Tpf.form_name form)
+          | Some shape ->
+              let via_tpf = Tpf.eval g form in
+              let via_fragment = Provenance.Fragment.frag g [ shape ] in
+              if Graph.equal via_tpf via_fragment then true
+              else
+                QCheck.Test.fail_reportf
+                  "form %s differs:@ tpf=%a@ fragment=%a" (Tpf.form_name form)
+                  Graph.pp via_tpf Graph.pp via_fragment)
+        Tpf.expressible_forms)
+
+let test_inexpressible_have_no_shape () =
+  List.iter
+    (fun form ->
+      check
+        (Printf.sprintf "%s has no shape" (Tpf.form_name form))
+        true
+        (Tpf.shape_for form = None))
+    Tpf.inexpressible_forms
+
+(* Appendix D: on each counterexample graph the TPF result violates the
+   closure property of Lemma D.1, which every shape fragment satisfies —
+   so no shape can express the TPF. *)
+let test_counterexamples () =
+  List.iter
+    (fun (form, g) ->
+      check
+        (Printf.sprintf "Lemma D.1 violated by %s" (Tpf.form_name form))
+        true
+        (Tpf.lemma_d1_violated form g))
+    Tpf.counterexamples
+
+(* Sanity: the fragments of the expressible forms do satisfy the closure
+   property on those same graphs. *)
+let test_fragments_respect_lemma () =
+  List.iter
+    (fun (_, g) ->
+      List.iter
+        (fun form ->
+          match Tpf.shape_for form with
+          | None -> ()
+          | Some shape ->
+              let fragment = Provenance.Fragment.frag g [ shape ] in
+              let tpf_of_fragment = Tpf.eval fragment form in
+              check "fragment result matches TPF on its own triples" true
+                (Graph.subset tpf_of_fragment fragment))
+        Tpf.expressible_forms)
+    Tpf.counterexamples
+
+let test_eval_identity_var () =
+  (* (?x, p, ?x) matches self loops only *)
+  let a = Term.iri "http://example.org/a" in
+  let b = Term.iri "http://example.org/b" in
+  let p = Iri.of_string "http://example.org/p" in
+  let g = Graph.of_list [ Triple.make a p a; Triple.make a p b ] in
+  let form = Tpf.make (Tpf.Var 0) (Tpf.Pterm p) (Tpf.Var 0) in
+  Alcotest.check Tgen.graph_testable "self loop only"
+    (Graph.of_list [ Triple.make a p a ])
+    (Tpf.eval g form)
+
+let suite =
+  [ "inexpressible forms have no shape", `Quick, test_inexpressible_have_no_shape;
+    "Appendix D counterexamples", `Quick, test_counterexamples;
+    "fragments respect Lemma D.1", `Quick, test_fragments_respect_lemma;
+    "repeated-variable matching", `Quick, test_eval_identity_var ]
+
+let props = [ prop_expressible_forms ]

@@ -1,0 +1,158 @@
+(* Turtle reader/writer tests. *)
+
+open Rdf
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ex local = Term.iri ("http://example.org/" ^ local)
+let exi local = Iri.of_string ("http://example.org/" ^ local)
+
+let test_basic () =
+  let g =
+    Turtle.parse_exn
+      {|@prefix ex: <http://example.org/> .
+        ex:a ex:p ex:b .
+        ex:b ex:p ex:c ; ex:q "hello" .
+      |}
+  in
+  check_int "triples" 3 (Graph.cardinal g);
+  check "a p b" true (Graph.mem_spo (ex "a") (exi "p") (ex "b") g);
+  check "b q hello" true
+    (Graph.mem_spo (ex "b") (exi "q") (Term.str "hello") g)
+
+let test_literals () =
+  let g =
+    Turtle.parse_exn
+      {|@prefix ex: <http://example.org/> .
+        @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+        ex:a ex:age 42 ; ex:score 3.14 ; ex:big 1.0e6 ;
+             ex:active true ;
+             ex:name "Anna"@en ;
+             ex:when "2021-01-01T00:00:00"^^xsd:dateTime .
+      |}
+  in
+  check_int "triples" 6 (Graph.cardinal g);
+  check "int" true (Graph.mem_spo (ex "a") (exi "age") (Term.int 42) g);
+  check "bool" true (Graph.mem_spo (ex "a") (exi "active") (Term.bool true) g);
+  check "lang" true
+    (Graph.mem_spo (ex "a") (exi "name")
+       (Term.Literal (Literal.lang_string "Anna" ~lang:"en"))
+       g);
+  check "dateTime" true
+    (Graph.mem_spo (ex "a") (exi "when")
+       (Term.Literal (Literal.date_time "2021-01-01T00:00:00"))
+       g)
+
+let test_object_lists_and_a () =
+  let g =
+    Turtle.parse_exn
+      {|@prefix ex: <http://example.org/> .
+        @prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+        ex:x a ex:Widget ;
+             ex:part ex:y, ex:z .
+      |}
+  in
+  check_int "triples" 3 (Graph.cardinal g);
+  check "rdf:type via 'a'" true
+    (Graph.mem_spo (ex "x") Vocab.Rdf.type_ (ex "Widget") g)
+
+let test_blank_nodes () =
+  let g =
+    Turtle.parse_exn
+      {|@prefix ex: <http://example.org/> .
+        ex:s ex:p [ ex:q ex:o ; ex:r "v" ] .
+        _:label ex:p ex:s .
+      |}
+  in
+  check_int "triples" 4 (Graph.cardinal g);
+  (* one anonymous node with two properties *)
+  let anon_subjects =
+    Graph.fold
+      (fun t acc ->
+        match Triple.subject t with
+        | Term.Blank lbl -> lbl :: acc
+        | _ -> acc)
+      g []
+  in
+  check_int "blank subjects" 3 (List.length anon_subjects)
+
+let test_collections () =
+  let g =
+    Turtle.parse_exn
+      {|@prefix ex: <http://example.org/> .
+        ex:s ex:list ( ex:a ex:b ex:c ) .
+        ex:t ex:empty ( ) .
+      |}
+  in
+  (* list of 3 = 6 first/rest triples + 1 attachment; empty list = rdf:nil *)
+  check_int "triples" 8 (Graph.cardinal g);
+  check "empty collection is rdf:nil" true
+    (Graph.mem_spo (ex "t") (exi "empty") (Term.Iri Vocab.Rdf.nil) g);
+  (* Read back the list through the SHACL list reader. *)
+  let head =
+    Term.Set.choose (Graph.objects g (ex "s") (exi "list"))
+  in
+  match Shacl.Shapes_graph.rdf_list g head with
+  | Ok members ->
+      Alcotest.(check (list string))
+        "list members"
+        [ "http://example.org/a"; "http://example.org/b";
+          "http://example.org/c" ]
+        (List.map Term.to_string members
+        |> List.map (fun s -> String.sub s 1 (String.length s - 2)))
+  | Error e -> Alcotest.failf "rdf_list: %a" Shacl.Shapes_graph.pp_error e
+
+let test_comments_and_strings () =
+  let g =
+    Turtle.parse_exn
+      {|# leading comment
+        @prefix ex: <http://example.org/> . # trailing comment
+        ex:a ex:p "multi\nline" .
+        ex:a ex:q """long
+string""" .
+        ex:a ex:r "tab\there" .
+      |}
+  in
+  check_int "triples" 3 (Graph.cardinal g);
+  check "escaped newline" true
+    (Graph.mem_spo (ex "a") (exi "p") (Term.str "multi\nline") g);
+  check "long string" true
+    (Graph.mem_spo (ex "a") (exi "q") (Term.str "long\nstring") g)
+
+let test_errors () =
+  check "unterminated iri" true
+    (Result.is_error (Turtle.parse "<http://unterminated"));
+  check "missing dot" true
+    (Result.is_error (Turtle.parse "<http://a> <http://b> <http://c>"));
+  check "unbound prefix" true (Result.is_error (Turtle.parse "ex:a ex:b ex:c ."))
+
+let test_roundtrip_sample () =
+  let src =
+    {|@prefix ex: <http://example.org/> .
+      ex:a ex:p ex:b ; ex:q 5 .
+      ex:b ex:name "b"@en .
+    |}
+  in
+  let g = Turtle.parse_exn src in
+  let g' = Turtle.parse_exn (Turtle.to_string g) in
+  Alcotest.check Tgen.graph_testable "roundtrip" g g'
+
+(* Serializer roundtrip over random graphs (blank-node free vocabulary,
+   so graph equality is plain set equality). *)
+let prop_roundtrip =
+  QCheck.Test.make ~name:"turtle serialize/parse roundtrip" ~count:100
+    Tgen.arbitrary_graph
+    (fun g -> Graph.equal g (Turtle.parse_exn (Turtle.to_string g)))
+
+let suite =
+  [ "basic triples", `Quick, test_basic;
+    "literal forms", `Quick, test_literals;
+    "object lists and 'a'", `Quick, test_object_lists_and_a;
+    "blank nodes", `Quick, test_blank_nodes;
+    "collections", `Quick, test_collections;
+    "comments and strings", `Quick, test_comments_and_strings;
+    "parse errors", `Quick, test_errors;
+    "roundtrip sample", `Quick, test_roundtrip_sample ]
+
+let props = [ prop_roundtrip ]

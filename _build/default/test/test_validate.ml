@@ -1,0 +1,122 @@
+(* Validation: target evaluation (fast paths vs generic) and reports. *)
+
+open Rdf
+open Shacl
+
+let ex local = Term.iri ("http://example.org/" ^ local)
+let exi local = Iri.of_string ("http://example.org/" ^ local)
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let g =
+  Graph.of_list
+    [ Triple.make (ex "a") Vocab.Rdf.type_ (ex "C");
+      Triple.make (ex "Sub") Vocab.Rdfs.sub_class_of (ex "C");
+      Triple.make (ex "b") Vocab.Rdf.type_ (ex "Sub");
+      Triple.make (ex "a") (exi "p") (ex "x");
+      Triple.make (ex "x") (exi "p") (Term.int 1) ]
+
+let def shape target =
+  { Schema.name = ex "S"; shape; target }
+
+let schema_of shape target = Schema.make_exn [ def shape target ]
+
+let test_fast_targets_match_generic () =
+  (* For each real target form, the fast path must agree with evaluating
+     the target as a plain shape over all nodes. *)
+  let targets =
+    [ Shape.Has_value (ex "a");
+      Shape.Has_value (ex "not-in-graph");
+      Shape_syntax.parse_exn ">=1 rdf:type/rdfs:subClassOf* . hasValue(ex:C)";
+      Shape_syntax.parse_exn ">=1 ex:p . top";
+      Shape_syntax.parse_exn ">=1 ^ex:p . top";
+      Shape.Or
+        [ Shape.Has_value (ex "b");
+          Shape_syntax.parse_exn ">=1 ex:p . top" ];
+      Shape.Bottom ]
+  in
+  List.iter
+    (fun target ->
+      let schema = schema_of Shape.Top target in
+      let d = List.hd (Schema.defs schema) in
+      let fast = Validate.target_nodes schema g d in
+      let generic = Conformance.conforming_nodes schema g target in
+      if not (Term.Set.equal fast generic) then
+        Alcotest.failf "fast/generic targets differ for %a" Shape.pp target)
+    targets
+
+let test_target_node_outside_graph () =
+  (* sh:targetNode must target the node even when it has no triples *)
+  let schema = schema_of (Shape.Ge (1, Rdf.Path.Prop (exi "p"), Shape.Top))
+                 (Shape.Has_value (ex "isolated")) in
+  let report = Validate.validate schema g in
+  check "isolated target checked" false report.Validate.conforms;
+  check_int "one result" 1 (List.length report.Validate.results)
+
+let test_report_contents () =
+  let schema =
+    schema_of
+      (Shape_syntax.parse_exn "forall ex:p . test(kind = iri)")
+      (Shape_syntax.parse_exn ">=1 ex:p . top")
+  in
+  let report = Validate.validate schema g in
+  (* targets: a (p->x, iri ok) and x (p->1, literal: violation) *)
+  check_int "two targets" 2 (List.length report.Validate.results);
+  check "overall fails" false report.Validate.conforms;
+  let bad = Validate.violations report in
+  check_int "one violation" 1 (List.length bad);
+  (match bad with
+   | [ r ] -> check "x is the violator" true (Term.equal r.Validate.focus (ex "x"))
+   | _ -> Alcotest.fail "expected one violation");
+  check "conforms agrees with validate" false (Validate.conforms schema g)
+
+let test_multiple_defs () =
+  let schema =
+    Schema.make_exn
+      [ { Schema.name = ex "S1";
+          shape = Shape.Top;
+          target = Shape.Has_value (ex "a") };
+        { Schema.name = ex "S2";
+          shape = Shape.Bottom;
+          target = Shape.Has_value (ex "a") } ]
+  in
+  let report = Validate.validate schema g in
+  check_int "both defs checked" 2 (List.length report.Validate.results);
+  check "violation from S2" false report.Validate.conforms
+
+let test_empty_schema () =
+  let report = Validate.validate Schema.empty g in
+  check "empty schema conforms" true report.Validate.conforms;
+  check_int "no results" 0 (List.length report.Validate.results)
+
+let suite =
+  [ "fast targets equal generic evaluation", `Quick, test_fast_targets_match_generic;
+    "node target outside the graph", `Quick, test_target_node_outside_graph;
+    "report contents", `Quick, test_report_contents;
+    "multiple definitions", `Quick, test_multiple_defs;
+    "empty schema", `Quick, test_empty_schema ]
+
+(* Property: fast target computation always agrees with the generic one
+   on random graphs for random real-SHACL target forms. *)
+let prop_targets =
+  let open QCheck in
+  let gen_target =
+    Gen.oneof
+      [ Gen.map (fun c -> Shape.Has_value c) (Gen.oneofl Tgen.nodes);
+        Gen.map
+          (fun p -> Shape.Ge (1, Rdf.Path.Prop p, Shape.Top))
+          (Gen.oneofl Tgen.props);
+        Gen.map
+          (fun p -> Shape.Ge (1, Rdf.Path.Inv (Rdf.Path.Prop p), Shape.Top))
+          (Gen.oneofl Tgen.props) ]
+  in
+  Test.make ~name:"fast targets = generic targets" ~count:200
+    (pair Tgen.arbitrary_graph (make gen_target ~print:Shacl.Shape.to_string))
+    (fun (g, target) ->
+      let schema = Schema.make_exn [ { Schema.name = ex "S"; shape = Shape.Top; target } ] in
+      let d = List.hd (Schema.defs schema) in
+      Term.Set.equal
+        (Validate.target_nodes schema g d)
+        (Conformance.conforming_nodes schema g target))
+
+let props = [ prop_targets ]

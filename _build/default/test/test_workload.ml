@@ -1,0 +1,113 @@
+(* Workload generators and the Section 4.1 query survey. *)
+
+open Rdf
+open Workload
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_kg_deterministic () =
+  let g1 = Kg.generate ~seed:7 ~individuals:300 in
+  let g2 = Kg.generate ~seed:7 ~individuals:300 in
+  let g3 = Kg.generate ~seed:8 ~individuals:300 in
+  check "same seed, same graph" true (Graph.equal g1 g2);
+  check "different seed, different graph" false (Graph.equal g1 g3);
+  (* roughly 4-12 triples per individual in this vocabulary *)
+  let n = Graph.cardinal g1 in
+  check "plausible size" true (n > 300 * 2 && n < 300 * 15)
+
+let test_kg_sampling () =
+  let g = Kg.generate ~seed:3 ~individuals:500 in
+  let rand = Rand.create 11 in
+  let small = Kg.sample_induced rand g ~nodes:100 in
+  let rand = Rand.create 11 in
+  let big = Kg.sample_induced rand g ~nodes:400 in
+  check "induced subgraph" true (Graph.subset small g);
+  check "larger sample, larger graph" true
+    (Graph.cardinal big > Graph.cardinal small)
+
+let test_bench_shapes () =
+  check_int "57 shapes" 57 (List.length Bench_shapes.all);
+  (* ids unique *)
+  let ids = List.map (fun (e : Bench_shapes.entry) -> e.id) Bench_shapes.all in
+  check_int "unique ids" 57 (List.length (List.sort_uniq compare ids));
+  (* every schema validates without crashing on a small graph, and at
+     least half of the shapes have a nonempty target set *)
+  let g = Kg.generate ~seed:1 ~individuals:400 in
+  let nonempty = ref 0 in
+  List.iter
+    (fun entry ->
+      let schema = Bench_shapes.schema_of entry in
+      let report = Shacl.Validate.validate schema g in
+      if report.Shacl.Validate.results <> [] then incr nonempty)
+    Bench_shapes.all;
+  check "most shapes have targets" true (!nonempty >= 40)
+
+let test_dblp () =
+  let g =
+    Dblp.generate ~seed:5 ~years:(2010, 2014) ~papers_per_year:50 ~authors:120
+  in
+  let recent = Dblp.slice g ~from_year:2013 in
+  let all = Dblp.slice g ~from_year:2010 in
+  check "slice is induced" true (Graph.subset recent g);
+  check "full slice is everything" true (Graph.equal all g);
+  check "recent smaller" true (Graph.cardinal recent < Graph.cardinal g);
+  (* hub appears as an author *)
+  check "hub is present" true
+    (not (Term.Set.is_empty (Graph.subjects g Dblp.authored_by Dblp.hub)));
+  (* the Vardi shape has conforming authors, and its fragment contains
+     only authoredBy triples *)
+  let fragment = Provenance.Fragment.frag g [ Dblp.vardi_shape ~distance:3 ] in
+  check "fragment nonempty" true (not (Graph.is_empty fragment));
+  check "fragment is authoredBy-only" true
+    (Graph.for_all
+       (fun t -> Iri.equal (Triple.predicate t) Dblp.authored_by)
+       fragment)
+
+let test_bsbm () =
+  let g1 = Bsbm.generate ~seed:2 ~products:60 in
+  let g2 = Bsbm.generate ~seed:2 ~products:60 in
+  check "deterministic" true (Graph.equal g1 g2);
+  check "has products" true
+    (not
+       (Term.Set.is_empty
+          (Graph.subjects g1 Vocab.Rdf.type_ Bsbm.Voc.product)))
+
+let test_query_survey () =
+  check_int "46 queries" 46 (List.length Queries.all);
+  check_int "39 expressible" 39 Queries.expressible_count;
+  check_int "7 inexpressible" 7 Queries.inexpressible_count;
+  let ids = List.map (fun (q : Queries.t) -> q.Queries.id) Queries.all in
+  check_int "unique query ids" 46 (List.length (List.sort_uniq compare ids));
+  let g = Bsbm.generate ~seed:9 ~products:80 in
+  let outcomes = Queries.survey g in
+  List.iter
+    (fun (o : Queries.outcome) ->
+      (match o.Queries.image_in_fragment with
+       | Some contained ->
+           check
+             (Printf.sprintf "%s: image within fragment" o.Queries.query.Queries.id)
+             true contained
+       | None -> ());
+      match o.Queries.exact_match with
+      | Some equal ->
+          check
+            (Printf.sprintf "%s: fragment equals image" o.Queries.query.Queries.id)
+            true equal
+      | None -> ())
+    outcomes;
+  (* at least half the queries return something on this data *)
+  let nonempty =
+    List.length (List.filter (fun o -> o.Queries.image_size > 0) outcomes)
+  in
+  check "most queries nonempty" true (nonempty >= 23)
+
+let suite =
+  [ "kg generator deterministic", `Quick, test_kg_deterministic;
+    "kg induced sampling", `Quick, test_kg_sampling;
+    "57 bench shapes", `Quick, test_bench_shapes;
+    "dblp generator and slices", `Quick, test_dblp;
+    "bsbm generator", `Quick, test_bsbm;
+    "query survey (39/46)", `Slow, test_query_survey ]
+
+let props = []
