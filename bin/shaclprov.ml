@@ -2,9 +2,16 @@
 
    Subcommands:
      validate      validate a data graph against a SHACL shapes graph
+     lint          static analysis of a shapes graph (no data needed)
      neighborhood  provenance of one node for one shape (why / why-not)
      fragment      extract the shape fragment of a graph
-     to-sparql     show the SPARQL translation of a shape's queries *)
+     to-sparql     show the SPARQL translation of a shape's queries
+
+   Error handling: argument-shaped problems (unreadable files, malformed
+   --prefix bindings) are rejected by cmdliner argument converters with a
+   usage message; runtime failures (parse errors, bad shapes) surface as
+   [Error msg] through [Cmd.eval_result'], printing "shaclprov: msg" and
+   exiting with [Cmd.Exit.some_error] — never an exception backtrace. *)
 
 open Cmdliner
 
@@ -25,30 +32,36 @@ let shape_exprs_arg =
   in
   Arg.(value & opt_all string [] & info [ "e"; "shape" ] ~docv:"SHAPE" ~doc)
 
+(* A PREFIX=IRI binding, validated at argument-parse time. *)
+let prefix_conv =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i when i > 0 ->
+        Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | _ -> Error (`Msg (Printf.sprintf "bad prefix binding %S, expected PREFIX=IRI" s))
+  in
+  let print ppf (prefix, iri) = Format.fprintf ppf "%s=%s" prefix iri in
+  Arg.conv (parse, print)
+
 let prefix_arg =
   let doc =
     "Extra prefix binding PREFIX=IRI for shape expressions and output.  \
      Repeatable.  rdf, rdfs, xsd, sh and ex are predefined."
   in
-  Arg.(value & opt_all string [] & info [ "p"; "prefix" ] ~docv:"PFX=IRI" ~doc)
+  Arg.(value & opt_all prefix_conv [] & info [ "p"; "prefix" ] ~docv:"PFX=IRI" ~doc)
 
 let node_arg =
   let doc = "Focus node (IRI, possibly prefixed)." in
   Arg.(
     required & opt (some string) None & info [ "n"; "node" ] ~docv:"IRI" ~doc)
 
-let die fmt = Format.kasprintf (fun m -> raise (Failure m)) fmt
+exception Fail of string
+
+let die fmt = Format.kasprintf (fun m -> raise (Fail m)) fmt
 
 let namespaces_of prefixes =
   List.fold_left
-    (fun acc binding ->
-      match String.index_opt binding '=' with
-      | Some i ->
-          Rdf.Namespace.add
-            (String.sub binding 0 i)
-            (String.sub binding (i + 1) (String.length binding - i - 1))
-            acc
-      | None -> die "bad --prefix %S (expected PREFIX=IRI)" binding)
+    (fun acc (prefix, iri) -> Rdf.Namespace.add prefix iri acc)
     Rdf.Namespace.default prefixes
 
 let load_graph path =
@@ -62,6 +75,15 @@ let load_schema = function
       match Shacl.Shapes_graph.load (load_graph path) with
       | Ok schema -> schema
       | Error e -> die "%s: %a" path Shacl.Shapes_graph.pp_error e)
+
+(* Surface schema problems found by the static analyzer on the
+   subcommands that consume a shapes graph. *)
+let warn_schema schema =
+  List.iter
+    (fun d -> Format.eprintf "%a@." Analysis.Diagnostic.pp d)
+    (List.filter
+       (Analysis.Diagnostic.at_least Analysis.Diagnostic.Warning)
+       (Analysis.Analyzer.analyze schema))
 
 let parse_shapes namespaces exprs =
   List.map
@@ -79,7 +101,14 @@ let parse_node namespaces src =
     | Some iri -> Rdf.Term.iri iri
     | None -> Rdf.Term.iri src
 
-let wrap f = try Ok (f ()) with Failure m -> Error (`Msg m)
+(* Run the command body; [Fail] (and stray I/O errors) become a clean
+   [Error] message rather than an uncaught exception.  The body returns
+   the process exit code. *)
+let wrap f =
+  match f () with
+  | code -> Ok code
+  | exception Fail m -> Error m
+  | exception Sys_error m -> Error m
 
 (* ---------------- validate ---------------------------------------- *)
 
@@ -96,15 +125,70 @@ let validate_cmd =
           | Some _ -> load_schema shapes
           | None -> die "validate requires --shapes"
         in
+        warn_schema schema;
         let report = Shacl.Validate.validate schema g in
         if rdf_report then print_string (Shacl.Report.to_turtle report)
         else Format.printf "%a@." Shacl.Validate.pp_report report;
-        if not report.Shacl.Validate.conforms then exit 1)
+        if report.Shacl.Validate.conforms then 0 else 1)
   in
   let doc = "Validate a data graph against a SHACL shapes graph." in
   Cmd.v
     (Cmd.info "validate" ~doc)
-    Term.(term_result (const run $ data_arg $ shapes_arg $ rdf_report_arg))
+    Term.(const run $ data_arg $ shapes_arg $ rdf_report_arg)
+
+(* ---------------- lint --------------------------------------------- *)
+
+let lint_cmd =
+  let severity_arg =
+    let doc =
+      "Minimum severity to report: $(b,error), $(b,warning) or $(b,hint) \
+       (default: everything)."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [ "error", Analysis.Diagnostic.Error;
+               "warning", Analysis.Diagnostic.Warning;
+               "hint", Analysis.Diagnostic.Hint ])
+          Analysis.Diagnostic.Hint
+      & info [ "severity" ] ~docv:"SEVERITY" ~doc)
+  in
+  let run shapes severity =
+    wrap (fun () ->
+        let schema =
+          match shapes with
+          | Some _ -> load_schema shapes
+          | None -> die "lint requires --shapes"
+        in
+        let diagnostics = Analysis.Analyzer.analyze schema in
+        let shown =
+          List.filter (Analysis.Diagnostic.at_least severity) diagnostics
+        in
+        List.iter
+          (fun d -> Format.printf "%a@." Analysis.Diagnostic.pp d)
+          shown;
+        let count sev =
+          List.length
+            (List.filter
+               (fun (d : Analysis.Diagnostic.t) -> d.severity = sev)
+               diagnostics)
+        in
+        Format.printf "%d shape(s) checked: %d error(s), %d warning(s), %d \
+                       hint(s)@."
+          (List.length (Shacl.Schema.defs schema))
+          (count Analysis.Diagnostic.Error)
+          (count Analysis.Diagnostic.Warning)
+          (count Analysis.Diagnostic.Hint);
+        if Analysis.Diagnostic.has_errors diagnostics then 1 else 0)
+  in
+  let doc =
+    "Statically analyze a shapes graph: unsatisfiable shapes, count and \
+     closedness conflicts, non-monotone targets (Theorem 4.1), dangling \
+     references, dead shapes, provenance-trivial shapes.  Exits non-zero \
+     when errors are found."
+  in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ shapes_arg $ severity_arg)
 
 (* ---------------- neighborhood ------------------------------------ *)
 
@@ -143,7 +227,8 @@ let neighborhood_cmd =
                   "%a does not conform; why-not explanation:@.%s@." Rdf.Term.pp
                   v
                   (Rdf.Turtle.to_string ~prefixes:namespaces explanation))
-          shapes_to_check)
+          shapes_to_check;
+        0)
   in
   let doc =
     "Provenance of a node for a shape: its neighborhood when it conforms, \
@@ -152,9 +237,8 @@ let neighborhood_cmd =
   Cmd.v
     (Cmd.info "neighborhood" ~doc)
     Term.(
-      term_result
-        (const run $ data_arg $ shapes_arg $ shape_exprs_arg $ prefix_arg
-        $ node_arg))
+      const run $ data_arg $ shapes_arg $ shape_exprs_arg $ prefix_arg
+      $ node_arg)
 
 (* ---------------- fragment ---------------------------------------- *)
 
@@ -164,6 +248,7 @@ let fragment_cmd =
         let namespaces = namespaces_of prefixes in
         let g = load_graph data in
         let schema = load_schema shapes in
+        if shapes <> None then warn_schema schema;
         let fragment =
           match parse_shapes namespaces exprs with
           | [] ->
@@ -172,7 +257,8 @@ let fragment_cmd =
               else Provenance.Fragment.frag_schema schema g
           | request_shapes -> Provenance.Fragment.frag ~schema g request_shapes
         in
-        print_string (Rdf.Turtle.to_string ~prefixes:namespaces fragment))
+        print_string (Rdf.Turtle.to_string ~prefixes:namespaces fragment);
+        0)
   in
   let doc =
     "Extract the shape fragment: the union of the neighborhoods of all \
@@ -181,9 +267,7 @@ let fragment_cmd =
   in
   Cmd.v
     (Cmd.info "fragment" ~doc)
-    Term.(
-      term_result
-        (const run $ data_arg $ shapes_arg $ shape_exprs_arg $ prefix_arg))
+    Term.(const run $ data_arg $ shapes_arg $ shape_exprs_arg $ prefix_arg)
 
 (* ---------------- to-sparql --------------------------------------- *)
 
@@ -202,7 +286,8 @@ let to_sparql_cmd =
                   (Provenance.To_sparql.neighborhood_query shape))
               shapes;
             Format.printf "# fragment query Q_S@.%a@." Sparql.Algebra.pp
-              (Provenance.To_sparql.fragment_query shapes))
+              (Provenance.To_sparql.fragment_query shapes);
+            0)
   in
   let doc =
     "Show the SPARQL queries of Proposition 5.3 and Corollary 5.5 generated \
@@ -210,7 +295,7 @@ let to_sparql_cmd =
   in
   Cmd.v
     (Cmd.info "to-sparql" ~doc)
-    Term.(term_result (const run $ shape_exprs_arg $ prefix_arg))
+    Term.(const run $ shape_exprs_arg $ prefix_arg)
 
 (* ---------------- query -------------------------------------------- *)
 
@@ -229,15 +314,19 @@ let query_cmd =
             List.iter
               (fun row -> Format.printf "%a@." Sparql.Binding.pp row)
               rows;
-            Format.printf "%d solution(s)@." (List.length rows)
+            Format.printf "%d solution(s)@." (List.length rows);
+            0
         | Ok (Sparql.Parser.Graph result) ->
-            print_string (Rdf.Turtle.to_string ~prefixes:namespaces result)
-        | Ok (Sparql.Parser.Boolean b) -> Format.printf "%b@." b)
+            print_string (Rdf.Turtle.to_string ~prefixes:namespaces result);
+            0
+        | Ok (Sparql.Parser.Boolean b) ->
+            Format.printf "%b@." b;
+            0)
   in
   let doc = "Run a SPARQL query (the engine's supported subset) on a data graph." in
   Cmd.v
     (Cmd.info "query" ~doc)
-    Term.(term_result (const run $ data_arg $ prefix_arg $ query_arg))
+    Term.(const run $ data_arg $ prefix_arg $ query_arg)
 
 (* ---------------- explain ------------------------------------------ *)
 
@@ -262,16 +351,15 @@ let explain_cmd =
                 | Some annotations ->
                     Format.printf "%a does not conform because:@.%a@.@."
                       Rdf.Term.pp v Provenance.Annotated.pp annotations)
-              shapes)
+              shapes;
+            0)
   in
   let doc =
     "Per-triple explanation: each provenance triple with the constraints      that contributed it (why, or why-not on violation)."
   in
   Cmd.v
     (Cmd.info "explain" ~doc)
-    Term.(
-      term_result
-        (const run $ data_arg $ shape_exprs_arg $ prefix_arg $ node_arg))
+    Term.(const run $ data_arg $ shape_exprs_arg $ prefix_arg $ node_arg)
 
 (* ---------------- main --------------------------------------------- *)
 
@@ -279,7 +367,7 @@ let () =
   let doc = "SHACL validation with data provenance (neighborhoods and shape fragments)" in
   let info = Cmd.info "shaclprov" ~version:"1.0.0" ~doc in
   exit
-    (Cmd.eval
+    (Cmd.eval_result'
        (Cmd.group info
-          [ validate_cmd; neighborhood_cmd; explain_cmd; fragment_cmd;
-            query_cmd; to_sparql_cmd ]))
+          [ validate_cmd; lint_cmd; neighborhood_cmd; explain_cmd;
+            fragment_cmd; query_cmd; to_sparql_cmd ]))

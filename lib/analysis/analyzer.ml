@@ -1,0 +1,88 @@
+open Shacl
+
+let unsat_pass schema =
+  (* Contradictions are keyed by (code, message) so that a conflict
+     inlined into several referring definitions is reported once. *)
+  let seen = Hashtbl.create 16 in
+  List.concat_map
+    (fun (def : Schema.def) ->
+      let simplified, conflicts = Unsat.simplify schema def.shape in
+      let unsat = Shape.equal simplified Shape.Bottom in
+      let severity : Diagnostic.severity =
+        if not unsat then Warning
+        else if Schema.targeted def then Error
+        else Warning
+      in
+      let summary =
+        if unsat then
+          [ Diagnostic.make ~subject:def.name severity Unsatisfiable_shape
+              "no node of any graph can conform to this shape" ]
+        else []
+      in
+      let details =
+        List.filter_map
+          (fun (c : Unsat.conflict) ->
+            let key = (c.code, c.message) in
+            if Hashtbl.mem seen key then None
+            else begin
+              Hashtbl.add seen key ();
+              Some (Diagnostic.make ~subject:def.name severity c.code c.message)
+            end)
+          conflicts
+      in
+      summary @ details)
+    (Schema.defs schema)
+
+let monotone_pass schema =
+  List.filter_map
+    (fun (def : Schema.def) ->
+      if Schema.targeted def && not (Monotone.is_monotone schema def.target)
+      then
+        Some
+          (Diagnostic.makef ~subject:def.name Warning Non_monotone_target
+             "target %a is not monotone; the Conformance theorem (4.1) does \
+              not guarantee fragment validation"
+             Shape.pp def.target)
+      else None)
+    (Schema.defs schema)
+
+let reachability_pass schema =
+  let dangling =
+    List.map
+      (fun (referrer, missing) ->
+        Diagnostic.makef ~subject:referrer Warning Dangling_shape_ref
+          "reference to undefined shape %a (undefined shapes behave as top)"
+          Rdf.Term.pp missing)
+      (Reachability.dangling schema)
+  in
+  let dead =
+    List.map
+      (fun name ->
+        Diagnostic.make ~subject:name Hint Dead_shape
+          "shape is defined but not reachable from any targeted shape")
+      (Reachability.dead schema)
+  in
+  dangling @ dead
+
+let triviality_pass schema =
+  List.filter_map
+    (fun (def : Schema.def) ->
+      if not (Schema.targeted def) then None
+      else
+        let request = Shape.and_ [ def.shape; def.target ] in
+        if Unsat.is_unsatisfiable schema request then None
+        else if Triviality.always_empty schema request then
+          Some
+            (Diagnostic.make ~subject:def.name Hint Provenance_trivial
+               "the neighborhood of every conforming node is empty; the \
+                shape contributes nothing to fragments")
+        else None)
+    (Schema.defs schema)
+
+let analyze schema =
+  List.sort_uniq Diagnostic.compare
+    (unsat_pass schema @ monotone_pass schema @ reachability_pass schema
+    @ triviality_pass schema)
+
+let errors schema =
+  List.filter (Diagnostic.at_least Diagnostic.Error) (analyze schema)

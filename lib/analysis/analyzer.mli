@@ -1,0 +1,28 @@
+(** The static-analysis driver: runs every pass over a schema.
+
+    Passes and the diagnostics they emit:
+
+    - {!Unsat}: [unsatisfiable-shape] on every definition whose shape
+      admits no conforming node ([Error] when the definition is targeted,
+      [Warning] otherwise — an untargeted unsatisfiable shape only bites
+      through its referrers, which are flagged themselves), plus the
+      specific contradictions found ([count-conflict], [closed-conflict],
+      or a detailed [unsatisfiable-shape]); a contradiction confined to a
+      dead disjunct of a satisfiable shape is a [Warning].
+    - {!Monotone}: [non-monotone-target] ([Warning]) on targeted
+      definitions whose target expression fails the Theorem 4.1
+      precondition.
+    - {!Reachability}: [dangling-shape-ref] ([Warning]) and [dead-shape]
+      ([Hint]).
+    - {!Triviality}: [provenance-trivial] ([Hint]) on targeted,
+      satisfiable definitions whose request shape [phi ∧ tau] has a
+      provably empty neighborhood.
+
+    Diagnostics are deduplicated (a contradiction inlined into several
+    referring definitions is reported once, at the first definition in
+    schema order) and sorted most severe first. *)
+
+val analyze : Shacl.Schema.t -> Diagnostic.t list
+
+val errors : Shacl.Schema.t -> Diagnostic.t list
+(** The [Error]-severity subset of {!analyze}. *)

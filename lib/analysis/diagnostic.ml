@@ -1,0 +1,68 @@
+open Rdf
+
+type severity = Error | Warning | Hint
+
+type code =
+  | Unsatisfiable_shape
+  | Count_conflict
+  | Closed_conflict
+  | Non_monotone_target
+  | Dangling_shape_ref
+  | Dead_shape
+  | Provenance_trivial
+
+type t = {
+  severity : severity;
+  code : code;
+  subject : Term.t option;
+  message : string;
+}
+
+let make ?subject severity code message = { severity; code; subject; message }
+
+let makef ?subject severity code fmt =
+  Format.kasprintf (fun message -> make ?subject severity code message) fmt
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Hint -> "hint"
+
+let code_to_string = function
+  | Unsatisfiable_shape -> "unsatisfiable-shape"
+  | Count_conflict -> "count-conflict"
+  | Closed_conflict -> "closed-conflict"
+  | Non_monotone_target -> "non-monotone-target"
+  | Dangling_shape_ref -> "dangling-shape-ref"
+  | Dead_shape -> "dead-shape"
+  | Provenance_trivial -> "provenance-trivial"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Hint -> 2
+
+let compare_severity a b = Int.compare (severity_rank a) (severity_rank b)
+
+let compare a b =
+  let c = compare_severity a.severity b.severity in
+  if c <> 0 then c
+  else
+    let c = Option.compare Term.compare a.subject b.subject in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare a.code b.code in
+      if c <> 0 then c else String.compare a.message b.message
+
+let at_least threshold d = compare_severity d.severity threshold <= 0
+
+let has_errors = List.exists (fun d -> d.severity = Error)
+
+let pp_with pp_term ppf d =
+  (match d.subject with
+   | Some s ->
+       Format.fprintf ppf "%s[%s] shape %a: "
+         (severity_to_string d.severity) (code_to_string d.code) pp_term s
+   | None ->
+       Format.fprintf ppf "%s[%s] " (severity_to_string d.severity)
+         (code_to_string d.code));
+  Format.pp_print_string ppf d.message
+
+let pp ppf d = pp_with Term.pp ppf d

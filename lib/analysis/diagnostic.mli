@@ -1,0 +1,62 @@
+(** Structured diagnostics produced by the static-analysis passes.
+
+    A diagnostic pairs a machine-readable code with a severity, the name of
+    the shape definition it concerns (when there is one), and a rendered
+    human message.  Severities follow the usual linter convention:
+
+    - [Error]: the schema is broken — validation or fragment extraction
+      over it is guaranteed to misbehave (e.g. an unsatisfiable targeted
+      shape rejects every target node).
+    - [Warning]: the schema is accepted but one of the paper's guarantees
+      is lost or a definition is likely a mistake.
+    - [Hint]: stylistic or informational. *)
+
+type severity = Error | Warning | Hint
+
+type code =
+  | Unsatisfiable_shape   (** no node of any graph can conform *)
+  | Count_conflict        (** [>=n E.phi] vs [<=m E.phi] with [n > m] *)
+  | Closed_conflict       (** a required property leaves a [closed(P)] set *)
+  | Non_monotone_target   (** Theorem 4.1 precondition violated *)
+  | Dangling_shape_ref    (** [hasShape(s)] with [s] undefined *)
+  | Dead_shape            (** defined, untargeted, unreachable *)
+  | Provenance_trivial    (** neighborhood provably always empty *)
+
+type t = {
+  severity : severity;
+  code : code;
+  subject : Rdf.Term.t option;  (** the shape definition concerned *)
+  message : string;
+}
+
+val make : ?subject:Rdf.Term.t -> severity -> code -> string -> t
+
+val makef :
+  ?subject:Rdf.Term.t -> severity -> code ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+(** [makef sev code fmt ...] formats the message inline. *)
+
+val severity_to_string : severity -> string
+val code_to_string : code -> string
+(** The kebab-case code used in rendered output, e.g.
+    ["unsatisfiable-shape"]. *)
+
+val compare_severity : severity -> severity -> int
+(** [Error < Warning < Hint] (most severe first). *)
+
+val compare : t -> t -> int
+(** Orders by severity, then subject, then code, then message — the order
+    diagnostics are reported in. *)
+
+val at_least : severity -> t -> bool
+(** [at_least threshold d] keeps [d] when it is as severe as [threshold]
+    (e.g. [at_least Warning] keeps errors and warnings). *)
+
+val has_errors : t list -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [severity[code] shape <name>: message]. *)
+
+val pp_with :
+  (Format.formatter -> Rdf.Term.t -> unit) -> Format.formatter -> t -> unit
+(** Like {!pp} with a custom subject printer (e.g. prefixed names). *)

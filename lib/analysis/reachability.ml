@@ -1,0 +1,45 @@
+open Rdf
+open Shacl
+
+let dangling schema =
+  List.concat_map
+    (fun (def : Schema.def) ->
+      Term.Set.fold
+        (fun name acc ->
+          match Schema.find schema name with
+          | Some _ -> acc
+          | None -> (def.name, name) :: acc)
+        (Schema.def_references def)
+        [])
+    (Schema.defs schema)
+
+let reachable schema =
+  let rec close frontier acc =
+    if Term.Set.is_empty frontier then acc
+    else
+      let next =
+        Term.Set.fold
+          (fun name acc ->
+            match Schema.find schema name with
+            | None -> acc
+            | Some def -> Term.Set.union acc (Schema.def_references def))
+          frontier Term.Set.empty
+      in
+      let fresh = Term.Set.diff next acc in
+      close fresh (Term.Set.union acc fresh)
+  in
+  let roots =
+    List.fold_left
+      (fun acc (def : Schema.def) ->
+        if Schema.targeted def then Term.Set.add def.name acc else acc)
+      Term.Set.empty (Schema.defs schema)
+  in
+  close roots roots
+
+let dead schema =
+  let live = reachable schema in
+  List.filter_map
+    (fun (def : Schema.def) ->
+      if Schema.targeted def || Term.Set.mem def.name live then None
+      else Some def.name)
+    (Schema.defs schema)

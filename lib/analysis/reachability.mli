@@ -1,0 +1,19 @@
+(** The shape-name reference graph of a schema.
+
+    Edges go from a definition to every name referenced by [hasShape] in
+    its shape or target expression.  Roots are the {e targeted}
+    definitions (those with a target other than [⊥]): only shapes
+    reachable from a root are ever exercised by validation or fragment
+    extraction. *)
+
+val dangling : Shacl.Schema.t -> (Rdf.Term.t * Rdf.Term.t) list
+(** [(referrer, missing)] pairs: [hasShape(missing)] occurs in the
+    definition of [referrer] but [missing] has no definition.  Real SHACL
+    treats such references as [⊤], which is rarely what was meant. *)
+
+val reachable : Shacl.Schema.t -> Rdf.Term.Set.t
+(** Names reachable from the targeted definitions (roots included). *)
+
+val dead : Shacl.Schema.t -> Rdf.Term.t list
+(** Untargeted definitions unreachable from any targeted one, in
+    definition order. *)

@@ -1,0 +1,18 @@
+(** Provenance triviality: shapes whose neighborhood is provably empty.
+
+    Per Table 2 of the paper, many constraints contribute no triples to
+    the neighborhood [B(v, G, phi)] of a conforming node: node tests,
+    [hasValue], and (in positive position) [closed], [disj], the order
+    comparisons and [uniqueLang] are all witnessed by the {e absence} of
+    triples.  A request shape built only from such constraints always has
+    an empty neighborhood, so using it for fragment extraction (Section 4)
+    retrieves nothing — almost certainly a schema-design mistake.
+
+    [always_empty] is a sound syntactic check on the negation normal form:
+    it returns [true] only when [B(v, G, phi) = ∅] for {e every} graph [G]
+    and node [v].  Quantified shapes are non-trivial (they trace path
+    edges), except [≤n E.psi] whose complemented body [¬psi] is
+    unsatisfiable — e.g. the ubiquitous [maxCount] form [≤n E.⊤], which
+    never traces anything. *)
+
+val always_empty : Shacl.Schema.t -> Shacl.Shape.t -> bool

@@ -1,0 +1,43 @@
+(** Constraint-level unsatisfiability detection.
+
+    A sound, incomplete decision procedure: shapes are inlined
+    ([hasShape] resolved through the — acyclic — schema), normalized to
+    negation normal form, and simplified bottom-up with the library's
+    smart constructors plus a set of local contradiction rules over
+    conjunctions:
+
+    - a conjunct and its syntactic negation;
+    - two distinct [hasValue] constants;
+    - a [hasValue] constant failing (or negated-passing) a sibling node
+      test — decided by {e running} the test on the constant;
+    - contradictory node-test pairs (datatype vs. datatype, disjoint node
+      kinds, datatype/range/length tests vs. a non-literal node kind,
+      [minLength > maxLength], empty numeric ranges);
+    - [≥n E.phi] against [≤m E.psi] on the same path with [n > m] and
+      [psi] equal to [phi] or [⊤] (a {e count conflict});
+    - [closed(P)] against a conjunct that forces an outgoing edge whose
+      predicate necessarily lies outside [P] (a {e closed conflict}):
+      [≥n E.phi] with [n ≥ 1] whose path must start with such an edge, or
+      [eq(id, p)] with [p ∉ P].
+
+    [≥n E.⊥] with [n ≥ 1] collapses to [⊥], so conflicts propagate
+    through quantifiers; a conflict found under a disjunction does not
+    make the whole shape unsatisfiable but still surfaces (a dead
+    branch).  Whenever {!is_unsatisfiable} returns [true], no node of any
+    graph conforms to the shape — the soundness property checked against
+    the validator by the test suite. *)
+
+type conflict = {
+  code : Diagnostic.code;
+      (** [Count_conflict], [Closed_conflict] or [Unsatisfiable_shape] *)
+  message : string;
+}
+
+val simplify : Shacl.Schema.t -> Shacl.Shape.t -> Shacl.Shape.t * conflict list
+(** The simplified (inlined, NNF) shape — [Bottom] exactly when the input
+    is detected unsatisfiable — together with every contradiction found
+    anywhere in it, deduplicated. *)
+
+val conflicts : Shacl.Schema.t -> Shacl.Shape.t -> conflict list
+
+val is_unsatisfiable : Shacl.Schema.t -> Shacl.Shape.t -> bool

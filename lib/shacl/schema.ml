@@ -16,6 +16,11 @@ let pp_error ppf = function
            Term.pp)
         cycle
 
+let def_references (def : def) =
+  Term.Set.union
+    (Shape.referenced_names def.shape)
+    (Shape.referenced_names def.target)
+
 (* Detect a cycle in the shape-name reference graph by DFS with an
    explicit path, so the error can report the cycle itself. *)
 let find_cycle by_name =
@@ -28,11 +33,7 @@ let find_cycle by_name =
       match Term.Map.find_opt name by_name with
       | None -> None
       | Some def ->
-          let refs =
-            Term.Set.union
-              (Shape.referenced_names def.shape)
-              (Shape.referenced_names def.target)
-          in
+          let refs = def_references def in
           Term.Set.fold
             (fun next acc ->
               match acc with
@@ -77,6 +78,8 @@ let def_list l =
     (List.map (fun (name, shape, target) ->
          { name = Term.iri name; shape; target })
         l)
+
+let targeted (def : def) = not (Shape.equal def.target Shape.Bottom)
 
 let request_shapes t =
   List.map (fun def -> Shape.and_ [ def.shape; def.target ]) t.defs

@@ -33,6 +33,12 @@ val def_shape : t -> Rdf.Term.t -> Shape.t
 (** [def(s, H)] of the paper: the shape expression defining [s], or [Top]
     when [s] has no definition (the behavior of real SHACL). *)
 
+val targeted : def -> bool
+(** Whether the definition has a target ([target <> Bottom]). *)
+
+val def_references : def -> Rdf.Term.Set.t
+(** Shape names referenced from the definition's shape or target. *)
+
 val def_list : (string * Shape.t * Shape.t) list -> t
 (** Convenience: build from [(name IRI string, shape, target)] triples. *)
 

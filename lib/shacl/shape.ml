@@ -109,6 +109,28 @@ let rec fold_subshapes f shape acc =
   | Ge (_, _, s) | Le (_, _, s) | Forall (_, s) -> fold_subshapes f s acc
   | _ -> acc
 
+let iter_subshapes f shape = fold_subshapes (fun s () -> f s) shape ()
+
+let exists_subshape pred shape =
+  let exception Found in
+  try
+    iter_subshapes (fun s -> if pred s then raise Found) shape;
+    false
+  with Found -> true
+
+let map_children f shape =
+  match shape with
+  | Top | Bottom | Has_shape _ | Test _ | Has_value _ | Eq _ | Disj _
+  | Closed _ | Less_than _ | Less_than_eq _ | More_than _ | More_than_eq _
+  | Unique_lang _ ->
+      shape
+  | Not s -> Not (f s)
+  | And l -> And (List.map f l)
+  | Or l -> Or (List.map f l)
+  | Ge (n, e, s) -> Ge (n, e, f s)
+  | Le (n, e, s) -> Le (n, e, f s)
+  | Forall (e, s) -> Forall (e, f s)
+
 let referenced_names shape =
   fold_subshapes
     (fun s acc ->

@@ -81,6 +81,20 @@ val is_atomic : t -> bool
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
+val fold_subshapes : (t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Folds over the shape and every (transitive) subshape, parent first.
+    [Has_shape] references are not resolved. *)
+
+val iter_subshapes : (t -> unit) -> t -> unit
+
+val exists_subshape : (t -> bool) -> t -> bool
+(** Whether some (possibly improper) subshape satisfies the predicate. *)
+
+val map_children : (t -> t) -> t -> t
+(** Rebuilds the shape with the function applied to each immediate
+    subshape; atomic shapes are returned unchanged.  No smart-constructor
+    normalization is applied. *)
+
 val referenced_names : t -> Rdf.Term.Set.t
 (** All [s] such that [hasShape(s)] occurs in the shape. *)
 

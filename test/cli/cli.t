@@ -50,11 +50,11 @@ Errors are reported with a nonzero exit code.
 
   $ shaclprov fragment -d data.ttl
   shaclprov: no request shapes given (--shape or --shapes)
-  [124]
+  [123]
 
   $ shaclprov neighborhood -d data.ttl -n ex:p1 -e 'not-a-shape('
   shaclprov: shape "not-a-shape(": at offset 0: unexpected keyword "not-a-shape"
-  [124]
+  [123]
 
 Per-triple explanations attribute each provenance triple to constraints.
 

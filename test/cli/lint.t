@@ -1,0 +1,31 @@
+The lint subcommand runs the static-analysis passes over a shapes graph.
+
+A broken schema produces diagnostics across several codes, sorted most
+severe first, and exits nonzero because errors are present.
+
+  $ shaclprov lint -s bad_shapes.ttl
+  error[unsatisfiable-shape] shape <http://example.org/ClosedShape>: no node of any graph can conform to this shape
+  error[closed-conflict] shape <http://example.org/ClosedShape>: >=1 <http://example.org/a>/<http://example.org/b> . top requires an outgoing edge with predicate <http://example.org/a>, outside the closed property set
+  error[unsatisfiable-shape] shape <http://example.org/ContradictoryShape>: contradictory node tests test(datatype = <http://www.w3.org/2001/XMLSchema#string>) and test(kind = iri)
+  error[unsatisfiable-shape] shape <http://example.org/ContradictoryShape>: no node of any graph can conform to this shape
+  error[unsatisfiable-shape] shape <http://example.org/CountShape>: no node of any graph can conform to this shape
+  error[count-conflict] shape <http://example.org/CountShape>: cannot require at least 3 and admit at most 1 values on path <http://example.org/author>
+  error[unsatisfiable-shape] shape <http://example.org/ValueShape>: conflicting constants hasValue(<http://example.org/blue>) and hasValue(<http://example.org/red>)
+  error[unsatisfiable-shape] shape <http://example.org/ValueShape>: no node of any graph can conform to this shape
+  warning[unsatisfiable-shape] shape _:genid0: no node of any graph can conform to this shape
+  hint[dead-shape] shape <http://example.org/OrphanShape>: shape is defined but not reachable from any targeted shape
+  hint[provenance-trivial] shape <http://example.org/TrivialShape>: the neighborhood of every conforming node is empty; the shape contributes nothing to fragments
+  9 shape(s) checked: 8 error(s), 1 warning(s), 2 hint(s)
+  [1]
+
+--severity filters the report (the summary still counts everything).
+
+  $ shaclprov lint -s bad_shapes.ttl --severity error | tail -n 3
+  error[unsatisfiable-shape] shape <http://example.org/ValueShape>: conflicting constants hasValue(<http://example.org/blue>) and hasValue(<http://example.org/red>)
+  error[unsatisfiable-shape] shape <http://example.org/ValueShape>: no node of any graph can conform to this shape
+  9 shape(s) checked: 8 error(s), 1 warning(s), 2 hint(s)
+
+A clean schema reports nothing and exits zero.
+
+  $ shaclprov lint -s shapes.ttl
+  3 shape(s) checked: 0 error(s), 0 warning(s), 0 hint(s)

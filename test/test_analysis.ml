@@ -1,0 +1,506 @@
+(* Static analysis: monotonicity (Theorem 4.1 precondition),
+   unsatisfiability, reachability, provenance triviality, and the
+   analyzer driver. *)
+
+open Rdf
+open Shacl
+open Analysis
+
+let ex local = "http://example.org/" ^ local
+let exi local = Iri.of_string (ex local)
+let ext local = Term.iri (ex local)
+let p = Rdf.Path.Prop Tgen.prop_p
+let q = Rdf.Path.Prop Tgen.prop_q
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let empty = Schema.empty
+
+(* ---------------- monotonicity ------------------------------------ *)
+
+(* The real-SHACL target forms of Appendix A.4 are all monotone. *)
+let class_target cls =
+  Shape.Ge
+    ( 1,
+      Rdf.Path.Seq
+        ( Rdf.Path.Prop Vocab.Rdf.type_,
+          Rdf.Path.Star (Rdf.Path.Prop Vocab.Rdfs.sub_class_of) ),
+      Shape.Has_value cls )
+
+let test_monotone_positive () =
+  List.iter
+    (fun shape -> check (Shape.to_string shape) true (Monotone.is_monotone empty shape))
+    [ Shape.Top;
+      Shape.Bottom;
+      Shape.Has_value (ext "n");
+      class_target (ext "Paper");
+      Shape.Ge (1, p, Shape.Top);
+      Shape.Ge (1, Rdf.Path.Inv p, Shape.Top);
+      Shape.Or [ Shape.Has_value (ext "a"); Shape.Ge (1, p, Shape.Top) ];
+      Shape.And [ Shape.Test (Node_test.Node_kind Node_test.Iri_kind);
+                  Shape.Ge (2, p, Shape.Has_value (ext "b")) ];
+      (* graph-independent, hence monotone even under negation *)
+      Shape.Not (Shape.Has_value (ext "c"));
+      (* ¬(≤1 p.⊤) ≡ ≥2 p.⊤ *)
+      Shape.Not (Shape.Le (1, p, Shape.Top));
+      Shape.Ge (0, p, Shape.Eq (Shape.Id, Tgen.prop_p)) ]
+
+let test_monotone_negative () =
+  List.iter
+    (fun shape ->
+      check (Shape.to_string shape) false (Monotone.is_monotone empty shape))
+    [ Shape.Le (1, p, Shape.Top);
+      Shape.Forall (p, Shape.Test (Node_test.Node_kind Node_test.Iri_kind));
+      Shape.Closed (Iri.Set.singleton Tgen.prop_p);
+      Shape.Disj (Shape.Id, Tgen.prop_p);
+      Shape.Eq (Shape.Path p, Tgen.prop_q);
+      Shape.Less_than (p, Tgen.prop_q);
+      Shape.Unique_lang p;
+      Shape.Not (Shape.Ge (1, p, Shape.Top));
+      Shape.Ge (1, p, Shape.Le (1, q, Shape.Top));
+      Shape.And [ Shape.Has_value (ext "a"); Shape.Le (0, p, Shape.Top) ] ]
+
+(* hasShape references inherit the property of their definition. *)
+let test_monotone_through_refs () =
+  let schema =
+    Schema.def_list
+      [ ex "Mono", Shape.Ge (1, p, Shape.Top), Shape.Bottom;
+        ex "Anti", Shape.Le (1, p, Shape.Top), Shape.Bottom ]
+  in
+  check "ref to monotone" true
+    (Monotone.is_monotone schema (Shape.has_shape (ex "Mono")));
+  check "ref to antitone" false
+    (Monotone.is_monotone schema (Shape.has_shape (ex "Anti")));
+  check "negated antitone ref" true
+    (Monotone.is_monotone schema
+       (Shape.Not (Shape.has_shape (ex "Anti"))));
+  check "undefined ref behaves as top" true
+    (Monotone.is_monotone schema (Shape.has_shape (ex "Nowhere")))
+
+let test_monotone_targets () =
+  let mono =
+    Schema.def_list
+      [ ex "A", Shape.Top, Shape.Has_value (ext "n");
+        ex "B", Shape.Top, class_target (ext "Paper") ]
+  in
+  let non_mono =
+    Schema.def_list
+      [ ex "A", Shape.Top, Shape.Forall (p, Shape.Has_value (ext "n")) ]
+  in
+  check "monotone schema" true (Monotone.monotone_targets mono);
+  check "non-monotone schema" false (Monotone.monotone_targets non_mono)
+
+(* Semantic soundness: whenever the checker says monotone, conformance
+   must survive adding triples. *)
+let prop_monotone_sound =
+  QCheck.Test.make ~count:300 ~name:"is_monotone sound wrt conformance"
+    QCheck.(triple Tgen.arbitrary_shape Tgen.arbitrary_graph Tgen.arbitrary_graph)
+    (fun (shape, g, extra) ->
+      if not (Monotone.is_monotone Schema.empty shape) then true
+      else
+        let g' = Graph.union g extra in
+        Term.Set.for_all
+          (fun v ->
+            (not (Conformance.conforms Schema.empty g v shape))
+            || Conformance.conforms Schema.empty g' v shape)
+          (Term.Set.union (Graph.nodes g) (Shape.constants shape)))
+
+(* ---------------- unsatisfiability -------------------------------- *)
+
+let is_unsat shape = Unsat.is_unsatisfiable empty shape
+
+let codes_of conflicts =
+  List.sort_uniq Stdlib.compare
+    (List.map (fun (c : Unsat.conflict) -> c.code) conflicts)
+
+let test_unsat_counts () =
+  let ge_le n m psi =
+    Shape.And [ Shape.Ge (n, p, Shape.Top); Shape.Le (m, p, psi) ]
+  in
+  check "ge 3 le 1 top" true (is_unsat (ge_le 3 1 Shape.Top));
+  check "count-conflict code" true
+    (codes_of (Unsat.conflicts empty (ge_le 3 1 Shape.Top))
+     = [ Diagnostic.Count_conflict ]);
+  check "ge 1 le 1 sat" false (is_unsat (ge_le 1 1 Shape.Top));
+  (* same body on both sides *)
+  let body = Shape.Test (Node_test.Node_kind Node_test.Iri_kind) in
+  check "same body" true
+    (is_unsat
+       (Shape.And [ Shape.Ge (2, p, body); Shape.Le (1, p, body) ]));
+  (* different bodies prove nothing *)
+  check "different bodies" false
+    (is_unsat
+       (Shape.And
+          [ Shape.Ge (2, p, body);
+            Shape.Le (1, p, Shape.Has_value (ext "a")) ]));
+  (* different paths prove nothing *)
+  check "different paths" false
+    (is_unsat
+       (Shape.And [ Shape.Ge (3, p, Shape.Top); Shape.Le (1, q, Shape.Top) ]))
+
+let test_unsat_closed () =
+  let closed ps = Shape.Closed (Iri.Set.of_list ps) in
+  let conj a b = Shape.And [ a; b ] in
+  check "required edge outside closed" true
+    (is_unsat (conj (closed [ Tgen.prop_q ]) (Shape.Ge (1, p, Shape.Top))));
+  check "closed-conflict code" true
+    (codes_of
+       (Unsat.conflicts empty
+          (conj (closed [ Tgen.prop_q ]) (Shape.Ge (1, p, Shape.Top))))
+     = [ Diagnostic.Closed_conflict ]);
+  check "required edge inside closed" false
+    (is_unsat (conj (closed [ Tgen.prop_p ]) (Shape.Ge (1, p, Shape.Top))));
+  check "eq(id) outside closed" true
+    (is_unsat (conj (closed []) (Shape.Eq (Shape.Id, Tgen.prop_p))));
+  (* a sequence forces only its first step *)
+  check "seq first step outside" true
+    (is_unsat
+       (conj (closed [ Tgen.prop_q ])
+          (Shape.Ge (1, Rdf.Path.Seq (p, q), Shape.Top))));
+  (* inverse and nullable paths force no outgoing edge *)
+  check "inverse edge fine" false
+    (is_unsat
+       (conj (closed []) (Shape.Ge (1, Rdf.Path.Inv p, Shape.Top))));
+  check "star is nullable" false
+    (is_unsat (conj (closed []) (Shape.Ge (1, Rdf.Path.Star p, Shape.Top))));
+  (* an alternative conflicts only when every branch does *)
+  check "alt both outside" true
+    (is_unsat
+       (conj (closed []) (Shape.Ge (1, Rdf.Path.Alt (p, q), Shape.Top))));
+  check "alt one inside" false
+    (is_unsat
+       (conj (closed [ Tgen.prop_q ])
+          (Shape.Ge (1, Rdf.Path.Alt (p, q), Shape.Top))))
+
+let test_unsat_tests () =
+  let t x = Shape.Test x in
+  let conj l = Shape.And l in
+  check "datatype vs iri kind" true
+    (is_unsat
+       (conj
+          [ t (Node_test.Datatype Vocab.Xsd.string);
+            t (Node_test.Node_kind Node_test.Iri_kind) ]));
+  check "datatype vs datatype" true
+    (is_unsat
+       (conj
+          [ t (Node_test.Datatype Vocab.Xsd.string);
+            t (Node_test.Datatype Vocab.Xsd.integer) ]));
+  check "compatible kinds" false
+    (is_unsat
+       (conj
+          [ t (Node_test.Node_kind Node_test.Iri_or_literal);
+            t (Node_test.Node_kind Node_test.Literal_kind) ]));
+  check "disjoint kinds" true
+    (is_unsat
+       (conj
+          [ t (Node_test.Node_kind Node_test.Blank_or_iri);
+            t (Node_test.Node_kind Node_test.Literal_kind) ]));
+  check "minLength > maxLength" true
+    (is_unsat
+       (conj [ t (Node_test.Min_length 5); t (Node_test.Max_length 2) ]));
+  check "empty numeric range" true
+    (is_unsat
+       (conj
+          [ t (Node_test.Min_inclusive (Literal.int 5));
+            t (Node_test.Max_inclusive (Literal.int 3)) ]));
+  check "point range is fine" false
+    (is_unsat
+       (conj
+          [ t (Node_test.Min_inclusive (Literal.int 3));
+            t (Node_test.Max_inclusive (Literal.int 3)) ]));
+  check "exclusive point range" true
+    (is_unsat
+       (conj
+          [ t (Node_test.Min_exclusive (Literal.int 3));
+            t (Node_test.Max_inclusive (Literal.int 3)) ]));
+  check "incomparable range" false
+    (is_unsat
+       (conj
+          [ t (Node_test.Min_inclusive (Literal.int 3));
+            t (Node_test.Max_inclusive (Literal.string "x")) ]))
+
+let test_unsat_values () =
+  check "two constants" true
+    (is_unsat
+       (Shape.And [ Shape.Has_value (ext "a"); Shape.Has_value (ext "b") ]));
+  check "same constant" false
+    (is_unsat
+       (Shape.And [ Shape.Has_value (ext "a"); Shape.Has_value (ext "a") ]));
+  (* the node test is run on the constant *)
+  check "constant fails test" true
+    (is_unsat
+       (Shape.And
+          [ Shape.Has_value (ext "a");
+            Shape.Test (Node_test.Node_kind Node_test.Literal_kind) ]));
+  check "constant passes test" false
+    (is_unsat
+       (Shape.And
+          [ Shape.Has_value (ext "a");
+            Shape.Test (Node_test.Node_kind Node_test.Iri_kind) ]));
+  check "constant satisfies negated test" true
+    (is_unsat
+       (Shape.And
+          [ Shape.Has_value (ext "a");
+            Shape.Not (Shape.Test (Node_test.Node_kind Node_test.Iri_kind)) ]));
+  check "phi and not phi" true
+    (is_unsat
+       (Shape.And
+          [ Shape.Eq (Shape.Id, Tgen.prop_p);
+            Shape.Not (Shape.Eq (Shape.Id, Tgen.prop_p)) ]))
+
+let test_unsat_structure () =
+  check "literal bottom" true (is_unsat Shape.Bottom);
+  check "and with bottom" true
+    (is_unsat (Shape.And [ Shape.Top; Shape.Bottom ]));
+  (* conflicts propagate through >=n with n >= 1 *)
+  check "ge of bottom" true (is_unsat (Shape.Ge (1, p, Shape.Bottom)));
+  check "ge 0 of bottom" false (is_unsat (Shape.Ge (0, p, Shape.Bottom)));
+  check "le of bottom" false (is_unsat (Shape.Le (1, p, Shape.Bottom)));
+  check "forall of bottom" false (is_unsat (Shape.Forall (p, Shape.Bottom)));
+  check "nested ge" true
+    (is_unsat
+       (Shape.Ge
+          ( 1, p,
+            Shape.And
+              [ Shape.Has_value (ext "a"); Shape.Has_value (ext "b") ] )));
+  (* a conflict inside one disjunct leaves the shape satisfiable but is
+     still reported *)
+  let dead_branch =
+    Shape.Or
+      [ Shape.Top;
+        Shape.And [ Shape.Ge (3, p, Shape.Top); Shape.Le (1, p, Shape.Top) ] ]
+  in
+  check "dead branch satisfiable" false (is_unsat dead_branch);
+  check_int "dead branch reported" 1
+    (List.length (Unsat.conflicts empty dead_branch));
+  (* hasShape references are resolved through the schema *)
+  let schema =
+    Schema.def_list [ ex "Bad", Shape.Bottom, Shape.Bottom ]
+  in
+  check "unsat through reference" true
+    (Unsat.is_unsatisfiable schema (Shape.has_shape (ex "Bad")))
+
+(* Soundness against the validator: a shape detected unsatisfiable has
+   no conforming node in any random graph. *)
+let prop_unsat_sound =
+  let gen_conj =
+    QCheck.map
+      (fun (a, b) -> Shape.And [ a; b ])
+      QCheck.(pair Tgen.arbitrary_shape Tgen.arbitrary_shape)
+  in
+  QCheck.Test.make ~count:500 ~name:"unsatisfiable-shape never contradicts the validator"
+    (QCheck.pair gen_conj Tgen.arbitrary_graph)
+    (fun (shape, g) ->
+      (not (Unsat.is_unsatisfiable Schema.empty shape))
+      || Term.Set.is_empty (Conformance.conforming_nodes Schema.empty g shape))
+
+(* ---------------- reachability ------------------------------------ *)
+
+let test_dangling_and_dead () =
+  let schema =
+    Schema.def_list
+      [ (* targeted root referencing Helper and a missing shape *)
+        ex "Root",
+        Shape.And
+          [ Shape.has_shape (ex "Helper"); Shape.has_shape (ex "Missing") ],
+        Shape.Has_value (ext "n");
+        ex "Helper", Shape.Ge (1, p, Shape.Top), Shape.Bottom;
+        ex "Orphan", Shape.Ge (1, q, Shape.Top), Shape.Bottom ]
+  in
+  (match Reachability.dangling schema with
+   | [ (referrer, missing) ] ->
+       check "dangling referrer" true (Term.equal referrer (ext "Root"));
+       check "dangling missing" true (Term.equal missing (ext "Missing"))
+   | l -> Alcotest.failf "expected one dangling ref, got %d" (List.length l));
+  (match Reachability.dead schema with
+   | [ name ] -> check "dead shape" true (Term.equal name (ext "Orphan"))
+   | l -> Alcotest.failf "expected one dead shape, got %d" (List.length l));
+  let live = Reachability.reachable schema in
+  check "root live" true (Term.Set.mem (ext "Root") live);
+  check "helper live" true (Term.Set.mem (ext "Helper") live);
+  check "orphan not live" false (Term.Set.mem (ext "Orphan") live)
+
+(* ---------------- triviality -------------------------------------- *)
+
+let test_triviality () =
+  let trivial shape = Triviality.always_empty empty shape in
+  List.iter
+    (fun shape -> check (Shape.to_string shape) true (trivial shape))
+    [ Shape.Top;
+      Shape.Test (Node_test.Node_kind Node_test.Iri_kind);
+      Shape.Has_value (ext "a");
+      Shape.Not (Shape.Test (Node_test.Min_length 2));
+      Shape.Closed (Iri.Set.singleton Tgen.prop_p);
+      Shape.Disj (Shape.Id, Tgen.prop_p);
+      Shape.Less_than (p, Tgen.prop_q);
+      Shape.Unique_lang p;
+      (* the ubiquitous maxCount form *)
+      Shape.Le (1, p, Shape.Top);
+      Shape.And
+        [ Shape.Has_value (ext "a"); Shape.Le (2, p, Shape.Top) ] ];
+  List.iter
+    (fun shape -> check (Shape.to_string shape) false (trivial shape))
+    [ Shape.Ge (1, p, Shape.Top);
+      Shape.Eq (Shape.Id, Tgen.prop_p);
+      Shape.Forall (p, Shape.Test (Node_test.Min_length 1));
+      Shape.Not (Shape.Closed (Iri.Set.empty));
+      Shape.Le (1, p, Shape.Test (Node_test.Min_length 1)) ]
+
+(* Soundness against Table 2: a shape detected trivial yields an empty
+   neighborhood for every conforming node of every random graph. *)
+let prop_triviality_sound =
+  QCheck.Test.make ~count:300 ~name:"provenance-trivial shapes have empty neighborhoods"
+    (QCheck.pair Tgen.arbitrary_shape Tgen.arbitrary_graph)
+    (fun (shape, g) ->
+      (not (Triviality.always_empty Schema.empty shape))
+      || Term.Set.for_all
+           (fun v ->
+             match Provenance.Neighborhood.check g v shape with
+             | true, b -> Graph.is_empty b
+             | false, _ -> true)
+           (Graph.nodes g))
+
+(* ---------------- analyzer ---------------------------------------- *)
+
+let diag_codes diagnostics =
+  List.sort_uniq Stdlib.compare
+    (List.map (fun (d : Diagnostic.t) -> d.code) diagnostics)
+
+let test_analyzer () =
+  let schema =
+    Schema.def_list
+      [ ex "Unsat",
+        Shape.And
+          [ Shape.Test (Node_test.Datatype Vocab.Xsd.string);
+            Shape.Test (Node_test.Node_kind Node_test.Iri_kind) ],
+        Shape.Has_value (ext "n1");
+        ex "NonMono", Shape.Top, Shape.Forall (p, Shape.Has_value (ext "n2"));
+        ex "Dangler",
+        Shape.And [ Shape.has_shape (ex "Missing"); Shape.Ge (1, p, Shape.Top) ],
+        Shape.Has_value (ext "n3");
+        ex "Orphan", Shape.Ge (1, p, Shape.Top), Shape.Bottom;
+        ex "Trivial", Shape.Test (Node_test.Min_length 1), Shape.Has_value (ext "n4") ]
+  in
+  let diagnostics = Analyzer.analyze schema in
+  check "all codes present" true
+    (diag_codes diagnostics
+     = [ Diagnostic.Unsatisfiable_shape; Diagnostic.Non_monotone_target;
+         Diagnostic.Dangling_shape_ref; Diagnostic.Dead_shape;
+         Diagnostic.Provenance_trivial ]);
+  (* severities: targeted unsat is an error, the rest warn or hint *)
+  let sev_of code =
+    List.filter_map
+      (fun (d : Diagnostic.t) ->
+        if d.code = code then Some d.severity else None)
+      diagnostics
+  in
+  check "unsat severity" true
+    (List.for_all (( = ) Diagnostic.Error) (sev_of Diagnostic.Unsatisfiable_shape));
+  check "non-monotone severity" true
+    (sev_of Diagnostic.Non_monotone_target = [ Diagnostic.Warning ]);
+  check "dangling severity" true
+    (sev_of Diagnostic.Dangling_shape_ref = [ Diagnostic.Warning ]);
+  check "dead severity" true (sev_of Diagnostic.Dead_shape = [ Diagnostic.Hint ]);
+  check "trivial severity" true
+    (sev_of Diagnostic.Provenance_trivial = [ Diagnostic.Hint ]);
+  check "errors subset" true (Analyzer.errors schema <> []);
+  (* diagnostics are sorted most severe first *)
+  let rec sorted = function
+    | (a : Diagnostic.t) :: (b :: _ as rest) ->
+        Diagnostic.compare_severity a.severity b.severity <= 0 && sorted rest
+    | _ -> true
+  in
+  check "sorted by severity" true (sorted diagnostics)
+
+let test_analyzer_clean () =
+  let schema =
+    Schema.def_list
+      [ ex "Good", Shape.Ge (1, p, Shape.Top), Shape.Has_value (ext "n") ]
+  in
+  check_int "clean schema" 0 (List.length (Analyzer.analyze schema))
+
+(* Untargeted unsatisfiable shapes warn instead of erroring; their
+   targeted referrers carry the error. *)
+let test_analyzer_untargeted_unsat () =
+  let schema =
+    Schema.def_list
+      [ ex "Bad", Shape.And [ Shape.Ge (2, p, Shape.Top); Shape.Le (1, p, Shape.Top) ],
+        Shape.Bottom;
+        ex "Root", Shape.has_shape (ex "Bad"), Shape.Has_value (ext "n") ]
+  in
+  let diagnostics = Analyzer.analyze schema in
+  let of_subject name =
+    List.filter
+      (fun (d : Diagnostic.t) -> d.subject = Some (ext name))
+      diagnostics
+  in
+  check "root errors" true
+    (List.exists
+       (fun (d : Diagnostic.t) -> d.severity = Diagnostic.Error)
+       (of_subject "Root"));
+  check "bad only warns" true
+    (List.for_all
+       (fun (d : Diagnostic.t) -> d.severity <> Diagnostic.Error)
+       (of_subject "Bad"))
+
+(* ---------------- rendering --------------------------------------- *)
+
+let test_diagnostic_pp () =
+  let d =
+    Diagnostic.make ~subject:(ext "S") Diagnostic.Error
+      Diagnostic.Count_conflict "boom"
+  in
+  Alcotest.(check string)
+    "pp" "error[count-conflict] shape <http://example.org/S>: boom"
+    (Format.asprintf "%a" Diagnostic.pp d);
+  let anon = Diagnostic.make Diagnostic.Hint Diagnostic.Dead_shape "gone" in
+  Alcotest.(check string)
+    "pp without subject" "hint[dead-shape] gone"
+    (Format.asprintf "%a" Diagnostic.pp anon);
+  check "at_least" true
+    (Diagnostic.at_least Diagnostic.Warning d
+     && not (Diagnostic.at_least Diagnostic.Error anon))
+
+(* ---------------- example schemas stay clean ----------------------- *)
+
+let test_examples_clean () =
+  let dir = "../examples" in
+  let schemas =
+    if Sys.file_exists dir && Sys.is_directory dir then
+      List.filter
+        (fun f -> Filename.check_suffix f ".ttl")
+        (Array.to_list (Sys.readdir dir))
+    else []
+  in
+  check "found example schemas" true (schemas <> []);
+  List.iter
+    (fun f ->
+      let schema = Shapes_graph.load_file_exn (Filename.concat dir f) in
+      match Analyzer.errors schema with
+      | [] -> ()
+      | d :: _ ->
+          Alcotest.failf "%s: %a" f Diagnostic.pp d)
+    schemas
+
+let suite =
+  [ Alcotest.test_case "monotone: positive cases" `Quick test_monotone_positive;
+    Alcotest.test_case "monotone: negative cases" `Quick test_monotone_negative;
+    Alcotest.test_case "monotone: through references" `Quick
+      test_monotone_through_refs;
+    Alcotest.test_case "monotone: schema targets" `Quick test_monotone_targets;
+    Alcotest.test_case "unsat: count conflicts" `Quick test_unsat_counts;
+    Alcotest.test_case "unsat: closed conflicts" `Quick test_unsat_closed;
+    Alcotest.test_case "unsat: node tests" `Quick test_unsat_tests;
+    Alcotest.test_case "unsat: constants" `Quick test_unsat_values;
+    Alcotest.test_case "unsat: structure" `Quick test_unsat_structure;
+    Alcotest.test_case "reachability: dangling and dead" `Quick
+      test_dangling_and_dead;
+    Alcotest.test_case "triviality" `Quick test_triviality;
+    Alcotest.test_case "analyzer: all passes" `Quick test_analyzer;
+    Alcotest.test_case "analyzer: clean schema" `Quick test_analyzer_clean;
+    Alcotest.test_case "analyzer: untargeted unsat" `Quick
+      test_analyzer_untargeted_unsat;
+    Alcotest.test_case "diagnostic rendering" `Quick test_diagnostic_pp;
+    Alcotest.test_case "example schemas lint clean" `Quick test_examples_clean ]
+
+let props = [ prop_unsat_sound; prop_monotone_sound; prop_triviality_sound ]

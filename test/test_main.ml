@@ -32,6 +32,9 @@ let () =
       "node-test", Test_node_test.suite;
       "validate", Test_validate.suite;
       Tgen.qsuite "validate:props" Test_validate.props;
+      "schema", Test_schema.suite;
+      "analysis", Test_analysis.suite;
+      Tgen.qsuite "analysis:props" Test_analysis.props;
       "misc", Test_misc.suite;
       "extensions", Test_extensions.suite;
       Tgen.qsuite "extensions:props" Test_extensions.props ]

@@ -1,0 +1,99 @@
+(* Schema construction error paths: duplicate names, reference cycles,
+   error rendering, and lookup of undefined shapes. *)
+
+open Rdf
+open Shacl
+
+let ex local = "http://example.org/" ^ local
+let ext local = Term.iri (ex local)
+let check = Alcotest.(check bool)
+
+let def name shape target = Schema.{ name = ext name; shape; target }
+
+let test_duplicate_name () =
+  match
+    Schema.make
+      [ def "S" Shape.Top Shape.Bottom; def "S" Shape.Bottom Shape.Bottom ]
+  with
+  | Error (Schema.Duplicate_name n) ->
+      check "duplicate name" true (Term.equal n (ext "S"))
+  | Error _ -> Alcotest.fail "wrong error"
+  | Ok _ -> Alcotest.fail "duplicate accepted"
+
+let test_recursive () =
+  (* A -> B -> C -> A, through the shape expressions *)
+  match
+    Schema.make
+      [ def "A" (Shape.has_shape (ex "B")) Shape.Bottom;
+        def "B" (Shape.has_shape (ex "C")) Shape.Bottom;
+        def "C" (Shape.has_shape (ex "A")) Shape.Bottom ]
+  with
+  | Error (Schema.Recursive cycle) ->
+      check "cycle non-empty" true (cycle <> []);
+      check "cycle members defined" true
+        (List.for_all
+           (fun n ->
+             List.mem (Term.to_string n)
+               [ "<" ^ ex "A" ^ ">"; "<" ^ ex "B" ^ ">"; "<" ^ ex "C" ^ ">" ])
+           cycle)
+  | Error _ -> Alcotest.fail "wrong error"
+  | Ok _ -> Alcotest.fail "cycle accepted"
+
+let test_self_recursive () =
+  match Schema.make [ def "A" (Shape.has_shape (ex "A")) Shape.Bottom ] with
+  | Error (Schema.Recursive _) -> ()
+  | _ -> Alcotest.fail "self-reference accepted"
+
+let test_recursive_via_target () =
+  (* The cycle runs through a target expression, not a shape body. *)
+  match
+    Schema.make
+      [ def "A" Shape.Top (Shape.has_shape (ex "B"));
+        def "B" (Shape.has_shape (ex "A")) Shape.Bottom ]
+  with
+  | Error (Schema.Recursive _) -> ()
+  | _ -> Alcotest.fail "target cycle accepted"
+
+let test_pp_error () =
+  Alcotest.(check string)
+    "duplicate rendering"
+    (Printf.sprintf "duplicate shape name <%s>" (ex "S"))
+    (Format.asprintf "%a" Schema.pp_error
+       (Schema.Duplicate_name (ext "S")));
+  let rendered =
+    Format.asprintf "%a" Schema.pp_error
+      (Schema.Recursive [ ext "A"; ext "B"; ext "A" ])
+  in
+  check "recursive rendering mentions the cycle" true
+    (String.length rendered > 0
+    && String.sub rendered 0 17 = "recursive schema:")
+
+let test_make_exn () =
+  Alcotest.check_raises "make_exn raises on duplicates"
+    (Invalid_argument
+       (Printf.sprintf "Schema.make: duplicate shape name <%s>" (ex "S")))
+    (fun () ->
+      ignore
+        (Schema.make_exn
+           [ def "S" Shape.Top Shape.Bottom;
+             def "S" Shape.Bottom Shape.Bottom ]))
+
+let test_undefined_lookup () =
+  let schema = Schema.def_list [ ex "S", Shape.Top, Shape.Bottom ] in
+  check "find defined" true (Schema.find schema (ext "S") <> None);
+  check "find undefined" true (Schema.find schema (ext "T") = None);
+  (* an undefined shape behaves as top, per the SHACL recommendation *)
+  check "def_shape undefined is top" true
+    (Shape.equal (Schema.def_shape schema (ext "T")) Shape.Top);
+  check "def_shape defined" true
+    (Shape.equal (Schema.def_shape schema (ext "S")) Shape.Top)
+
+let suite =
+  [ Alcotest.test_case "duplicate name rejected" `Quick test_duplicate_name;
+    Alcotest.test_case "reference cycle rejected" `Quick test_recursive;
+    Alcotest.test_case "self-reference rejected" `Quick test_self_recursive;
+    Alcotest.test_case "cycle via target rejected" `Quick
+      test_recursive_via_target;
+    Alcotest.test_case "error rendering" `Quick test_pp_error;
+    Alcotest.test_case "make_exn raises" `Quick test_make_exn;
+    Alcotest.test_case "undefined shape lookup" `Quick test_undefined_lookup ]
