@@ -14,7 +14,8 @@ let experiments =
     "query-survey", ("Section 4.1: 39/46 queries expressible", Exp_survey.run);
     "tpf", ("Proposition 6.2: TPF expressibility", Exp_tpf.run);
     "ldf", ("Figure 4: LDF-spectrum positioning", Exp_ldf.run);
-    "ablations", ("Design-choice ablations", Exp_ablation.run) ]
+    "ablations", ("Design-choice ablations", Exp_ablation.run);
+    "parallel", ("Parallel fragment engine scaling", Exp_parallel.run) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

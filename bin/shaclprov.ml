@@ -55,6 +55,22 @@ let node_arg =
   Arg.(
     required & opt (some string) None & info [ "n"; "node" ] ~docv:"IRI" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Number of worker domains for the parallel engine (default 1, i.e. \
+     run on the calling domain only).  The result does not depend on $(docv)."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let stats_arg =
+  let doc =
+    "Print execution statistics (candidates checked, memo traffic, path \
+     evaluations, per-shape timings) to standard error."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let print_stats stats = Format.eprintf "%a@." Provenance.Engine.Stats.pp stats
+
 exception Fail of string
 
 let die fmt = Format.kasprintf (fun m -> raise (Fail m)) fmt
@@ -117,7 +133,7 @@ let validate_cmd =
     let doc = "Print the result as a W3C validation report in Turtle." in
     Arg.(value & flag & info [ "rdf-report" ] ~doc)
   in
-  let run data shapes rdf_report =
+  let run data shapes rdf_report jobs stats =
     wrap (fun () ->
         let g = load_graph data in
         let schema =
@@ -126,7 +142,14 @@ let validate_cmd =
           | None -> die "validate requires --shapes"
         in
         warn_schema schema;
-        let report = Shacl.Validate.validate schema g in
+        let report =
+          if jobs > 1 || stats then begin
+            let report, engine_stats = Provenance.Engine.validate ~jobs schema g in
+            if stats then print_stats engine_stats;
+            report
+          end
+          else Shacl.Validate.validate schema g
+        in
         if rdf_report then print_string (Shacl.Report.to_turtle report)
         else Format.printf "%a@." Shacl.Validate.pp_report report;
         if report.Shacl.Validate.conforms then 0 else 1)
@@ -134,7 +157,9 @@ let validate_cmd =
   let doc = "Validate a data graph against a SHACL shapes graph." in
   Cmd.v
     (Cmd.info "validate" ~doc)
-    Term.(const run $ data_arg $ shapes_arg $ rdf_report_arg)
+    Term.(
+      const run $ data_arg $ shapes_arg $ rdf_report_arg $ jobs_arg
+      $ stats_arg)
 
 (* ---------------- lint --------------------------------------------- *)
 
@@ -243,31 +268,44 @@ let neighborhood_cmd =
 (* ---------------- fragment ---------------------------------------- *)
 
 let fragment_cmd =
-  let run data shapes exprs prefixes =
+  let run data shapes exprs prefixes jobs stats =
     wrap (fun () ->
         let namespaces = namespaces_of prefixes in
         let g = load_graph data in
         let schema = load_schema shapes in
         if shapes <> None then warn_schema schema;
-        let fragment =
+        let requests =
           match parse_shapes namespaces exprs with
           | [] ->
               if Shacl.Schema.defs schema = [] then
                 die "no request shapes given (--shape or --shapes)"
-              else Provenance.Fragment.frag_schema schema g
-          | request_shapes -> Provenance.Fragment.frag ~schema g request_shapes
+              else Provenance.Engine.requests_of_schema schema
+          | request_shapes ->
+              List.map
+                (fun shape ->
+                  Provenance.Engine.request
+                    ~label:(Shacl.Shape_syntax.print ~namespaces shape)
+                    shape)
+                request_shapes
         in
+        let fragment, engine_stats =
+          Provenance.Engine.run ~schema ~jobs g requests
+        in
+        if stats then print_stats engine_stats;
         print_string (Rdf.Turtle.to_string ~prefixes:namespaces fragment);
         0)
   in
   let doc =
     "Extract the shape fragment: the union of the neighborhoods of all \
      conforming nodes (for --shape requests) or of the schema's \
-     target-conjoined shapes (for --shapes)."
+     target-conjoined shapes (for --shapes).  Runs on the parallel \
+     engine; see --jobs and --stats."
   in
   Cmd.v
     (Cmd.info "fragment" ~doc)
-    Term.(const run $ data_arg $ shapes_arg $ shape_exprs_arg $ prefix_arg)
+    Term.(
+      const run $ data_arg $ shapes_arg $ shape_exprs_arg $ prefix_arg
+      $ jobs_arg $ stats_arg)
 
 (* ---------------- to-sparql --------------------------------------- *)
 

@@ -1,0 +1,359 @@
+open Rdf
+open Shacl
+
+module Stats = struct
+  type shape_stat = {
+    label : string;
+    pruned : bool;
+    candidates : int;
+    conforming : int;
+    wall : float;
+  }
+
+  type t = {
+    jobs : int;
+    nodes_checked : int;
+    conforming : int;
+    memo_lookups : int;
+    memo_hits : int;
+    memo_misses : int;
+    path_evals : int;
+    triples_emitted : int;
+    planning : float;
+    wall : float;
+    shapes : shape_stat list;
+  }
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "@[<v>engine: %d job(s), %d candidate(s) checked, %d conforming, %d \
+       triple(s) emitted@,memo: %d lookup(s), %d hit(s), %d miss(es); %d \
+       path evaluation(s)@,time: planning %.3fs, total %.3fs"
+      t.jobs t.nodes_checked t.conforming t.triples_emitted t.memo_lookups
+      t.memo_hits t.memo_misses t.path_evals t.planning t.wall;
+    List.iter
+      (fun s ->
+        Format.fprintf ppf "@,shape %s: %d candidate(s)%s, %d conforming, %.3fs"
+          s.label s.candidates
+          (if s.pruned then " (target-pruned)" else "")
+          s.conforming s.wall)
+      t.shapes;
+    Format.fprintf ppf "@]"
+end
+
+type request = {
+  label : string;
+  shape : Shape.t;
+  target : Shape.t option;
+}
+
+let request ?label shape =
+  let label = match label with Some l -> l | None -> Shape.to_string shape in
+  { label; shape; target = None }
+
+let request_of_def (def : Schema.def) =
+  { label = Term.to_string def.name;
+    shape = Shape.and_ [ def.shape; def.target ];
+    target = Some def.target }
+
+let requests_of_schema schema = List.map request_of_def (Schema.defs schema)
+
+(* ---------------- planning ---------------------------------------- *)
+
+(* The candidate set for a request, and whether target pruning applied.
+
+   Soundness: a node contributes a (non-empty) neighborhood only when it
+   conforms to the request shape.  For a schema request [phi ∧ tau] every
+   conforming node conforms to [tau], so restricting candidates to the
+   [tau]-nodes loses nothing; constants of the request shape that are not
+   graph nodes are kept when they satisfy [tau], matching the unpruned
+   candidate set of [Fragment.frag] exactly.  Monotonicity of [tau]
+   (Theorem 4.1's precondition, via [Analysis.Monotone]) is required so
+   the pruned fragment keeps the conformance guarantees of Section 4. *)
+let plan ~schema ~all_nodes g r =
+  match r.target with
+  | Some tau when Analysis.Monotone.is_monotone schema tau ->
+      let base =
+        match Validate.fast_targets g tau with
+        | Some targets -> targets
+        | None -> Conformance.conforming_nodes schema g tau
+      in
+      let stray_constants =
+        Term.Set.filter
+          (fun c -> Conformance.conforms schema g c tau)
+          (Shape.constants r.shape)
+      in
+      Term.Set.union base stray_constants, true
+  | _ -> Term.Set.union (Lazy.force all_nodes) (Shape.constants r.shape), false
+
+(* ---------------- domain pool -------------------------------------- *)
+
+(* A mutex-protected work queue; [pop] is the only cross-domain
+   synchronization point on the hot path. *)
+let make_queue items =
+  let queue = ref items in
+  let lock = Mutex.create () in
+  fun () ->
+    Mutex.lock lock;
+    let item =
+      match !queue with
+      | [] -> None
+      | x :: rest ->
+          queue := rest;
+          Some x
+    in
+    Mutex.unlock lock;
+    item
+
+let spawn_pool ~jobs worker =
+  if jobs <= 1 then worker ()
+  else
+    List.init jobs (fun _ -> Domain.spawn worker) |> List.iter Domain.join
+
+(* Split a candidate array into at most [jobs] balanced chunks.  The
+   split depends only on the array and [jobs], so execution statistics
+   are deterministic for a fixed [-j]. *)
+let chunks_of ~jobs arr =
+  let n = Array.length arr in
+  if n = 0 then []
+  else
+    let k = min jobs n in
+    List.init k (fun c ->
+        let lo = c * n / k and hi = (c + 1) * n / k in
+        Array.sub arr lo (hi - lo))
+    |> List.filter (fun chunk -> Array.length chunk > 0)
+
+let now = Unix.gettimeofday
+
+(* ---------------- fragment extraction ------------------------------ *)
+
+let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
+    ?(jobs = 1) g requests =
+  let jobs = max 1 jobs in
+  let t0 = now () in
+  let all_nodes = lazy (Graph.nodes g) in
+  let plans =
+    List.map
+      (fun r ->
+        let candidates, pruned = plan ~schema ~all_nodes g r in
+        r, Array.of_list (Term.Set.elements candidates), pruned)
+      requests
+  in
+  let planning = now () -. t0 in
+  let shapes = Array.of_list (List.map (fun (r, _, _) -> r.shape) plans) in
+  let items =
+    List.concat
+      (List.mapi
+         (fun i (_, candidates, _) ->
+           List.map (fun chunk -> i, chunk) (chunks_of ~jobs candidates))
+         plans)
+  in
+  let nshapes = Array.length shapes in
+  let pop = make_queue items in
+  (* Global accumulators, guarded by [merge_lock]; workers touch them
+     once, after draining the queue. *)
+  let merge_lock = Mutex.create () in
+  let acc : (Triple.t, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let totals = Counters.create () in
+  let conforming = Array.make nshapes 0 in
+  let walls = Array.make nshapes 0.0 in
+  let checked = ref 0 in
+  let worker () =
+    let local : (Triple.t, unit) Hashtbl.t = Hashtbl.create 256 in
+    let counters = Counters.create () in
+    let local_conforming = Array.make nshapes 0 in
+    let local_walls = Array.make nshapes 0.0 in
+    let local_checked = ref 0 in
+    let rec drain () =
+      match pop () with
+      | None -> ()
+      | Some (i, chunk) ->
+          let t = now () in
+          let check =
+            match algorithm with
+            | Fragment.Instrumented ->
+                Neighborhood.checker ~counters ~schema g shapes.(i)
+            | Fragment.Naive ->
+                Neighborhood.naive_checker ~counters ~schema g shapes.(i)
+          in
+          Array.iter
+            (fun v ->
+              incr local_checked;
+              let conforms, neighborhood = check v in
+              if conforms then begin
+                local_conforming.(i) <- local_conforming.(i) + 1;
+                Graph.iter (fun tr -> Hashtbl.replace local tr ()) neighborhood
+              end)
+            chunk;
+          local_walls.(i) <- local_walls.(i) +. (now () -. t);
+          drain ()
+    in
+    drain ();
+    Mutex.lock merge_lock;
+    Hashtbl.iter (fun tr () -> Hashtbl.replace acc tr ()) local;
+    Counters.add ~into:totals counters;
+    for i = 0 to nshapes - 1 do
+      conforming.(i) <- conforming.(i) + local_conforming.(i);
+      walls.(i) <- walls.(i) +. local_walls.(i)
+    done;
+    checked := !checked + !local_checked;
+    Mutex.unlock merge_lock
+  in
+  spawn_pool ~jobs worker;
+  let fragment =
+    Hashtbl.fold (fun tr () frag -> Graph.add_triple tr frag) acc Graph.empty
+  in
+  let shape_stats =
+    List.mapi
+      (fun i (r, candidates, pruned) ->
+        { Stats.label = r.label;
+          pruned;
+          candidates = Array.length candidates;
+          conforming = conforming.(i);
+          wall = walls.(i) })
+      plans
+  in
+  let stats =
+    { Stats.jobs;
+      nodes_checked = !checked;
+      conforming = Array.fold_left ( + ) 0 conforming;
+      memo_lookups = totals.Counters.memo_lookups;
+      memo_hits = totals.Counters.memo_hits;
+      memo_misses = totals.Counters.memo_misses;
+      path_evals = totals.Counters.path_evals;
+      triples_emitted = Hashtbl.length acc;
+      planning;
+      wall = now () -. t0;
+      shapes = shape_stats }
+  in
+  fragment, stats
+
+let fragment ?schema ?algorithm ?jobs g shapes =
+  fst (run ?schema ?algorithm ?jobs g (List.map request shapes))
+
+let fragment_schema ?algorithm ?jobs schema g =
+  fst (run ~schema ?algorithm ?jobs g (requests_of_schema schema))
+
+(* ---------------- validation --------------------------------------- *)
+
+let validate ?(jobs = 1) schema g =
+  let jobs = max 1 jobs in
+  let t0 = now () in
+  let defs = Schema.defs schema in
+  let plans =
+    List.map
+      (fun (def : Schema.def) ->
+        let targets = Validate.target_nodes schema g def in
+        def, Array.of_list (Term.Set.elements targets))
+      defs
+  in
+  let planning = now () -. t0 in
+  let plans_arr = Array.of_list plans in
+  let ndefs = Array.length plans_arr in
+  let verdicts =
+    Array.map (fun (_, targets) -> Array.make (Array.length targets) false)
+      plans_arr
+  in
+  let items =
+    List.concat
+      (List.mapi
+         (fun i (_, targets) ->
+           (* chunks carry their offset so verdicts land at the right
+              index regardless of which worker runs them *)
+           let n = Array.length targets in
+           if n = 0 then []
+           else
+             let k = min jobs n in
+             List.init k (fun c ->
+                 let lo = c * n / k and hi = (c + 1) * n / k in
+                 i, lo, Array.sub targets lo (hi - lo))
+             |> List.filter (fun (_, _, chunk) -> Array.length chunk > 0))
+         plans)
+  in
+  let pop = make_queue items in
+  let merge_lock = Mutex.create () in
+  let totals = Counters.create () in
+  let conforming = Array.make ndefs 0 in
+  let walls = Array.make ndefs 0.0 in
+  let checked = ref 0 in
+  let worker () =
+    let counters = Counters.create () in
+    let local_conforming = Array.make ndefs 0 in
+    let local_walls = Array.make ndefs 0.0 in
+    let local_checked = ref 0 in
+    let rec drain () =
+      match pop () with
+      | None -> ()
+      | Some (i, offset, chunk) ->
+          let t = now () in
+          let def, _ = plans_arr.(i) in
+          let check = Conformance.checker ~counters schema g def.Schema.shape in
+          Array.iteri
+            (fun j v ->
+              incr local_checked;
+              let ok = check v in
+              if ok then local_conforming.(i) <- local_conforming.(i) + 1;
+              verdicts.(i).(offset + j) <- ok)
+            chunk;
+          local_walls.(i) <- local_walls.(i) +. (now () -. t);
+          drain ()
+    in
+    drain ();
+    Mutex.lock merge_lock;
+    Counters.add ~into:totals counters;
+    for i = 0 to ndefs - 1 do
+      conforming.(i) <- conforming.(i) + local_conforming.(i);
+      walls.(i) <- walls.(i) +. local_walls.(i)
+    done;
+    checked := !checked + !local_checked;
+    Mutex.unlock merge_lock
+  in
+  spawn_pool ~jobs worker;
+  (* Assemble results exactly as the sequential [Validate.validate] does:
+     per definition, a [Term.Set.fold] pushing to the front — i.e. each
+     definition's results in descending node order. *)
+  let results =
+    List.concat
+      (List.mapi
+         (fun i ((def : Schema.def), targets) ->
+           let acc = ref [] in
+           Array.iteri
+             (fun j focus ->
+               acc :=
+                 { Validate.focus;
+                   shape_name = def.name;
+                   conforms = verdicts.(i).(j) }
+                 :: !acc)
+             targets;
+           !acc)
+         plans)
+  in
+  let report =
+    { Validate.conforms =
+        List.for_all (fun (r : Validate.result) -> r.conforms) results;
+      results }
+  in
+  let shape_stats =
+    List.mapi
+      (fun i ((def : Schema.def), targets) ->
+        { Stats.label = Term.to_string def.name;
+          pruned = true;
+          candidates = Array.length targets;
+          conforming = conforming.(i);
+          wall = walls.(i) })
+      plans
+  in
+  let stats =
+    { Stats.jobs;
+      nodes_checked = !checked;
+      conforming = Array.fold_left ( + ) 0 conforming;
+      memo_lookups = totals.Counters.memo_lookups;
+      memo_hits = totals.Counters.memo_hits;
+      memo_misses = totals.Counters.memo_misses;
+      path_evals = totals.Counters.path_evals;
+      triples_emitted = 0;
+      planning;
+      wall = now () -. t0;
+      shapes = shape_stats }
+  in
+  report, stats

@@ -3,25 +3,23 @@ open Shacl
 
 type algorithm = Naive | Instrumented
 
-let candidates g shape =
-  Term.Set.union (Graph.nodes g) (Shape.constants shape)
-
 let frag ?(schema = Schema.empty) ?(algorithm = Instrumented) g shapes =
+  (* The node scan is shape-independent: do it once per call, not once
+     per shape; only the hasValue constants vary per shape. *)
+  let nodes = Graph.nodes g in
+  let candidates shape = Term.Set.union nodes (Shape.constants shape) in
   List.fold_left
     (fun acc shape ->
-      match algorithm with
-      | Naive ->
-          let neighborhood_of = Neighborhood.naive_checker ~schema g shape in
-          Term.Set.fold
-            (fun v acc -> Graph.union acc (neighborhood_of v))
-            (candidates g shape) acc
-      | Instrumented ->
-          let check = Neighborhood.checker ~schema g shape in
-          Term.Set.fold
-            (fun v acc ->
-              let conforms, neighborhood = check v in
-              if conforms then Graph.union acc neighborhood else acc)
-            (candidates g shape) acc)
+      let check =
+        match algorithm with
+        | Naive -> Neighborhood.naive_checker ~schema g shape
+        | Instrumented -> Neighborhood.checker ~schema g shape
+      in
+      Term.Set.fold
+        (fun v acc ->
+          let conforms, neighborhood = check v in
+          if conforms then Graph.union acc neighborhood else acc)
+        (candidates shape) acc)
     Graph.empty shapes
 
 let frag_schema ?algorithm schema g =
@@ -29,8 +27,9 @@ let frag_schema ?algorithm schema g =
 
 let conforming_and_neighborhoods ?(schema = Schema.empty) g shape =
   let check = Neighborhood.checker ~schema g shape in
+  let candidates = Term.Set.union (Graph.nodes g) (Shape.constants shape) in
   Term.Set.fold
     (fun v acc ->
       let conforms, neighborhood = check v in
       if conforms then (v, neighborhood) :: acc else acc)
-    (candidates g shape) []
+    candidates []

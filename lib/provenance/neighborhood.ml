@@ -32,9 +32,30 @@ let p_triples g v p ~keep =
 (* construction as separate recursions over Table 2.                  *)
 (* ------------------------------------------------------------------ *)
 
-let make_naive ?(schema = Schema.empty) g =
+let count_lookup counters =
+  match counters with
+  | Some c -> c.Counters.memo_lookups <- c.Counters.memo_lookups + 1
+  | None -> ()
+
+let count_hit counters =
+  match counters with
+  | Some c -> c.Counters.memo_hits <- c.Counters.memo_hits + 1
+  | None -> ()
+
+let count_miss counters =
+  match counters with
+  | Some c -> c.Counters.memo_misses <- c.Counters.memo_misses + 1
+  | None -> ()
+
+let make_naive ?counters ?(schema = Schema.empty) g =
   let memo : (Term.t * Shape.t, Graph.t) Hashtbl.t = Hashtbl.create 256 in
-  let conforms = Conformance.memoized schema g in
+  let conforms = Conformance.memoized ?counters schema g in
+  let eval e v =
+    (match counters with
+    | Some c -> c.Counters.path_evals <- c.Counters.path_evals + 1
+    | None -> ());
+    Rdf.Path.eval g e v
+  in
   let rec go v phi =
     if not (conforms v phi) then Graph.empty
     else
@@ -45,9 +66,11 @@ let make_naive ?(schema = Schema.empty) g =
           (* memoizing trivia costs more than recomputing it *)
           compute v phi
       | _ ->
+      count_lookup counters;
       match Hashtbl.find_opt memo (v, phi) with
-      | Some cached -> cached
+      | Some cached -> count_hit counters; cached
       | None ->
+          count_miss counters;
           let result = compute v phi in
           Hashtbl.add memo (v, phi) result;
           result
@@ -63,12 +86,12 @@ let make_naive ?(schema = Schema.empty) g =
     | Shape.Eq (Shape.Path e, p) ->
         (* graph(paths(E ∪ p, G, v, x)) for all x reachable by E ∪ p *)
         let ep = Rdf.Path.Alt (e, Rdf.Path.Prop p) in
-        Rdf.Path.trace_all g ep v ~targets:(Rdf.Path.eval g ep v)
+        Rdf.Path.trace_all g ep v ~targets:(eval ep v)
     | Shape.And l | Shape.Or l ->
         List.fold_left (fun acc psi -> Graph.union acc (go v psi)) Graph.empty l
     | Shape.Ge (_, e, psi) ->
         let witnesses =
-          Term.Set.filter (fun x -> conforms x psi) (Rdf.Path.eval g e v)
+          Term.Set.filter (fun x -> conforms x psi) (eval e v)
         in
         Term.Set.fold
           (fun x acc -> Graph.union acc (go x psi))
@@ -77,14 +100,14 @@ let make_naive ?(schema = Schema.empty) g =
     | Shape.Le (_, e, psi) ->
         let neg = Shape.nnf (Shape.Not psi) in
         let witnesses =
-          Term.Set.filter (fun x -> conforms x neg) (Rdf.Path.eval g e v)
+          Term.Set.filter (fun x -> conforms x neg) (eval e v)
         in
         Term.Set.fold
           (fun x acc -> Graph.union acc (go x neg))
           witnesses
           (Rdf.Path.trace_all g e v ~targets:witnesses)
     | Shape.Forall (e, psi) ->
-        let xs = Rdf.Path.eval g e v in
+        let xs = eval e v in
         Term.Set.fold
           (fun x acc -> Graph.union acc (go x psi))
           xs
@@ -98,7 +121,7 @@ let make_naive ?(schema = Schema.empty) g =
         Graph.empty
     | Shape.Eq (Shape.Id, p) -> p_triples g v p ~keep:(fun x -> not (Term.equal x v))
     | Shape.Eq (Shape.Path e, p) ->
-        let reached = Rdf.Path.eval g e v in
+        let reached = eval e v in
         let objects = Graph.objects g v p in
         let t1 =
           Rdf.Path.trace_all g e v ~targets:(Term.Set.diff reached objects)
@@ -110,7 +133,7 @@ let make_naive ?(schema = Schema.empty) g =
     | Shape.Disj (Shape.Id, p) -> singleton v p v
     | Shape.Disj (Shape.Path e, p) ->
         let common =
-          Term.Set.inter (Rdf.Path.eval g e v) (Graph.objects g v p)
+          Term.Set.inter (eval e v) (Graph.objects g v p)
         in
         Term.Set.fold
           (fun x acc -> Graph.add v p x acc)
@@ -125,7 +148,7 @@ let make_naive ?(schema = Schema.empty) g =
     | Shape.More_than_eq (e, p) ->
         negated_comparison v e p ~violates:(fun x y -> not (term_leq y x))
     | Shape.Unique_lang e ->
-        let reached = Rdf.Path.eval g e v in
+        let reached = eval e v in
         let clashing =
           Term.Set.filter
             (fun x ->
@@ -148,7 +171,7 @@ let make_naive ?(schema = Schema.empty) g =
   (* Witness pairs (x, y) with x in [[E]](v), (v, p, y) in G and the
      comparison violated: contribute trace(E, v, x) plus (v, p, y). *)
   and negated_comparison v e p ~violates =
-    let reached = Rdf.Path.eval g e v in
+    let reached = eval e v in
     let objects = Graph.objects g v p in
     let witnesses_x =
       Term.Set.filter
@@ -165,18 +188,26 @@ let make_naive ?(schema = Schema.empty) g =
       witnesses_y
       (Rdf.Path.trace_all g e v ~targets:witnesses_x)
   in
-  go
+  conforms, go
 
-let b ?schema g v phi = make_naive ?schema g v (Shape.nnf phi)
+let b ?schema g v phi =
+  let _, go = make_naive ?schema g in
+  go v (Shape.nnf phi)
 
 (* ------------------------------------------------------------------ *)
 (* Instrumented validator (Section 5.2): one pass computing both      *)
 (* conformance and neighborhood.                                      *)
 (* ------------------------------------------------------------------ *)
 
-let make_instrumented ?(schema = Schema.empty) g =
+let make_instrumented ?counters ?(schema = Schema.empty) g =
   let memo : (Term.t * Shape.t, bool * Graph.t) Hashtbl.t =
     Hashtbl.create 256
+  in
+  let eval e v =
+    (match counters with
+    | Some c -> c.Counters.path_evals <- c.Counters.path_evals + 1
+    | None -> ());
+    Rdf.Path.eval g e v
   in
   let rec go v phi =
     match phi with
@@ -186,9 +217,11 @@ let make_instrumented ?(schema = Schema.empty) g =
         (* memoizing trivia costs more than recomputing it *)
         compute v phi
     | _ -> (
+        count_lookup counters;
         match Hashtbl.find_opt memo (v, phi) with
-        | Some cached -> cached
+        | Some cached -> count_hit counters; cached
         | None ->
+            count_miss counters;
             let result = compute v phi in
             Hashtbl.add memo (v, phi) result;
             result)
@@ -204,15 +237,15 @@ let make_instrumented ?(schema = Schema.empty) g =
           (true, singleton v p v)
         else (false, Graph.empty)
     | Shape.Eq (Shape.Path e, p) ->
-        let reached = Rdf.Path.eval g e v in
+        let reached = eval e v in
         if Term.Set.equal reached (Graph.objects g v p) then
           let ep = Rdf.Path.Alt (e, Rdf.Path.Prop p) in
-          (true, Rdf.Path.trace_all g ep v ~targets:(Rdf.Path.eval g ep v))
+          (true, Rdf.Path.trace_all g ep v ~targets:(eval ep v))
         else (false, Graph.empty)
     | Shape.Disj (Shape.Id, p) ->
         (not (Term.Set.mem v (Graph.objects g v p)), Graph.empty)
     | Shape.Disj (Shape.Path e, p) ->
-        ( Term.Set.disjoint (Rdf.Path.eval g e v) (Graph.objects g v p),
+        ( Term.Set.disjoint (eval e v) (Graph.objects g v p),
           Graph.empty )
     | Shape.Closed allowed ->
         (Iri.Set.subset (Graph.out_predicates g v) allowed, Graph.empty)
@@ -224,7 +257,7 @@ let make_instrumented ?(schema = Schema.empty) g =
     | Shape.More_than_eq (e, p) ->
         (positive_comparison v e p (fun x y -> term_leq y x), Graph.empty)
     | Shape.Unique_lang e ->
-        let values = Term.Set.elements (Rdf.Path.eval g e v) in
+        let values = Term.Set.elements (eval e v) in
         let ok =
           List.for_all
             (fun x ->
@@ -249,7 +282,7 @@ let make_instrumented ?(schema = Schema.empty) g =
             if c then (true, Graph.union acc bx) else (any, acc))
           (false, Graph.empty) l
     | Shape.Ge (n, e, psi) ->
-        let xs = Rdf.Path.eval g e v in
+        let xs = eval e v in
         let witnesses, acc =
           Term.Set.fold
             (fun x (witnesses, acc) ->
@@ -264,7 +297,7 @@ let make_instrumented ?(schema = Schema.empty) g =
         else (false, Graph.empty)
     | Shape.Le (n, e, psi) ->
         let neg = Shape.nnf (Shape.Not psi) in
-        let xs = Rdf.Path.eval g e v in
+        let xs = eval e v in
         let sat_count, witnesses, acc =
           Term.Set.fold
             (fun x (sat_count, witnesses, acc) ->
@@ -279,7 +312,7 @@ let make_instrumented ?(schema = Schema.empty) g =
           (true, Graph.union acc (Rdf.Path.trace_all g e v ~targets:witnesses))
         else (false, Graph.empty)
     | Shape.Forall (e, psi) ->
-        let xs = Rdf.Path.eval g e v in
+        let xs = eval e v in
         let ok, acc =
           Term.Set.fold
             (fun x (ok, acc) ->
@@ -294,7 +327,7 @@ let make_instrumented ?(schema = Schema.empty) g =
         else (false, Graph.empty)
     | Shape.Not inner -> check_negated v inner
   and positive_comparison v e p holds =
-    let reached = Rdf.Path.eval g e v in
+    let reached = eval e v in
     let objects = Graph.objects g v p in
     Term.Set.for_all
       (fun x -> Term.Set.for_all (fun y -> holds x y) objects)
@@ -314,7 +347,7 @@ let make_instrumented ?(schema = Schema.empty) g =
         else
           (true, p_triples g v p ~keep:(fun x -> not (Term.equal x v)))
     | Shape.Eq (Shape.Path e, p) ->
-        let reached = Rdf.Path.eval g e v in
+        let reached = eval e v in
         let objects = Graph.objects g v p in
         if Term.Set.equal reached objects then (false, Graph.empty)
         else begin
@@ -331,7 +364,7 @@ let make_instrumented ?(schema = Schema.empty) g =
         else (false, Graph.empty)
     | Shape.Disj (Shape.Path e, p) ->
         let common =
-          Term.Set.inter (Rdf.Path.eval g e v) (Graph.objects g v p)
+          Term.Set.inter (eval e v) (Graph.objects g v p)
         in
         if Term.Set.is_empty common then (false, Graph.empty)
         else
@@ -351,7 +384,7 @@ let make_instrumented ?(schema = Schema.empty) g =
         negated_comparison_check v e p ~violates:(fun x y ->
             not (term_leq y x))
     | Shape.Unique_lang e ->
-        let reached = Rdf.Path.eval g e v in
+        let reached = eval e v in
         let witnesses =
           Term.Set.filter
             (fun x ->
@@ -376,7 +409,7 @@ let make_instrumented ?(schema = Schema.empty) g =
     | Shape.Forall _ ->
         assert false
   and negated_comparison_check v e p ~violates =
-    let reached = Rdf.Path.eval g e v in
+    let reached = eval e v in
     let objects = Graph.objects g v p in
     let witnesses_x =
       Term.Set.filter
@@ -404,15 +437,17 @@ let make_instrumented ?(schema = Schema.empty) g =
 
 let check ?schema g v phi = make_instrumented ?schema g v (Shape.nnf phi)
 
-let checker ?schema g phi =
-  let go = make_instrumented ?schema g in
+let checker ?counters ?schema g phi =
+  let go = make_instrumented ?counters ?schema g in
   let normalized = Shape.nnf phi in
   fun v -> go v normalized
 
-let naive_checker ?schema g phi =
-  let go = make_naive ?schema g in
+let naive_checker ?counters ?schema g phi =
+  let conforms, go = make_naive ?counters ?schema g in
   let normalized = Shape.nnf phi in
-  fun v -> go v normalized
+  fun v ->
+    if conforms v normalized then (true, go v normalized)
+    else (false, Graph.empty)
 
 let why_not ?schema g v phi =
   let conforms, _ = check ?schema g v phi in

@@ -42,14 +42,20 @@ val why_not :
     does conform. *)
 
 val checker :
+  ?counters:Shacl.Counters.t ->
   ?schema:Shacl.Schema.t ->
   Rdf.Graph.t -> Shacl.Shape.t -> (Rdf.Term.t -> bool * Rdf.Graph.t)
 (** Batch variant of {!check}: the shape is normalized once and one memo
     table is shared across all focus nodes, which is how an instrumented
     validator processes the target nodes of a shape.  Used by
-    {!Fragment.frag} and the overhead experiment. *)
+    {!Fragment.frag}, the parallel engine and the overhead experiment.
+    When [counters] is given, memo traffic and path evaluations are
+    accumulated into it. *)
 
 val naive_checker :
+  ?counters:Shacl.Counters.t ->
   ?schema:Shacl.Schema.t ->
-  Rdf.Graph.t -> Shacl.Shape.t -> (Rdf.Term.t -> Rdf.Graph.t)
-(** Batch variant of {!b}. *)
+  Rdf.Graph.t -> Shacl.Shape.t -> (Rdf.Term.t -> bool * Rdf.Graph.t)
+(** Batch variant of {!b}, with the conformance verdict alongside the
+    neighborhood (empty when the node does not conform), mirroring
+    {!checker} so the two algorithms are interchangeable downstream. *)

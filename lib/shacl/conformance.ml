@@ -4,7 +4,15 @@ type env = {
   schema : Schema.t;
   g : Graph.t;
   memo : (Term.t * Shape.t, bool) Hashtbl.t option;
+  counters : Counters.t option;
 }
+
+(* [[E]](a), counting the evaluation when instrumented. *)
+let eval env e a =
+  (match env.counters with
+  | Some c -> c.Counters.path_evals <- c.Counters.path_evals + 1
+  | None -> ());
+  Rdf.Path.eval env.g e a
 
 let rec conforms_env env a phi =
   match env.memo, phi with
@@ -16,9 +24,19 @@ let rec conforms_env env a phi =
       compute env a phi
   | Some table, _ -> (
       let key = a, phi in
+      (match env.counters with
+      | Some c -> c.Counters.memo_lookups <- c.Counters.memo_lookups + 1
+      | None -> ());
       match Hashtbl.find_opt table key with
-      | Some cached -> cached
+      | Some cached ->
+          (match env.counters with
+          | Some c -> c.Counters.memo_hits <- c.Counters.memo_hits + 1
+          | None -> ());
+          cached
       | None ->
+          (match env.counters with
+          | Some c -> c.Counters.memo_misses <- c.Counters.memo_misses + 1
+          | None -> ());
           let result = compute env a phi in
           Hashtbl.add table key result;
           result)
@@ -46,7 +64,7 @@ and compute env a phi =
                incr found;
                if !found >= n then raise Exit
              end)
-           (Rdf.Path.eval g e a);
+           (eval env e a);
          false
        with Exit -> true)
   | Shape.Le (n, e, psi) ->
@@ -58,41 +76,41 @@ and compute env a phi =
                incr found;
                if !found > n then raise Exit
              end)
-           (Rdf.Path.eval g e a);
+           (eval env e a);
          true
        with Exit -> false)
   | Shape.Forall (e, psi) ->
-      Term.Set.for_all (fun b -> conforms_env env b psi) (Rdf.Path.eval g e a)
+      Term.Set.for_all (fun b -> conforms_env env b psi) (eval env e a)
   | Shape.Eq (Shape.Id, p) ->
       Term.Set.equal (Graph.objects g a p) (Term.Set.singleton a)
   | Shape.Eq (Shape.Path e, p) ->
-      Term.Set.equal (Rdf.Path.eval g e a) (Graph.objects g a p)
+      Term.Set.equal (eval env e a) (Graph.objects g a p)
   | Shape.Disj (Shape.Id, p) -> not (Term.Set.mem a (Graph.objects g a p))
   | Shape.Disj (Shape.Path e, p) ->
-      Term.Set.disjoint (Rdf.Path.eval g e a) (Graph.objects g a p)
+      Term.Set.disjoint (eval env e a) (Graph.objects g a p)
   | Shape.Closed allowed -> Iri.Set.subset (Graph.out_predicates g a) allowed
   | Shape.Less_than (e, p) ->
-      compare_all g a e p ~holds:(fun b c ->
+      compare_all env a e p ~holds:(fun b c ->
           match Term.as_literal b, Term.as_literal c with
           | Some lb, Some lc -> Literal.lt lb lc
           | _ -> false)
   | Shape.Less_than_eq (e, p) ->
-      compare_all g a e p ~holds:(fun b c ->
+      compare_all env a e p ~holds:(fun b c ->
           match Term.as_literal b, Term.as_literal c with
           | Some lb, Some lc -> Literal.leq lb lc
           | _ -> false)
   | Shape.More_than (e, p) ->
-      compare_all g a e p ~holds:(fun b c ->
+      compare_all env a e p ~holds:(fun b c ->
           match Term.as_literal b, Term.as_literal c with
           | Some lb, Some lc -> Literal.lt lc lb
           | _ -> false)
   | Shape.More_than_eq (e, p) ->
-      compare_all g a e p ~holds:(fun b c ->
+      compare_all env a e p ~holds:(fun b c ->
           match Term.as_literal b, Term.as_literal c with
           | Some lb, Some lc -> Literal.leq lc lb
           | _ -> false)
   | Shape.Unique_lang e ->
-      let values = Term.Set.elements (Rdf.Path.eval g e a) in
+      let values = Term.Set.elements (eval env e a) in
       let rec pairwise = function
         | [] -> true
         | b :: rest ->
@@ -107,21 +125,22 @@ and compute env a phi =
       pairwise values
 
 (* b R c must hold for all b in [[E]](a) and c in [[p]](a). *)
-and compare_all g a e p ~holds =
-  let values = Rdf.Path.eval g e a in
-  let objects = Graph.objects g a p in
+and compare_all env a e p ~holds =
+  let values = eval env e a in
+  let objects = Graph.objects env.g a p in
   Term.Set.for_all
     (fun b -> Term.Set.for_all (fun c -> holds b c) objects)
     values
 
-let conforms h g a phi = conforms_env { schema = h; g; memo = None } a phi
+let conforms h g a phi =
+  conforms_env { schema = h; g; memo = None; counters = None } a phi
 
-let memoized h g =
-  let env = { schema = h; g; memo = Some (Hashtbl.create 256) } in
+let memoized ?counters h g =
+  let env = { schema = h; g; memo = Some (Hashtbl.create 256); counters } in
   fun a phi -> conforms_env env a phi
 
-let checker h g phi =
-  let check = memoized h g in
+let checker ?counters h g phi =
+  let check = memoized ?counters h g in
   fun a -> check a phi
 
 let conforming_nodes h g phi =

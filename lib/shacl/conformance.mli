@@ -7,14 +7,19 @@
 val conforms : Schema.t -> Rdf.Graph.t -> Rdf.Term.t -> Shape.t -> bool
 (** [conforms h g a phi] is [H, G, a ⊨ phi]. *)
 
-val checker : Schema.t -> Rdf.Graph.t -> Shape.t -> Rdf.Term.t -> bool
+val checker :
+  ?counters:Counters.t -> Schema.t -> Rdf.Graph.t -> Shape.t ->
+  Rdf.Term.t -> bool
 (** [checker h g phi] is a batch variant of {!conforms}: partially applied
     to a shape it returns a closure sharing a memo table across focus
     nodes, so validating many nodes against one shape does not recompute
     shared subproblems (e.g. conformance of common successors to
-    quantifier bodies). *)
+    quantifier bodies).  When [counters] is given, memo traffic and path
+    evaluations are accumulated into it. *)
 
-val memoized : Schema.t -> Rdf.Graph.t -> Rdf.Term.t -> Shape.t -> bool
+val memoized :
+  ?counters:Counters.t -> Schema.t -> Rdf.Graph.t ->
+  Rdf.Term.t -> Shape.t -> bool
 (** Like {!checker}, but sharing one memo table across arbitrary shapes
     (partially apply to the schema and graph). *)
 

@@ -1,0 +1,20 @@
+type t = {
+  mutable memo_lookups : int;
+  mutable memo_hits : int;
+  mutable memo_misses : int;
+  mutable path_evals : int;
+}
+
+let create () =
+  { memo_lookups = 0; memo_hits = 0; memo_misses = 0; path_evals = 0 }
+
+let add ~into c =
+  into.memo_lookups <- into.memo_lookups + c.memo_lookups;
+  into.memo_hits <- into.memo_hits + c.memo_hits;
+  into.memo_misses <- into.memo_misses + c.memo_misses;
+  into.path_evals <- into.path_evals + c.path_evals
+
+let total cs =
+  let t = create () in
+  List.iter (fun c -> add ~into:t c) cs;
+  t

@@ -16,6 +16,12 @@ type report = {
   results : result list;       (** one per (focus, definition) pair *)
 }
 
+val fast_targets : Rdf.Graph.t -> Shape.t -> Rdf.Term.Set.t option
+(** Direct index-based evaluation of the real-SHACL target forms — node
+    ([hasValue]), class, subjects-of, objects-of targets and unions
+    thereof — or [None] when the shape is not of such a form.  Exposed
+    for the fragment engine's candidate planner. *)
+
 val target_nodes : Schema.t -> Rdf.Graph.t -> Schema.def -> Rdf.Term.Set.t
 (** The nodes targeted by a definition.  The four real-SHACL target forms
     (node, class-based, subjects-of, objects-of) are answered directly

@@ -94,3 +94,39 @@ An RDF validation report in the W3C vocabulary.
      sh:resultSeverity sh:Violation ;
      sh:sourceShape ex:WorkshopShape .
   [1]
+
+The parallel engine: --stats reports planning and execution counters
+(timings normalized; counters are deterministic for a fixed -j).
+
+  $ shaclprov fragment -d data.ttl -s shapes.ttl --stats -j 2 2>&1 >/dev/null \
+  >   | sed -E 's/[0-9]+\.[0-9]+s/_s/g'
+  engine: 2 job(s), 2 candidate(s) checked, 1 conforming, 3 triple(s) emitted
+  memo: 11 lookup(s), 0 hit(s), 11 miss(es); 5 path evaluation(s)
+  time: planning _s, total _s
+  shape <http://example.org/WorkshopShape>: 2 candidate(s) (target-pruned), 1 conforming, _s
+  shape _:genid0: 0 candidate(s) (target-pruned), 0 conforming, _s
+  shape _:genid1: 0 candidate(s) (target-pruned), 0 conforming, _s
+
+The fragment itself is identical whatever the worker count.
+
+  $ shaclprov fragment -d data.ttl -s shapes.ttl -j 4
+  @prefix ex: <http://example.org/> .
+  @prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+  
+  ex:bob rdf:type ex:Student .
+  ex:p1 ex:author ex:bob ;
+     rdf:type ex:Paper .
+
+Validation on the parallel engine: same report, plus counters on request.
+
+  $ shaclprov validate -d data.ttl -s shapes.ttl --stats -j 2 2>&1 \
+  >   | sed -E 's/[0-9]+\.[0-9]+s/_s/g'
+  engine: 2 job(s), 2 candidate(s) checked, 1 conforming, 0 triple(s) emitted
+  memo: 8 lookup(s), 0 hit(s), 8 miss(es); 4 path evaluation(s)
+  time: planning _s, total _s
+  shape <http://example.org/WorkshopShape>: 2 candidate(s) (target-pruned), 1 conforming, _s
+  shape _:genid0: 0 candidate(s) (target-pruned), 0 conforming, _s
+  shape _:genid1: 0 candidate(s) (target-pruned), 0 conforming, _s
+  does not conform: 1 violation(s)
+    node <http://example.org/p2> violates shape <http://example.org/WorkshopShape>
+  

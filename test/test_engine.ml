@@ -1,0 +1,277 @@
+(* The parallel fragment engine (Engine) against its sequential oracle
+   (Fragment), plus the engine's statistics invariants.
+
+   - Differential: Engine.fragment ≡ Fragment.frag for both algorithms,
+     and Engine.fragment_schema ≡ Fragment.frag_schema (exercising the
+     target-pruning planner, including its fallback for non-monotone
+     targets).
+   - Determinism: the fragment does not depend on -j.
+   - Theorem 4.1 on engine output: for monotone-target schemas the
+     engine's fragment preserves the conforming target nodes.
+   - Stats invariants: memo lookups split exactly into hits and misses,
+     triples emitted equal the fragment size, candidates add up. *)
+
+open Rdf
+open Shacl
+open Provenance
+
+let empty_schema = Schema.empty
+
+(* Schemas with real-SHACL (monotone) targets most of the time, and an
+   arbitrary — usually non-monotone — target shape otherwise, so both
+   planner paths (pruned and full-scan) are exercised. *)
+let gen_schema =
+  let open QCheck.Gen in
+  let monotone_target =
+    oneof
+      [ map (fun c -> Shape.Has_value c) (oneofl Tgen.nodes);
+        map
+          (fun p -> Shape.Ge (1, Rdf.Path.Prop p, Shape.Top))
+          (oneofl Tgen.props);
+        map
+          (fun p -> Shape.Ge (1, Rdf.Path.Inv (Rdf.Path.Prop p), Shape.Top))
+          (oneofl Tgen.props) ]
+  in
+  let target =
+    frequency [ 4, monotone_target; 1, Tgen.gen_shape 1 ]
+  in
+  let def i shape target =
+    { Schema.name = Term.iri (Printf.sprintf "http://example.org/shape%d" i);
+      shape;
+      target }
+  in
+  map
+    (fun specs -> Schema.make_exn (List.mapi (fun i (s, t) -> def i s t) specs))
+    (list_size (int_range 1 3) (pair (Tgen.gen_shape 2) target))
+
+let arbitrary_schema =
+  QCheck.make gen_schema ~print:(fun h -> Format.asprintf "%a" Schema.pp h)
+
+let gen_shapes = QCheck.Gen.(list_size (int_range 1 3) (Tgen.gen_shape 2))
+
+let arbitrary_shapes =
+  QCheck.make gen_shapes
+    ~print:(fun l -> String.concat " | " (List.map Shacl.Shape.to_string l))
+
+let check_equal ~what expected actual =
+  if Graph.equal expected actual then true
+  else
+    QCheck.Test.fail_reportf "%s differ:@.oracle:@.%a@.engine:@.%a" what
+      Graph.pp expected Graph.pp actual
+
+(* --- differential: ad-hoc request shapes --------------------------- *)
+
+let prop_differential_instrumented =
+  QCheck.Test.make ~name:"Engine ≡ Fragment.frag (instrumented, -j 1/2/4)"
+    ~count:200
+    QCheck.(pair Tgen.arbitrary_graph arbitrary_shapes)
+    (fun (g, shapes) ->
+      let oracle = Fragment.frag g shapes in
+      List.for_all
+        (fun jobs ->
+          check_equal
+            ~what:(Printf.sprintf "fragments (-j %d)" jobs)
+            oracle
+            (Engine.fragment ~jobs g shapes))
+        [ 1; 2; 4 ])
+
+let prop_differential_naive =
+  QCheck.Test.make ~name:"Engine ≡ Fragment.frag (naive)" ~count:100
+    QCheck.(pair Tgen.arbitrary_graph arbitrary_shapes)
+    (fun (g, shapes) ->
+      let oracle = Fragment.frag ~algorithm:Fragment.Naive g shapes in
+      List.for_all
+        (fun jobs ->
+          check_equal
+            ~what:(Printf.sprintf "naive fragments (-j %d)" jobs)
+            oracle
+            (Engine.fragment ~algorithm:Fragment.Naive ~jobs g shapes))
+        [ 1; 2 ])
+
+(* --- differential: schema requests (target pruning) ---------------- *)
+
+let prop_differential_schema =
+  QCheck.Test.make ~name:"Engine ≡ Fragment.frag_schema (pruned planner)"
+    ~count:200
+    QCheck.(pair Tgen.arbitrary_graph arbitrary_schema)
+    (fun (g, h) ->
+      let oracle = Fragment.frag_schema h g in
+      List.for_all
+        (fun jobs ->
+          check_equal
+            ~what:(Printf.sprintf "schema fragments (-j %d)" jobs)
+            oracle
+            (Engine.fragment_schema ~jobs h g))
+        [ 1; 2; 4 ])
+
+(* --- determinism across -j ----------------------------------------- *)
+
+let prop_determinism =
+  QCheck.Test.make ~name:"fragment independent of -j" ~count:100
+    QCheck.(pair Tgen.arbitrary_graph arbitrary_schema)
+    (fun (g, h) ->
+      let reference = Engine.fragment_schema ~jobs:1 h g in
+      List.for_all
+        (fun jobs ->
+          Graph.equal reference (Engine.fragment_schema ~jobs h g))
+        [ 2; 3; 4 ])
+
+(* --- Theorem 4.1 / Sufficiency on engine output -------------------- *)
+
+let prop_conformance_preserved =
+  QCheck.Test.make
+    ~name:"Theorem 4.1: engine fragment preserves conforming targets"
+    ~count:200
+    QCheck.(pair Tgen.arbitrary_graph arbitrary_schema)
+    (fun (g, h) ->
+      QCheck.assume (Analysis.Monotone.monotone_targets h);
+      let fragment = Engine.fragment_schema ~jobs:2 h g in
+      List.for_all
+        (fun (def : Schema.def) ->
+          Term.Set.for_all
+            (fun v ->
+              (not (Conformance.conforms h g v def.shape))
+              || Conformance.conforms h fragment v def.shape)
+            (Validate.target_nodes h g def))
+        (Schema.defs h))
+
+(* Sufficiency (Theorem 3.4) viewed through the engine: every node that
+   conforms to a request shape in G still conforms in the fragment the
+   engine produced (the fragment contains its neighborhood). *)
+let prop_sufficiency_engine =
+  QCheck.Test.make ~name:"Sufficiency: conforming nodes survive in fragment"
+    ~count:200
+    QCheck.(pair Tgen.arbitrary_graph Tgen.arbitrary_shape)
+    (fun (g, s) ->
+      let fragment = Engine.fragment ~jobs:2 g [ s ] in
+      Term.Set.for_all
+        (fun v ->
+          (not (Conformance.conforms empty_schema g v s))
+          || Conformance.conforms empty_schema fragment v s)
+        (Graph.nodes g))
+
+(* --- validate parity ------------------------------------------------ *)
+
+let result_equal (a : Validate.result) (b : Validate.result) =
+  Term.equal a.focus b.focus
+  && Term.equal a.shape_name b.shape_name
+  && a.conforms = b.conforms
+
+let prop_validate_parity =
+  QCheck.Test.make ~name:"Engine.validate ≡ Validate.validate" ~count:200
+    QCheck.(pair Tgen.arbitrary_graph arbitrary_schema)
+    (fun (g, h) ->
+      let oracle = Validate.validate h g in
+      List.for_all
+        (fun jobs ->
+          let report, _ = Engine.validate ~jobs h g in
+          report.Validate.conforms = oracle.Validate.conforms
+          && List.length report.results = List.length oracle.results
+          && List.for_all2 result_equal report.results oracle.results)
+        [ 1; 2; 4 ])
+
+(* --- stats invariants ----------------------------------------------- *)
+
+let stats_invariants (stats : Engine.Stats.t) fragment =
+  let sum f = List.fold_left (fun n s -> n + f s) 0 stats.shapes in
+  stats.memo_lookups = stats.memo_hits + stats.memo_misses
+  && stats.triples_emitted = Graph.cardinal fragment
+  && stats.nodes_checked = sum (fun (s : Engine.Stats.shape_stat) -> s.candidates)
+  && stats.conforming = sum (fun (s : Engine.Stats.shape_stat) -> s.conforming)
+  && stats.conforming <= stats.nodes_checked
+
+let prop_stats_invariants =
+  QCheck.Test.make ~name:"Stats: lookups = hits + misses, emitted = |frag|"
+    ~count:200
+    QCheck.(pair Tgen.arbitrary_graph arbitrary_schema)
+    (fun (g, h) ->
+      List.for_all
+        (fun jobs ->
+          let fragment, stats =
+            Engine.run ~schema:h ~jobs g (Engine.requests_of_schema h)
+          in
+          stats_invariants stats fragment)
+        [ 1; 2; 4 ])
+
+(* --- unit tests ------------------------------------------------------ *)
+
+let ex local = Term.iri ("http://example.org/" ^ local)
+let p = Iri.of_string "http://example.org/p"
+let ty = Vocab.Rdf.type_
+
+let sample_graph =
+  Graph.of_list
+    [ Triple.make (ex "a") p (ex "b");
+      Triple.make (ex "b") p (ex "c");
+      Triple.make (ex "a") ty (ex "T");
+      Triple.make (ex "d") ty (ex "T") ]
+
+let sample_schema =
+  Schema.def_list
+    [ ( "http://example.org/S",
+        Shape.Ge (1, Rdf.Path.Prop p, Shape.Top),
+        Shape.Ge
+          (1, Rdf.Path.Prop ty, Shape.Has_value (ex "T")) ) ]
+
+let test_engine_matches_oracle () =
+  let oracle = Fragment.frag_schema sample_schema sample_graph in
+  List.iter
+    (fun jobs ->
+      Alcotest.check Tgen.graph_testable
+        (Printf.sprintf "fragment -j %d" jobs)
+        oracle
+        (Engine.fragment_schema ~jobs sample_schema sample_graph))
+    [ 1; 2; 4 ]
+
+let test_stats_pruning () =
+  let fragment, stats =
+    Engine.run ~schema:sample_schema ~jobs:2 sample_graph
+      (Engine.requests_of_schema sample_schema)
+  in
+  Alcotest.(check bool) "invariants" true (stats_invariants stats fragment);
+  match stats.shapes with
+  | [ s ] ->
+      Alcotest.(check bool) "target pruning applied" true s.Engine.Stats.pruned;
+      (* targets of the class-like target: a and d only *)
+      Alcotest.(check int) "pruned candidate count" 2 s.Engine.Stats.candidates;
+      Alcotest.(check int) "conforming" 1 s.Engine.Stats.conforming
+  | l -> Alcotest.failf "expected one shape stat, got %d" (List.length l)
+
+let test_stats_counts () =
+  let fragment, stats =
+    Engine.run ~jobs:1 sample_graph
+      [ Engine.request (Shape.Ge (1, Rdf.Path.Prop p, Shape.Top)) ]
+  in
+  Alcotest.(check int) "triples emitted = |fragment|"
+    (Graph.cardinal fragment) stats.Engine.Stats.triples_emitted;
+  Alcotest.(check int) "lookups = hits + misses"
+    stats.Engine.Stats.memo_lookups
+    (stats.Engine.Stats.memo_hits + stats.Engine.Stats.memo_misses);
+  (* no target: every node (a b c d T) is a candidate *)
+  Alcotest.(check int) "full scan candidates" 5 stats.Engine.Stats.nodes_checked;
+  Alcotest.(check bool) "path evaluations counted" true
+    (stats.Engine.Stats.path_evals > 0)
+
+let test_validate_matches () =
+  let oracle = Validate.validate sample_schema sample_graph in
+  let report, stats = Engine.validate ~jobs:2 sample_schema sample_graph in
+  Alcotest.(check bool) "conforms" oracle.Validate.conforms
+    report.Validate.conforms;
+  Alcotest.(check int) "result count"
+    (List.length oracle.Validate.results)
+    (List.length report.Validate.results);
+  Alcotest.(check bool) "results identical" true
+    (List.for_all2 result_equal oracle.Validate.results
+       report.Validate.results);
+  Alcotest.(check int) "no triples emitted" 0 stats.Engine.Stats.triples_emitted
+
+let suite =
+  [ "engine matches oracle", `Quick, test_engine_matches_oracle;
+    "stats: pruning and counts", `Quick, test_stats_pruning;
+    "stats: emitted and memo", `Quick, test_stats_counts;
+    "parallel validate parity", `Quick, test_validate_matches ]
+
+let props =
+  [ prop_differential_instrumented; prop_differential_naive;
+    prop_differential_schema; prop_determinism; prop_conformance_preserved;
+    prop_sufficiency_engine; prop_validate_parity; prop_stats_invariants ]

@@ -19,6 +19,8 @@ let () =
       Tgen.qsuite "neighborhood:props" Test_neighborhood.props;
       "sufficiency", Test_sufficiency.suite;
       Tgen.qsuite "sufficiency:props" Test_sufficiency.props;
+      "engine", Test_engine.suite;
+      Tgen.qsuite "engine:props" Test_engine.props;
       "to-sparql", Test_to_sparql.suite;
       Tgen.qsuite "to-sparql:props" Test_to_sparql.props;
       "tpf", Test_tpf.suite;
