@@ -69,6 +69,42 @@ let stats_arg =
   in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+let timeout_arg =
+  let doc =
+    "Wall-clock deadline in seconds for the whole evaluation.  Work \
+     started after the deadline fails with a budget error; combined with \
+     --on-error=skip the run degrades to the results computed in time."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS" ~doc)
+
+let fuel_arg =
+  let doc =
+    "Evaluation-fuel bound: the total number of memoized conformance \
+     lookups and path-evaluation steps allowed, shared across workers.  \
+     Bounds runaway recursion independently of wall-clock time."
+  in
+  Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N" ~doc)
+
+let on_error_arg =
+  let doc =
+    "What to do when a shape's evaluation fails (fault, timeout, fuel): \
+     $(b,fail) aborts the run (exit 123), $(b,skip) completes with the \
+     results of every healthy shape and exits 3."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("fail", `Fail); ("skip", `Skip) ]) `Fail
+    & info [ "on-error" ] ~docv:"POLICY" ~doc)
+
+let budget_of timeout fuel =
+  match (timeout, fuel) with
+  | None, None -> Runtime.Budget.unlimited
+  | _ -> Runtime.Budget.make ?timeout ?fuel ()
+
+(* "Completed with partial results": some shapes failed but --on-error
+   skip let the run finish with every healthy shape's output. *)
+let exit_degraded = 3
+
 let print_stats stats = Format.eprintf "%a@." Provenance.Engine.Stats.pp stats
 
 exception Fail of string
@@ -83,7 +119,7 @@ let namespaces_of prefixes =
 let load_graph path =
   match Rdf.Turtle.parse_file path with
   | Ok g -> g
-  | Error e -> die "%s: %a" path Rdf.Turtle.pp_error e
+  | Error e -> die "%a" Rdf.Turtle.pp_error e
 
 let load_schema = function
   | None -> Shacl.Schema.empty
@@ -119,12 +155,21 @@ let parse_node namespaces src =
 
 (* Run the command body; [Fail] (and stray I/O errors) become a clean
    [Error] message rather than an uncaught exception.  The body returns
-   the process exit code. *)
+   the process exit code.  Every runtime failure — including exhausted
+   budgets and injected faults under --on-error=fail — takes this path
+   and exits with [Cmd.Exit.some_error] (123). *)
 let wrap f =
   match f () with
   | code -> Ok code
   | exception Fail m -> Error m
   | exception Sys_error m -> Error m
+  | exception Runtime.Budget.Exhausted r ->
+      Error
+        (Format.asprintf "budget exhausted (%a); rerun with --on-error=skip \
+                          to keep partial results" Runtime.Budget.pp_reason r)
+  | exception Runtime.Fault.Injected site ->
+      Error (Printf.sprintf "injected fault at %s" site)
+  | exception e -> Error (Printexc.to_string e)
 
 (* ---------------- validate ---------------------------------------- *)
 
@@ -133,7 +178,7 @@ let validate_cmd =
     let doc = "Print the result as a W3C validation report in Turtle." in
     Arg.(value & flag & info [ "rdf-report" ] ~doc)
   in
-  let run data shapes rdf_report jobs stats =
+  let run data shapes rdf_report jobs stats timeout fuel on_error =
     wrap (fun () ->
         let g = load_graph data in
         let schema =
@@ -142,24 +187,36 @@ let validate_cmd =
           | None -> die "validate requires --shapes"
         in
         warn_schema schema;
-        let report =
-          if jobs > 1 || stats then begin
-            let report, engine_stats = Provenance.Engine.validate ~jobs schema g in
+        let budget = budget_of timeout fuel in
+        (* The resilient paths — fault isolation, degradation, per-shape
+           failure accounting — live in the engine, so any resilience
+           flag routes through it even single-threaded. *)
+        let use_engine =
+          jobs > 1 || stats || on_error = `Skip || timeout <> None
+          || fuel <> None
+        in
+        let report, degraded =
+          if use_engine then begin
+            let report, engine_stats =
+              Provenance.Engine.validate ~jobs ~budget ~on_error schema g
+            in
             if stats then print_stats engine_stats;
-            report
+            (report, Provenance.Engine.Stats.degraded engine_stats)
           end
-          else Shacl.Validate.validate schema g
+          else (Shacl.Validate.validate schema g, false)
         in
         if rdf_report then print_string (Shacl.Report.to_turtle report)
         else Format.printf "%a@." Shacl.Validate.pp_report report;
-        if report.Shacl.Validate.conforms then 0 else 1)
+        if degraded then exit_degraded
+        else if report.Shacl.Validate.conforms then 0
+        else 1)
   in
   let doc = "Validate a data graph against a SHACL shapes graph." in
   Cmd.v
     (Cmd.info "validate" ~doc)
     Term.(
       const run $ data_arg $ shapes_arg $ rdf_report_arg $ jobs_arg
-      $ stats_arg)
+      $ stats_arg $ timeout_arg $ fuel_arg $ on_error_arg)
 
 (* ---------------- lint --------------------------------------------- *)
 
@@ -268,7 +325,7 @@ let neighborhood_cmd =
 (* ---------------- fragment ---------------------------------------- *)
 
 let fragment_cmd =
-  let run data shapes exprs prefixes jobs stats =
+  let run data shapes exprs prefixes jobs stats timeout fuel on_error =
     wrap (fun () ->
         let namespaces = namespaces_of prefixes in
         let g = load_graph data in
@@ -288,12 +345,14 @@ let fragment_cmd =
                     shape)
                 request_shapes
         in
+        let budget = budget_of timeout fuel in
         let fragment, engine_stats =
-          Provenance.Engine.run ~schema ~jobs g requests
+          Provenance.Engine.run ~schema ~jobs ~budget ~on_error g requests
         in
         if stats then print_stats engine_stats;
         print_string (Rdf.Turtle.to_string ~prefixes:namespaces fragment);
-        0)
+        if Provenance.Engine.Stats.degraded engine_stats then exit_degraded
+        else 0)
   in
   let doc =
     "Extract the shape fragment: the union of the neighborhoods of all \
@@ -305,7 +364,7 @@ let fragment_cmd =
     (Cmd.info "fragment" ~doc)
     Term.(
       const run $ data_arg $ shapes_arg $ shape_exprs_arg $ prefix_arg
-      $ jobs_arg $ stats_arg)
+      $ jobs_arg $ stats_arg $ timeout_arg $ fuel_arg $ on_error_arg)
 
 (* ---------------- to-sparql --------------------------------------- *)
 
@@ -402,6 +461,9 @@ let explain_cmd =
 (* ---------------- main --------------------------------------------- *)
 
 let () =
+  (* Test-only fault injection, configured via SHACLPROV_FAULT; a no-op
+     when the variable is unset. *)
+  Runtime.Fault.init_from_env ();
   let doc = "SHACL validation with data provenance (neighborhoods and shape fragments)" in
   let info = Cmd.info "shaclprov" ~version:"1.0.0" ~doc in
   exit

@@ -1,6 +1,8 @@
 open Rdf
 open Shacl
 
+type on_error = [ `Fail | `Skip ]
+
 module Stats = struct
   type shape_stat = {
     label : string;
@@ -8,6 +10,7 @@ module Stats = struct
     candidates : int;
     conforming : int;
     wall : float;
+    failed : Runtime.Outcome.reason option;
   }
 
   type t = {
@@ -19,10 +22,18 @@ module Stats = struct
     memo_misses : int;
     path_evals : int;
     triples_emitted : int;
+    retries : int;
     planning : float;
     wall : float;
     shapes : shape_stat list;
   }
+
+  let degraded t = List.exists (fun s -> s.failed <> None) t.shapes
+
+  let failed_shapes t =
+    List.filter_map
+      (fun s -> Option.map (fun r -> s.label, r) s.failed)
+      t.shapes
 
   let pp ppf t =
     Format.fprintf ppf
@@ -31,12 +42,20 @@ module Stats = struct
        path evaluation(s)@,time: planning %.3fs, total %.3fs"
       t.jobs t.nodes_checked t.conforming t.triples_emitted t.memo_lookups
       t.memo_hits t.memo_misses t.path_evals t.planning t.wall;
+    let failures = List.length (failed_shapes t) in
+    if failures > 0 || t.retries > 0 then
+      Format.fprintf ppf "@,degraded: %d shape(s) failed, %d chunk retry(s)"
+        failures t.retries;
     List.iter
       (fun s ->
         Format.fprintf ppf "@,shape %s: %d candidate(s)%s, %d conforming, %.3fs"
           s.label s.candidates
           (if s.pruned then " (target-pruned)" else "")
-          s.conforming s.wall)
+          s.conforming s.wall;
+        match s.failed with
+        | Some reason ->
+            Format.fprintf ppf ", FAILED: %a" Runtime.Outcome.pp_reason reason
+        | None -> ())
       t.shapes;
     Format.fprintf ppf "@]"
 end
@@ -88,27 +107,39 @@ let plan ~schema ~all_nodes g r =
 
 (* ---------------- domain pool -------------------------------------- *)
 
+let with_lock lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 (* A mutex-protected work queue; [pop] is the only cross-domain
    synchronization point on the hot path. *)
 let make_queue items =
   let queue = ref items in
   let lock = Mutex.create () in
   fun () ->
-    Mutex.lock lock;
-    let item =
-      match !queue with
-      | [] -> None
-      | x :: rest ->
-          queue := rest;
-          Some x
-    in
-    Mutex.unlock lock;
-    item
+    with_lock lock (fun () ->
+        match !queue with
+        | [] -> None
+        | x :: rest ->
+            queue := rest;
+            Some x)
 
+(* Run [worker] on [jobs] domains.  Each domain body is wrapped so that
+   an exception cannot tear down the pool mid-join: every domain is
+   always joined — leaving the shared queue and merge mutex in a
+   consistent, released state — and only then is the first captured
+   error re-raised on the calling domain. *)
 let spawn_pool ~jobs worker =
   if jobs <= 1 then worker ()
   else
-    List.init jobs (fun _ -> Domain.spawn worker) |> List.iter Domain.join
+    let domains =
+      List.init jobs (fun _ ->
+          Domain.spawn (fun () ->
+              match worker () with () -> None | exception e -> Some e))
+    in
+    match List.filter_map Domain.join domains with
+    | [] -> ()
+    | e :: _ -> raise e
 
 (* Split a candidate array into at most [jobs] balanced chunks.  The
    split depends only on the array and [jobs], so execution statistics
@@ -125,10 +156,34 @@ let chunks_of ~jobs arr =
 
 let now = Unix.gettimeofday
 
+(* ---------------- fault isolation ---------------------------------- *)
+
+(* Chunks are the engine's isolation unit: a chunk is evaluated into
+   private accumulators that are merged only on success, so a chunk that
+   raises — injected fault, exhausted budget, stack overflow on an
+   adversarial schema — contributes nothing and poisons nothing.  The
+   Sufficiency theorem makes the surviving output meaningful: every
+   neighborhood a completed chunk emitted is independently valid.
+
+   Degradation order on failure:
+   1. the failing chunk is recorded and the pool keeps draining;
+   2. after the pool is joined, each failed chunk is retried once,
+      sequentially, on the calling domain (parallel → sequential
+      degradation) — unless the run's budget is already spent;
+   3. a chunk that fails its retry marks its shape as Failed in the
+      statistics; with [`Skip] the run completes with the healthy
+      shapes' fragments, with [`Fail] the original error is re-raised
+      (after the pool is fully joined and consistent). *)
+
+let probe_sites label =
+  Runtime.Fault.probe "engine.chunk";
+  Runtime.Fault.probe ("shape:" ^ label)
+
 (* ---------------- fragment extraction ------------------------------ *)
 
 let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
-    ?(jobs = 1) g requests =
+    ?(jobs = 1) ?(budget = Runtime.Budget.unlimited) ?(on_error = `Fail) g
+    requests =
   let jobs = max 1 jobs in
   let t0 = now () in
   let all_nodes = lazy (Graph.nodes g) in
@@ -141,6 +196,7 @@ let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
   in
   let planning = now () -. t0 in
   let shapes = Array.of_list (List.map (fun (r, _, _) -> r.shape) plans) in
+  let labels = Array.of_list (List.map (fun (r, _, _) -> r.label) plans) in
   let items =
     List.concat
       (List.mapi
@@ -150,56 +206,91 @@ let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
   in
   let nshapes = Array.length shapes in
   let pop = make_queue items in
-  (* Global accumulators, guarded by [merge_lock]; workers touch them
-     once, after draining the queue. *)
+  (* Global accumulators, guarded by [merge_lock]. *)
   let merge_lock = Mutex.create () in
   let acc : (Triple.t, unit) Hashtbl.t = Hashtbl.create 1024 in
   let totals = Counters.create () in
   let conforming = Array.make nshapes 0 in
   let walls = Array.make nshapes 0.0 in
   let checked = ref 0 in
-  let worker () =
+  let retries = ref 0 in
+  let failed_chunks : ((int * Term.t array) * exn) list ref = ref [] in
+  let failures : Runtime.Outcome.reason option array = Array.make nshapes None in
+  (* Evaluate one chunk into private accumulators; raises on fault,
+     budget exhaustion, or any crash inside shape evaluation. *)
+  let eval_chunk (i, chunk) =
+    probe_sites labels.(i);
+    Runtime.Budget.check budget;
+    let t = now () in
     let local : (Triple.t, unit) Hashtbl.t = Hashtbl.create 256 in
     let counters = Counters.create () in
-    let local_conforming = Array.make nshapes 0 in
-    let local_walls = Array.make nshapes 0.0 in
-    let local_checked = ref 0 in
+    let conforming = ref 0 in
+    let check =
+      match algorithm with
+      | Fragment.Instrumented ->
+          Neighborhood.checker ~counters ~budget ~schema g shapes.(i)
+      | Fragment.Naive ->
+          Neighborhood.naive_checker ~counters ~budget ~schema g shapes.(i)
+    in
+    Array.iter
+      (fun v ->
+        let conforms, neighborhood = check v in
+        if conforms then begin
+          incr conforming;
+          Graph.iter (fun tr -> Hashtbl.replace local tr ()) neighborhood
+        end)
+      chunk;
+    local, counters, !conforming, Array.length chunk, now () -. t
+  in
+  let merge (i, _chunk) (local, counters, chunk_conforming, chunk_checked, wall)
+      =
+    with_lock merge_lock (fun () ->
+        Hashtbl.iter (fun tr () -> Hashtbl.replace acc tr ()) local;
+        Counters.add ~into:totals counters;
+        conforming.(i) <- conforming.(i) + chunk_conforming;
+        walls.(i) <- walls.(i) +. wall;
+        checked := !checked + chunk_checked)
+  in
+  let record_failed item e =
+    with_lock merge_lock (fun () ->
+        failed_chunks := (item, e) :: !failed_chunks)
+  in
+  let worker () =
     let rec drain () =
       match pop () with
       | None -> ()
-      | Some (i, chunk) ->
-          let t = now () in
-          let check =
-            match algorithm with
-            | Fragment.Instrumented ->
-                Neighborhood.checker ~counters ~schema g shapes.(i)
-            | Fragment.Naive ->
-                Neighborhood.naive_checker ~counters ~schema g shapes.(i)
-          in
-          Array.iter
-            (fun v ->
-              incr local_checked;
-              let conforms, neighborhood = check v in
-              if conforms then begin
-                local_conforming.(i) <- local_conforming.(i) + 1;
-                Graph.iter (fun tr -> Hashtbl.replace local tr ()) neighborhood
-              end)
-            chunk;
-          local_walls.(i) <- local_walls.(i) +. (now () -. t);
+      | Some item ->
+          (match eval_chunk item with
+          | result -> merge item result
+          | exception e -> record_failed item e);
           drain ()
     in
-    drain ();
-    Mutex.lock merge_lock;
-    Hashtbl.iter (fun tr () -> Hashtbl.replace acc tr ()) local;
-    Counters.add ~into:totals counters;
-    for i = 0 to nshapes - 1 do
-      conforming.(i) <- conforming.(i) + local_conforming.(i);
-      walls.(i) <- walls.(i) +. local_walls.(i)
-    done;
-    checked := !checked + !local_checked;
-    Mutex.unlock merge_lock
+    drain ()
   in
   spawn_pool ~jobs worker;
+  (* Sequential degradation: retry each failed chunk once on this domain
+     (faults may be transient; a fresh memo table also helps after an
+     overflow), unless the budget is already gone — then skip straight
+     to the failure verdict so a timed-out run still returns promptly. *)
+  let first_error = ref None in
+  List.iter
+    (fun (((i, _) as item), e) ->
+      let final_failure e =
+        if !first_error = None then first_error := Some e;
+        if failures.(i) = None then
+          failures.(i) <- Some (Runtime.Outcome.reason_of_exn e)
+      in
+      match Runtime.Budget.expired budget with
+      | Some _ -> final_failure e
+      | None -> (
+          incr retries;
+          match eval_chunk item with
+          | result -> merge item result
+          | exception e' -> final_failure e'))
+    (List.rev !failed_chunks);
+  (match on_error, !first_error with
+  | `Fail, Some e -> raise e
+  | _ -> ());
   let fragment =
     Hashtbl.fold (fun tr () frag -> Graph.add_triple tr frag) acc Graph.empty
   in
@@ -210,7 +301,8 @@ let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
           pruned;
           candidates = Array.length candidates;
           conforming = conforming.(i);
-          wall = walls.(i) })
+          wall = walls.(i);
+          failed = failures.(i) })
       plans
   in
   let stats =
@@ -222,6 +314,7 @@ let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
       memo_misses = totals.Counters.memo_misses;
       path_evals = totals.Counters.path_evals;
       triples_emitted = Hashtbl.length acc;
+      retries = !retries;
       planning;
       wall = now () -. t0;
       shapes = shape_stats }
@@ -236,7 +329,8 @@ let fragment_schema ?algorithm ?jobs schema g =
 
 (* ---------------- validation --------------------------------------- *)
 
-let validate ?(jobs = 1) schema g =
+let validate ?(jobs = 1) ?(budget = Runtime.Budget.unlimited)
+    ?(on_error = `Fail) schema g =
   let jobs = max 1 jobs in
   let t0 = now () in
   let defs = Schema.defs schema in
@@ -276,56 +370,99 @@ let validate ?(jobs = 1) schema g =
   let conforming = Array.make ndefs 0 in
   let walls = Array.make ndefs 0.0 in
   let checked = ref 0 in
-  let worker () =
+  let retries = ref 0 in
+  let failed_chunks : ((int * int * Term.t array) * exn) list ref = ref [] in
+  let failures : Runtime.Outcome.reason option array = Array.make ndefs None in
+  let label_of i =
+    let (def : Schema.def), _ = plans_arr.(i) in
+    Term.to_string def.Schema.name
+  in
+  (* Verdict writes go to disjoint slices of [verdicts], so they need no
+     lock; a failed chunk's partial writes are harmless because a failed
+     definition is dropped from the report wholesale. *)
+  let eval_chunk (i, offset, chunk) =
+    probe_sites (label_of i);
+    Runtime.Budget.check budget;
+    let t = now () in
+    let def, _ = plans_arr.(i) in
     let counters = Counters.create () in
-    let local_conforming = Array.make ndefs 0 in
-    let local_walls = Array.make ndefs 0.0 in
-    let local_checked = ref 0 in
+    let check =
+      Conformance.checker ~counters ~budget schema g def.Schema.shape
+    in
+    let conforming = ref 0 in
+    Array.iteri
+      (fun j v ->
+        let ok = check v in
+        if ok then incr conforming;
+        verdicts.(i).(offset + j) <- ok)
+      chunk;
+    counters, !conforming, Array.length chunk, now () -. t
+  in
+  let merge (i, _, _) (counters, chunk_conforming, chunk_checked, wall) =
+    with_lock merge_lock (fun () ->
+        Counters.add ~into:totals counters;
+        conforming.(i) <- conforming.(i) + chunk_conforming;
+        walls.(i) <- walls.(i) +. wall;
+        checked := !checked + chunk_checked)
+  in
+  let record_failed item e =
+    with_lock merge_lock (fun () ->
+        failed_chunks := (item, e) :: !failed_chunks)
+  in
+  let worker () =
     let rec drain () =
       match pop () with
       | None -> ()
-      | Some (i, offset, chunk) ->
-          let t = now () in
-          let def, _ = plans_arr.(i) in
-          let check = Conformance.checker ~counters schema g def.Schema.shape in
-          Array.iteri
-            (fun j v ->
-              incr local_checked;
-              let ok = check v in
-              if ok then local_conforming.(i) <- local_conforming.(i) + 1;
-              verdicts.(i).(offset + j) <- ok)
-            chunk;
-          local_walls.(i) <- local_walls.(i) +. (now () -. t);
+      | Some item ->
+          (match eval_chunk item with
+          | result -> merge item result
+          | exception e -> record_failed item e);
           drain ()
     in
-    drain ();
-    Mutex.lock merge_lock;
-    Counters.add ~into:totals counters;
-    for i = 0 to ndefs - 1 do
-      conforming.(i) <- conforming.(i) + local_conforming.(i);
-      walls.(i) <- walls.(i) +. local_walls.(i)
-    done;
-    checked := !checked + !local_checked;
-    Mutex.unlock merge_lock
+    drain ()
   in
   spawn_pool ~jobs worker;
+  let first_error = ref None in
+  List.iter
+    (fun (((i, _, _) as item), e) ->
+      let final_failure e =
+        if !first_error = None then first_error := Some e;
+        if failures.(i) = None then
+          failures.(i) <- Some (Runtime.Outcome.reason_of_exn e)
+      in
+      match Runtime.Budget.expired budget with
+      | Some _ -> final_failure e
+      | None -> (
+          incr retries;
+          match eval_chunk item with
+          | result -> merge item result
+          | exception e' -> final_failure e'))
+    (List.rev !failed_chunks);
+  (match on_error, !first_error with
+  | `Fail, Some e -> raise e
+  | _ -> ());
   (* Assemble results exactly as the sequential [Validate.validate] does:
      per definition, a [Term.Set.fold] pushing to the front — i.e. each
-     definition's results in descending node order. *)
+     definition's results in descending node order.  Definitions whose
+     evaluation failed are excluded wholesale: the report covers exactly
+     the definitions that were fully checked. *)
   let results =
     List.concat
       (List.mapi
          (fun i ((def : Schema.def), targets) ->
-           let acc = ref [] in
-           Array.iteri
-             (fun j focus ->
-               acc :=
-                 { Validate.focus;
-                   shape_name = def.name;
-                   conforms = verdicts.(i).(j) }
-                 :: !acc)
-             targets;
-           !acc)
+           if failures.(i) <> None then []
+           else begin
+             let acc = ref [] in
+             Array.iteri
+               (fun j focus ->
+                 acc :=
+                   { Validate.focus;
+                     shape_name = def.name;
+                     conforms = verdicts.(i).(j) }
+                   :: !acc)
+               targets;
+             !acc
+           end)
          plans)
   in
   let report =
@@ -340,7 +477,8 @@ let validate ?(jobs = 1) schema g =
           pruned = true;
           candidates = Array.length targets;
           conforming = conforming.(i);
-          wall = walls.(i) })
+          wall = walls.(i);
+          failed = failures.(i) })
       plans
   in
   let stats =
@@ -352,6 +490,7 @@ let validate ?(jobs = 1) schema g =
       memo_misses = totals.Counters.memo_misses;
       path_evals = totals.Counters.path_evals;
       triples_emitted = 0;
+      retries = !retries;
       planning;
       wall = now () -. t0;
       shapes = shape_stats }

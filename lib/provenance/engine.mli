@@ -1,5 +1,5 @@
-(** Parallel shape-fragment engine with target pruning and execution
-    statistics.
+(** Parallel shape-fragment engine with target pruning, execution
+    statistics and fault isolation.
 
     The engine computes the same function as {!Fragment.frag} — the
     sequential implementation stays as the reference oracle — through
@@ -21,14 +21,32 @@
        instrumented {!Neighborhood.checker} (private memo table, private
        {!Shacl.Counters} record), so workers share nothing but the
        immutable graph and schema.}
-    {- {b Merging.}  Workers accumulate result triples into private hash
-       tables that are merged once at the end, and the fragment graph is
-       built in a single pass — replacing the O(k) repeated [Graph.union]
-       folds of the sequential code.}}
+    {- {b Merging.}  Chunks accumulate result triples into private hash
+       tables that are merged only when the chunk completes, and the
+       fragment graph is built in a single pass.}}
+
+    {b Resilience.}  The chunk is also the engine's fault-isolation
+    unit.  A chunk that raises — an injected [Runtime.Fault], an
+    exhausted [Runtime.Budget], a stack overflow on an adversarial
+    schema — contributes nothing, and the pool keeps draining; all
+    domains are always joined.  Failed chunks are then retried once
+    sequentially on the calling domain (parallel → sequential
+    degradation) unless the budget is already spent.  A chunk that fails
+    its retry marks its shape [FAILED] in the statistics; with
+    [~on_error:`Skip] the run still completes and returns the fragments
+    of every healthy shape — semantically sound partial output, since by
+    the Sufficiency theorem (Thm 3.4) every computed neighborhood is
+    independently valid — while the default [`Fail] re-raises the first
+    error after the pool is fully joined.
 
     The result is deterministic: it does not depend on [jobs] or on
     scheduling.  Execution statistics (except wall-clock times) are
     deterministic for a fixed [jobs]. *)
+
+type on_error = [ `Fail | `Skip ]
+(** What to do with a shape whose evaluation ultimately failed:
+    [`Fail] re-raises (after joining the pool), [`Skip] degrades to a
+    partial result with the failure recorded in {!Stats}. *)
 
 (** Execution statistics for one engine run. *)
 module Stats : sig
@@ -38,6 +56,9 @@ module Stats : sig
     candidates : int;      (** candidate nodes planned for this shape *)
     conforming : int;      (** candidates that conformed *)
     wall : float;          (** seconds of worker time spent on the shape *)
+    failed : Runtime.Outcome.reason option;
+        (** [Some r] when the shape's evaluation failed (after retry);
+            its contribution to the fragment is then incomplete *)
   }
 
   type t = {
@@ -49,14 +70,22 @@ module Stats : sig
     memo_misses : int;
     path_evals : int;      (** path-expression evaluations *)
     triples_emitted : int; (** size of the merged fragment *)
+    retries : int;         (** failed chunks retried sequentially *)
     planning : float;      (** seconds spent planning candidate sets *)
     wall : float;          (** end-to-end seconds for the run *)
     shapes : shape_stat list;  (** per-request breakdown, request order *)
   }
 
+  val degraded : t -> bool
+  (** At least one shape failed: the output is partial. *)
+
+  val failed_shapes : t -> (string * Runtime.Outcome.reason) list
+  (** Labels and reasons of the failed shapes, request order. *)
+
   val pp : Format.formatter -> t -> unit
   (** Human-readable rendering; every duration is printed as [%.3fs] so
-      output can be normalized in cram tests. *)
+      output can be normalized in cram tests.  Failure and retry lines
+      appear only on degraded runs, so healthy output is unchanged. *)
 end
 
 type request = {
@@ -79,9 +108,12 @@ val run :
   ?schema:Shacl.Schema.t ->
   ?algorithm:Fragment.algorithm ->
   ?jobs:int ->
+  ?budget:Runtime.Budget.t ->
+  ?on_error:on_error ->
   Rdf.Graph.t -> request list -> Rdf.Graph.t * Stats.t
 (** [run g requests] computes [⋃ Frag(G, shape)] over the requests and
-    reports statistics.  [jobs] defaults to 1 (no domains spawned). *)
+    reports statistics.  [jobs] defaults to 1 (no domains spawned);
+    [budget] defaults to unlimited; [on_error] defaults to [`Fail]. *)
 
 val fragment :
   ?schema:Shacl.Schema.t ->
@@ -100,9 +132,14 @@ val fragment_schema :
 
 val validate :
   ?jobs:int ->
+  ?budget:Runtime.Budget.t ->
+  ?on_error:on_error ->
   Shacl.Schema.t -> Rdf.Graph.t -> Shacl.Validate.report * Stats.t
 (** Parallel, instrumented equivalent of [Validate.validate]: target
     nodes of each definition are sharded across the pool and checked for
     conformance only (no provenance is collected; [triples_emitted] is
     0).  The report — including the order of its results — is identical
-    to the sequential one. *)
+    to the sequential one, except that with [~on_error:`Skip] a failed
+    definition's results are excluded wholesale (the report then covers
+    exactly the definitions that were fully checked, and {!Stats.degraded}
+    is true). *)

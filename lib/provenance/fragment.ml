@@ -3,7 +3,7 @@ open Shacl
 
 type algorithm = Naive | Instrumented
 
-let frag ?(schema = Schema.empty) ?(algorithm = Instrumented) g shapes =
+let frag ?(schema = Schema.empty) ?(algorithm = Instrumented) ?budget g shapes =
   (* The node scan is shape-independent: do it once per call, not once
      per shape; only the hasValue constants vary per shape. *)
   let nodes = Graph.nodes g in
@@ -12,8 +12,8 @@ let frag ?(schema = Schema.empty) ?(algorithm = Instrumented) g shapes =
     (fun acc shape ->
       let check =
         match algorithm with
-        | Naive -> Neighborhood.naive_checker ~schema g shape
-        | Instrumented -> Neighborhood.checker ~schema g shape
+        | Naive -> Neighborhood.naive_checker ?budget ~schema g shape
+        | Instrumented -> Neighborhood.checker ?budget ~schema g shape
       in
       Term.Set.fold
         (fun v acc ->
@@ -22,8 +22,8 @@ let frag ?(schema = Schema.empty) ?(algorithm = Instrumented) g shapes =
         (candidates shape) acc)
     Graph.empty shapes
 
-let frag_schema ?algorithm schema g =
-  frag ~schema ?algorithm g (Schema.request_shapes schema)
+let frag_schema ?algorithm ?budget schema g =
+  frag ~schema ?algorithm ?budget g (Schema.request_shapes schema)
 
 let conforming_and_neighborhoods ?(schema = Schema.empty) g shape =
   let check = Neighborhood.checker ~schema g shape in

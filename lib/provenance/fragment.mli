@@ -20,11 +20,16 @@ type algorithm =
 val frag :
   ?schema:Shacl.Schema.t ->
   ?algorithm:algorithm ->
+  ?budget:Runtime.Budget.t ->
   Rdf.Graph.t -> Shacl.Shape.t list -> Rdf.Graph.t
-(** [frag g shapes] is [Frag(G, S)].  Default algorithm: [Instrumented]. *)
+(** [frag g shapes] is [Frag(G, S)].  Default algorithm: [Instrumented].
+    When [budget] is given the scan may raise [Runtime.Budget.Exhausted];
+    use {!Engine.run} for graceful per-shape degradation instead. *)
 
 val frag_schema :
-  ?algorithm:algorithm -> Shacl.Schema.t -> Rdf.Graph.t -> Rdf.Graph.t
+  ?algorithm:algorithm ->
+  ?budget:Runtime.Budget.t ->
+  Shacl.Schema.t -> Rdf.Graph.t -> Rdf.Graph.t
 (** [Frag(G, H)]: fragment for the schema's request shapes, with the
     schema in context for [hasShape] resolution. *)
 

@@ -47,14 +47,19 @@ let count_miss counters =
   | Some c -> c.Counters.memo_misses <- c.Counters.memo_misses + 1
   | None -> ()
 
-let make_naive ?counters ?(schema = Schema.empty) g =
+let make_naive ?counters ?(budget = Runtime.Budget.unlimited)
+    ?(schema = Schema.empty) g =
   let memo : (Term.t * Shape.t, Graph.t) Hashtbl.t = Hashtbl.create 256 in
-  let conforms = Conformance.memoized ?counters schema g in
+  let conforms = Conformance.memoized ?counters ~budget schema g in
   let eval e v =
+    Runtime.Budget.tick budget;
     (match counters with
     | Some c -> c.Counters.path_evals <- c.Counters.path_evals + 1
     | None -> ());
-    Rdf.Path.eval g e v
+    Rdf.Path.eval ~step:(Runtime.Budget.step_hook budget) g e v
+  in
+  let trace_all e v ~targets =
+    Rdf.Path.trace_all ~step:(Runtime.Budget.step_hook budget) g e v ~targets
   in
   let rec go v phi =
     if not (conforms v phi) then Graph.empty
@@ -66,6 +71,7 @@ let make_naive ?counters ?(schema = Schema.empty) g =
           (* memoizing trivia costs more than recomputing it *)
           compute v phi
       | _ ->
+      Runtime.Budget.tick budget;
       count_lookup counters;
       match Hashtbl.find_opt memo (v, phi) with
       | Some cached -> count_hit counters; cached
@@ -86,7 +92,7 @@ let make_naive ?counters ?(schema = Schema.empty) g =
     | Shape.Eq (Shape.Path e, p) ->
         (* graph(paths(E ∪ p, G, v, x)) for all x reachable by E ∪ p *)
         let ep = Rdf.Path.Alt (e, Rdf.Path.Prop p) in
-        Rdf.Path.trace_all g ep v ~targets:(eval ep v)
+        trace_all ep v ~targets:(eval ep v)
     | Shape.And l | Shape.Or l ->
         List.fold_left (fun acc psi -> Graph.union acc (go v psi)) Graph.empty l
     | Shape.Ge (_, e, psi) ->
@@ -96,7 +102,7 @@ let make_naive ?counters ?(schema = Schema.empty) g =
         Term.Set.fold
           (fun x acc -> Graph.union acc (go x psi))
           witnesses
-          (Rdf.Path.trace_all g e v ~targets:witnesses)
+          (trace_all e v ~targets:witnesses)
     | Shape.Le (_, e, psi) ->
         let neg = Shape.nnf (Shape.Not psi) in
         let witnesses =
@@ -105,13 +111,13 @@ let make_naive ?counters ?(schema = Schema.empty) g =
         Term.Set.fold
           (fun x acc -> Graph.union acc (go x neg))
           witnesses
-          (Rdf.Path.trace_all g e v ~targets:witnesses)
+          (trace_all e v ~targets:witnesses)
     | Shape.Forall (e, psi) ->
         let xs = eval e v in
         Term.Set.fold
           (fun x acc -> Graph.union acc (go x psi))
           xs
-          (Rdf.Path.trace_all g e v ~targets:xs)
+          (trace_all e v ~targets:xs)
     | Shape.Not inner -> compute_negated v inner
   and compute_negated v inner =
     match inner with
@@ -124,7 +130,7 @@ let make_naive ?counters ?(schema = Schema.empty) g =
         let reached = eval e v in
         let objects = Graph.objects g v p in
         let t1 =
-          Rdf.Path.trace_all g e v ~targets:(Term.Set.diff reached objects)
+          trace_all e v ~targets:(Term.Set.diff reached objects)
         in
         let t2 =
           p_triples g v p ~keep:(fun x -> not (Term.Set.mem x reached))
@@ -138,7 +144,7 @@ let make_naive ?counters ?(schema = Schema.empty) g =
         Term.Set.fold
           (fun x acc -> Graph.add v p x acc)
           common
-          (Rdf.Path.trace_all g e v ~targets:common)
+          (trace_all e v ~targets:common)
     | Shape.Less_than (e, p) ->
         negated_comparison v e p ~violates:(fun x y -> not (term_lt x y))
     | Shape.Less_than_eq (e, p) ->
@@ -157,7 +163,7 @@ let make_naive ?counters ?(schema = Schema.empty) g =
                 reached)
             reached
         in
-        Rdf.Path.trace_all g e v ~targets:clashing
+        trace_all e v ~targets:clashing
     | Shape.Closed allowed ->
         List.fold_left
           (fun acc t ->
@@ -186,12 +192,12 @@ let make_naive ?counters ?(schema = Schema.empty) g =
     Term.Set.fold
       (fun y acc -> Graph.add v p y acc)
       witnesses_y
-      (Rdf.Path.trace_all g e v ~targets:witnesses_x)
+      (trace_all e v ~targets:witnesses_x)
   in
   conforms, go
 
-let b ?schema g v phi =
-  let _, go = make_naive ?schema g in
+let b ?budget ?schema g v phi =
+  let _, go = make_naive ?budget ?schema g in
   go v (Shape.nnf phi)
 
 (* ------------------------------------------------------------------ *)
@@ -199,15 +205,20 @@ let b ?schema g v phi =
 (* conformance and neighborhood.                                      *)
 (* ------------------------------------------------------------------ *)
 
-let make_instrumented ?counters ?(schema = Schema.empty) g =
+let make_instrumented ?counters ?(budget = Runtime.Budget.unlimited)
+    ?(schema = Schema.empty) g =
   let memo : (Term.t * Shape.t, bool * Graph.t) Hashtbl.t =
     Hashtbl.create 256
   in
   let eval e v =
+    Runtime.Budget.tick budget;
     (match counters with
     | Some c -> c.Counters.path_evals <- c.Counters.path_evals + 1
     | None -> ());
-    Rdf.Path.eval g e v
+    Rdf.Path.eval ~step:(Runtime.Budget.step_hook budget) g e v
+  in
+  let trace_all e v ~targets =
+    Rdf.Path.trace_all ~step:(Runtime.Budget.step_hook budget) g e v ~targets
   in
   let rec go v phi =
     match phi with
@@ -217,6 +228,7 @@ let make_instrumented ?counters ?(schema = Schema.empty) g =
         (* memoizing trivia costs more than recomputing it *)
         compute v phi
     | _ -> (
+        Runtime.Budget.tick budget;
         count_lookup counters;
         match Hashtbl.find_opt memo (v, phi) with
         | Some cached -> count_hit counters; cached
@@ -240,7 +252,7 @@ let make_instrumented ?counters ?(schema = Schema.empty) g =
         let reached = eval e v in
         if Term.Set.equal reached (Graph.objects g v p) then
           let ep = Rdf.Path.Alt (e, Rdf.Path.Prop p) in
-          (true, Rdf.Path.trace_all g ep v ~targets:(eval ep v))
+          (true, trace_all ep v ~targets:(eval ep v))
         else (false, Graph.empty)
     | Shape.Disj (Shape.Id, p) ->
         (not (Term.Set.mem v (Graph.objects g v p)), Graph.empty)
@@ -293,7 +305,7 @@ let make_instrumented ?counters ?(schema = Schema.empty) g =
             (Term.Set.empty, Graph.empty)
         in
         if Term.Set.cardinal witnesses >= n then
-          (true, Graph.union acc (Rdf.Path.trace_all g e v ~targets:witnesses))
+          (true, Graph.union acc (trace_all e v ~targets:witnesses))
         else (false, Graph.empty)
     | Shape.Le (n, e, psi) ->
         let neg = Shape.nnf (Shape.Not psi) in
@@ -309,7 +321,7 @@ let make_instrumented ?counters ?(schema = Schema.empty) g =
             (0, Term.Set.empty, Graph.empty)
         in
         if sat_count <= n then
-          (true, Graph.union acc (Rdf.Path.trace_all g e v ~targets:witnesses))
+          (true, Graph.union acc (trace_all e v ~targets:witnesses))
         else (false, Graph.empty)
     | Shape.Forall (e, psi) ->
         let xs = eval e v in
@@ -323,7 +335,7 @@ let make_instrumented ?counters ?(schema = Schema.empty) g =
                 else (false, Graph.empty))
             xs (true, Graph.empty)
         in
-        if ok then (true, Graph.union acc (Rdf.Path.trace_all g e v ~targets:xs))
+        if ok then (true, Graph.union acc (trace_all e v ~targets:xs))
         else (false, Graph.empty)
     | Shape.Not inner -> check_negated v inner
   and positive_comparison v e p holds =
@@ -352,7 +364,7 @@ let make_instrumented ?counters ?(schema = Schema.empty) g =
         if Term.Set.equal reached objects then (false, Graph.empty)
         else begin
           let t1 =
-            Rdf.Path.trace_all g e v ~targets:(Term.Set.diff reached objects)
+            trace_all e v ~targets:(Term.Set.diff reached objects)
           in
           let t2 =
             p_triples g v p ~keep:(fun x -> not (Term.Set.mem x reached))
@@ -372,7 +384,7 @@ let make_instrumented ?counters ?(schema = Schema.empty) g =
             Term.Set.fold
               (fun x acc -> Graph.add v p x acc)
               common
-              (Rdf.Path.trace_all g e v ~targets:common) )
+              (trace_all e v ~targets:common) )
     | Shape.Less_than (e, p) ->
         negated_comparison_check v e p ~violates:(fun x y -> not (term_lt x y))
     | Shape.Less_than_eq (e, p) ->
@@ -394,7 +406,7 @@ let make_instrumented ?counters ?(schema = Schema.empty) g =
             reached
         in
         if Term.Set.is_empty witnesses then (false, Graph.empty)
-        else (true, Rdf.Path.trace_all g e v ~targets:witnesses)
+        else (true, trace_all e v ~targets:witnesses)
     | Shape.Closed allowed ->
         let outside =
           List.fold_left
@@ -425,7 +437,7 @@ let make_instrumented ?counters ?(schema = Schema.empty) g =
       Term.Set.fold
         (fun y acc -> Graph.add v p y acc)
         witnesses_y
-        (Rdf.Path.trace_all g e v ~targets:witnesses_x)
+        (trace_all e v ~targets:witnesses_x)
     in
     if Graph.is_empty acc then
       (* No violating pair: either the positive shape holds, or one of the
@@ -435,15 +447,16 @@ let make_instrumented ?counters ?(schema = Schema.empty) g =
   in
   go
 
-let check ?schema g v phi = make_instrumented ?schema g v (Shape.nnf phi)
+let check ?budget ?schema g v phi =
+  make_instrumented ?budget ?schema g v (Shape.nnf phi)
 
-let checker ?counters ?schema g phi =
-  let go = make_instrumented ?counters ?schema g in
+let checker ?counters ?budget ?schema g phi =
+  let go = make_instrumented ?counters ?budget ?schema g in
   let normalized = Shape.nnf phi in
   fun v -> go v normalized
 
-let naive_checker ?counters ?schema g phi =
-  let conforms, go = make_naive ?counters ?schema g in
+let naive_checker ?counters ?budget ?schema g phi =
+  let conforms, go = make_naive ?counters ?budget ?schema g in
   let normalized = Shape.nnf phi in
   fun v ->
     if conforms v normalized then (true, go v normalized)

@@ -20,6 +20,7 @@
     neighborhood simultaneously.  They compute the same function. *)
 
 val b :
+  ?budget:Runtime.Budget.t ->
   ?schema:Shacl.Schema.t ->
   Rdf.Graph.t -> Rdf.Term.t -> Shacl.Shape.t -> Rdf.Graph.t
 (** [b ~schema g v phi] is [B(v, G, phi)].  The shape is put in negation
@@ -27,6 +28,7 @@ val b :
     subproblems are memoized within one call. *)
 
 val check :
+  ?budget:Runtime.Budget.t ->
   ?schema:Shacl.Schema.t ->
   Rdf.Graph.t -> Rdf.Term.t -> Shacl.Shape.t -> bool * Rdf.Graph.t
 (** [check ~schema g v phi] decides conformance and computes the
@@ -43,6 +45,7 @@ val why_not :
 
 val checker :
   ?counters:Shacl.Counters.t ->
+  ?budget:Runtime.Budget.t ->
   ?schema:Shacl.Schema.t ->
   Rdf.Graph.t -> Shacl.Shape.t -> (Rdf.Term.t -> bool * Rdf.Graph.t)
 (** Batch variant of {!check}: the shape is normalized once and one memo
@@ -50,10 +53,13 @@ val checker :
     validator processes the target nodes of a shape.  Used by
     {!Fragment.frag}, the parallel engine and the overhead experiment.
     When [counters] is given, memo traffic and path evaluations are
-    accumulated into it. *)
+    accumulated into it.  When [budget] is given, each memo lookup and
+    path evaluation spends one unit of fuel and the returned closure may
+    raise [Runtime.Budget.Exhausted] at those safe points. *)
 
 val naive_checker :
   ?counters:Shacl.Counters.t ->
+  ?budget:Runtime.Budget.t ->
   ?schema:Shacl.Schema.t ->
   Rdf.Graph.t -> Shacl.Shape.t -> (Rdf.Term.t -> bool * Rdf.Graph.t)
 (** Batch variant of {!b}, with the conformance verdict alongside the

@@ -43,29 +43,37 @@ let closure step seeds =
   in
   loop seeds seeds
 
-let rec eval g e a =
+(* [step] is invoked once per path-operator application, including each
+   re-evaluation of a sub-path at a new node; callers use it to charge
+   evaluation budgets proportionally to the work actually done (and to
+   interrupt adversarially deep path expressions before the recursion
+   gets anywhere near the stack limit). *)
+let rec eval ?(step = ignore) g e a =
+  step ();
   match e with
   | Prop p -> Graph.objects g a p
-  | Inv e -> eval_inv g e a
+  | Inv e -> eval_inv ~step g e a
   | Seq (e1, e2) ->
       Term.Set.fold
-        (fun m acc -> Term.Set.union acc (eval g e2 m))
-        (eval g e1 a) Term.Set.empty
-  | Alt (e1, e2) -> Term.Set.union (eval g e1 a) (eval g e2 a)
-  | Opt e -> Term.Set.add a (eval g e a)
-  | Star e -> closure (fun x -> eval g e x) (Term.Set.singleton a)
+        (fun m acc -> Term.Set.union acc (eval ~step g e2 m))
+        (eval ~step g e1 a) Term.Set.empty
+  | Alt (e1, e2) -> Term.Set.union (eval ~step g e1 a) (eval ~step g e2 a)
+  | Opt e -> Term.Set.add a (eval ~step g e a)
+  | Star e -> closure (fun x -> eval ~step g e x) (Term.Set.singleton a)
 
-and eval_inv g e b =
+and eval_inv ?(step = ignore) g e b =
+  step ();
   match e with
   | Prop p -> Graph.subjects g p b
-  | Inv e -> eval g e b
+  | Inv e -> eval ~step g e b
   | Seq (e1, e2) ->
       Term.Set.fold
-        (fun m acc -> Term.Set.union acc (eval_inv g e1 m))
-        (eval_inv g e2 b) Term.Set.empty
-  | Alt (e1, e2) -> Term.Set.union (eval_inv g e1 b) (eval_inv g e2 b)
-  | Opt e -> Term.Set.add b (eval_inv g e b)
-  | Star e -> closure (fun x -> eval_inv g e x) (Term.Set.singleton b)
+        (fun m acc -> Term.Set.union acc (eval_inv ~step g e1 m))
+        (eval_inv ~step g e2 b) Term.Set.empty
+  | Alt (e1, e2) ->
+      Term.Set.union (eval_inv ~step g e1 b) (eval_inv ~step g e2 b)
+  | Opt e -> Term.Set.add b (eval_inv ~step g e b)
+  | Star e -> closure (fun x -> eval_inv ~step g e x) (Term.Set.singleton b)
 
 let holds g e a b = Term.Set.mem b (eval g e a)
 
@@ -80,14 +88,14 @@ let pairs g e =
         (eval g e a) acc)
     ns []
 
-let eval_set g e sources =
+let eval_set ?step g e sources =
   Term.Set.fold
-    (fun a acc -> Term.Set.union acc (eval g e a))
+    (fun a acc -> Term.Set.union acc (eval ?step g e a))
     sources Term.Set.empty
 
-let eval_inv_set g e targets =
+let eval_inv_set ?step g e targets =
   Term.Set.fold
-    (fun b acc -> Term.Set.union acc (eval_inv g e b))
+    (fun b acc -> Term.Set.union acc (eval_inv ?step g e b))
     targets Term.Set.empty
 
 (* trace_set computes, in one pass per path operator,
@@ -97,7 +105,8 @@ let eval_inv_set g e targets =
    of targets), and each contributed leg belongs to some valid (a, b)
    pair; similarly for star via the forward/backward reachability zones
    (cf. the Q construction of Lemma 5.1). *)
-let rec trace_set g e ~sources ~targets =
+let rec trace_set ?(step = ignore) g e ~sources ~targets =
+  step ();
   if Term.Set.is_empty sources || Term.Set.is_empty targets then Graph.empty
   else
     match e with
@@ -109,34 +118,37 @@ let rec trace_set g e ~sources ~targets =
                 if Term.Set.mem b targets then Graph.add a p b acc else acc)
               (Graph.objects g a p) acc)
           sources Graph.empty
-    | Inv e -> trace_set g e ~sources:targets ~targets:sources
+    | Inv e -> trace_set ~step g e ~sources:targets ~targets:sources
     | Alt (e1, e2) ->
         Graph.union
-          (trace_set g e1 ~sources ~targets)
-          (trace_set g e2 ~sources ~targets)
-    | Opt e -> trace_set g e ~sources ~targets
+          (trace_set ~step g e1 ~sources ~targets)
+          (trace_set ~step g e2 ~sources ~targets)
+    | Opt e -> trace_set ~step g e ~sources ~targets
     | Seq (e1, e2) ->
         let mids =
-          Term.Set.inter (eval_set g e1 sources) (eval_inv_set g e2 targets)
+          Term.Set.inter
+            (eval_set ~step g e1 sources)
+            (eval_inv_set ~step g e2 targets)
         in
         if Term.Set.is_empty mids then Graph.empty
         else
           Graph.union
-            (trace_set g e1 ~sources ~targets:mids)
-            (trace_set g e2 ~sources:mids ~targets)
+            (trace_set ~step g e1 ~sources ~targets:mids)
+            (trace_set ~step g e2 ~sources:mids ~targets)
     | Star e ->
-        let forward = eval_set g (Star e) sources in
-        let backward = eval_inv_set g (Star e) targets in
+        let forward = eval_set ~step g (Star e) sources in
+        let backward = eval_inv_set ~step g (Star e) targets in
         let from_zone = Term.Set.inter forward backward in
         (* every E-step inside the forward/backward zone lies on a valid
            star path between some source and some target *)
-        trace_set g e ~sources:from_zone ~targets:from_zone
+        trace_set ~step g e ~sources:from_zone ~targets:from_zone
 
-let trace g e a b =
-  trace_set g e ~sources:(Term.Set.singleton a) ~targets:(Term.Set.singleton b)
+let trace ?step g e a b =
+  trace_set ?step g e ~sources:(Term.Set.singleton a)
+    ~targets:(Term.Set.singleton b)
 
-let trace_all g e a ~targets =
-  trace_set g e ~sources:(Term.Set.singleton a) ~targets
+let trace_all ?step g e a ~targets =
+  trace_set ?step g e ~sources:(Term.Set.singleton a) ~targets
 
 let rec pp_prec pp_iri prec ppf e =
   let paren needed body =

@@ -37,11 +37,13 @@ val compare : t -> t -> int
 
 (** {1 Evaluation} *)
 
-val eval : Graph.t -> t -> Term.t -> Term.Set.t
+val eval : ?step:(unit -> unit) -> Graph.t -> t -> Term.t -> Term.Set.t
 (** [eval g e a] is [[[E]]^G(a) = {b | (a,b) ∈ [[E]]^G}].  For [E*] and
-    [E?] this includes [a] itself (the identity is over all of [N]). *)
+    [E?] this includes [a] itself (the identity is over all of [N]).
+    [step] is called once per path-operator application — a hook for
+    evaluation budgets; any exception it raises aborts the evaluation. *)
 
-val eval_inv : Graph.t -> t -> Term.t -> Term.Set.t
+val eval_inv : ?step:(unit -> unit) -> Graph.t -> t -> Term.t -> Term.Set.t
 (** [eval_inv g e b] is [{a | (a,b) ∈ [[E]]^G}]. *)
 
 val holds : Graph.t -> t -> Term.t -> Term.t -> bool
@@ -53,17 +55,21 @@ val pairs : Graph.t -> t -> (Term.t * Term.t) list
 
 (** {1 Path tracing} *)
 
-val trace : Graph.t -> t -> Term.t -> Term.t -> Graph.t
+val trace : ?step:(unit -> unit) -> Graph.t -> t -> Term.t -> Term.t -> Graph.t
 (** [trace g e a b] is [graph(paths(E, G, a, b))]: the union of the triples
     underlying every [E]-path from [a] to [b] in [g].  Empty when no such
     path exists.  Note that zero-length paths (through [E?] or [E*]) trace
-    no triples, per the paper's definition [paths(E?, G) = paths(E, G)]. *)
+    no triples, per the paper's definition [paths(E?, G) = paths(E, G)].
+    [step] is forwarded to the internal path evaluations, as in {!eval}. *)
 
-val trace_all : Graph.t -> t -> Term.t -> targets:Term.Set.t -> Graph.t
+val trace_all :
+  ?step:(unit -> unit) -> Graph.t -> t -> Term.t -> targets:Term.Set.t ->
+  Graph.t
 (** [trace_all g e a ~targets] is [⋃ {trace g e a x | x ∈ targets}],
     computed with shared traversal state. *)
 
 val trace_set :
+  ?step:(unit -> unit) ->
   Graph.t -> t -> sources:Term.Set.t -> targets:Term.Set.t -> Graph.t
 (** [⋃ {trace g e a b | a ∈ sources, b ∈ targets}] in one pass per path
     operator (midpoints and star zones are aggregated over the whole

@@ -1,6 +1,9 @@
-type error = { line : int; message : string }
+type error = { file : string option; line : int; message : string }
 
-let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+let pp_error ppf e =
+  match e.file with
+  | Some f -> Format.fprintf ppf "%s: line %d: %s" f e.line e.message
+  | None -> Format.fprintf ppf "line %d: %s" e.line e.message
 
 exception Error of error
 
@@ -39,7 +42,7 @@ type lexer = {
   mutable line : int;
 }
 
-let fail lx message = raise (Error { line = lx.line; message })
+let fail lx message = raise (Error { file = None; line = lx.line; message })
 
 let peek_char lx =
   if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
@@ -117,6 +120,11 @@ let read_unicode_escape lx n =
         advance lx
     | _ -> fail lx "invalid \\u escape"
   done;
+  (* Only Unicode scalar values are representable: reject anything past
+     U+10FFFF and the surrogate range. *)
+  if !code > 0x10FFFF || (!code >= 0xD800 && !code <= 0xDFFF) then
+    fail lx (Printf.sprintf "\\u escape U+%X is not a Unicode scalar value"
+               !code);
   !code
 
 let read_escape lx buf =
@@ -244,6 +252,7 @@ let next_token lx =
       (match String.lowercase_ascii word with
        | "prefix" -> Kw_prefix
        | "base" -> Kw_base
+       | "" -> fail lx "empty language tag"
        | _ -> Lang_tag word)
   | Some '_' ->
       advance lx;
@@ -303,7 +312,8 @@ type parser_state = {
 }
 
 let bump st = st.tok <- next_token st.lx
-let perror st message = raise (Error { line = st.lx.line; message })
+let perror st message =
+  raise (Error { file = None; line = st.lx.line; message })
 
 let expect st tok what =
   if st.tok = tok then bump st else perror st ("expected " ^ what)
@@ -512,7 +522,18 @@ let parse ?(base = "") src =
       parse_statement st
     done;
     Ok st.graph
-  with Error e -> Result.Error e
+  with
+  | Error e -> Result.Error e
+  (* A parser for untrusted input must not leak exceptions through the
+     [result] type: any residual defensive failure (e.g. a term
+     constructor rejecting a lexed value) becomes a parse error at the
+     current line. *)
+  | Failure m -> Result.Error { file = None; line = st.lx.line; message = m }
+  | Invalid_argument m ->
+      Result.Error { file = None; line = st.lx.line; message = m }
+  | Stack_overflow ->
+      Result.Error
+        { file = None; line = st.lx.line; message = "input nested too deeply" }
 
 let parse_exn ?base src =
   match parse ?base src with
@@ -525,7 +546,14 @@ let read_whole_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let parse_file ?base path = parse ?base (read_whole_file path)
+let parse_file ?base path =
+  match read_whole_file path with
+  | src -> (
+      match parse ?base src with
+      | Ok _ as ok -> ok
+      | Result.Error e -> Result.Error { e with file = Some path })
+  | exception Sys_error m ->
+      Result.Error { file = Some path; line = 0; message = m }
 let parse_file_exn ?base path = parse_exn ?base (read_whole_file path)
 
 (* ------------------------------------------------------------------ *)

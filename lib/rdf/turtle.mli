@@ -10,17 +10,23 @@
 
     N-Triples documents are valid input as well. *)
 
-type error = { line : int; message : string }
+type error = { file : string option; line : int; message : string }
+(** A located parse error.  [file] is set by {!parse_file} so messages
+    identify the offending document. *)
 
 val pp_error : Format.formatter -> error -> unit
 
 val parse : ?base:string -> string -> (Graph.t, error) result
-(** Parse a Turtle document given as a string. *)
+(** Parse a Turtle document given as a string.  Total on arbitrary
+    input: malformed bytes yield [Error], never an exception. *)
 
 val parse_exn : ?base:string -> string -> Graph.t
 (** Like {!parse}; raises [Failure] with a located message on error. *)
 
 val parse_file : ?base:string -> string -> (Graph.t, error) result
+(** Like {!parse}, with [error.file] set to the path.  An unreadable
+    file ([Sys_error]) is reported as an [Error] at line 0. *)
+
 val parse_file_exn : ?base:string -> string -> Graph.t
 
 val to_string : ?prefixes:Namespace.t -> Graph.t -> string

@@ -1,0 +1,60 @@
+type reason = Deadline | Fuel
+
+exception Exhausted of reason
+
+type t = {
+  deadline : float option;      (* absolute Unix time *)
+  fuel : int Atomic.t option;   (* remaining steps, shared across domains *)
+  ticks : int Atomic.t;         (* tick counter used to sample the clock *)
+}
+
+let unlimited = { deadline = None; fuel = None; ticks = Atomic.make 0 }
+
+let make ?timeout ?fuel () =
+  {
+    deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout;
+    fuel = Option.map Atomic.make fuel;
+    ticks = Atomic.make 0;
+  }
+
+let is_unlimited t = t.deadline = None && t.fuel = None
+
+let check_deadline t =
+  match t.deadline with
+  | Some d when Unix.gettimeofday () > d -> raise (Exhausted Deadline)
+  | _ -> ()
+
+let check t =
+  (match t.fuel with
+  | Some f when Atomic.get f <= 0 -> raise (Exhausted Fuel)
+  | _ -> ());
+  check_deadline t
+
+(* Poll the clock only every 32nd tick: a tick on the hot path is then a
+   single atomic decrement (plus one for the sample counter when a
+   deadline is set). *)
+let clock_sample_mask = 31
+
+let tick t =
+  (match t.fuel with
+  | Some f -> if Atomic.fetch_and_add f (-1) <= 0 then raise (Exhausted Fuel)
+  | None -> ());
+  match t.deadline with
+  | None -> ()
+  | Some _ ->
+      if Atomic.fetch_and_add t.ticks 1 land clock_sample_mask = 0 then
+        check_deadline t
+
+let step_hook t = if is_unlimited t then ignore else fun () -> tick t
+
+let expired t =
+  match check t with () -> None | exception Exhausted r -> Some r
+
+let seconds_left t =
+  Option.map (fun d -> Float.max 0.0 (d -. Unix.gettimeofday ())) t.deadline
+
+let fuel_left t = Option.map (fun f -> Int.max 0 (Atomic.get f)) t.fuel
+
+let pp_reason ppf = function
+  | Deadline -> Format.pp_print_string ppf "deadline"
+  | Fuel -> Format.pp_print_string ppf "fuel"

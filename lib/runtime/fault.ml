@@ -1,0 +1,44 @@
+exception Injected of string
+
+type spec = {
+  site : string;
+  at : int option;      (* None: every probe; Some n: only the n-th *)
+  count : int Atomic.t; (* probes seen at [site] so far *)
+}
+
+let state : spec option ref = ref None
+
+let configure ?at site = state := Some { site; at; count = Atomic.make 0 }
+let disable () = state := None
+
+let probe site =
+  match !state with
+  | None -> ()
+  | Some spec ->
+      if String.equal spec.site site then begin
+        let n = Atomic.fetch_and_add spec.count 1 + 1 in
+        match spec.at with
+        | None -> raise (Injected site)
+        | Some k -> if n = k then raise (Injected site)
+      end
+
+let set_spec s =
+  if s = "" then Error "empty fault spec"
+  else
+    match String.rindex_opt s '@' with
+    | Some i when i > 0 && i < String.length s - 1 -> (
+        let site = String.sub s 0 i in
+        let nth = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt nth with
+        | Some n when n >= 1 ->
+            configure ~at:n site;
+            Ok ()
+        | _ -> Error (Printf.sprintf "bad probe index %S in fault spec" nth))
+    | _ ->
+        configure s;
+        Ok ()
+
+let init_from_env () =
+  match Sys.getenv_opt "SHACLPROV_FAULT" with
+  | None | Some "" -> ()
+  | Some s -> ignore (set_spec s)

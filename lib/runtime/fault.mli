@@ -1,0 +1,38 @@
+(** Injectable failure points, for proving the fault-isolation machinery.
+
+    Production code is sprinkled with named {!probe} sites (one per
+    engine chunk, one per shape).  A probe is a no-op unless a fault has
+    been configured for its site, in which case it raises {!Injected} —
+    either at every visit, or only at the N-th one, which lets tests
+    exercise both persistent failures (the shape fails its retry too)
+    and transient ones (the retry succeeds).
+
+    Configuration is global and test-only: either {!configure} from test
+    code, or {!init_from_env} reading [SHACLPROV_FAULT] so the CLI and
+    CI smoke jobs can inject without recompiling.  The spec syntax is
+    [SITE] (every probe at SITE raises) or [SITE@N] (only the N-th
+    probe, counting from 1).  Probe counting is atomic, so sites hit
+    from several worker domains behave deterministically. *)
+
+exception Injected of string
+(** [Injected site]: the configured fault fired at [site]. *)
+
+val probe : string -> unit
+(** Visit the named site; raises {!Injected} when a configured fault
+    matches.  Free (one load of a global) when no fault is set. *)
+
+val configure : ?at:int -> string -> unit
+(** Arm a fault at [site]: every probe raises, or only the [at]-th when
+    given.  Replaces any previous configuration and resets the count. *)
+
+val disable : unit -> unit
+(** Disarm; probes become no-ops again. *)
+
+val set_spec : string -> (unit, string) result
+(** Parse and install a [SITE] / [SITE@N] spec; [Error] explains a
+    malformed spec. *)
+
+val init_from_env : unit -> unit
+(** Install the spec from [$SHACLPROV_FAULT], if set and well-formed.
+    Malformed specs are ignored (injection is a diagnostic facility; it
+    must never break a production run). *)

@@ -5,14 +5,20 @@ type env = {
   g : Graph.t;
   memo : (Term.t * Shape.t, bool) Hashtbl.t option;
   counters : Counters.t option;
+  budget : Runtime.Budget.t;
 }
 
-(* [[E]](a), counting the evaluation when instrumented. *)
+(* [[E]](a), counting the evaluation when instrumented.  Path evaluation
+   and memo lookups are the budget's safe points: [Budget.tick] may
+   raise [Budget.Exhausted] here, unwinding to the budget's installer
+   with the memo table still consistent (entries are only added for
+   completed subcomputations). *)
 let eval env e a =
+  Runtime.Budget.tick env.budget;
   (match env.counters with
   | Some c -> c.Counters.path_evals <- c.Counters.path_evals + 1
   | None -> ());
-  Rdf.Path.eval env.g e a
+  Rdf.Path.eval ~step:(Runtime.Budget.step_hook env.budget) env.g e a
 
 let rec conforms_env env a phi =
   match env.memo, phi with
@@ -24,6 +30,7 @@ let rec conforms_env env a phi =
       compute env a phi
   | Some table, _ -> (
       let key = a, phi in
+      Runtime.Budget.tick env.budget;
       (match env.counters with
       | Some c -> c.Counters.memo_lookups <- c.Counters.memo_lookups + 1
       | None -> ());
@@ -132,20 +139,22 @@ and compare_all env a e p ~holds =
     (fun b -> Term.Set.for_all (fun c -> holds b c) objects)
     values
 
-let conforms h g a phi =
-  conforms_env { schema = h; g; memo = None; counters = None } a phi
+let conforms ?(budget = Runtime.Budget.unlimited) h g a phi =
+  conforms_env { schema = h; g; memo = None; counters = None; budget } a phi
 
-let memoized ?counters h g =
-  let env = { schema = h; g; memo = Some (Hashtbl.create 256); counters } in
+let memoized ?counters ?(budget = Runtime.Budget.unlimited) h g =
+  let env =
+    { schema = h; g; memo = Some (Hashtbl.create 256); counters; budget }
+  in
   fun a phi -> conforms_env env a phi
 
-let checker ?counters h g phi =
-  let check = memoized ?counters h g in
+let checker ?counters ?budget h g phi =
+  let check = memoized ?counters ?budget h g in
   fun a -> check a phi
 
-let conforming_nodes h g phi =
+let conforming_nodes ?budget h g phi =
   let candidates = Term.Set.union (Graph.nodes g) (Shape.constants phi) in
-  let check = checker h g phi in
+  let check = checker ?budget h g phi in
   Term.Set.filter check candidates
 
 let count_path_satisfying h g a e phi =

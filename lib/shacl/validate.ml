@@ -50,31 +50,30 @@ let rec fast_targets g target =
   | Shape.Bottom -> Some Term.Set.empty
   | _ -> None
 
-let target_nodes h g (def : Schema.def) =
+let target_nodes ?budget h g (def : Schema.def) =
   match fast_targets g def.target with
   | Some nodes -> nodes
-  | None -> Conformance.conforming_nodes h g def.target
+  | None -> Conformance.conforming_nodes ?budget h g def.target
 
-let validate h g =
+let validate ?budget h g =
   let results =
     List.concat_map
       (fun (def : Schema.def) ->
+        let check = Conformance.checker ?budget h g def.shape in
         Term.Set.fold
           (fun focus acc ->
-            let ok = Conformance.conforms h g focus def.shape in
-            { focus; shape_name = def.name; conforms = ok } :: acc)
-          (target_nodes h g def)
+            { focus; shape_name = def.name; conforms = check focus } :: acc)
+          (target_nodes ?budget h g def)
           [])
       (Schema.defs h)
   in
   { conforms = List.for_all (fun (r : result) -> r.conforms) results; results }
 
-let conforms h g =
+let conforms ?budget h g =
   List.for_all
     (fun (def : Schema.def) ->
-      Term.Set.for_all
-        (fun focus -> Conformance.conforms h g focus def.shape)
-        (target_nodes h g def))
+      let check = Conformance.checker ?budget h g def.shape in
+      Term.Set.for_all check (target_nodes ?budget h g def))
     (Schema.defs h)
 
 let violations report = List.filter (fun (r : result) -> not r.conforms) report.results

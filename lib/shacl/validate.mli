@@ -22,15 +22,20 @@ val fast_targets : Rdf.Graph.t -> Shape.t -> Rdf.Term.Set.t option
     thereof — or [None] when the shape is not of such a form.  Exposed
     for the fragment engine's candidate planner. *)
 
-val target_nodes : Schema.t -> Rdf.Graph.t -> Schema.def -> Rdf.Term.Set.t
+val target_nodes :
+  ?budget:Runtime.Budget.t ->
+  Schema.t -> Rdf.Graph.t -> Schema.def -> Rdf.Term.Set.t
 (** The nodes targeted by a definition.  The four real-SHACL target forms
     (node, class-based, subjects-of, objects-of) are answered directly
     from the graph indexes; arbitrary target shapes fall back to testing
     all graph nodes. *)
 
-val validate : Schema.t -> Rdf.Graph.t -> report
+val validate : ?budget:Runtime.Budget.t -> Schema.t -> Rdf.Graph.t -> report
+(** When [budget] is given, conformance checking consumes it and the
+    call may raise [Runtime.Budget.Exhausted]; use the engine's
+    [Provenance.Engine.validate] for per-shape fault isolation. *)
 
-val conforms : Schema.t -> Rdf.Graph.t -> bool
+val conforms : ?budget:Runtime.Budget.t -> Schema.t -> Rdf.Graph.t -> bool
 (** [conforms h g] = [(validate h g).conforms], with early exit on the
     first violation. *)
 

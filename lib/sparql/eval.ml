@@ -30,6 +30,7 @@ end)
 type ctx = {
   strategy : strategy;
   g : Graph.t;
+  budget : Runtime.Budget.t;
   path_fwd : (Rdf.Path.t * Term.t, Term.Set.t) Hashtbl.t;
   path_bwd : (Rdf.Path.t * Term.t, Term.Set.t) Hashtbl.t;
   path_rel : (Rdf.Path.t, (Term.t * Term.t) list) Hashtbl.t;
@@ -37,10 +38,11 @@ type ctx = {
   node_rows : ((string * Term.t) list, Binding.t list) Hashtbl.t Phys_tbl.t;
 }
 
-let make_ctx strategy g =
+let make_ctx ?(budget = Runtime.Budget.unlimited) strategy g =
   {
     strategy;
     g;
+    budget;
     path_fwd = Hashtbl.create 128;
     path_bwd = Hashtbl.create 128;
     path_rel = Hashtbl.create 16;
@@ -56,15 +58,25 @@ let memo table key compute =
       Hashtbl.add table key result;
       result
 
+(* Path evaluation and (memoized) node evaluation are the evaluator's
+   budget safe points, mirroring the conformance checker: the budget is
+   spent where the work happens, and [Budget.Exhausted] unwinds with all
+   memo tables consistent. *)
 let path_eval ctx path a =
-  memo ctx.path_fwd (path, a) (fun () -> Rdf.Path.eval ctx.g path a)
+  Runtime.Budget.tick ctx.budget;
+  memo ctx.path_fwd (path, a) (fun () ->
+      Rdf.Path.eval ~step:(Runtime.Budget.step_hook ctx.budget) ctx.g path a)
 
 let path_eval_inv ctx path b =
-  memo ctx.path_bwd (path, b) (fun () -> Rdf.Path.eval_inv ctx.g path b)
+  Runtime.Budget.tick ctx.budget;
+  memo ctx.path_bwd (path, b) (fun () ->
+      Rdf.Path.eval_inv ~step:(Runtime.Budget.step_hook ctx.budget) ctx.g path
+        b)
 
 let path_holds ctx path a b = Term.Set.mem b (path_eval ctx path a)
 
 let path_pairs ctx path =
+  Runtime.Budget.tick ctx.budget;
   memo ctx.path_rel path (fun () -> Rdf.Path.pairs ctx.g path)
 
 let vars_of ctx alg =
@@ -378,6 +390,7 @@ and eval_alg ctx amb alg : Binding.t list =
   | Unit -> [ Binding.empty ]
   | Values rows -> rows
   | _ ->
+      Runtime.Budget.tick ctx.budget;
       let relevant = Binding.restrict (vars_of ctx alg) amb in
       let table =
         match Phys_tbl.find_opt ctx.node_rows alg with
@@ -527,17 +540,17 @@ and eval_raw ctx amb alg : Binding.t list =
           with_aggs :: acc)
         groups []
 
-let eval ?(strategy = Indexed) g alg =
-  eval_alg (make_ctx strategy g) Binding.empty alg
+let eval ?(strategy = Indexed) ?budget g alg =
+  eval_alg (make_ctx ?budget strategy g) Binding.empty alg
 
-let eval_expr ?(strategy = Indexed) g binding expr =
-  eval_expr_st (make_ctx strategy g) binding expr
+let eval_expr ?(strategy = Indexed) ?budget g binding expr =
+  eval_expr_st (make_ctx ?budget strategy g) binding expr
 
-let select ?(strategy = Indexed) g ~vars alg =
-  eval ~strategy g (Project (vars, alg))
+let select ?(strategy = Indexed) ?budget g ~vars alg =
+  eval ~strategy ?budget g (Project (vars, alg))
 
-let construct ?(strategy = Indexed) g ~template alg =
-  let solutions = eval ~strategy g alg in
+let construct ?(strategy = Indexed) ?budget g ~template alg =
+  let solutions = eval ~strategy ?budget g alg in
   List.fold_left
     (fun acc binding ->
       List.fold_left

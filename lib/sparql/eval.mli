@@ -14,10 +14,15 @@
 type strategy = Indexed | Naive
 
 val eval :
-  ?strategy:strategy -> Rdf.Graph.t -> Algebra.t -> Binding.t list
+  ?strategy:strategy -> ?budget:Runtime.Budget.t ->
+  Rdf.Graph.t -> Algebra.t -> Binding.t list
+(** When [budget] is given it is consumed at path evaluations and
+    (memoized) algebra-node evaluations, and evaluation may raise
+    [Runtime.Budget.Exhausted] at those safe points — bounding both the
+    wall-clock time and the work of adversarial queries. *)
 
 val eval_expr :
-  ?strategy:strategy ->
+  ?strategy:strategy -> ?budget:Runtime.Budget.t ->
   Rdf.Graph.t -> Binding.t -> Algebra.expr -> Rdf.Term.t option
 (** Expression evaluation; [None] is the SPARQL error value. *)
 
@@ -26,12 +31,12 @@ val truthy : Rdf.Term.t option -> bool
     false. *)
 
 val select :
-  ?strategy:strategy ->
+  ?strategy:strategy -> ?budget:Runtime.Budget.t ->
   Rdf.Graph.t -> vars:string list -> Algebra.t -> Binding.t list
 (** Project and evaluate. *)
 
 val construct :
-  ?strategy:strategy ->
+  ?strategy:strategy -> ?budget:Runtime.Budget.t ->
   Rdf.Graph.t ->
   template:Algebra.triple_pattern list ->
   Algebra.t ->

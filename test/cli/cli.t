@@ -130,3 +130,82 @@ Validation on the parallel engine: same report, plus counters on request.
   does not conform: 1 violation(s)
     node <http://example.org/p2> violates shape <http://example.org/WorkshopShape>
   
+
+
+Resilience: an exhausted fuel budget aborts the run under the default
+--on-error=fail (exit 123) but degrades to partial results with
+--on-error=skip, which signals "completed with partial results" via
+exit code 3.
+
+  $ shaclprov fragment -d data.ttl -s shapes.ttl --fuel 1
+  shaclprov: budget exhausted (fuel); rerun with --on-error=skip to keep partial results
+  [123]
+
+  $ shaclprov fragment -d data.ttl -s shapes.ttl --fuel 1 --on-error skip
+  [3]
+
+A generous --timeout leaves a healthy run untouched.
+
+  $ shaclprov fragment -d data.ttl -s shapes.ttl --timeout 30
+  @prefix ex: <http://example.org/> .
+  @prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+  
+  ex:bob rdf:type ex:Student .
+  ex:p1 ex:author ex:bob ;
+     rdf:type ex:Paper .
+
+
+Fault isolation: a fault injected into one shape (test hook, via
+SHACLPROV_FAULT) fails that shape only; with --on-error=skip the run
+completes, reports the failure in --stats, and exits 3.
+
+  $ SHACLPROV_FAULT='shape:<http://example.org/WorkshopShape>' \
+  >   shaclprov fragment -d data.ttl -s shapes.ttl -j 4 --on-error skip \
+  >   --stats 2>&1 >/dev/null | sed -E 's/[0-9]+\.[0-9]+s/_s/g'
+  engine: 4 job(s), 0 candidate(s) checked, 0 conforming, 0 triple(s) emitted
+  memo: 0 lookup(s), 0 hit(s), 0 miss(es); 0 path evaluation(s)
+  time: planning _s, total _s
+  degraded: 1 shape(s) failed, 2 chunk retry(s)
+  shape <http://example.org/WorkshopShape>: 2 candidate(s) (target-pruned), 0 conforming, _s, FAILED: crashed: injected fault at shape:<http://example.org/WorkshopShape>
+  shape _:genid0: 0 candidate(s) (target-pruned), 0 conforming, _s
+  shape _:genid1: 0 candidate(s) (target-pruned), 0 conforming, _s
+
+  $ SHACLPROV_FAULT='shape:<http://example.org/WorkshopShape>' \
+  >   shaclprov fragment -d data.ttl -s shapes.ttl
+  shaclprov: injected fault at shape:<http://example.org/WorkshopShape>
+  [123]
+
+With a second, independent shape in the schema, the failed shape's
+fragment is lost but the healthy shape's fragment survives intact.
+
+  $ shaclprov fragment -d data.ttl -s resilience_shapes.ttl
+  @prefix ex: <http://example.org/> .
+  @prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+  
+  ex:bob rdf:type ex:Student .
+  ex:p1 ex:author ex:bob ;
+     rdf:type ex:Paper .
+
+
+  $ SHACLPROV_FAULT='shape:<http://example.org/WorkshopShape>' \
+  >   shaclprov fragment -d data.ttl -s resilience_shapes.ttl --on-error skip
+  @prefix ex: <http://example.org/> .
+  @prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+  
+  ex:bob rdf:type ex:Student .
+  [3]
+
+
+validate degrades the same way: a definition that cannot be checked is
+excluded from the report and the run exits 3.
+
+  $ shaclprov validate -d data.ttl -s shapes.ttl --fuel 1 --on-error skip
+  conforms (0 checks)
+  [3]
+
+Parse errors name the offending file.
+
+  $ printf '<http://a> <http://b>\n' > bad_syntax.ttl
+  $ shaclprov validate -d bad_syntax.ttl -s shapes.ttl
+  shaclprov: bad_syntax.ttl: line 2: expected object term
+  [123]

@@ -265,13 +265,171 @@ let test_validate_matches () =
        report.Validate.results);
   Alcotest.(check int) "no triples emitted" 0 stats.Engine.Stats.triples_emitted
 
+(* --- fault isolation and graceful degradation ----------------------- *)
+
+(* Two independent definitions so one can fail while the other's
+   fragment must survive. *)
+let resilience_schema =
+  Schema.def_list
+    [ ( "http://example.org/S1",
+        Shape.Ge (1, Rdf.Path.Prop p, Shape.Top),
+        Shape.Ge (1, Rdf.Path.Prop ty, Shape.Has_value (ex "T")) );
+      ( "http://example.org/S2",
+        Shape.Ge (1, Rdf.Path.Prop ty, Shape.Top),
+        Shape.Ge (1, Rdf.Path.Prop ty, Shape.Has_value (ex "T")) ) ]
+
+let with_fault ?at site f =
+  Runtime.Fault.configure ?at site;
+  Fun.protect ~finally:Runtime.Fault.disable f
+
+let shape_site (r : Engine.request) = "shape:" ^ r.label
+
+let test_fault_isolation () =
+  let requests = Engine.requests_of_schema resilience_schema in
+  let faulted, healthy =
+    match requests with
+    | [ r1; r2 ] -> r1, r2
+    | _ -> Alcotest.fail "expected two requests"
+  in
+  with_fault (shape_site faulted) (fun () ->
+      let fragment, stats =
+        Engine.run ~schema:resilience_schema ~jobs:4 ~on_error:`Skip
+          sample_graph requests
+      in
+      Alcotest.(check bool) "degraded" true (Engine.Stats.degraded stats);
+      (match Engine.Stats.failed_shapes stats with
+      | [ (label, Runtime.Outcome.Crashed _) ] ->
+          Alcotest.(check string) "failed shape recorded" faulted.Engine.label
+            label
+      | l -> Alcotest.failf "unexpected failed_shapes (%d)" (List.length l));
+      (* differential: the healthy shape's full fragment survives, and
+         nothing beyond the all-healthy oracle is emitted *)
+      let healthy_oracle =
+        Engine.fragment ~schema:resilience_schema sample_graph
+          [ healthy.Engine.shape ]
+      in
+      let full_oracle =
+        Fragment.frag_schema resilience_schema sample_graph
+      in
+      Alcotest.(check bool) "healthy fragment ⊆ engine output" true
+        (Graph.subset healthy_oracle fragment);
+      Alcotest.(check bool) "engine output ⊆ full oracle" true
+        (Graph.subset fragment full_oracle))
+
+let test_fault_retry_succeeds () =
+  (* A transient fault: the first chunk probe raises, the sequential
+     retry succeeds — complete output, one retry, nothing failed. *)
+  with_fault ~at:1 "engine.chunk" (fun () ->
+      let oracle = Fragment.frag_schema resilience_schema sample_graph in
+      let fragment, stats =
+        Engine.run ~schema:resilience_schema ~jobs:2 sample_graph
+          (Engine.requests_of_schema resilience_schema)
+      in
+      Alcotest.(check bool) "not degraded" false (Engine.Stats.degraded stats);
+      Alcotest.(check int) "one retry" 1 stats.Engine.Stats.retries;
+      Alcotest.check Tgen.graph_testable "complete output" oracle fragment)
+
+let test_fault_fail_policy_raises () =
+  let requests = Engine.requests_of_schema resilience_schema in
+  with_fault (shape_site (List.hd requests)) (fun () ->
+      match
+        Engine.run ~schema:resilience_schema ~jobs:2 sample_graph requests
+      with
+      | _ -> Alcotest.fail "expected Injected to re-raise under `Fail"
+      | exception Runtime.Fault.Injected _ -> ())
+
+let test_fuel_outcome_recorded () =
+  let budget = Runtime.Budget.make ~fuel:1 () in
+  let _, stats =
+    Engine.run ~schema:resilience_schema ~budget ~on_error:`Skip sample_graph
+      (Engine.requests_of_schema resilience_schema)
+  in
+  Alcotest.(check bool) "degraded" true (Engine.Stats.degraded stats);
+  Alcotest.(check bool) "fuel outcomes only" true
+    (List.for_all
+       (fun (_, r) -> r = Runtime.Outcome.Fuel_exhausted)
+       (Engine.Stats.failed_shapes stats))
+
+let test_validate_skip_excludes_failed () =
+  let requests = Engine.requests_of_schema resilience_schema in
+  with_fault (shape_site (List.hd requests)) (fun () ->
+      let report, stats =
+        Engine.validate ~jobs:2 ~on_error:`Skip resilience_schema sample_graph
+      in
+      Alcotest.(check bool) "degraded" true (Engine.Stats.degraded stats);
+      let oracle = Validate.validate resilience_schema sample_graph in
+      (* only S1's results are missing *)
+      let s1 = Term.iri "http://example.org/S1" in
+      let surviving =
+        List.filter
+          (fun (r : Validate.result) -> not (Term.equal r.shape_name s1))
+          oracle.Validate.results
+      in
+      Alcotest.(check int) "surviving result count" (List.length surviving)
+        (List.length report.Validate.results);
+      Alcotest.(check bool) "surviving results identical" true
+        (List.for_all2 result_equal surviving report.Validate.results))
+
+(* Property form of the acceptance check: fault one shape of a random
+   multi-shape schema; with `Skip and -j 4 the run completes, the failed
+   shape is reported, and the output is sandwiched between the healthy
+   oracle and the full oracle. *)
+let prop_fault_isolation =
+  QCheck.Test.make ~name:"fault isolation: healthy ⊆ output ⊆ oracle"
+    ~count:100
+    QCheck.(pair Tgen.arbitrary_graph arbitrary_schema)
+    (fun (g, h) ->
+      let requests = Engine.requests_of_schema h in
+      QCheck.assume (List.length requests >= 2);
+      (* pick a shape that actually has candidates: a shape with none
+         spawns no chunks and thus never hits a probe *)
+      let _, healthy_stats = Engine.run ~schema:h g requests in
+      let faulted =
+        List.nth_opt
+          (List.filteri
+             (fun i _ ->
+               (List.nth healthy_stats.Engine.Stats.shapes i)
+                 .Engine.Stats.candidates > 0)
+             requests)
+          0
+      in
+      QCheck.assume (faulted <> None);
+      let faulted = Option.get faulted in
+      let healthy =
+        List.filter (fun (r : Engine.request) -> r != faulted) requests
+      in
+      with_fault (shape_site faulted) (fun () ->
+          let fragment, stats =
+            Engine.run ~schema:h ~jobs:4 ~on_error:`Skip g requests
+          in
+          let healthy_oracle =
+            Fragment.frag ~schema:h g
+              (List.map (fun (r : Engine.request) -> r.shape) healthy)
+          in
+          let full_oracle =
+            Fragment.frag ~schema:h g
+              (List.map (fun (r : Engine.request) -> r.shape) requests)
+          in
+          Engine.Stats.degraded stats
+          && List.mem_assoc faulted.Engine.label
+               (Engine.Stats.failed_shapes stats)
+          && Graph.subset healthy_oracle fragment
+          && Graph.subset fragment full_oracle))
+
 let suite =
   [ "engine matches oracle", `Quick, test_engine_matches_oracle;
     "stats: pruning and counts", `Quick, test_stats_pruning;
     "stats: emitted and memo", `Quick, test_stats_counts;
-    "parallel validate parity", `Quick, test_validate_matches ]
+    "parallel validate parity", `Quick, test_validate_matches;
+    "fault isolation", `Quick, test_fault_isolation;
+    "transient fault: retry succeeds", `Quick, test_fault_retry_succeeds;
+    "`Fail policy re-raises", `Quick, test_fault_fail_policy_raises;
+    "fuel outcome recorded", `Quick, test_fuel_outcome_recorded;
+    "validate `Skip excludes failed def", `Quick,
+    test_validate_skip_excludes_failed ]
 
 let props =
   [ prop_differential_instrumented; prop_differential_naive;
     prop_differential_schema; prop_determinism; prop_conformance_preserved;
-    prop_sufficiency_engine; prop_validate_parity; prop_stats_invariants ]
+    prop_sufficiency_engine; prop_validate_parity; prop_stats_invariants;
+    prop_fault_isolation ]

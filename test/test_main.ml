@@ -21,6 +21,7 @@ let () =
       Tgen.qsuite "sufficiency:props" Test_sufficiency.props;
       "engine", Test_engine.suite;
       Tgen.qsuite "engine:props" Test_engine.props;
+      "runtime", Test_runtime.suite;
       "to-sparql", Test_to_sparql.suite;
       Tgen.qsuite "to-sparql:props" Test_to_sparql.props;
       "tpf", Test_tpf.suite;

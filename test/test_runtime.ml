@@ -1,0 +1,216 @@
+(* The resilient-execution runtime (Runtime.Budget / Fault / Outcome)
+   and its integration with the evaluation stack.
+
+   - Budget: fuel is shared and exact, deadlines expire, [unlimited]
+     never raises.
+   - Fault: probes raise only at the configured site (and, with [@N],
+     only on the N-th probe); disabled faults are free.
+   - Regression: adversarially deep inputs — deeply nested shapes and
+     long property-path chains — exhaust the fuel guard as a clean
+     [Budget.Exhausted Fuel] at a safe point instead of overflowing the
+     stack or running away. *)
+
+open Rdf
+open Shacl
+
+let reason_testable =
+  Alcotest.testable
+    (fun ppf (r : Runtime.Budget.reason) -> Runtime.Budget.pp_reason ppf r)
+    ( = )
+
+(* --- Budget ---------------------------------------------------------- *)
+
+let test_unlimited () =
+  let b = Runtime.Budget.unlimited in
+  for _ = 1 to 10_000 do
+    Runtime.Budget.tick b
+  done;
+  Alcotest.(check bool) "never expires" true (Runtime.Budget.expired b = None)
+
+let test_fuel_exact () =
+  let b = Runtime.Budget.make ~fuel:5 () in
+  for _ = 1 to 5 do
+    Runtime.Budget.tick b
+  done;
+  match Runtime.Budget.tick b with
+  | () -> Alcotest.fail "expected Exhausted Fuel on tick 6"
+  | exception Runtime.Budget.Exhausted r ->
+      Alcotest.check reason_testable "fuel reason" Runtime.Budget.Fuel r;
+      Alcotest.check reason_testable "expired agrees" Runtime.Budget.Fuel
+        (Option.get (Runtime.Budget.expired b))
+
+let test_fuel_shared_across_domains () =
+  (* Fuel is one atomic pool: total successful ticks over all domains is
+     exactly the fuel, regardless of interleaving. *)
+  let fuel = 1000 in
+  let b = Runtime.Budget.make ~fuel () in
+  let count_ticks () =
+    let n = ref 0 in
+    (try
+       while true do
+         Runtime.Budget.tick b;
+         incr n
+       done
+     with Runtime.Budget.Exhausted _ -> ());
+    !n
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn count_ticks) in
+  let total = List.fold_left (fun n d -> n + Domain.join d) 0 domains in
+  Alcotest.(check int) "total ticks = fuel" fuel total
+
+let test_deadline () =
+  let b = Runtime.Budget.make ~timeout:0.02 () in
+  Alcotest.(check bool) "not yet expired" true
+    (Runtime.Budget.expired b = None);
+  Unix.sleepf 0.03;
+  (match Runtime.Budget.check b with
+  | () -> Alcotest.fail "expected Exhausted Deadline"
+  | exception Runtime.Budget.Exhausted r ->
+      Alcotest.check reason_testable "deadline reason" Runtime.Budget.Deadline r);
+  Alcotest.(check bool) "seconds_left clamped to 0" true
+    (Runtime.Budget.seconds_left b = Some 0.)
+
+let test_fuel_left () =
+  let b = Runtime.Budget.make ~fuel:3 () in
+  Runtime.Budget.tick b;
+  Alcotest.(check (option int)) "fuel left" (Some 2) (Runtime.Budget.fuel_left b);
+  Alcotest.(check (option int)) "unlimited has none" None
+    (Runtime.Budget.fuel_left Runtime.Budget.unlimited)
+
+(* --- Fault ----------------------------------------------------------- *)
+
+let with_fault ?at site f =
+  Runtime.Fault.configure ?at site;
+  Fun.protect ~finally:Runtime.Fault.disable f
+
+let test_fault_site_match () =
+  with_fault "here" (fun () ->
+      Runtime.Fault.probe "elsewhere" (* no-op *);
+      match Runtime.Fault.probe "here" with
+      | () -> Alcotest.fail "expected Injected"
+      | exception Runtime.Fault.Injected s ->
+          Alcotest.(check string) "site" "here" s)
+
+let test_fault_nth_probe () =
+  with_fault ~at:2 "site" (fun () ->
+      Runtime.Fault.probe "site";
+      (* probe 1: survives *)
+      (match Runtime.Fault.probe "site" with
+      | () -> Alcotest.fail "expected Injected on probe 2"
+      | exception Runtime.Fault.Injected _ -> ());
+      (* later probes survive again: the fault is one-shot *)
+      Runtime.Fault.probe "site")
+
+let test_fault_spec_parsing () =
+  Alcotest.(check bool) "SITE@N accepted" true
+    (Result.is_ok (Runtime.Fault.set_spec "engine.chunk@3"));
+  Runtime.Fault.disable ();
+  Alcotest.(check bool) "bare SITE accepted" true
+    (Result.is_ok (Runtime.Fault.set_spec "shape:<http://example.org/S>"));
+  Runtime.Fault.disable ();
+  Alcotest.(check bool) "bad count rejected" true
+    (Result.is_error (Runtime.Fault.set_spec "site@zero"));
+  Alcotest.(check bool) "empty rejected" true
+    (Result.is_error (Runtime.Fault.set_spec ""));
+  (* a rejected spec must leave injection disabled *)
+  Runtime.Fault.probe "site"
+
+(* --- Outcome --------------------------------------------------------- *)
+
+let test_outcome_of_exn () =
+  let open Runtime.Outcome in
+  Alcotest.(check bool) "deadline" true
+    (reason_of_exn (Runtime.Budget.Exhausted Runtime.Budget.Deadline)
+    = Timed_out);
+  Alcotest.(check bool) "fuel" true
+    (reason_of_exn (Runtime.Budget.Exhausted Runtime.Budget.Fuel)
+    = Fuel_exhausted);
+  (match reason_of_exn (Runtime.Fault.Injected "x") with
+  | Crashed _ -> ()
+  | _ -> Alcotest.fail "expected Crashed");
+  match reason_of_exn Stack_overflow with
+  | Crashed _ -> ()
+  | _ -> Alcotest.fail "expected Crashed for Stack_overflow"
+
+(* --- deep-recursion regressions -------------------------------------- *)
+
+let ex local = Term.iri ("http://example.org/" ^ local)
+let p = Iri.of_string "http://example.org/p"
+
+(* A chain a0 -p-> a1 -p-> ... -p-> an. *)
+let chain_graph n =
+  Graph.of_list
+    (List.init n (fun i ->
+         Triple.make (ex (string_of_int i)) p (ex (string_of_int (i + 1)))))
+
+(* phi_0 = T, phi_{k+1} = >=1 p. phi_k: conformance of a0 recurses to
+   depth [n]. *)
+let nested_shape n =
+  let rec go k acc =
+    if k = 0 then acc else go (k - 1) (Shape.Ge (1, Path.Prop p, acc))
+  in
+  go n Shape.Top
+
+let expect_fuel_exhausted what f =
+  match f () with
+  | (_ : bool) -> Alcotest.failf "%s: expected Budget.Exhausted" what
+  | exception Runtime.Budget.Exhausted Runtime.Budget.Fuel -> ()
+  | exception e ->
+      Alcotest.failf "%s: expected Exhausted Fuel, got %s" what
+        (Printexc.to_string e)
+
+let test_deep_shape_fuel_conformance () =
+  let depth = 200_000 in
+  let g = chain_graph depth in
+  let shape = nested_shape depth in
+  let budget = Runtime.Budget.make ~fuel:10_000 () in
+  expect_fuel_exhausted "conformance on deeply nested shape" (fun () ->
+      Conformance.conforms ~budget Schema.empty g (ex "0") shape)
+
+let test_deep_shape_fuel_neighborhood () =
+  let depth = 200_000 in
+  let g = chain_graph depth in
+  let shape = nested_shape depth in
+  let budget = Runtime.Budget.make ~fuel:10_000 () in
+  expect_fuel_exhausted "neighborhood on deeply nested shape" (fun () ->
+      fst (Provenance.Neighborhood.check ~budget g (ex "0") shape))
+
+let test_long_path_chain_fuel () =
+  (* One shape whose path is a sequence of 100k hops: path evaluation,
+     not shape recursion, must burn the fuel. *)
+  let hops = 100_000 in
+  let g = chain_graph hops in
+  let rec seq k acc = if k = 0 then acc else seq (k - 1) (Path.Seq (Path.Prop p, acc)) in
+  let path = seq (hops - 1) (Path.Prop p) in
+  let shape = Shape.Ge (1, path, Shape.Top) in
+  let budget = Runtime.Budget.make ~fuel:10_000 () in
+  expect_fuel_exhausted "long path chain" (fun () ->
+      Conformance.conforms ~budget Schema.empty g (ex "0") shape)
+
+let test_bounded_run_completes_without_budget () =
+  (* Sanity: a modest instance of the same family still completes when
+     no budget is set — the guards above fired because of fuel, not
+     because the inputs were malformed. *)
+  let depth = 50 in
+  let g = chain_graph depth in
+  Alcotest.(check bool) "conforms" true
+    (Conformance.conforms Schema.empty g (ex "0") (nested_shape depth))
+
+let suite =
+  [ "budget: unlimited is free", `Quick, test_unlimited;
+    "budget: fuel is exact", `Quick, test_fuel_exact;
+    "budget: fuel shared across domains", `Quick,
+    test_fuel_shared_across_domains;
+    "budget: deadline expires", `Quick, test_deadline;
+    "budget: fuel_left", `Quick, test_fuel_left;
+    "fault: site match", `Quick, test_fault_site_match;
+    "fault: nth probe only", `Quick, test_fault_nth_probe;
+    "fault: spec parsing", `Quick, test_fault_spec_parsing;
+    "outcome: reason_of_exn", `Quick, test_outcome_of_exn;
+    "regression: deep shape, conformance", `Quick,
+    test_deep_shape_fuel_conformance;
+    "regression: deep shape, neighborhood", `Quick,
+    test_deep_shape_fuel_neighborhood;
+    "regression: long path chain", `Quick, test_long_path_chain_fuel;
+    "regression: modest instance completes", `Quick,
+    test_bounded_run_completes_without_budget ]

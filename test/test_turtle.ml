@@ -127,6 +127,41 @@ let test_errors () =
     (Result.is_error (Turtle.parse "<http://a> <http://b> <http://c>"));
   check "unbound prefix" true (Result.is_error (Turtle.parse "ex:a ex:b ex:c ."))
 
+(* Regressions for inputs that used to escape [parse] as exceptions
+   rather than [Error]: an empty language tag reached [Literal.make]
+   ([Invalid_argument]), and an out-of-range [\U] escape reached
+   [Char.chr]. *)
+let test_hostile_inputs () =
+  check "empty language tag" true
+    (Result.is_error (Turtle.parse {|<http://a> <http://b> "x"@ .|}));
+  check "\\U escape beyond U+10FFFF" true
+    (Result.is_error (Turtle.parse {|<http://a> <http://b> "\UFFFFFFFF" .|}));
+  check "\\u surrogate" true
+    (Result.is_error (Turtle.parse {|<http://a> <http://b> "\uD800" .|}));
+  check "\\U at limit still fine" true
+    (Result.is_ok (Turtle.parse {|<http://a> <http://b> "\U0010FFFF" .|}))
+
+let test_parse_file_errors () =
+  let tmp = Filename.temp_file "shaclprov_test" ".ttl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      let oc = open_out tmp in
+      output_string oc "<http://a> <http://b>\n";
+      close_out oc;
+      match Turtle.parse_file tmp with
+      | Ok _ -> Alcotest.fail "expected parse error"
+      | Error e ->
+          Alcotest.(check (option string)) "file recorded" (Some tmp) e.file;
+          check "pp mentions file" true
+            (String.length (Format.asprintf "%a" Turtle.pp_error e)
+             > String.length tmp));
+  match Turtle.parse_file "/nonexistent/input.ttl" with
+  | Ok _ -> Alcotest.fail "expected Sys_error as Error"
+  | Error e ->
+      Alcotest.(check (option string)) "missing file recorded"
+        (Some "/nonexistent/input.ttl") e.file
+
 let test_roundtrip_sample () =
   let src =
     {|@prefix ex: <http://example.org/> .
@@ -145,6 +180,34 @@ let prop_roundtrip =
     Tgen.arbitrary_graph
     (fun g -> Graph.equal g (Turtle.parse_exn (Turtle.to_string g)))
 
+(* Fuzz: [parse] is total — arbitrary byte strings, and valid documents
+   damaged at one position, always come back as [Ok] or [Error], never
+   as an exception. *)
+let gen_mutated_doc =
+  let open QCheck.Gen in
+  let* g = Tgen.gen_graph in
+  let doc = Turtle.to_string g in
+  if String.length doc = 0 then return doc
+  else
+    let* i = int_range 0 (String.length doc - 1) in
+    let* c = char in
+    return (String.mapi (fun j d -> if j = i then c else d) doc)
+
+let gen_hostile =
+  QCheck.Gen.oneof
+    [ QCheck.Gen.string_size ~gen:QCheck.Gen.char (QCheck.Gen.int_range 0 80);
+      gen_mutated_doc ]
+
+let prop_parse_total =
+  QCheck.Test.make ~name:"parse never raises on arbitrary bytes" ~count:1000
+    (QCheck.make gen_hostile ~print:String.escaped)
+    (fun src ->
+      match Turtle.parse src with
+      | Ok _ | Error _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "parse raised %s on %S"
+            (Printexc.to_string e) src)
+
 let suite =
   [ "basic triples", `Quick, test_basic;
     "literal forms", `Quick, test_literals;
@@ -153,6 +216,8 @@ let suite =
     "collections", `Quick, test_collections;
     "comments and strings", `Quick, test_comments_and_strings;
     "parse errors", `Quick, test_errors;
+    "hostile inputs stay errors", `Quick, test_hostile_inputs;
+    "parse_file errors carry the filename", `Quick, test_parse_file_errors;
     "roundtrip sample", `Quick, test_roundtrip_sample ]
 
-let props = [ prop_roundtrip ]
+let props = [ prop_roundtrip; prop_parse_total ]
