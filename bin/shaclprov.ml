@@ -6,6 +6,8 @@
      neighborhood  provenance of one node for one shape (why / why-not)
      fragment      extract the shape fragment of a graph
      to-sparql     show the SPARQL translation of a shape's queries
+     serve         long-running fragment/validation service over TCP
+     request       resilient client for a running serve instance
 
    Error handling: argument-shaped problems (unreadable files, malformed
    --prefix bindings) are rejected by cmdliner argument converters with a
@@ -69,21 +71,46 @@ let stats_arg =
   in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+(* Strictly positive numeric converters: a zero or negative deadline,
+   fuel bound, queue capacity or retry count is always a spelling
+   mistake, so reject it at argument-parse time with a clean conversion
+   error instead of surfacing a confusing runtime failure. *)
+let pos_float_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when f > 0.0 && Float.is_finite f -> Ok f
+    | Some _ -> Error (`Msg (Printf.sprintf "%S is not a positive number" s))
+    | None -> Error (`Msg (Printf.sprintf "%S is not a number" s))
+  in
+  Arg.conv ~docv:"NUM" (parse, fun ppf f -> Format.fprintf ppf "%g" f)
+
+let pos_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some _ -> Error (`Msg (Printf.sprintf "%S is not a positive integer" s))
+    | None -> Error (`Msg (Printf.sprintf "%S is not an integer" s))
+  in
+  Arg.conv ~docv:"N" (parse, fun ppf n -> Format.fprintf ppf "%d" n)
+
 let timeout_arg =
   let doc =
-    "Wall-clock deadline in seconds for the whole evaluation.  Work \
-     started after the deadline fails with a budget error; combined with \
-     --on-error=skip the run degrades to the results computed in time."
+    "Wall-clock deadline in seconds for the whole evaluation (a positive \
+     number).  Work started after the deadline fails with a budget error; \
+     combined with --on-error=skip the run degrades to the results \
+     computed in time."
   in
-  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS" ~doc)
+  Arg.(
+    value & opt (some pos_float_conv) None & info [ "timeout" ] ~docv:"SECS" ~doc)
 
 let fuel_arg =
   let doc =
-    "Evaluation-fuel bound: the total number of memoized conformance \
-     lookups and path-evaluation steps allowed, shared across workers.  \
-     Bounds runaway recursion independently of wall-clock time."
+    "Evaluation-fuel bound (a positive integer): the total number of \
+     memoized conformance lookups and path-evaluation steps allowed, \
+     shared across workers.  Bounds runaway recursion independently of \
+     wall-clock time."
   in
-  Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N" ~doc)
+  Arg.(value & opt (some pos_int_conv) None & info [ "fuel" ] ~docv:"N" ~doc)
 
 let on_error_arg =
   let doc =
@@ -458,6 +485,260 @@ let explain_cmd =
     (Cmd.info "explain" ~doc)
     Term.(const run $ data_arg $ shape_exprs_arg $ prefix_arg $ node_arg)
 
+(* ---------------- serve -------------------------------------------- *)
+
+let host_arg =
+  let doc = "Address to bind (serve) or reach (request)." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
+
+(* "Resource exhausted": the server shed the request (still overloaded
+   after every retry) — distinct from a runtime failure so scripts can
+   back off and try later. *)
+let exit_overloaded = 2
+
+let serve_cmd =
+  let port_arg =
+    let doc = "TCP port to listen on; 0 picks an ephemeral port." in
+    Arg.(value & opt int 0 & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let port_file_arg =
+    let doc =
+      "Write the bound port to $(docv) once listening (removed on clean \
+       shutdown) so scripts can use --port 0."
+    in
+    Arg.(value & opt (some string) None & info [ "port-file" ] ~docv:"FILE" ~doc)
+  in
+  let serve_jobs_arg =
+    let doc = "Number of worker domains answering requests." in
+    Arg.(value & opt pos_int_conv 4 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc =
+      "Admission-queue capacity: connections beyond the workers and this \
+       many waiting requests are shed with a structured 'overloaded' reply."
+    in
+    Arg.(value & opt pos_int_conv 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let request_timeout_arg =
+    let doc =
+      "Per-request wall-clock cap in seconds; a request may only lower it \
+       with its own 'timeout' field.  Keeps one pathological request from \
+       starving the pool."
+    in
+    Arg.(
+      value
+      & opt (some pos_float_conv) (Some 30.0)
+      & info [ "request-timeout" ] ~docv:"SECS" ~doc)
+  in
+  let request_fuel_arg =
+    let doc = "Per-request evaluation-fuel cap (default: none)." in
+    Arg.(
+      value
+      & opt (some pos_int_conv) None
+      & info [ "request-fuel" ] ~docv:"N" ~doc)
+  in
+  let drain_arg =
+    let doc =
+      "Graceful-shutdown drain deadline in seconds: on SIGINT/SIGTERM the \
+       server stops accepting, answers queued and in-flight requests for \
+       at most this long, then exits."
+    in
+    Arg.(value & opt pos_float_conv 5.0 & info [ "drain-timeout" ] ~docv:"SECS" ~doc)
+  in
+  let run data shapes prefixes host port port_file jobs queue request_timeout
+      request_fuel drain =
+    wrap (fun () ->
+        let namespaces = namespaces_of prefixes in
+        let graph = load_graph data in
+        let schema = load_schema shapes in
+        if shapes <> None then warn_schema schema;
+        let config =
+          { Service.Server.host; port; port_file; jobs; queue_bound = queue;
+            request_timeout; request_fuel; drain_timeout = drain }
+        in
+        let server =
+          try Service.Server.start ~namespaces config ~schema ~graph
+          with Unix.Unix_error (e, fn, _) ->
+            die "cannot listen on %s:%d: %s: %s" host port fn
+              (Unix.error_message e)
+        in
+        Format.printf "shaclprov: listening on %s:%d (%d worker(s), queue %d)@."
+          host (Service.Server.port server) jobs queue;
+        (* flush so scripts watching stdout (or the port file) can start *)
+        Format.pp_print_flush Format.std_formatter ();
+        let stop _ = Service.Server.request_stop server in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+        while not (Service.Server.stop_requested server) do
+          (* sleep is interrupted by the signal; EINTR just rechecks *)
+          try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        done;
+        match Service.Server.shutdown server with
+        | `Drained ->
+            let stats = Service.Server.stats server in
+            Format.eprintf
+              "shaclprov: drained; served %d, shed %d, failed %d, rejected \
+               %d, %d worker crash(es)@."
+              stats.Service.Wire.served stats.Service.Wire.shed
+              stats.Service.Wire.failed stats.Service.Wire.rejected
+              stats.Service.Wire.crashes;
+            0
+        | `Forced ->
+            die "drain deadline (%gs) passed with requests still in flight"
+              drain)
+  in
+  let doc =
+    "Serve validation, shape fragments and neighborhoods over TCP: load \
+     the data graph (and optionally a shapes graph) once, then answer \
+     line-delimited JSON requests.  Overload is shed with structured \
+     'overloaded' replies, crashed or over-budget requests get structured \
+     'failed' replies (the worker domain is replaced), and SIGINT/SIGTERM \
+     drain in-flight work before exiting."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ data_arg $ shapes_arg $ prefix_arg $ host_arg $ port_arg
+      $ port_file_arg $ serve_jobs_arg $ queue_arg $ request_timeout_arg
+      $ request_fuel_arg $ drain_arg)
+
+(* ---------------- request ------------------------------------------ *)
+
+let request_cmd =
+  let op_arg =
+    let doc =
+      "Operation: $(b,validate), $(b,fragment), $(b,neighborhood), \
+       $(b,health), $(b,stats) or $(b,sleep) (diagnostic)."
+    in
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ "validate", `Validate; "fragment", `Fragment;
+                  "neighborhood", `Neighborhood; "health", `Health;
+                  "stats", `Stats; "sleep", `Sleep ]))
+          None
+      & info [] ~docv:"OP" ~doc)
+  in
+  let req_port_arg =
+    let doc = "Server TCP port." in
+    Arg.(required & opt (some pos_int_conv) None & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let node_opt_arg =
+    let doc = "Focus node for $(b,neighborhood)." in
+    Arg.(value & opt (some string) None & info [ "n"; "node" ] ~docv:"IRI" ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "Total attempts (including the first).  Transient failures — \
+       connection errors, 'overloaded' and crashed-worker replies — are \
+       retried with capped exponential backoff and full jitter; \
+       deterministic failures are not."
+    in
+    Arg.(value & opt pos_int_conv 3 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let retry_base_arg =
+    let doc = "Backoff base delay in seconds." in
+    Arg.(value & opt pos_float_conv 0.05 & info [ "retry-base" ] ~docv:"SECS" ~doc)
+  in
+  let retry_cap_arg =
+    let doc = "Backoff delay cap in seconds." in
+    Arg.(value & opt pos_float_conv 2.0 & info [ "retry-cap" ] ~docv:"SECS" ~doc)
+  in
+  let ms_arg =
+    let doc = "Milliseconds for the $(b,sleep) diagnostic op." in
+    Arg.(value & opt pos_int_conv 100 & info [ "ms" ] ~docv:"MS" ~doc)
+  in
+  let run op host port shapes node timeout fuel retries retry_base retry_cap ms
+      =
+    wrap (fun () ->
+        let op =
+          match op with
+          | `Validate -> Service.Wire.Validate
+          | `Fragment -> Service.Wire.Fragment shapes
+          | `Health -> Service.Wire.Health
+          | `Stats -> Service.Wire.Stats
+          | `Sleep -> Service.Wire.Sleep ms
+          | `Neighborhood -> (
+              match node, shapes with
+              | Some node, [ shape ] -> Service.Wire.Neighborhood { node; shape }
+              | _ ->
+                  die "neighborhood requires --node and exactly one --shape")
+        in
+        let request = Service.Wire.request ?timeout ?fuel op in
+        let policy =
+          Runtime.Retry.policy ~max_attempts:retries ~base_delay:retry_base
+            ~cap_delay:retry_cap ()
+        in
+        match Service.Client.call ~policy ~host ~port request with
+        | Ok (Service.Wire.Validated { conforms; checks; violations }) ->
+            if conforms then begin
+              Format.printf "conforms (%d checks)@." checks;
+              0
+            end
+            else begin
+              Format.printf "does not conform: %d violation(s) (%d checks)@."
+                violations checks;
+              1
+            end
+        | Ok (Service.Wire.Fragmented { turtle; _ }) ->
+            print_string turtle;
+            0
+        | Ok (Service.Wire.Neighborhoods { conforms; turtle }) ->
+            if conforms then Format.printf "conforms; neighborhood:@."
+            else Format.printf "does not conform; why-not explanation:@.";
+            print_string turtle;
+            0
+        | Ok (Service.Wire.Healthy { uptime }) ->
+            Format.printf "ok, up %.3fs@." uptime;
+            0
+        | Ok (Service.Wire.Statistics s) ->
+            Format.printf
+              "up %.3fs, %d worker(s), queue bound %d@.accepted %d, served \
+               %d, shed %d, failed %d, rejected %d, dropped %d@.%d worker \
+               crash(es), %d in flight, %d queued@."
+              s.Service.Wire.uptime s.Service.Wire.jobs
+              s.Service.Wire.queue_bound s.Service.Wire.accepted
+              s.Service.Wire.served s.Service.Wire.shed s.Service.Wire.failed
+              s.Service.Wire.rejected s.Service.Wire.dropped
+              s.Service.Wire.crashes s.Service.Wire.in_flight
+              s.Service.Wire.queued;
+            0
+        | Ok (Service.Wire.Slept ms) ->
+            Format.printf "slept %dms@." ms;
+            0
+        | Ok (Service.Wire.(Overloaded _ | Failed _ | Error _)) ->
+            die "unexpected reply"  (* round_trip maps these to Error *)
+        | Error (Service.Client.Overloaded queued) ->
+            Format.eprintf
+              "shaclprov: still overloaded after %d attempt(s) (%d queued)@."
+              retries queued;
+            exit_overloaded
+        | Error (Service.Client.Failed (reason, detail)) ->
+            Format.eprintf "shaclprov: request failed (%s): %s@."
+              (match reason with
+              | Service.Wire.Timeout -> "timeout"
+              | Service.Wire.Fuel -> "fuel"
+              | Service.Wire.Crash -> "crash")
+              detail;
+            exit_degraded
+        | Error e -> die "%a" Service.Client.pp_error e)
+  in
+  let doc =
+    "Send one request to a running '$(b,shaclprov serve)' instance, with \
+     retry, exponential backoff and jitter for transient failures.  \
+     Exits 0 on success (1 for a non-conforming validate), 2 when the \
+     server is still overloaded after every retry, 3 when the request \
+     failed server-side (crash or budget), 123 on other errors."
+  in
+  Cmd.v
+    (Cmd.info "request" ~doc)
+    Term.(
+      const run $ op_arg $ host_arg $ req_port_arg $ shape_exprs_arg
+      $ node_opt_arg $ timeout_arg $ fuel_arg $ retries_arg $ retry_base_arg
+      $ retry_cap_arg $ ms_arg)
+
 (* ---------------- main --------------------------------------------- *)
 
 let () =
@@ -470,4 +751,4 @@ let () =
     (Cmd.eval_result'
        (Cmd.group info
           [ validate_cmd; lint_cmd; neighborhood_cmd; explain_cmd;
-            fragment_cmd; query_cmd; to_sparql_cmd ]))
+            fragment_cmd; query_cmd; to_sparql_cmd; serve_cmd; request_cmd ]))

@@ -1,0 +1,35 @@
+type policy = {
+  max_attempts : int;
+  base_delay : float;
+  cap_delay : float;
+}
+
+let default = { max_attempts = 3; base_delay = 0.05; cap_delay = 2.0 }
+
+let policy ?(max_attempts = default.max_attempts)
+    ?(base_delay = default.base_delay) ?(cap_delay = default.cap_delay) () =
+  { max_attempts = max 1 max_attempts;
+    base_delay = Float.max 0.0 base_delay;
+    cap_delay = Float.max 0.0 cap_delay }
+
+(* [ldexp base (attempt-1)] = base * 2^(attempt-1); it overflows to
+   [infinity] for huge attempt counts, which [min cap] absorbs. *)
+let delay p ~rand ~attempt =
+  let upper =
+    Float.min p.cap_delay (Float.ldexp (Float.max 0.0 p.base_delay) (attempt - 1))
+  in
+  if upper <= 0.0 then 0.0 else Float.max 0.0 (Float.min upper (rand upper))
+
+let run ?(sleep = Unix.sleepf) ?(rand = Random.float) p ~retryable f =
+  let rec go attempt =
+    match f attempt with
+    | Ok _ as ok -> ok
+    | Error e as err ->
+        if attempt >= p.max_attempts || not (retryable e) then err
+        else begin
+          let d = delay p ~rand ~attempt in
+          if d > 0.0 then sleep d;
+          go (attempt + 1)
+        end
+  in
+  go 1

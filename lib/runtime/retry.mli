@@ -1,0 +1,48 @@
+(** Retry policies: bounded attempts with capped exponential backoff and
+    full jitter.
+
+    The policy is pure data and {!delay} is a pure function of the
+    policy, the attempt number and a random sample, so backoff behaviour
+    is unit-testable without sockets or clocks.  {!run} drives an
+    attempt function under a policy, consulting a caller-supplied
+    classifier to distinguish transient failures (worth another attempt:
+    connection refused, an overloaded server, a crashed worker that has
+    since been replaced) from deterministic ones (a malformed request
+    fails the same way every time), and sleeping between attempts.
+
+    The delay before attempt [k+1] is drawn uniformly from
+    [\[0, min(cap_delay, base_delay * 2^(k-1))\]] — "full jitter" in the
+    AWS taxonomy — which decorrelates the retries of many clients
+    hammering one recovering server. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts, including the first (>= 1) *)
+  base_delay : float;  (** backoff scale for the first retry, seconds *)
+  cap_delay : float;   (** upper bound on any single delay, seconds *)
+}
+
+val policy :
+  ?max_attempts:int -> ?base_delay:float -> ?cap_delay:float -> unit -> policy
+(** {!default} with fields overridden. *)
+
+val default : policy
+(** 3 attempts, 50 ms base, 2 s cap. *)
+
+val delay : policy -> rand:(float -> float) -> attempt:int -> float
+(** [delay p ~rand ~attempt] is the pause after failed attempt [attempt]
+    (1-based): [rand u] where [u = min p.cap_delay (p.base_delay *
+    2^(attempt-1))] and [rand u] must return a value in [\[0, u\]].
+    Non-positive bases and caps clamp to a zero delay. *)
+
+val run :
+  ?sleep:(float -> unit) ->
+  ?rand:(float -> float) ->
+  policy ->
+  retryable:('e -> bool) ->
+  (int -> ('a, 'e) result) ->
+  ('a, 'e) result
+(** [run policy ~retryable f] calls [f 1], [f 2], … until [f] succeeds,
+    fails with a non-retryable error, or [policy.max_attempts] attempts
+    have been spent; the last result is returned.  [sleep] (default
+    [Unix.sleepf]) and [rand] (default [Random.float]) are injectable
+    for tests. *)

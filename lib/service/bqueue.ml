@@ -1,0 +1,39 @@
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  cap : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  { lock = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    cap = max 1 capacity;
+    closed = false }
+
+let try_push t x =
+  Mutex.protect t.lock (fun () ->
+      if t.closed then `Closed
+      else if Queue.length t.items >= t.cap then `Shed
+      else begin
+        Queue.push x t.items;
+        Condition.signal t.nonempty;
+        `Queued
+      end)
+
+let pop t =
+  Mutex.protect t.lock (fun () ->
+      while Queue.is_empty t.items && not t.closed do
+        Condition.wait t.nonempty t.lock
+      done;
+      if Queue.is_empty t.items then None else Some (Queue.pop t.items))
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let length t = Mutex.protect t.lock (fun () -> Queue.length t.items)
+let capacity t = t.cap

@@ -1,0 +1,33 @@
+(** Bounded multi-producer multi-consumer queue with explicit shedding.
+
+    The admission queue of the service: producers never block and never
+    grow the queue past its capacity — {!try_push} reports [`Shed] when
+    the queue is full, which the server turns into a structured
+    [overloaded] reply.  Consumers block in {!pop} until an item or
+    {!close}; after close the queue drains (pending items are still
+    popped) and then yields [None], which is the workers' shutdown
+    signal.  Safe across domains ([Mutex] + [Condition]). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] is clamped to at least 1: a queue that can hold nothing
+    would shed every request. *)
+
+val try_push : 'a t -> 'a -> [ `Queued | `Shed | `Closed ]
+(** Non-blocking: [`Queued] on success, [`Shed] when the queue is at
+    capacity (load-shedding — the item was {e not} enqueued), [`Closed]
+    after {!close}. *)
+
+val pop : 'a t -> 'a option
+(** Block until an item is available ([Some]) or the queue is closed and
+    drained ([None]). *)
+
+val close : 'a t -> unit
+(** Stop admitting; wake all blocked consumers.  Items already queued
+    are still delivered (drain semantics).  Idempotent. *)
+
+val length : 'a t -> int
+(** Current queue depth (items pushed, not yet popped). *)
+
+val capacity : 'a t -> int

@@ -1,0 +1,78 @@
+type error =
+  | Connect of string
+  | Io of string
+  | Protocol of string
+  | Remote_error of string
+  | Overloaded of int
+  | Failed of Wire.failure * string
+
+let pp_error ppf = function
+  | Connect msg -> Format.fprintf ppf "cannot reach server: %s" msg
+  | Io msg -> Format.fprintf ppf "connection lost: %s" msg
+  | Protocol msg -> Format.fprintf ppf "bad reply: %s" msg
+  | Remote_error msg -> Format.fprintf ppf "server rejected request: %s" msg
+  | Overloaded queued ->
+      Format.fprintf ppf "server overloaded (%d request(s) queued)" queued
+  | Failed (reason, detail) ->
+      Format.fprintf ppf "request failed (%s): %s"
+        (match reason with
+        | Wire.Timeout -> "timeout"
+        | Wire.Fuel -> "fuel"
+        | Wire.Crash -> "crash")
+        detail
+
+let retryable = function
+  | Connect _ | Io _ | Overloaded _ | Failed (Wire.Crash, _) -> true
+  | Protocol _ | Remote_error _ | Failed ((Wire.Timeout | Wire.Fuel), _) ->
+      false
+
+let unix_error_msg (e, fn, _) = Printf.sprintf "%s: %s" fn (Unix.error_message e)
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> Ok addr
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+          Error (Connect (Printf.sprintf "unknown host %S" host))
+      | { Unix.h_addr_list; _ } -> Ok h_addr_list.(0))
+
+let round_trip ?(timeout = 30.0) ~host ~port request =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  match resolve host with
+  | Error _ as e -> e
+  | Ok addr -> (
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+        (fun () ->
+          (try
+             Unix.setsockopt_float sock Unix.SO_RCVTIMEO timeout;
+             Unix.setsockopt_float sock Unix.SO_SNDTIMEO timeout
+           with Unix.Unix_error _ -> ());
+          match Unix.connect sock (Unix.ADDR_INET (addr, port)) with
+          | exception Unix.Unix_error (e, fn, arg) ->
+              Error (Connect (unix_error_msg (e, fn, arg)))
+          | () -> (
+              match
+                Wire.write_line sock (Wire.encode_request request);
+                Wire.read_line sock
+              with
+              | exception Unix.Unix_error (e, fn, arg) ->
+                  Error (Io (unix_error_msg (e, fn, arg)))
+              | exception Failure msg -> Error (Protocol msg)
+              | None -> Error (Io "server closed the connection early")
+              | Some line -> (
+                  match Wire.decode_reply line with
+                  | Result.Error msg -> Error (Protocol msg)
+                  | Ok (_id, Wire.Overloaded { queued }) ->
+                      Error (Overloaded queued)
+                  | Ok (_id, Wire.Failed { reason; detail }) ->
+                      Error (Failed (reason, detail))
+                  | Ok (_id, Wire.Error msg) -> Error (Remote_error msg)
+                  | Ok (_id, reply) -> Ok reply))))
+
+let call ?(policy = Runtime.Retry.default) ?sleep ?rand ?timeout ~host ~port
+    request =
+  Runtime.Retry.run ?sleep ?rand policy ~retryable (fun _attempt ->
+      round_trip ?timeout ~host ~port request)

@@ -1,0 +1,48 @@
+(** Client for the shape-fragment service, with retry and backoff.
+
+    {!round_trip} performs one request over one TCP connection.
+    {!call} wraps it in a {!Runtime.Retry} policy, retrying exactly the
+    {!retryable} errors: transport failures (the server may be
+    restarting), [overloaded] replies (the queue may drain), and
+    [failed: crash] replies (the crashed worker domain has been replaced
+    by the time the retry lands).  Deterministic failures — malformed
+    requests, undecodable replies, budget exhaustion (a retry would
+    exhaust the same budget the same way) — are never retried. *)
+
+type error =
+  | Connect of string        (** could not reach the server *)
+  | Io of string             (** connection lost before a full reply *)
+  | Protocol of string       (** reply was not decodable *)
+  | Remote_error of string   (** [error] reply: the request is malformed *)
+  | Overloaded of int        (** [overloaded] reply, with the queue depth *)
+  | Failed of Wire.failure * string  (** [failed] reply *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val retryable : error -> bool
+(** [Connect], [Io], [Overloaded] and [Failed (Crash, _)] are worth
+    retrying; everything else fails deterministically. *)
+
+val round_trip :
+  ?timeout:float ->
+  host:string ->
+  port:int ->
+  Wire.request ->
+  (Wire.reply, error) result
+(** One connect → send → receive → close cycle.  [timeout] (default
+    30 s) bounds connect, send and receive via socket timeouts.
+    Non-[ok] replies are returned as [Error] so callers (and the retry
+    classifier) treat them uniformly. *)
+
+val call :
+  ?policy:Runtime.Retry.policy ->
+  ?sleep:(float -> unit) ->
+  ?rand:(float -> float) ->
+  ?timeout:float ->
+  host:string ->
+  port:int ->
+  Wire.request ->
+  (Wire.reply, error) result
+(** {!round_trip} under [policy] (default {!Runtime.Retry.default}):
+    full-jitter exponential backoff between attempts, {!retryable}
+    errors only. *)

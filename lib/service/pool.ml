@@ -1,0 +1,58 @@
+type 'job t = {
+  queue : 'job Bqueue.t;
+  handler : 'job -> unit;
+  on_crash : 'job -> exn -> unit;
+  lock : Mutex.t;
+  mutable domains : unit Domain.t list;
+  crash_count : int Atomic.t;
+}
+
+let register t d = Mutex.protect t.lock (fun () -> t.domains <- d :: t.domains)
+
+let rec worker t () =
+  match Bqueue.pop t.queue with
+  | None -> ()
+  | Some job -> (
+      match t.handler job with
+      | () -> worker t ()
+      | exception e ->
+          (try t.on_crash job e with _ -> ());
+          Atomic.incr t.crash_count;
+          (* Replace this domain before retiring: the pool never shrinks.
+             The replacement is registered under the lock, so a
+             concurrent [join] will find and join it. *)
+          spawn t)
+
+and spawn t = register t (Domain.spawn (worker t))
+
+let start ~jobs ~handler ~on_crash queue =
+  let t =
+    { queue; handler; on_crash;
+      lock = Mutex.create ();
+      domains = [];
+      crash_count = Atomic.make 0 }
+  in
+  for _ = 1 to max 1 jobs do
+    spawn t
+  done;
+  t
+
+let crashes t = Atomic.get t.crash_count
+
+let join t =
+  let rec go () =
+    let next =
+      Mutex.protect t.lock (fun () ->
+          match t.domains with
+          | [] -> None
+          | d :: rest ->
+              t.domains <- rest;
+              Some d)
+    in
+    match next with
+    | None -> ()
+    | Some d ->
+        Domain.join d;
+        go ()
+  in
+  go ()

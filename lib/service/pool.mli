@@ -1,0 +1,32 @@
+(** Worker pool with crashed-domain replacement.
+
+    [jobs] domains drain a {!Bqueue} of jobs.  A handler that raises is
+    treated as having tainted its whole domain: the [on_crash] callback
+    runs (the server uses it to send the structured [failed] reply and
+    release the connection), a {e fresh} replacement domain is spawned
+    before the crashed one retires, and the crash is counted.  The pool
+    therefore always has [jobs] live workers, and one pathological
+    request can neither kill the pool nor leak its connection.
+
+    Expected, per-request failures (budget exhaustion, malformed input)
+    should be handled {e inside} the handler — replacement is for
+    genuinely unexpected exceptions. *)
+
+type 'job t
+
+val start :
+  jobs:int ->
+  handler:('job -> unit) ->
+  on_crash:('job -> exn -> unit) ->
+  'job Bqueue.t ->
+  'job t
+(** Spawn [max 1 jobs] worker domains over the queue.  [on_crash] is
+    itself run under a catch-all: a crashing crash-handler cannot take
+    the worker down a second time. *)
+
+val crashes : _ t -> int
+(** Number of worker domains replaced so far. *)
+
+val join : _ t -> unit
+(** Wait for every worker (including replacements) to retire.  Callers
+    must {!Bqueue.close} the queue first, or this blocks forever. *)

@@ -1,0 +1,379 @@
+(* The shape-fragment server: acceptor domain + bounded admission queue
+   + worker pool, with per-request budgets, structured failure replies,
+   and a drain-based graceful shutdown.  See server.mli for the model. *)
+
+type config = {
+  host : string;
+  port : int;
+  port_file : string option;
+  jobs : int;
+  queue_bound : int;
+  request_timeout : float option;
+  request_fuel : int option;
+  drain_timeout : float;
+}
+
+let default_config =
+  { host = "127.0.0.1";
+    port = 0;
+    port_file = None;
+    jobs = 4;
+    queue_bound = 64;
+    request_timeout = Some 30.0;
+    request_fuel = None;
+    drain_timeout = 5.0 }
+
+type counters = {
+  accepted : int Atomic.t;
+  served : int Atomic.t;
+  shed : int Atomic.t;
+  failed : int Atomic.t;
+  rejected : int Atomic.t;
+  dropped : int Atomic.t;
+  in_flight : int Atomic.t;
+}
+
+type t = {
+  config : config;
+  namespaces : Rdf.Namespace.t;
+  schema : Shacl.Schema.t;
+  graph : Rdf.Graph.t;
+  lsock : Unix.file_descr;
+  bound_port : int;
+  started : float;
+  stop : bool Atomic.t;
+  queue : Unix.file_descr Bqueue.t;
+  (* set right after construction — the pool's handler closes over [t] *)
+  mutable pool : Unix.file_descr Pool.t option;
+  mutable acceptor : unit Domain.t option;
+  counters : counters;
+}
+
+let port t = t.bound_port
+let request_stop t = Atomic.set t.stop true
+let stop_requested t = Atomic.get t.stop
+
+let safe_close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* A reply write to a peer that already hung up must not take the worker
+   down with it — the connection is simply lost. *)
+let try_reply t ?id fd reply =
+  match Wire.write_line fd (Wire.encode_reply ?id reply) with
+  | () -> true
+  | exception (Unix.Unix_error _ | Sys_error _) ->
+      Atomic.incr t.counters.dropped;
+      false
+
+let stats t : Wire.stats =
+  { uptime = Unix.gettimeofday () -. t.started;
+    jobs = t.config.jobs;
+    queue_bound = Bqueue.capacity t.queue;
+    accepted = Atomic.get t.counters.accepted;
+    served = Atomic.get t.counters.served;
+    shed = Atomic.get t.counters.shed;
+    failed = Atomic.get t.counters.failed;
+    rejected = Atomic.get t.counters.rejected;
+    dropped = Atomic.get t.counters.dropped;
+    crashes = (match t.pool with Some p -> Pool.crashes p | None -> 0);
+    in_flight = Atomic.get t.counters.in_flight;
+    queued = Bqueue.length t.queue }
+
+(* ---------------- request evaluation -------------------------------- *)
+
+(* The smaller of the server's cap and the request's own bound wins. *)
+let budget_of t (req : Wire.request) =
+  let min_opt a b =
+    match a, b with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (min a b)
+  in
+  let timeout = min_opt t.config.request_timeout req.timeout in
+  let fuel = min_opt t.config.request_fuel req.fuel in
+  match timeout, fuel with
+  | None, None -> Runtime.Budget.unlimited
+  | _ -> Runtime.Budget.make ?timeout ?fuel ()
+
+let parse_node namespaces src =
+  if String.length src > 1 && src.[0] = '<' then
+    Rdf.Term.iri (String.sub src 1 (String.length src - 2))
+  else
+    match Rdf.Namespace.expand namespaces src with
+    | Some iri -> Rdf.Term.iri iri
+    | None -> Rdf.Term.iri src
+
+let turtle t g = Rdf.Turtle.to_string ~prefixes:t.namespaces g
+
+(* Evaluate one parsed request under [budget].  Returns an [Error _]
+   reply for malformed payloads; lets [Budget.Exhausted] (and real
+   crashes) escape to the caller's isolation layer. *)
+let execute t budget : Wire.op -> Wire.reply = function
+  | Wire.Validate ->
+      if Shacl.Schema.defs t.schema = [] then
+        Wire.Error "no schema loaded (start the server with --shapes)"
+      else begin
+        let report, _stats =
+          Provenance.Engine.validate ~jobs:1 ~budget t.schema t.graph
+        in
+        Wire.Validated
+          { conforms = report.Shacl.Validate.conforms;
+            checks = List.length report.Shacl.Validate.results;
+            violations = List.length (Shacl.Validate.violations report) }
+      end
+  | Wire.Fragment shape_srcs -> (
+      let parsed =
+        List.fold_left
+          (fun acc src ->
+            match acc with
+            | Result.Error _ as e -> e
+            | Ok shapes -> (
+                match Shacl.Shape_syntax.parse ~namespaces:t.namespaces src with
+                | Ok shape ->
+                    Ok
+                      (Provenance.Engine.request
+                         ~label:
+                           (Shacl.Shape_syntax.print ~namespaces:t.namespaces
+                              shape)
+                         shape
+                      :: shapes)
+                | Result.Error e ->
+                    Result.Error
+                      (Format.asprintf "shape %S: %a" src
+                         Shacl.Shape_syntax.pp_error e)))
+          (Ok []) shape_srcs
+      in
+      match parsed with
+      | Result.Error msg -> Wire.Error msg
+      | Ok [] when Shacl.Schema.defs t.schema = [] ->
+          Wire.Error "no request shapes given and no schema loaded"
+      | Ok requests ->
+          let requests =
+            match requests with
+            | [] -> Provenance.Engine.requests_of_schema t.schema
+            | l -> List.rev l
+          in
+          let fragment, _stats =
+            Provenance.Engine.run ~schema:t.schema ~jobs:1 ~budget t.graph
+              requests
+          in
+          Wire.Fragmented
+            { triples = Rdf.Graph.cardinal fragment;
+              turtle = turtle t fragment })
+  | Wire.Neighborhood { node; shape } -> (
+      match Shacl.Shape_syntax.parse ~namespaces:t.namespaces shape with
+      | Result.Error e ->
+          Wire.Error
+            (Format.asprintf "shape %S: %a" shape Shacl.Shape_syntax.pp_error e)
+      | Ok shape -> (
+          let v = parse_node t.namespaces node in
+          match
+            Provenance.Neighborhood.check ~budget ~schema:t.schema t.graph v
+              shape
+          with
+          | true, neighborhood ->
+              Wire.Neighborhoods
+                { conforms = true; turtle = turtle t neighborhood }
+          | false, _ ->
+              (* why-not provenance (Remark 3.7): B(v, ¬shape), computed
+                 under the same budget. *)
+              let _, explanation =
+                Provenance.Neighborhood.check ~budget ~schema:t.schema t.graph
+                  v (Shacl.Shape.Not shape)
+              in
+              Wire.Neighborhoods
+                { conforms = false; turtle = turtle t explanation }))
+  | Wire.Health -> Wire.Healthy { uptime = Unix.gettimeofday () -. t.started }
+  | Wire.Stats -> Wire.Statistics (stats t)
+  | Wire.Sleep ms ->
+      (* diagnostic: bounded so a stray request cannot park a worker
+         beyond any plausible drain deadline *)
+      let ms = min ms 60_000 in
+      Unix.sleepf (float_of_int ms /. 1000.0);
+      Wire.Slept ms
+
+(* ---------------- worker ------------------------------------------- *)
+
+(* Normal path: read one frame, parse, evaluate under the budget, reply,
+   close.  Expected failures (unreadable frame, malformed request,
+   budget exhaustion) are answered here and the worker survives; any
+   other exception escapes to [on_crash], which answers [failed: crash]
+   and lets the pool replace the domain. *)
+let handle t fd =
+  Atomic.incr t.counters.in_flight;
+  (* Counters are bumped *before* the reply is written, so a client that
+     has seen a reply is guaranteed to see it reflected in [stats]. *)
+  let finish ?id counter reply =
+    Atomic.incr counter;
+    ignore (try_reply t ?id fd reply : bool);
+    safe_close fd;
+    Atomic.decr t.counters.in_flight
+  in
+  (* Reading the frame is bounded: a client that connects and then goes
+     silent times out instead of parking the worker forever. *)
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0
+   with Unix.Unix_error _ -> ());
+  match Wire.read_line fd with
+  | None | (exception Unix.Unix_error _) | (exception Failure _) ->
+      Atomic.incr t.counters.dropped;
+      safe_close fd;
+      Atomic.decr t.counters.in_flight
+  | Some line -> (
+      match Wire.decode_request line with
+      | Result.Error msg -> finish t.counters.rejected (Wire.Error msg)
+      | Ok req -> (
+          match
+            Runtime.Fault.probe "service.worker";
+            execute t (budget_of t req) req.op
+          with
+          | Wire.Error _ as reply ->
+              finish ?id:req.id t.counters.rejected reply
+          | reply ->
+              Runtime.Fault.probe "service.reply";
+              Atomic.incr t.counters.served;
+              if not (try_reply t ?id:req.id fd reply) then begin
+                (* the peer vanished before the reply landed *)
+                Atomic.decr t.counters.served;
+                Atomic.incr t.counters.dropped
+              end;
+              safe_close fd;
+              Atomic.decr t.counters.in_flight
+          | exception Runtime.Budget.Exhausted reason ->
+              let reason, detail =
+                Wire.failure_of_outcome
+                  (Runtime.Outcome.reason_of_exn
+                     (Runtime.Budget.Exhausted reason))
+              in
+              finish ?id:req.id t.counters.failed
+                (Wire.Failed { reason; detail })))
+
+(* Crash path: the request was parsed (or not) but evaluation blew up in
+   a way [handle] does not expect.  Send the structured reply, release
+   the connection, and let the pool replace the domain. *)
+let on_crash t fd exn =
+  let reason, detail =
+    Wire.failure_of_outcome (Runtime.Outcome.reason_of_exn exn)
+  in
+  Atomic.incr t.counters.failed;
+  ignore (try_reply t fd (Wire.Failed { reason; detail }));
+  safe_close fd;
+  Atomic.decr t.counters.in_flight
+
+(* ---------------- acceptor ------------------------------------------ *)
+
+(* The acceptor never reads from connections: it accepts, runs admission
+   control, and hands the socket to the pool.  The 100 ms select tick
+   bounds how long a stop request waits. *)
+let rec accept_loop t =
+  if Atomic.get t.stop then ()
+  else begin
+    (match Unix.select [ t.lsock ] [] [] 0.1 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept t.lsock with
+        | exception
+            Unix.Unix_error
+              ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            ()
+        | fd, _ -> (
+            Atomic.incr t.counters.accepted;
+            match Runtime.Fault.probe "service.accept" with
+            | exception Runtime.Fault.Injected _ ->
+                (* an accept-path fault drops the connection before
+                   admission — the client sees a reset, not a hang *)
+                Atomic.incr t.counters.dropped;
+                safe_close fd
+            | () -> (
+                match Bqueue.try_push t.queue fd with
+                | `Queued -> ()
+                | `Shed | `Closed ->
+                    Atomic.incr t.counters.shed;
+                    ignore
+                      (try_reply t fd
+                         (Wire.Overloaded { queued = Bqueue.length t.queue }));
+                    safe_close fd)))
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    accept_loop t
+  end
+
+(* ---------------- lifecycle ----------------------------------------- *)
+
+let start ?(namespaces = Rdf.Namespace.default) config ~schema ~graph =
+  (* A peer hanging up mid-write must surface as EPIPE, not kill the
+     process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let t =
+    try
+      Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+      Unix.bind lsock
+        (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+      Unix.listen lsock 128;
+      let bound_port =
+        match Unix.getsockname lsock with
+        | Unix.ADDR_INET (_, p) -> p
+        | Unix.ADDR_UNIX _ -> config.port
+      in
+      let queue = Bqueue.create ~capacity:config.queue_bound in
+      let counters =
+        { accepted = Atomic.make 0;
+          served = Atomic.make 0;
+          shed = Atomic.make 0;
+          failed = Atomic.make 0;
+          rejected = Atomic.make 0;
+          dropped = Atomic.make 0;
+          in_flight = Atomic.make 0 }
+      in
+      let t =
+        { config; namespaces; schema; graph; lsock; bound_port;
+          started = Unix.gettimeofday ();
+          stop = Atomic.make false;
+          queue;
+          pool = None;
+          acceptor = None;
+          counters }
+      in
+      t.pool <-
+        Some
+          (Pool.start ~jobs:config.jobs
+             ~handler:(fun fd -> handle t fd)
+             ~on_crash:(fun fd e -> on_crash t fd e)
+             queue);
+      t.acceptor <- Some (Domain.spawn (fun () -> accept_loop t));
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          Printf.fprintf oc "%d\n" bound_port;
+          close_out oc)
+        config.port_file;
+      t
+    with e ->
+      safe_close lsock;
+      raise e
+  in
+  t
+
+let shutdown t =
+  request_stop t;
+  Option.iter Domain.join t.acceptor;
+  t.acceptor <- None;
+  safe_close t.lsock;
+  Bqueue.close t.queue;
+  let deadline = Unix.gettimeofday () +. t.config.drain_timeout in
+  let rec drain () =
+    if Bqueue.length t.queue = 0 && Atomic.get t.counters.in_flight = 0 then
+      `Drained
+    else if Unix.gettimeofday () > deadline then `Forced
+    else begin
+      Unix.sleepf 0.01;
+      drain ()
+    end
+  in
+  match drain () with
+  | `Drained ->
+      (* queue closed and empty: workers retire promptly *)
+      Option.iter Pool.join t.pool;
+      Option.iter
+        (fun path -> try Sys.remove path with Sys_error _ -> ())
+        t.config.port_file;
+      `Drained
+  | `Forced -> `Forced

@@ -1,0 +1,566 @@
+(* Line-delimited JSON wire protocol: a hand-rolled JSON subset (the
+   repo is stdlib-only), the request/reply codecs, and line-framed
+   socket I/O shared by server and client. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  (* ---- emission: one line, control characters escaped -------------- *)
+
+  let escape_string buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\b' -> Buffer.add_string buf "\\b"
+        | '\012' -> Buffer.add_string buf "\\f"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let number_to_string f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.17g" f
+
+  let to_string v =
+    let buf = Buffer.create 256 in
+    let rec go = function
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Num f -> Buffer.add_string buf (number_to_string f)
+      | Str s -> escape_string buf s
+      | Arr l ->
+          Buffer.add_char buf '[';
+          List.iteri
+            (fun i x ->
+              if i > 0 then Buffer.add_char buf ',';
+              go x)
+            l;
+          Buffer.add_char buf ']'
+      | Obj fields ->
+          Buffer.add_char buf '{';
+          List.iteri
+            (fun i (k, x) ->
+              if i > 0 then Buffer.add_char buf ',';
+              escape_string buf k;
+              Buffer.add_char buf ':';
+              go x)
+            fields;
+          Buffer.add_char buf '}'
+    in
+    go v;
+    Buffer.contents buf
+
+  (* ---- parsing: recursive descent, total on arbitrary bytes -------- *)
+
+  exception Bad of string
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Bad (Printf.sprintf "at offset %d: %s" !pos msg)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+        advance ()
+      done
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word v =
+      if !pos + String.length word <= n
+         && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let utf8_of_code buf u =
+      (* encode a Unicode scalar value as UTF-8 bytes *)
+      if u < 0x80 then Buffer.add_char buf (Char.chr u)
+      else if u < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+      end
+      else if u < 0x10000 then begin
+        Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+      end
+    in
+    let hex4 () =
+      if !pos + 4 > n then fail "truncated \\u escape";
+      let h = String.sub s !pos 4 in
+      pos := !pos + 4;
+      match int_of_string_opt ("0x" ^ h) with
+      | Some v -> v
+      | None -> fail (Printf.sprintf "bad \\u escape %S" h)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 32 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents buf
+        | '\\' ->
+            (if !pos >= n then fail "truncated escape";
+             let e = s.[!pos] in
+             advance ();
+             match e with
+             | '"' -> Buffer.add_char buf '"'
+             | '\\' -> Buffer.add_char buf '\\'
+             | '/' -> Buffer.add_char buf '/'
+             | 'n' -> Buffer.add_char buf '\n'
+             | 'r' -> Buffer.add_char buf '\r'
+             | 't' -> Buffer.add_char buf '\t'
+             | 'b' -> Buffer.add_char buf '\b'
+             | 'f' -> Buffer.add_char buf '\012'
+             | 'u' ->
+                 let u = hex4 () in
+                 (* surrogate pair for astral code points *)
+                 if u >= 0xD800 && u <= 0xDBFF then begin
+                   if !pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+                   then begin
+                     pos := !pos + 2;
+                     let lo = hex4 () in
+                     if lo >= 0xDC00 && lo <= 0xDFFF then
+                       utf8_of_code buf
+                         (0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00))
+                     else fail "unpaired surrogate"
+                   end
+                   else fail "unpaired surrogate"
+                 end
+                 else if u >= 0xDC00 && u <= 0xDFFF then
+                   fail "unpaired surrogate"
+                 else utf8_of_code buf u
+             | c -> fail (Printf.sprintf "bad escape \\%c" c));
+            go ()
+        | c -> Buffer.add_char buf c; go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && num_char s.[!pos] do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then (advance (); Obj [])
+          else begin
+            let rec fields acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance (); fields ((k, v) :: acc)
+              | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+              | _ -> fail "expected ',' or '}'"
+            in
+            fields []
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then (advance (); Arr [])
+          else begin
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance (); elements (v :: acc)
+              | Some ']' -> advance (); Arr (List.rev (v :: acc))
+              | _ -> fail "expected ',' or ']'"
+            in
+            elements []
+          end
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> fail (Printf.sprintf "unexpected %C" c)
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing bytes after value";
+      v
+    with
+    | v -> Ok v
+    | exception Bad msg -> Result.Error msg
+end
+
+(* ---------------- protocol types ------------------------------------ *)
+
+type op =
+  | Validate
+  | Fragment of string list
+  | Neighborhood of { node : string; shape : string }
+  | Health
+  | Stats
+  | Sleep of int
+
+type request = {
+  id : string option;
+  op : op;
+  timeout : float option;
+  fuel : int option;
+}
+
+let request ?id ?timeout ?fuel op = { id; op; timeout; fuel }
+
+type failure = Timeout | Fuel | Crash
+
+let failure_of_outcome = function
+  | Runtime.Outcome.Timed_out -> Timeout, "wall-clock deadline exceeded"
+  | Runtime.Outcome.Fuel_exhausted -> Fuel, "evaluation-fuel bound exhausted"
+  | Runtime.Outcome.Crashed msg -> Crash, msg
+
+type stats = {
+  uptime : float;
+  jobs : int;
+  queue_bound : int;
+  accepted : int;
+  served : int;
+  shed : int;
+  failed : int;
+  rejected : int;
+  dropped : int;
+  crashes : int;
+  in_flight : int;
+  queued : int;
+}
+
+type reply =
+  | Validated of { conforms : bool; checks : int; violations : int }
+  | Fragmented of { triples : int; turtle : string }
+  | Neighborhoods of { conforms : bool; turtle : string }
+  | Healthy of { uptime : float }
+  | Statistics of stats
+  | Slept of int
+  | Overloaded of { queued : int }
+  | Failed of { reason : failure; detail : string }
+  | Error of string
+
+(* ---------------- field accessors ------------------------------------ *)
+
+let field key = function
+  | Json.Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let string_field key json =
+  match field key json with
+  | Some (Json.Str s) -> Ok (Some s)
+  | Some _ -> Result.Error (Printf.sprintf "field %S must be a string" key)
+  | None -> Ok None
+
+let number_field key json =
+  match field key json with
+  | Some (Json.Num f) -> Ok (Some f)
+  | Some _ -> Result.Error (Printf.sprintf "field %S must be a number" key)
+  | None -> Ok None
+
+let int_field key json =
+  match number_field key json with
+  | Result.Error _ as e -> e
+  | Ok None -> Ok None
+  | Ok (Some f) ->
+      if Float.is_integer f && Float.abs f <= 1e9 then Ok (Some (int_of_float f))
+      else Result.Error (Printf.sprintf "field %S must be an integer" key)
+
+let string_list_field key json =
+  match field key json with
+  | None -> Ok []
+  | Some (Json.Arr l) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | Json.Str s :: rest -> go (s :: acc) rest
+        | _ ->
+            Result.Error
+              (Printf.sprintf "field %S must be an array of strings" key)
+      in
+      go [] l
+  | Some _ ->
+      Result.Error (Printf.sprintf "field %S must be an array of strings" key)
+
+let ( let* ) = Result.bind
+
+(* ---------------- request codec -------------------------------------- *)
+
+let op_name = function
+  | Validate -> "validate"
+  | Fragment _ -> "fragment"
+  | Neighborhood _ -> "neighborhood"
+  | Health -> "health"
+  | Stats -> "stats"
+  | Sleep _ -> "sleep"
+
+let encode_request r =
+  let open Json in
+  let fields = [ "op", Str (op_name r.op) ] in
+  let fields =
+    match r.op with
+    | Fragment shapes when shapes <> [] ->
+        fields @ [ "shapes", Arr (List.map (fun s -> Str s) shapes) ]
+    | Neighborhood { node; shape } ->
+        fields @ [ "node", Str node; "shape", Str shape ]
+    | Sleep ms -> fields @ [ "ms", Num (float_of_int ms) ]
+    | _ -> fields
+  in
+  let opt name v encode fields =
+    match v with None -> fields | Some x -> fields @ [ name, encode x ]
+  in
+  Obj
+    (fields
+    |> opt "id" r.id (fun s -> Str s)
+    |> opt "timeout" r.timeout (fun f -> Num f)
+    |> opt "fuel" r.fuel (fun i -> Num (float_of_int i)))
+  |> to_string
+
+let decode_request line =
+  let* json =
+    match Json.of_string line with
+    | Ok (Json.Obj _ as j) -> Ok j
+    | Ok _ -> Result.Error "request must be a JSON object"
+    | Result.Error msg -> Result.Error ("bad JSON: " ^ msg)
+  in
+  let* id = string_field "id" json in
+  let* timeout = number_field "timeout" json in
+  let* fuel = int_field "fuel" json in
+  let* op_str = string_field "op" json in
+  let* op =
+    match op_str with
+    | None -> Result.Error "missing \"op\""
+    | Some "validate" -> Ok Validate
+    | Some "fragment" ->
+        let* shapes = string_list_field "shapes" json in
+        Ok (Fragment shapes)
+    | Some "neighborhood" -> (
+        let* node = string_field "node" json in
+        let* shape = string_field "shape" json in
+        match node, shape with
+        | Some node, Some shape -> Ok (Neighborhood { node; shape })
+        | _ -> Result.Error "neighborhood requires \"node\" and \"shape\"")
+    | Some "health" -> Ok Health
+    | Some "stats" -> Ok Stats
+    | Some "sleep" -> (
+        let* ms = int_field "ms" json in
+        match ms with
+        | Some ms when ms >= 0 -> Ok (Sleep ms)
+        | _ -> Result.Error "sleep requires a non-negative \"ms\"")
+    | Some other -> Result.Error (Printf.sprintf "unknown op %S" other)
+  in
+  Ok { id; op; timeout; fuel }
+
+(* ---------------- reply codec ---------------------------------------- *)
+
+let failure_name = function
+  | Timeout -> "timeout"
+  | Fuel -> "fuel"
+  | Crash -> "crash"
+
+let failure_of_name = function
+  | "timeout" -> Some Timeout
+  | "fuel" -> Some Fuel
+  | "crash" -> Some Crash
+  | _ -> None
+
+let stats_fields s =
+  let open Json in
+  [ "uptime", Num s.uptime;
+    "jobs", Num (float_of_int s.jobs);
+    "queue_bound", Num (float_of_int s.queue_bound);
+    "accepted", Num (float_of_int s.accepted);
+    "served", Num (float_of_int s.served);
+    "shed", Num (float_of_int s.shed);
+    "failed", Num (float_of_int s.failed);
+    "rejected", Num (float_of_int s.rejected);
+    "dropped", Num (float_of_int s.dropped);
+    "crashes", Num (float_of_int s.crashes);
+    "in_flight", Num (float_of_int s.in_flight);
+    "queued", Num (float_of_int s.queued) ]
+
+let encode_reply ?id reply =
+  let open Json in
+  let fields =
+    match reply with
+    | Validated { conforms; checks; violations } ->
+        [ "status", Str "ok"; "op", Str "validate"; "conforms", Bool conforms;
+          "checks", Num (float_of_int checks);
+          "violations", Num (float_of_int violations) ]
+    | Fragmented { triples; turtle } ->
+        [ "status", Str "ok"; "op", Str "fragment";
+          "triples", Num (float_of_int triples); "turtle", Str turtle ]
+    | Neighborhoods { conforms; turtle } ->
+        [ "status", Str "ok"; "op", Str "neighborhood";
+          "conforms", Bool conforms; "turtle", Str turtle ]
+    | Healthy { uptime } ->
+        [ "status", Str "ok"; "op", Str "health"; "uptime", Num uptime ]
+    | Statistics s -> [ "status", Str "ok"; "op", Str "stats" ] @ stats_fields s
+    | Slept ms ->
+        [ "status", Str "ok"; "op", Str "sleep"; "ms", Num (float_of_int ms) ]
+    | Overloaded { queued } ->
+        [ "status", Str "overloaded"; "queued", Num (float_of_int queued) ]
+    | Failed { reason; detail } ->
+        [ "status", Str "failed"; "reason", Str (failure_name reason);
+          "detail", Str detail ]
+    | Error message -> [ "status", Str "error"; "message", Str message ]
+  in
+  let fields =
+    match id with None -> fields | Some id -> ("id", Str id) :: fields
+  in
+  to_string (Obj fields)
+
+let required what = function
+  | Ok (Some v) -> Ok v
+  | Ok None -> Result.Error (Printf.sprintf "reply is missing %S" what)
+  | Result.Error _ as e -> e
+
+let bool_field key json =
+  match field key json with
+  | Some (Json.Bool b) -> Ok b
+  | _ -> Result.Error (Printf.sprintf "field %S must be a boolean" key)
+
+let decode_reply line =
+  let* json =
+    match Json.of_string line with
+    | Ok (Json.Obj _ as j) -> Ok j
+    | Ok _ -> Result.Error "reply must be a JSON object"
+    | Result.Error msg -> Result.Error ("bad JSON: " ^ msg)
+  in
+  let* id = string_field "id" json in
+  let* status = required "status" (string_field "status" json) in
+  let* reply =
+    match status with
+    | "ok" -> (
+        let* op = required "op" (string_field "op" json) in
+        match op with
+        | "validate" ->
+            let* conforms = bool_field "conforms" json in
+            let* checks = required "checks" (int_field "checks" json) in
+            let* violations =
+              required "violations" (int_field "violations" json)
+            in
+            Ok (Validated { conforms; checks; violations })
+        | "fragment" ->
+            let* triples = required "triples" (int_field "triples" json) in
+            let* turtle = required "turtle" (string_field "turtle" json) in
+            Ok (Fragmented { triples; turtle })
+        | "neighborhood" ->
+            let* conforms = bool_field "conforms" json in
+            let* turtle = required "turtle" (string_field "turtle" json) in
+            Ok (Neighborhoods { conforms; turtle })
+        | "health" ->
+            let* uptime = required "uptime" (number_field "uptime" json) in
+            Ok (Healthy { uptime })
+        | "stats" ->
+            let num key = required key (int_field key json) in
+            let* uptime = required "uptime" (number_field "uptime" json) in
+            let* jobs = num "jobs" in
+            let* queue_bound = num "queue_bound" in
+            let* accepted = num "accepted" in
+            let* served = num "served" in
+            let* shed = num "shed" in
+            let* failed = num "failed" in
+            let* rejected = num "rejected" in
+            let* dropped = num "dropped" in
+            let* crashes = num "crashes" in
+            let* in_flight = num "in_flight" in
+            let* queued = num "queued" in
+            Ok
+              (Statistics
+                 { uptime; jobs; queue_bound; accepted; served; shed; failed;
+                   rejected; dropped; crashes; in_flight; queued })
+        | "sleep" ->
+            let* ms = required "ms" (int_field "ms" json) in
+            Ok (Slept ms)
+        | other -> Result.Error (Printf.sprintf "unknown ok op %S" other))
+    | "overloaded" ->
+        let* queued = required "queued" (int_field "queued" json) in
+        Ok (Overloaded { queued })
+    | "failed" -> (
+        let* reason = required "reason" (string_field "reason" json) in
+        let* detail = required "detail" (string_field "detail" json) in
+        match failure_of_name reason with
+        | Some reason -> Ok (Failed { reason; detail })
+        | None -> Result.Error (Printf.sprintf "unknown failure %S" reason))
+    | "error" ->
+        let* message = required "message" (string_field "message" json) in
+        Ok (Error message)
+    | other -> Result.Error (Printf.sprintf "unknown status %S" other)
+  in
+  Ok (id, reply)
+
+(* ---------------- line-framed socket I/O ----------------------------- *)
+
+let write_line fd s =
+  let line = Bytes.of_string (s ^ "\n") in
+  let len = Bytes.length line in
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write fd line !written (len - !written)
+  done
+
+let read_line ?(max = 16 * 1024 * 1024) fd =
+  let chunk = Bytes.create 4096 in
+  let buf = Buffer.create 256 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+    | n -> (
+        match Bytes.index_opt (Bytes.sub chunk 0 n) '\n' with
+        | Some i ->
+            Buffer.add_subbytes buf chunk 0 i;
+            Some (Buffer.contents buf)
+        | None ->
+            Buffer.add_subbytes buf chunk 0 n;
+            if Buffer.length buf > max then failwith "wire frame too long"
+            else go ())
+  in
+  go ()

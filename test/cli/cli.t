@@ -209,3 +209,39 @@ Parse errors name the offending file.
   $ shaclprov validate -d bad_syntax.ttl -s shapes.ttl
   shaclprov: bad_syntax.ttl: line 2: expected object term
   [123]
+
+Resource-bound options reject non-positive values at the command line,
+before any data is loaded: a zero or negative budget would either make
+every run fail immediately or disable the cap silently.
+
+  $ shaclprov validate -d data.ttl -s shapes.ttl --timeout 0
+  shaclprov: option '--timeout': "0" is not a positive number
+  Usage: shaclprov validate [OPTION]…
+  Try 'shaclprov validate --help' or 'shaclprov --help' for more information.
+  [124]
+
+  $ shaclprov validate -d data.ttl -s shapes.ttl --timeout=-2.5
+  shaclprov: option '--timeout': "-2.5" is not a positive number
+  Usage: shaclprov validate [OPTION]…
+  Try 'shaclprov validate --help' or 'shaclprov --help' for more information.
+  [124]
+
+  $ shaclprov fragment -d data.ttl -s shapes.ttl --fuel 0
+  shaclprov: option '--fuel': "0" is not a positive integer
+  Usage: shaclprov fragment [OPTION]…
+  Try 'shaclprov fragment --help' or 'shaclprov --help' for more information.
+  [124]
+
+The service commands use the same converters for their bounds.
+
+  $ shaclprov serve -d data.ttl -s shapes.ttl --queue 0
+  shaclprov: option '--queue': "0" is not a positive integer
+  Usage: shaclprov serve [OPTION]…
+  Try 'shaclprov serve --help' or 'shaclprov --help' for more information.
+  [124]
+
+  $ shaclprov request health --port 80 --retry-base 0
+  shaclprov: option '--retry-base': "0" is not a positive number
+  Usage: shaclprov request [OPTION]… OP
+  Try 'shaclprov request --help' or 'shaclprov --help' for more information.
+  [124]

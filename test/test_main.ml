@@ -22,6 +22,9 @@ let () =
       "engine", Test_engine.suite;
       Tgen.qsuite "engine:props" Test_engine.props;
       "runtime", Test_runtime.suite;
+      Tgen.qsuite "runtime:props" Test_runtime.props;
+      "service", Test_service.suite;
+      Tgen.qsuite "service:props" Test_service.props;
       "to-sparql", Test_to_sparql.suite;
       Tgen.qsuite "to-sparql:props" Test_to_sparql.props;
       "tpf", Test_tpf.suite;

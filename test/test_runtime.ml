@@ -196,6 +196,116 @@ let test_bounded_run_completes_without_budget () =
   Alcotest.(check bool) "conforms" true
     (Conformance.conforms Schema.empty g (ex "0") (nested_shape depth))
 
+(* --- Retry ----------------------------------------------------------- *)
+
+(* The classifier decides: non-retryable errors (a parse error fails the
+   same way every time) must not be retried. *)
+let test_retry_non_retryable_once () =
+  let calls = ref 0 in
+  let policy = Runtime.Retry.policy ~max_attempts:5 () in
+  let result =
+    Runtime.Retry.run ~sleep:(fun _ -> ()) policy
+      ~retryable:(fun e -> e <> `Parse_error)
+      (fun _ ->
+        incr calls;
+        Error `Parse_error)
+  in
+  Alcotest.(check bool) "error returned" true (result = Error `Parse_error);
+  Alcotest.(check int) "called exactly once" 1 !calls
+
+let test_retry_eventual_success () =
+  let calls = ref 0 in
+  let slept = ref 0 in
+  let policy = Runtime.Retry.policy ~max_attempts:5 () in
+  let result =
+    Runtime.Retry.run
+      ~sleep:(fun _ -> incr slept)
+      ~rand:(fun u -> u)
+      policy
+      ~retryable:(fun _ -> true)
+      (fun attempt ->
+        incr calls;
+        if attempt < 3 then Error `Transient else Ok attempt)
+  in
+  Alcotest.(check bool) "succeeded on attempt 3" true (result = Ok 3);
+  Alcotest.(check int) "three calls" 3 !calls;
+  Alcotest.(check int) "slept between attempts" 2 !slept
+
+let test_retry_first_try_no_sleep () =
+  let slept = ref false in
+  let result =
+    Runtime.Retry.run
+      ~sleep:(fun _ -> slept := true)
+      Runtime.Retry.default
+      ~retryable:(fun _ -> true)
+      (fun _ -> Ok ())
+  in
+  Alcotest.(check bool) "ok" true (result = Ok ());
+  Alcotest.(check bool) "no sleep on immediate success" false !slept
+
+(* Policies drawn small enough to compute the exponential exactly. *)
+let arbitrary_policy_attempt =
+  QCheck.make
+    ~print:(fun ((base, cap), (attempt, frac)) ->
+      Printf.sprintf "base=%g cap=%g attempt=%d frac=%g" base cap attempt frac)
+    QCheck.Gen.(
+      pair
+        (pair (float_range 0.0001 5.0) (float_range 0.0001 5.0))
+        (pair (int_range 1 80) (float_range 0.0 1.0)))
+
+let prop_retry_delay_in_range =
+  QCheck.Test.make ~name:"retry: every sampled delay lies in [0, cap]"
+    ~count:500 arbitrary_policy_attempt
+    (fun ((base, cap), (attempt, frac)) ->
+      let policy =
+        Runtime.Retry.policy ~base_delay:base ~cap_delay:cap ()
+      in
+      (* [rand u] returns an arbitrary point of [0, u] *)
+      let d = Runtime.Retry.delay policy ~rand:(fun u -> frac *. u) ~attempt in
+      d >= 0.0 && d <= cap)
+
+let prop_retry_delay_capped =
+  QCheck.Test.make
+    ~name:"retry: delays cap out once the exponential crosses the cap"
+    ~count:500
+    (QCheck.make
+       QCheck.Gen.(pair (float_range 0.0001 1.0) (float_range 0.0001 4.0)))
+    (fun (base, cap) ->
+      let policy = Runtime.Retry.policy ~base_delay:base ~cap_delay:cap () in
+      (* first attempt whose uncapped backoff base*2^(k-1) reaches cap *)
+      let rec cross k =
+        if k > 100 || Float.ldexp base (k - 1) >= cap then k else cross (k + 1)
+      in
+      let crossing = cross 1 in
+      (* with the maximal jitter sample, every later delay is exactly cap *)
+      List.for_all
+        (fun extra ->
+          Runtime.Retry.delay policy ~rand:Fun.id ~attempt:(crossing + extra)
+          = cap)
+        [ 0; 1; 5; 20 ])
+
+let prop_retry_attempts_bounded =
+  QCheck.Test.make
+    ~name:"retry: attempt count never exceeds the policy maximum" ~count:200
+    QCheck.(int_range 1 10)
+    (fun max_attempts ->
+      let policy =
+        Runtime.Retry.policy ~max_attempts ~base_delay:0.0 ~cap_delay:0.0 ()
+      in
+      let calls = ref 0 in
+      let result =
+        Runtime.Retry.run ~sleep:(fun _ -> ()) policy
+          ~retryable:(fun _ -> true)
+          (fun _ ->
+            incr calls;
+            Error `Always)
+      in
+      result = Error `Always && !calls = max_attempts)
+
+let props =
+  [ prop_retry_delay_in_range; prop_retry_delay_capped;
+    prop_retry_attempts_bounded ]
+
 let suite =
   [ "budget: unlimited is free", `Quick, test_unlimited;
     "budget: fuel is exact", `Quick, test_fuel_exact;
@@ -203,6 +313,10 @@ let suite =
     test_fuel_shared_across_domains;
     "budget: deadline expires", `Quick, test_deadline;
     "budget: fuel_left", `Quick, test_fuel_left;
+    "retry: non-retryable called once", `Quick,
+    test_retry_non_retryable_once;
+    "retry: eventual success", `Quick, test_retry_eventual_success;
+    "retry: no sleep on first success", `Quick, test_retry_first_try_no_sleep;
     "fault: site match", `Quick, test_fault_site_match;
     "fault: nth probe only", `Quick, test_fault_nth_probe;
     "fault: spec parsing", `Quick, test_fault_spec_parsing;

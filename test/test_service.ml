@@ -1,0 +1,486 @@
+(* The fault-tolerant shape-fragment service (lib/service).
+
+   - Wire: JSON codec total on arbitrary bytes, request/reply roundtrips.
+   - Bqueue: bounded admission with explicit shedding and drain-on-close.
+   - Pool: crashed workers are replaced and the queue keeps draining.
+   - End-to-end (in-process server on an ephemeral port): every op over
+     a real socket, per-request budgets, load shedding, worker-fault
+     isolation with client retry, graceful drain, and the determinism
+     guard — a fragment answered over the wire is byte-identical (after
+     sorting) to the engine's local answer, preserving Theorem 4.1
+     conformance across the service boundary. *)
+
+open Service
+
+(* ---------------- Wire.Json ------------------------------------------ *)
+
+let roundtrip_json v =
+  match Wire.Json.of_string (Wire.Json.to_string v) with
+  | Ok v' -> v' = v
+  | Error _ -> false
+
+let test_json_roundtrip () =
+  let open Wire.Json in
+  List.iter
+    (fun v -> Alcotest.(check bool) (to_string v) true (roundtrip_json v))
+    [ Null;
+      Bool true;
+      Num 0.0;
+      Num (-12.5);
+      Num 1e9;
+      Str "";
+      Str "plain";
+      Str "esc \" \\ \n \r \t \b \012 quotes";
+      Str "unicode: caf\xc3\xa9 \xe2\x82\xac";
+      Arr [];
+      Arr [ Num 1.0; Str "two"; Bool false; Null ];
+      Obj [];
+      Obj [ "a", Num 1.0; "nested", Obj [ "b", Arr [ Str "x" ] ] ] ]
+
+let test_json_single_line () =
+  let s =
+    Wire.Json.to_string (Wire.Json.Obj [ "text", Wire.Json.Str "a\nb\r\nc" ])
+  in
+  Alcotest.(check bool) "no raw newline" false (String.contains s '\n')
+
+let test_json_escapes () =
+  let check input expected =
+    match Wire.Json.of_string input with
+    | Ok (Wire.Json.Str s) -> Alcotest.(check string) input expected s
+    | _ -> Alcotest.failf "%s did not parse as a string" input
+  in
+  check {|"\u0041\u00e9"|} "A\xc3\xa9";
+  check {|"\ud83d\ude00"|} "\xf0\x9f\x98\x80" (* surrogate pair *);
+  check {|"a\/b"|} "a/b"
+
+let test_json_total_on_garbage () =
+  List.iter
+    (fun s ->
+      match Wire.Json.of_string s with
+      | Ok _ -> Alcotest.failf "%S should not parse" s
+      | Error _ -> ())
+    [ ""; "{"; "nul"; "{\"a\":}"; "[1,]"; "\"unterminated"; "\"bad \\q\"";
+      "\"\\ud800\""; "123abc"; "{} trailing"; "\xff\xfe" ]
+
+(* ---------------- Wire request/reply codecs -------------------------- *)
+
+let roundtrip_request r =
+  match Wire.decode_request (Wire.encode_request r) with
+  | Ok r' -> r' = r
+  | Error _ -> false
+
+let test_request_roundtrip () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (Wire.encode_request r) true (roundtrip_request r))
+    [ Wire.request Wire.Validate;
+      Wire.request ~id:"42" ~timeout:1.5 ~fuel:100 Wire.Validate;
+      Wire.request (Wire.Fragment []);
+      Wire.request (Wire.Fragment [ ">=1 ex:author . top"; "top" ]);
+      Wire.request
+        (Wire.Neighborhood { node = "ex:p1"; shape = ">=1 ex:author . top" });
+      Wire.request Wire.Health;
+      Wire.request Wire.Stats;
+      Wire.request (Wire.Sleep 250) ]
+
+let test_request_decode_errors () =
+  List.iter
+    (fun line ->
+      match Wire.decode_request line with
+      | Ok _ -> Alcotest.failf "%S should be rejected" line
+      | Error _ -> ())
+    [ "not json"; "[]"; "{}"; {|{"op":"frag"}|};
+      {|{"op":"neighborhood","node":"x"}|}; {|{"op":"sleep","ms":-1}|};
+      {|{"op":"validate","fuel":"ten"}|}; {|{"op":"validate","fuel":1.5}|} ]
+
+let sample_stats : Wire.stats =
+  { uptime = 1.5; jobs = 4; queue_bound = 64; accepted = 10; served = 6;
+    shed = 1; failed = 2; rejected = 1; dropped = 0; crashes = 2;
+    in_flight = 0; queued = 0 }
+
+let roundtrip_reply ?id r =
+  match Wire.decode_reply (Wire.encode_reply ?id r) with
+  | Ok (id', r') -> id' = id && r' = r
+  | Error _ -> false
+
+let test_reply_roundtrip () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (Wire.encode_reply r) true (roundtrip_reply r);
+      Alcotest.(check bool) "with id" true (roundtrip_reply ~id:"7" r))
+    [ Wire.Validated { conforms = false; checks = 3; violations = 1 };
+      Wire.Fragmented { triples = 2; turtle = "a b c .\nd e f .\n" };
+      Wire.Neighborhoods { conforms = true; turtle = "" };
+      Wire.Healthy { uptime = 0.25 };
+      Wire.Statistics sample_stats;
+      Wire.Slept 100;
+      Wire.Overloaded { queued = 8 };
+      Wire.Failed { reason = Wire.Crash; detail = "injected fault at x" };
+      Wire.Failed { reason = Wire.Timeout; detail = "deadline" };
+      Wire.Error "unknown op \"frag\"" ]
+
+(* ---------------- Bqueue --------------------------------------------- *)
+
+let test_bqueue_bounded_shed () =
+  let q = Bqueue.create ~capacity:2 in
+  Alcotest.(check bool) "push 1" true (Bqueue.try_push q 1 = `Queued);
+  Alcotest.(check bool) "push 2" true (Bqueue.try_push q 2 = `Queued);
+  Alcotest.(check bool) "push 3 shed" true (Bqueue.try_push q 3 = `Shed);
+  Alcotest.(check int) "depth" 2 (Bqueue.length q);
+  Alcotest.(check bool) "pop 1" true (Bqueue.pop q = Some 1);
+  Alcotest.(check bool) "room again" true (Bqueue.try_push q 4 = `Queued)
+
+let test_bqueue_close_drains () =
+  let q = Bqueue.create ~capacity:4 in
+  ignore (Bqueue.try_push q "a");
+  ignore (Bqueue.try_push q "b");
+  Bqueue.close q;
+  Alcotest.(check bool) "closed to producers" true
+    (Bqueue.try_push q "c" = `Closed);
+  Alcotest.(check bool) "drains a" true (Bqueue.pop q = Some "a");
+  Alcotest.(check bool) "drains b" true (Bqueue.pop q = Some "b");
+  Alcotest.(check bool) "then None" true (Bqueue.pop q = None)
+
+let test_bqueue_close_wakes_blocked_consumers () =
+  let q : int Bqueue.t = Bqueue.create ~capacity:1 in
+  let consumers =
+    List.init 3 (fun _ -> Domain.spawn (fun () -> Bqueue.pop q))
+  in
+  Unix.sleepf 0.05;
+  Bqueue.close q;
+  List.iter
+    (fun d -> Alcotest.(check bool) "woken with None" true (Domain.join d = None))
+    consumers
+
+let test_bqueue_capacity_clamped () =
+  let q = Bqueue.create ~capacity:0 in
+  Alcotest.(check int) "capacity >= 1" 1 (Bqueue.capacity q);
+  Alcotest.(check bool) "can hold one" true (Bqueue.try_push q () = `Queued)
+
+(* ---------------- Pool ----------------------------------------------- *)
+
+let test_pool_processes_all () =
+  let q = Bqueue.create ~capacity:100 in
+  let processed = Atomic.make 0 in
+  let pool =
+    Pool.start ~jobs:3
+      ~handler:(fun _ -> Atomic.incr processed)
+      ~on_crash:(fun _ _ -> ())
+      q
+  in
+  for i = 1 to 50 do
+    Alcotest.(check bool) "queued" true (Bqueue.try_push q i = `Queued)
+  done;
+  Bqueue.close q;
+  Pool.join pool;
+  Alcotest.(check int) "all processed" 50 (Atomic.get processed);
+  Alcotest.(check int) "no crashes" 0 (Pool.crashes pool)
+
+let test_pool_replaces_crashed_workers () =
+  let q = Bqueue.create ~capacity:100 in
+  let ok = Atomic.make 0 in
+  let crashed = Atomic.make 0 in
+  let pool =
+    Pool.start ~jobs:2
+      ~handler:(fun i -> if i mod 10 = 0 then failwith "boom" else Atomic.incr ok)
+      ~on_crash:(fun _ e ->
+        match Runtime.Outcome.reason_of_exn e with
+        | Runtime.Outcome.Crashed _ -> Atomic.incr crashed
+        | _ -> ())
+      q
+  in
+  for i = 1 to 50 do
+    ignore (Bqueue.try_push q i)
+  done;
+  Bqueue.close q;
+  Pool.join pool;
+  (* every job was either handled or crash-reported; the pool survived
+     5 crashes by replacing each crashed domain *)
+  Alcotest.(check int) "healthy jobs" 45 (Atomic.get ok);
+  Alcotest.(check int) "crash callbacks" 5 (Atomic.get crashed);
+  Alcotest.(check int) "domains replaced" 5 (Pool.crashes pool)
+
+(* ---------------- end-to-end over a real socket ---------------------- *)
+
+let data_ttl =
+  {|@prefix ex: <http://example.org/> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+ex:p1 rdf:type ex:Paper ; ex:author ex:bob .
+ex:bob rdf:type ex:Student .
+ex:p2 rdf:type ex:Paper ; ex:author ex:carl .
+ex:carl rdf:type ex:Prof .|}
+
+let shapes_ttl =
+  {|@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix ex: <http://example.org/> .
+ex:WorkshopShape a sh:NodeShape ;
+  sh:targetClass ex:Paper ;
+  sh:property [ sh:path ex:author ; sh:qualifiedMinCount 1 ;
+                sh:qualifiedValueShape [ sh:class ex:Student ] ] .|}
+
+let graph = Rdf.Turtle.parse_exn data_ttl
+
+let schema =
+  match Shacl.Shapes_graph.load (Rdf.Turtle.parse_exn shapes_ttl) with
+  | Ok schema -> schema
+  | Error _ -> assert false
+
+let with_server ?(config = Server.default_config) f =
+  let server = Server.start config ~schema ~graph in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_stop server;
+      ignore (Server.shutdown server))
+    (fun () -> f server)
+
+(* no-backoff policy: tests should not sleep *)
+let fast_policy = Runtime.Retry.policy ~max_attempts:3 ~base_delay:0.0 ()
+
+let call ?policy server op =
+  Client.call
+    ~policy:(Option.value policy ~default:fast_policy)
+    ~host:"127.0.0.1" ~port:(Server.port server) (Wire.request op)
+
+let expect_ok what = function
+  | Ok reply -> reply
+  | Error e -> Alcotest.failf "%s: %a" what Client.pp_error e
+
+let test_e2e_ops () =
+  with_server (fun server ->
+      (match expect_ok "health" (call server Wire.Health) with
+      | Wire.Healthy { uptime } ->
+          Alcotest.(check bool) "uptime >= 0" true (uptime >= 0.0)
+      | _ -> Alcotest.fail "expected Healthy");
+      (match expect_ok "validate" (call server Wire.Validate) with
+      | Wire.Validated { conforms; checks; violations } ->
+          Alcotest.(check bool) "does not conform" false conforms;
+          Alcotest.(check int) "checks" 2 checks;
+          Alcotest.(check int) "violations" 1 violations
+      | _ -> Alcotest.fail "expected Validated");
+      (match
+         expect_ok "neighborhood"
+           (call server
+              (Wire.Neighborhood
+                 { node = "ex:p1";
+                   shape = ">=1 ex:author . >=1 rdf:type . hasValue(ex:Student)" }))
+       with
+      | Wire.Neighborhoods { conforms; turtle } ->
+          Alcotest.(check bool) "conforms" true conforms;
+          Alcotest.(check bool) "neighborhood non-empty" false (turtle = "")
+      | _ -> Alcotest.fail "expected Neighborhoods");
+      (match
+         expect_ok "why-not"
+           (call server
+              (Wire.Neighborhood
+                 { node = "ex:p2";
+                   shape = ">=1 ex:author . >=1 rdf:type . hasValue(ex:Student)" }))
+       with
+      | Wire.Neighborhoods { conforms; turtle } ->
+          Alcotest.(check bool) "does not conform" false conforms;
+          Alcotest.(check bool) "explanation non-empty" false (turtle = "")
+      | _ -> Alcotest.fail "expected Neighborhoods");
+      match call server (Wire.Fragment [ "nonsense(" ]) with
+      | Error (Client.Remote_error _) -> ()
+      | _ -> Alcotest.fail "bad shape should be a Remote_error")
+
+(* Determinism guard (Theorem 4.1 across the wire): the fragment
+   answered by the service equals the engine's local answer — the same
+   serialized bytes once lines are sorted. *)
+let sorted_lines s =
+  List.sort String.compare (String.split_on_char '\n' (String.trim s))
+
+let test_e2e_fragment_determinism () =
+  with_server (fun server ->
+      match expect_ok "fragment" (call server (Wire.Fragment [])) with
+      | Wire.Fragmented { triples; turtle } ->
+          let local, _ =
+            Provenance.Engine.run ~schema ~jobs:2 graph
+              (Provenance.Engine.requests_of_schema schema)
+          in
+          Alcotest.(check int) "cardinality" (Rdf.Graph.cardinal local) triples;
+          Alcotest.(check (list string))
+            "service fragment ≡ local fragment (sorted bytes)"
+            (sorted_lines (Rdf.Turtle.to_string ~prefixes:Rdf.Namespace.default local))
+            (sorted_lines turtle)
+      | _ -> Alcotest.fail "expected Fragmented")
+
+let test_e2e_budget_failed_reply () =
+  with_server (fun server ->
+      let result =
+        Client.call ~policy:fast_policy ~host:"127.0.0.1"
+          ~port:(Server.port server)
+          (Wire.request ~fuel:1 (Wire.Fragment []))
+      in
+      (match result with
+      | Error (Client.Failed (Wire.Fuel, _)) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "expected Failed Fuel");
+      (* a budget failure is deterministic: the server saw exactly one
+         request for it *)
+      match expect_ok "stats" (call server Wire.Stats) with
+      | Wire.Statistics s ->
+          Alcotest.(check int) "one failed request" 1 s.Wire.failed
+      | _ -> Alcotest.fail "expected Statistics")
+
+let test_e2e_shed_and_drain () =
+  let config =
+    { Server.default_config with jobs = 1; queue_bound = 1; drain_timeout = 10.0 }
+  in
+  let server = Server.start config ~schema ~graph in
+  let port = Server.port server in
+  let sleeper () =
+    Client.round_trip ~host:"127.0.0.1" ~port (Wire.request (Wire.Sleep 600))
+  in
+  (* saturate: one request on the worker, one in the queue *)
+  let d1 = Domain.spawn sleeper in
+  Unix.sleepf 0.15;
+  let d2 = Domain.spawn sleeper in
+  Unix.sleepf 0.15;
+  (* the healthy probe is shed with a structured reply, not a hang *)
+  (match
+     Client.call
+       ~policy:(Runtime.Retry.policy ~max_attempts:1 ())
+       ~host:"127.0.0.1" ~port (Wire.request Wire.Health)
+   with
+  | Error (Client.Overloaded _) -> ()
+  | Ok _ -> Alcotest.fail "expected shed, got a reply"
+  | Error e -> Alcotest.failf "expected Overloaded, got %a" Client.pp_error e);
+  (* graceful shutdown drains both in-flight sleeps *)
+  Server.request_stop server;
+  let verdict = Server.shutdown server in
+  Alcotest.(check bool) "drained" true (verdict = `Drained);
+  (match Domain.join d1, Domain.join d2 with
+  | Ok (Wire.Slept _), Ok (Wire.Slept _) -> ()
+  | _ -> Alcotest.fail "queued work must be answered during drain");
+  let s = Server.stats server in
+  Alcotest.(check int) "shed count" 1 s.Wire.shed;
+  Alcotest.(check int) "served count" 2 s.Wire.served;
+  Alcotest.(check int) "nothing in flight" 0 s.Wire.in_flight;
+  (* every accepted connection is accounted for exactly once *)
+  Alcotest.(check int) "accounting identity" s.Wire.accepted
+    (s.Wire.served + s.Wire.shed + s.Wire.failed + s.Wire.rejected
+   + s.Wire.dropped);
+  (* the listener is really gone *)
+  match Client.round_trip ~host:"127.0.0.1" ~port (Wire.request Wire.Health) with
+  | Error (Client.Connect _) -> ()
+  | _ -> Alcotest.fail "server should refuse connections after shutdown"
+
+let test_e2e_worker_fault_isolation () =
+  (* the 1st request crashes its worker; the domain is replaced and the
+     client's retry succeeds against the fresh worker *)
+  Runtime.Fault.configure ~at:1 "service.worker";
+  Fun.protect ~finally:Runtime.Fault.disable (fun () ->
+      let config = { Server.default_config with jobs = 1 } in
+      with_server ~config (fun server ->
+          (match call server Wire.Health with
+          | Ok (Wire.Healthy _) -> ()
+          | Ok _ -> Alcotest.fail "expected Healthy"
+          | Error e ->
+              Alcotest.failf "retry should recover: %a" Client.pp_error e);
+          match expect_ok "stats" (call server Wire.Stats) with
+          | Wire.Statistics s ->
+              Alcotest.(check int) "one failed reply" 1 s.Wire.failed;
+              Alcotest.(check int) "one crash, domain replaced" 1 s.Wire.crashes;
+              Alcotest.(check bool) "kept serving" true (s.Wire.served >= 1)
+          | _ -> Alcotest.fail "expected Statistics"))
+
+let test_e2e_persistent_fault_not_fatal () =
+  (* a fault at every worker probe: every request fails structurally,
+     but the server never dies and still sheds/serves/accounts *)
+  Runtime.Fault.configure "service.worker";
+  Fun.protect ~finally:Runtime.Fault.disable (fun () ->
+      let config = { Server.default_config with jobs = 2 } in
+      with_server ~config (fun server ->
+          (match
+             Client.call
+               ~policy:(Runtime.Retry.policy ~max_attempts:2 ~base_delay:0.0 ())
+               ~host:"127.0.0.1" ~port:(Server.port server)
+               (Wire.request Wire.Health)
+           with
+          | Error (Client.Failed (Wire.Crash, detail)) ->
+              Alcotest.(check bool) "detail names the site" true
+                (String.length detail > 0)
+          | Ok _ -> Alcotest.fail "fault should fail the request"
+          | Error e -> Alcotest.failf "expected Failed: %a" Client.pp_error e);
+          Runtime.Fault.disable ();
+          (* with the fault disarmed the (replaced) pool is healthy again *)
+          match call server Wire.Health with
+          | Ok (Wire.Healthy _) -> ()
+          | _ -> Alcotest.fail "pool should recover once the fault is gone"))
+
+let test_e2e_malformed_line () =
+  with_server (fun server ->
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect ~finally:(fun () -> try Unix.close sock with _ -> ())
+        (fun () ->
+          Unix.connect sock
+            (Unix.ADDR_INET
+               (Unix.inet_addr_of_string "127.0.0.1", Server.port server));
+          Wire.write_line sock "this is not json";
+          match Wire.read_line sock with
+          | Some line -> (
+              match Wire.decode_reply line with
+              | Ok (_, Wire.Error _) -> ()
+              | _ -> Alcotest.failf "expected an error reply, got %s" line)
+          | None -> Alcotest.fail "no reply to a malformed line"))
+
+let suite =
+  [ "json: roundtrip", `Quick, test_json_roundtrip;
+    "json: single line", `Quick, test_json_single_line;
+    "json: escapes", `Quick, test_json_escapes;
+    "json: total on garbage", `Quick, test_json_total_on_garbage;
+    "wire: request roundtrip", `Quick, test_request_roundtrip;
+    "wire: request decode errors", `Quick, test_request_decode_errors;
+    "wire: reply roundtrip", `Quick, test_reply_roundtrip;
+    "bqueue: bounded, sheds", `Quick, test_bqueue_bounded_shed;
+    "bqueue: close drains", `Quick, test_bqueue_close_drains;
+    "bqueue: close wakes consumers", `Quick,
+    test_bqueue_close_wakes_blocked_consumers;
+    "bqueue: capacity clamped", `Quick, test_bqueue_capacity_clamped;
+    "pool: processes everything", `Quick, test_pool_processes_all;
+    "pool: replaces crashed workers", `Quick,
+    test_pool_replaces_crashed_workers;
+    "e2e: ops over a socket", `Quick, test_e2e_ops;
+    "e2e: fragment determinism across the wire", `Quick,
+    test_e2e_fragment_determinism;
+    "e2e: budget maps to a failed reply", `Quick, test_e2e_budget_failed_reply;
+    "e2e: shedding and graceful drain", `Quick, test_e2e_shed_and_drain;
+    "e2e: worker fault is isolated and retried", `Quick,
+    test_e2e_worker_fault_isolation;
+    "e2e: persistent fault never kills the server", `Quick,
+    test_e2e_persistent_fault_not_fatal;
+    "e2e: malformed frame gets an error reply", `Quick,
+    test_e2e_malformed_line ]
+
+(* Wire codec property: any request roundtrips, including shapes with
+   hostile bytes. *)
+let arbitrary_request =
+  let open QCheck in
+  let gen_string = Gen.string_size ~gen:Gen.printable (Gen.int_range 0 30) in
+  let gen_op =
+    Gen.oneof
+      [ Gen.return Wire.Validate;
+        Gen.map (fun l -> Wire.Fragment l)
+          (Gen.list_size (Gen.int_range 0 3) gen_string);
+        Gen.map2
+          (fun node shape -> Wire.Neighborhood { node; shape })
+          gen_string gen_string;
+        Gen.return Wire.Health;
+        Gen.return Wire.Stats;
+        Gen.map (fun ms -> Wire.Sleep ms) (Gen.int_range 0 10_000) ]
+  in
+  let gen =
+    Gen.map3
+      (fun op id (timeout, fuel) -> { (Wire.request op) with id; timeout; fuel })
+      gen_op
+      (Gen.opt gen_string)
+      (Gen.pair
+         (Gen.opt (Gen.float_range 0.001 100.0))
+         (Gen.opt (Gen.int_range 1 1_000_000)))
+  in
+  make gen ~print:Wire.encode_request
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"wire: encode/decode request identity" ~count:500
+    arbitrary_request roundtrip_request
+
+let props = [ prop_request_roundtrip ]
