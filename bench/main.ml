@@ -15,7 +15,8 @@ let experiments =
     "tpf", ("Proposition 6.2: TPF expressibility", Exp_tpf.run);
     "ldf", ("Figure 4: LDF-spectrum positioning", Exp_ldf.run);
     "ablations", ("Design-choice ablations", Exp_ablation.run);
-    "parallel", ("Parallel fragment engine scaling", Exp_parallel.run) ]
+    "parallel", ("Parallel fragment engine scaling", Exp_parallel.run);
+    "containment", ("Cross-shape containment planner", Exp_containment.run) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -123,6 +123,17 @@ let on_error_arg =
     & opt (enum [ ("fail", `Fail); ("skip", `Skip) ]) `Fail
     & info [ "on-error" ] ~docv:"POLICY" ~doc)
 
+let optimize_arg =
+  let doc =
+    "Enable the cross-shape optimizer: run the static containment \
+     analysis over the schema, skip constraint checks proven by a \
+     containment, share structurally equal requests, and share path \
+     evaluations across shapes through a per-(path, node) memo table.  \
+     Output is identical to the unoptimized run; only statistics (and \
+     wall-clock time) change."
+  in
+  Arg.(value & flag & info [ "optimize" ] ~doc)
+
 let budget_of timeout fuel =
   match (timeout, fuel) with
   | None, None -> Runtime.Budget.unlimited
@@ -205,7 +216,7 @@ let validate_cmd =
     let doc = "Print the result as a W3C validation report in Turtle." in
     Arg.(value & flag & info [ "rdf-report" ] ~doc)
   in
-  let run data shapes rdf_report jobs stats timeout fuel on_error =
+  let run data shapes rdf_report jobs stats timeout fuel on_error optimize =
     wrap (fun () ->
         let g = load_graph data in
         let schema =
@@ -217,15 +228,17 @@ let validate_cmd =
         let budget = budget_of timeout fuel in
         (* The resilient paths — fault isolation, degradation, per-shape
            failure accounting — live in the engine, so any resilience
-           flag routes through it even single-threaded. *)
+           flag routes through it even single-threaded; the containment
+           optimizer is an engine feature too. *)
         let use_engine =
           jobs > 1 || stats || on_error = `Skip || timeout <> None
-          || fuel <> None
+          || fuel <> None || optimize
         in
         let report, degraded =
           if use_engine then begin
             let report, engine_stats =
-              Provenance.Engine.validate ~jobs ~budget ~on_error schema g
+              Provenance.Engine.validate ~jobs ~budget ~on_error ~optimize
+                schema g
             in
             if stats then print_stats engine_stats;
             (report, Provenance.Engine.Stats.degraded engine_stats)
@@ -243,7 +256,7 @@ let validate_cmd =
     (Cmd.info "validate" ~doc)
     Term.(
       const run $ data_arg $ shapes_arg $ rdf_report_arg $ jobs_arg
-      $ stats_arg $ timeout_arg $ fuel_arg $ on_error_arg)
+      $ stats_arg $ timeout_arg $ fuel_arg $ on_error_arg $ optimize_arg)
 
 (* ---------------- lint --------------------------------------------- *)
 
@@ -299,6 +312,79 @@ let lint_cmd =
   in
   Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ shapes_arg $ severity_arg)
 
+(* ---------------- analyze ------------------------------------------ *)
+
+let analyze_cmd =
+  let json_arg =
+    let doc = "Print the analysis as a JSON document instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let diagnostic_json (d : Analysis.Diagnostic.t) =
+    let escape s =
+      let buf = Buffer.create (String.length s + 8) in
+      String.iter
+        (fun c ->
+          match c with
+          | '"' -> Buffer.add_string buf "\\\""
+          | '\\' -> Buffer.add_string buf "\\\\"
+          | '\n' -> Buffer.add_string buf "\\n"
+          | c when Char.code c < 0x20 ->
+              Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+          | c -> Buffer.add_char buf c)
+        s;
+      Buffer.contents buf
+    in
+    Printf.sprintf
+      "    {\"severity\": \"%s\", \"code\": \"%s\", \"shape\": %s, \
+       \"message\": \"%s\"}"
+      (Analysis.Diagnostic.severity_to_string d.severity)
+      (Analysis.Diagnostic.code_to_string d.code)
+      (match d.subject with
+      | Some s -> Printf.sprintf "\"%s\"" (escape (Rdf.Term.to_string s))
+      | None -> "null")
+      (escape d.message)
+  in
+  let run shapes json =
+    wrap (fun () ->
+        let schema =
+          match shapes with
+          | Some _ -> load_schema shapes
+          | None -> die "analyze requires --shapes"
+        in
+        let diagnostics = Analysis.Analyzer.analyze schema in
+        let plan = Provenance.Plan.make schema in
+        if json then begin
+          print_string "{\n  \"diagnostics\": [\n";
+          print_string
+            (String.concat ",\n" (List.map diagnostic_json diagnostics));
+          print_string "\n  ],\n  \"plan\": ";
+          (* splice the plan document in, re-indented one level *)
+          let plan_doc = String.trim (Provenance.Plan.to_json plan) in
+          print_string
+            (String.concat "\n"
+               (List.mapi
+                  (fun i line -> if i = 0 then line else "  " ^ line)
+                  (String.split_on_char '\n' plan_doc)));
+          print_string "\n}\n"
+        end
+        else begin
+          List.iter
+            (fun d -> Format.printf "%a@." Analysis.Diagnostic.pp d)
+            diagnostics;
+          Format.printf "%a" Provenance.Plan.pp plan
+        end;
+        if Analysis.Diagnostic.has_errors diagnostics then 1 else 0)
+  in
+  let doc =
+    "Run the cross-shape containment analysis over a shapes graph and \
+     print the containment lattice plus the evaluation plan the engine \
+     executes under --optimize: proven containments and equivalences, \
+     execution levels, the skip rule per shape, and the shared paths the \
+     per-(path, node) memo table will serve.  Exits non-zero when the \
+     schema has errors."
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ shapes_arg $ json_arg)
+
 (* ---------------- neighborhood ------------------------------------ *)
 
 let neighborhood_cmd =
@@ -352,7 +438,8 @@ let neighborhood_cmd =
 (* ---------------- fragment ---------------------------------------- *)
 
 let fragment_cmd =
-  let run data shapes exprs prefixes jobs stats timeout fuel on_error =
+  let run data shapes exprs prefixes jobs stats timeout fuel on_error optimize
+      =
     wrap (fun () ->
         let namespaces = namespaces_of prefixes in
         let g = load_graph data in
@@ -374,7 +461,8 @@ let fragment_cmd =
         in
         let budget = budget_of timeout fuel in
         let fragment, engine_stats =
-          Provenance.Engine.run ~schema ~jobs ~budget ~on_error g requests
+          Provenance.Engine.run ~schema ~jobs ~budget ~on_error ~optimize g
+            requests
         in
         if stats then print_stats engine_stats;
         print_string (Rdf.Turtle.to_string ~prefixes:namespaces fragment);
@@ -391,7 +479,8 @@ let fragment_cmd =
     (Cmd.info "fragment" ~doc)
     Term.(
       const run $ data_arg $ shapes_arg $ shape_exprs_arg $ prefix_arg
-      $ jobs_arg $ stats_arg $ timeout_arg $ fuel_arg $ on_error_arg)
+      $ jobs_arg $ stats_arg $ timeout_arg $ fuel_arg $ on_error_arg
+      $ optimize_arg)
 
 (* ---------------- to-sparql --------------------------------------- *)
 
@@ -750,5 +839,6 @@ let () =
   exit
     (Cmd.eval_result'
        (Cmd.group info
-          [ validate_cmd; lint_cmd; neighborhood_cmd; explain_cmd;
-            fragment_cmd; query_cmd; to_sparql_cmd; serve_cmd; request_cmd ]))
+          [ validate_cmd; lint_cmd; analyze_cmd; neighborhood_cmd;
+            explain_cmd; fragment_cmd; query_cmd; to_sparql_cmd; serve_cmd;
+            request_cmd ]))

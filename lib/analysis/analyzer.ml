@@ -79,10 +79,78 @@ let triviality_pass schema =
         else None)
     (Schema.defs schema)
 
+let containment_pass schema =
+  (* Only targeted definitions: those are the ones the engine validates,
+     so containments between them are actionable.  Untargeted helper
+     definitions (e.g. anonymous property shapes) are trivially related
+     to the definitions that reference them — reporting that a shape is
+     equivalent to its own property subshape would be pure noise. *)
+  let defs =
+    Array.of_list (List.filter Schema.targeted (Schema.defs schema))
+  in
+  let n = Array.length defs in
+  let norm =
+    Array.map (fun (d : Schema.def) -> Containment.normalize schema d.shape)
+      defs
+  in
+  let unsat =
+    Array.map (fun (d : Schema.def) -> Unsat.is_unsatisfiable schema d.shape)
+      defs
+  in
+  (* A shape everything conforms to subsumes every definition; reporting
+     those edges would drown the interesting ones. *)
+  let trivial =
+    Array.map (fun nf -> Containment.subsumes_normalized Shape.Top nf) norm
+  in
+  let sub = Array.make_matrix n n false in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && (not unsat.(i)) && not trivial.(j) then
+        sub.(i).(j) <- Containment.subsumes_normalized norm.(i) norm.(j)
+    done
+  done;
+  let pairs = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && sub.(i).(j) then
+        if sub.(j).(i) then begin
+          if i < j then
+            pairs :=
+              Diagnostic.makef ~subject:defs.(j).name Warning Shape_equivalent
+                "shape is equivalent to %a; the definitions accept exactly \
+                 the same nodes"
+                Rdf.Term.pp defs.(i).name
+              :: !pairs
+        end
+        else
+          pairs :=
+            Diagnostic.makef ~subject:defs.(i).name Hint Shape_subsumed
+              "shape is subsumed by %a: every conforming node also conforms \
+               to it"
+              Rdf.Term.pp defs.(j).name
+            :: !pairs
+    done
+  done;
+  let redundant =
+    List.concat_map
+      (fun (d : Schema.def) ->
+        if Unsat.is_unsatisfiable schema d.shape then []
+        else
+          List.map
+            (fun (red, implier) ->
+              Diagnostic.makef ~subject:d.name Hint Constraint_redundant
+                "conjunct %a is implied by sibling conjunct %a and can be \
+                 dropped"
+                Shape.pp red Shape.pp implier)
+            (Containment.redundant_conjuncts schema d.shape))
+      (Array.to_list defs)
+  in
+  !pairs @ redundant
+
 let analyze schema =
   List.sort_uniq Diagnostic.compare
     (unsat_pass schema @ monotone_pass schema @ reachability_pass schema
-    @ triviality_pass schema)
+    @ triviality_pass schema @ containment_pass schema)
 
 let errors schema =
   List.filter (Diagnostic.at_least Diagnostic.Error) (analyze schema)

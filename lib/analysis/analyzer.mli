@@ -17,6 +17,17 @@
     - {!Triviality}: [provenance-trivial] ([Hint]) on targeted,
       satisfiable definitions whose request shape [phi ∧ tau] has a
       provably empty neighborhood.
+    - {!Containment}: over {e targeted} definitions only (untargeted
+      helper shapes are trivially related to their referrers):
+      [shape-equivalent] ([Warning]) when two definitions provably
+      accept exactly the same nodes (reported once, on the later
+      definition), [shape-subsumed] ([Hint]) when one definition is
+      strictly contained in another, and
+      [constraint-redundant-within-shape] ([Hint]) when a conjunct is
+      implied by a sibling conjunct of the same conjunction.
+      Unsatisfiable definitions and definitions every node conforms to
+      are excluded from the pairwise reports (their containments are
+      vacuous).
 
     Diagnostics are deduplicated (a contradiction inlined into several
     referring definitions is reported once, at the first definition in

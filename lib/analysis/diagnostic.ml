@@ -10,6 +10,9 @@ type code =
   | Dangling_shape_ref
   | Dead_shape
   | Provenance_trivial
+  | Shape_subsumed
+  | Shape_equivalent
+  | Constraint_redundant
 
 type t = {
   severity : severity;
@@ -36,6 +39,9 @@ let code_to_string = function
   | Dangling_shape_ref -> "dangling-shape-ref"
   | Dead_shape -> "dead-shape"
   | Provenance_trivial -> "provenance-trivial"
+  | Shape_subsumed -> "shape-subsumed"
+  | Shape_equivalent -> "shape-equivalent"
+  | Constraint_redundant -> "constraint-redundant-within-shape"
 
 let severity_rank = function Error -> 0 | Warning -> 1 | Hint -> 2
 

@@ -21,6 +21,9 @@ type code =
   | Dangling_shape_ref    (** [hasShape(s)] with [s] undefined *)
   | Dead_shape            (** defined, untargeted, unreachable *)
   | Provenance_trivial    (** neighborhood provably always empty *)
+  | Shape_subsumed        (** strictly contained in another definition *)
+  | Shape_equivalent      (** mutually contained with another definition *)
+  | Constraint_redundant  (** a conjunct implied by a sibling conjunct *)
 
 type t = {
   severity : severity;

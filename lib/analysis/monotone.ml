@@ -43,6 +43,7 @@ and anti schema phi =
       true
   | _ -> false
 
+let is_independent = independent
 let is_monotone = mono
 let is_antitone = anti
 

@@ -26,6 +26,11 @@
     All four real-SHACL target forms (node, class, subjects-of,
     objects-of, and unions thereof) are monotone under this check. *)
 
+val is_independent : Shacl.Schema.t -> Shacl.Shape.t -> bool
+(** Whether the shape's truth value does not depend on the graph at all
+    ([top], [bottom], node tests, [hasValue] and boolean combinations
+    thereof).  Such shapes are both monotone and antitone. *)
+
 val is_monotone : Shacl.Schema.t -> Shacl.Shape.t -> bool
 
 val is_antitone : Shacl.Schema.t -> Shacl.Shape.t -> bool

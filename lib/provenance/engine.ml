@@ -11,6 +11,8 @@ module Stats = struct
     conforming : int;
     wall : float;
     failed : Runtime.Outcome.reason option;
+    skipped : int;
+    shared_with : string option;
   }
 
   type t = {
@@ -21,6 +23,11 @@ module Stats = struct
     memo_hits : int;
     memo_misses : int;
     path_evals : int;
+    path_memo_lookups : int;
+    path_memo_hits : int;
+    path_memo_misses : int;
+    checks_skipped : int;
+    requests_shared : int;
     triples_emitted : int;
     retries : int;
     planning : float;
@@ -42,6 +49,15 @@ module Stats = struct
        path evaluation(s)@,time: planning %.3fs, total %.3fs"
       t.jobs t.nodes_checked t.conforming t.triples_emitted t.memo_lookups
       t.memo_hits t.memo_misses t.path_evals t.planning t.wall;
+    (* The optimizer lines only appear when the optimizer did something,
+       so unoptimized output is byte-identical to earlier releases. *)
+    if t.path_memo_lookups > 0 then
+      Format.fprintf ppf "@,path memo: %d lookup(s), %d hit(s), %d miss(es)"
+        t.path_memo_lookups t.path_memo_hits t.path_memo_misses;
+    if t.checks_skipped > 0 || t.requests_shared > 0 then
+      Format.fprintf ppf
+        "@,containment: %d check(s) skipped, %d shared request(s)"
+        t.checks_skipped t.requests_shared;
     let failures = List.length (failed_shapes t) in
     if failures > 0 || t.retries > 0 then
       Format.fprintf ppf "@,degraded: %d shape(s) failed, %d chunk retry(s)"
@@ -52,6 +68,10 @@ module Stats = struct
           s.label s.candidates
           (if s.pruned then " (target-pruned)" else "")
           s.conforming s.wall;
+        if s.skipped > 0 then Format.fprintf ppf ", %d skipped" s.skipped;
+        (match s.shared_with with
+        | Some rep -> Format.fprintf ppf ", shared with %s" rep
+        | None -> ());
         match s.failed with
         | Some reason ->
             Format.fprintf ppf ", FAILED: %a" Runtime.Outcome.pp_reason reason
@@ -182,29 +202,82 @@ let probe_sites label =
 (* ---------------- fragment extraction ------------------------------ *)
 
 let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
-    ?(jobs = 1) ?(budget = Runtime.Budget.unlimited) ?(on_error = `Fail) g
-    requests =
+    ?(jobs = 1) ?(budget = Runtime.Budget.unlimited) ?(on_error = `Fail)
+    ?(optimize = false) g requests =
   let jobs = max 1 jobs in
   let t0 = now () in
   let all_nodes = lazy (Graph.nodes g) in
+  (* Under the optimizer, requests with equal target expressions share
+     one base candidate computation (the stray-constant adjustment is
+     per-request and cheap).  Schema requests routinely repeat the same
+     handful of target classes, so this cuts planning from one target
+     evaluation per request to one per distinct target. *)
+  let base_cache : (Shape.t * Term.Set.t) list ref = ref [] in
+  let plan_cached r =
+    match r.target with
+    | Some tau when optimize && Analysis.Monotone.is_monotone schema tau -> (
+        let base =
+          match
+            List.find_opt (fun (t, _) -> Shape.equal t tau) !base_cache
+          with
+          | Some (_, base) -> base
+          | None ->
+              let base =
+                match Validate.fast_targets g tau with
+                | Some targets -> targets
+                | None -> Conformance.conforming_nodes schema g tau
+              in
+              base_cache := (tau, base) :: !base_cache;
+              base
+        in
+        let stray_constants =
+          Term.Set.filter
+            (fun c -> Conformance.conforms schema g c tau)
+            (Shape.constants r.shape)
+        in
+        Term.Set.union base stray_constants, true)
+    | _ -> plan ~schema ~all_nodes g r
+  in
   let plans =
     List.map
       (fun r ->
-        let candidates, pruned = plan ~schema ~all_nodes g r in
+        let candidates, pruned = plan_cached r in
         r, Array.of_list (Term.Set.elements candidates), pruned)
       requests
   in
-  let planning = now () -. t0 in
   let shapes = Array.of_list (List.map (fun (r, _, _) -> r.shape) plans) in
   let labels = Array.of_list (List.map (fun (r, _, _) -> r.label) plans) in
+  let nshapes = Array.length shapes in
+  (* Request sharing: two requests whose shapes are structurally equal
+     after reference resolution and NNF drive the checker identically —
+     same conforming nodes, same neighborhoods — so the later one rides
+     on the earlier for free.  Resolution + NNF only (no containment
+     canonicalization): canonical rewrites preserve conformance but not
+     neighborhoods, so they must not merge fragment requests. *)
+  let shared_of = Array.make nshapes None in
+  if optimize then begin
+    let keys =
+      Array.map (fun s -> Analysis.Containment.resolved_nnf schema s) shapes
+    in
+    for i = 0 to nshapes - 1 do
+      let rec find j =
+        if j >= i then None
+        else if shared_of.(j) = None && Shape.equal keys.(j) keys.(i) then
+          Some j
+        else find (j + 1)
+      in
+      shared_of.(i) <- find 0
+    done
+  end;
+  let planning = now () -. t0 in
   let items =
     List.concat
       (List.mapi
          (fun i (_, candidates, _) ->
-           List.map (fun chunk -> i, chunk) (chunks_of ~jobs candidates))
+           if shared_of.(i) <> None then []
+           else List.map (fun chunk -> i, chunk) (chunks_of ~jobs candidates))
          plans)
   in
-  let nshapes = Array.length shapes in
   let pop = make_queue items in
   (* Global accumulators, guarded by [merge_lock]. *)
   let merge_lock = Mutex.create () in
@@ -218,7 +291,7 @@ let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
   let failures : Runtime.Outcome.reason option array = Array.make nshapes None in
   (* Evaluate one chunk into private accumulators; raises on fault,
      budget exhaustion, or any crash inside shape evaluation. *)
-  let eval_chunk (i, chunk) =
+  let eval_chunk ?path_memo (i, chunk) =
     probe_sites labels.(i);
     Runtime.Budget.check budget;
     let t = now () in
@@ -228,9 +301,11 @@ let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
     let check =
       match algorithm with
       | Fragment.Instrumented ->
-          Neighborhood.checker ~counters ~budget ~schema g shapes.(i)
+          Neighborhood.checker ~counters ~budget ~schema ?path_memo g
+            shapes.(i)
       | Fragment.Naive ->
-          Neighborhood.naive_checker ~counters ~budget ~schema g shapes.(i)
+          Neighborhood.naive_checker ~counters ~budget ~schema ?path_memo g
+            shapes.(i)
     in
     Array.iter
       (fun v ->
@@ -256,11 +331,14 @@ let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
         failed_chunks := (item, e) :: !failed_chunks)
   in
   let worker () =
+    (* One path memo per worker domain: shared across every chunk — and
+       so across shapes — this worker processes, never across domains. *)
+    let path_memo = if optimize then Some (Path_memo.create ()) else None in
     let rec drain () =
       match pop () with
       | None -> ()
       | Some item ->
-          (match eval_chunk item with
+          (match eval_chunk ?path_memo item with
           | result -> merge item result
           | exception e -> record_failed item e);
           drain ()
@@ -284,7 +362,10 @@ let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
       | Some _ -> final_failure e
       | None -> (
           incr retries;
-          match eval_chunk item with
+          let path_memo =
+            if optimize then Some (Path_memo.create ()) else None
+          in
+          match eval_chunk ?path_memo item with
           | result -> merge item result
           | exception e' -> final_failure e'))
     (List.rev !failed_chunks);
@@ -297,13 +378,32 @@ let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
   let shape_stats =
     List.mapi
       (fun i (r, candidates, pruned) ->
-        { Stats.label = r.label;
-          pruned;
-          candidates = Array.length candidates;
-          conforming = conforming.(i);
-          wall = walls.(i);
-          failed = failures.(i) })
+        match shared_of.(i) with
+        | Some rep ->
+            (* not evaluated at all — its work rode on [rep] *)
+            { Stats.label = r.label;
+              pruned;
+              candidates = 0;
+              conforming = 0;
+              wall = 0.0;
+              failed = None;
+              skipped = 0;
+              shared_with = Some labels.(rep) }
+        | None ->
+            { Stats.label = r.label;
+              pruned;
+              candidates = Array.length candidates;
+              conforming = conforming.(i);
+              wall = walls.(i);
+              failed = failures.(i);
+              skipped = 0;
+              shared_with = None })
       plans
+  in
+  let requests_shared =
+    Array.fold_left
+      (fun acc s -> if s <> None then acc + 1 else acc)
+      0 shared_of
   in
   let stats =
     { Stats.jobs;
@@ -313,6 +413,11 @@ let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
       memo_hits = totals.Counters.memo_hits;
       memo_misses = totals.Counters.memo_misses;
       path_evals = totals.Counters.path_evals;
+      path_memo_lookups = totals.Counters.path_memo_lookups;
+      path_memo_hits = totals.Counters.path_memo_hits;
+      path_memo_misses = totals.Counters.path_memo_misses;
+      checks_skipped = 0;
+      requests_shared;
       triples_emitted = Hashtbl.length acc;
       retries = !retries;
       planning;
@@ -330,16 +435,35 @@ let fragment_schema ?algorithm ?jobs schema g =
 (* ---------------- validation --------------------------------------- *)
 
 let validate ?(jobs = 1) ?(budget = Runtime.Budget.unlimited)
-    ?(on_error = `Fail) schema g =
+    ?(on_error = `Fail) ?(optimize = false) schema g =
   let jobs = max 1 jobs in
   let t0 = now () in
+  (* The containment plan is static — graph-independent — and its cost
+     is accounted as planning time. *)
+  let plan_opt = if optimize then Some (Plan.make schema) else None in
   let defs = Schema.defs schema in
+  (* Under the optimizer, defs with equal target expressions share one
+     candidate array: the (often expensive) target evaluation runs once
+     per distinct target, and downstream the physical sharing lets the
+     skip rule compare verdicts by index instead of by node lookup. *)
+  let target_cache : (Shape.t * Term.t array) list ref = ref [] in
+  let targets_of (def : Schema.def) =
+    let compute () =
+      Array.of_list (Term.Set.elements (Validate.target_nodes schema g def))
+    in
+    if not optimize then compute ()
+    else
+      match
+        List.find_opt (fun (t, _) -> Shape.equal t def.target) !target_cache
+      with
+      | Some (_, arr) -> arr
+      | None ->
+          let arr = compute () in
+          target_cache := (def.target, arr) :: !target_cache;
+          arr
+  in
   let plans =
-    List.map
-      (fun (def : Schema.def) ->
-        let targets = Validate.target_nodes schema g def in
-        def, Array.of_list (Term.Set.elements targets))
-      defs
+    List.map (fun (def : Schema.def) -> def, targets_of def) defs
   in
   let planning = now () -. t0 in
   let plans_arr = Array.of_list plans in
@@ -348,96 +472,178 @@ let validate ?(jobs = 1) ?(budget = Runtime.Budget.unlimited)
     Array.map (fun (_, targets) -> Array.make (Array.length targets) false)
       plans_arr
   in
-  let items =
-    List.concat
-      (List.mapi
-         (fun i (_, targets) ->
-           (* chunks carry their offset so verdicts land at the right
-              index regardless of which worker runs them *)
-           let n = Array.length targets in
-           if n = 0 then []
-           else
-             let k = min jobs n in
-             List.init k (fun c ->
-                 let lo = c * n / k and hi = (c + 1) * n / k in
-                 i, lo, Array.sub targets lo (hi - lo))
-             |> List.filter (fun (_, _, chunk) -> Array.length chunk > 0))
-         plans)
+  (* Execution levels.  Without the optimizer everything is one level —
+     one pool, one queue, exactly the previous engine.  With it, defs
+     run in the plan's layers so that when a proven [A ⊑ B] schedules
+     [A] first, [B]'s checks are skipped on nodes already proven
+     [A]-conformant. *)
+  let levels =
+    match plan_opt with
+    | None -> [ List.init ndefs Fun.id ]
+    | Some p ->
+        List.init (Plan.n_levels p) (fun l ->
+            List.filter
+              (fun i -> p.Plan.levels.(i) = l)
+              (List.init ndefs Fun.id))
   in
-  let pop = make_queue items in
   let merge_lock = Mutex.create () in
   let totals = Counters.create () in
   let conforming = Array.make ndefs 0 in
   let walls = Array.make ndefs 0.0 in
   let checked = ref 0 in
   let retries = ref 0 in
-  let failed_chunks : ((int * int * Term.t array) * exn) list ref = ref [] in
+  let skipped = Array.make ndefs 0 in
   let failures : Runtime.Outcome.reason option array = Array.make ndefs None in
+  (* Skip sources for each def, rebuilt before its level runs: the
+     verdict arrays of proven-contained predecessors that share this
+     def's (deduped) target array.  Sharing makes the per-candidate
+     test a single array load at the candidate's own index — no set is
+     ever materialized.  A predecessor with a {e different} target
+     array is ignored: it could only skip nodes in the intersection of
+     the two target sets (typically empty — think equal constraints
+     under disjoint target classes), while serving it would mean
+     hashing whole conforming sets; the bookkeeping costs more than the
+     checks it saves. *)
+  let skip_idx : bool array list array = Array.make ndefs [] in
   let label_of i =
     let (def : Schema.def), _ = plans_arr.(i) in
     Term.to_string def.Schema.name
   in
+  (* At [-j 1] everything runs on this domain, so one table can serve
+     the whole run; parallel workers each build their own per level. *)
+  let solo_memo =
+    if optimize && jobs <= 1 then Some (Path_memo.create ()) else None
+  in
   (* Verdict writes go to disjoint slices of [verdicts], so they need no
      lock; a failed chunk's partial writes are harmless because a failed
      definition is dropped from the report wholesale. *)
-  let eval_chunk (i, offset, chunk) =
+  let eval_chunk ?path_memo (i, offset, chunk) =
     probe_sites (label_of i);
     Runtime.Budget.check budget;
     let t = now () in
     let def, _ = plans_arr.(i) in
     let counters = Counters.create () in
+    let by_index = skip_idx.(i) in
     let check =
-      Conformance.checker ~counters ~budget schema g def.Schema.shape
+      Conformance.checker ~counters ~budget ?path_memo schema g
+        def.Schema.shape
     in
     let conforming = ref 0 in
+    let chunk_skipped = ref 0 in
     Array.iteri
       (fun j v ->
-        let ok = check v in
+        (* a node proven conformant to a contained shape is conformant *)
+        let skip =
+          match by_index with
+          | [] -> false
+          | l -> List.exists (fun va -> va.(offset + j)) l
+        in
+        let ok =
+          if skip then begin
+            incr chunk_skipped;
+            true
+          end
+          else check v
+        in
         if ok then incr conforming;
         verdicts.(i).(offset + j) <- ok)
       chunk;
-    counters, !conforming, Array.length chunk, now () -. t
+    counters, !conforming, !chunk_skipped, Array.length chunk, now () -. t
   in
-  let merge (i, _, _) (counters, chunk_conforming, chunk_checked, wall) =
+  let merge (i, _, _)
+      (counters, chunk_conforming, chunk_skipped, chunk_checked, wall) =
     with_lock merge_lock (fun () ->
         Counters.add ~into:totals counters;
         conforming.(i) <- conforming.(i) + chunk_conforming;
+        skipped.(i) <- skipped.(i) + chunk_skipped;
         walls.(i) <- walls.(i) +. wall;
         checked := !checked + chunk_checked)
   in
-  let record_failed item e =
-    with_lock merge_lock (fun () ->
-        failed_chunks := (item, e) :: !failed_chunks)
-  in
-  let worker () =
-    let rec drain () =
-      match pop () with
-      | None -> ()
-      | Some item ->
-          (match eval_chunk item with
-          | result -> merge item result
-          | exception e -> record_failed item e);
-          drain ()
-    in
-    drain ()
-  in
-  spawn_pool ~jobs worker;
   let first_error = ref None in
-  List.iter
-    (fun (((i, _, _) as item), e) ->
-      let final_failure e =
-        if !first_error = None then first_error := Some e;
-        if failures.(i) = None then
-          failures.(i) <- Some (Runtime.Outcome.reason_of_exn e)
+  let run_level level_defs =
+    (* Skip sets for this level: the union of the conforming targets of
+       every proven-contained def that completed in an earlier level. *)
+    (match plan_opt with
+    | None -> ()
+    | Some p ->
+        List.iter
+          (fun j ->
+            let _, tj = plans_arr.(j) in
+            skip_idx.(j) <-
+              List.filter_map
+                (fun i ->
+                  let _, ti = plans_arr.(i) in
+                  (* a failed predecessor's verdicts are incomplete *)
+                  if ti == tj && failures.(i) = None then
+                    Some verdicts.(i)
+                  else None)
+                p.Plan.skip_preds.(j))
+          level_defs);
+    let items =
+      List.concat_map
+        (fun i ->
+          let _, targets = plans_arr.(i) in
+          (* chunks carry their offset so verdicts land at the right
+             index regardless of which worker runs them *)
+          let n = Array.length targets in
+          if n = 0 then []
+          else
+            let k = min jobs n in
+            List.init k (fun c ->
+                let lo = c * n / k and hi = (c + 1) * n / k in
+                i, lo, Array.sub targets lo (hi - lo))
+            |> List.filter (fun (_, _, chunk) -> Array.length chunk > 0))
+        level_defs
+    in
+    let pop = make_queue items in
+    let failed_chunks : ((int * int * Term.t array) * exn) list ref =
+      ref []
+    in
+    let record_failed item e =
+      with_lock merge_lock (fun () ->
+          failed_chunks := (item, e) :: !failed_chunks)
+    in
+    let worker () =
+      let path_memo =
+        match solo_memo with
+        | Some _ -> solo_memo
+        | None -> if optimize then Some (Path_memo.create ()) else None
       in
-      match Runtime.Budget.expired budget with
-      | Some _ -> final_failure e
-      | None -> (
-          incr retries;
-          match eval_chunk item with
-          | result -> merge item result
-          | exception e' -> final_failure e'))
-    (List.rev !failed_chunks);
+      let rec drain () =
+        match pop () with
+        | None -> ()
+        | Some item ->
+            (match eval_chunk ?path_memo item with
+            | result -> merge item result
+            | exception e -> record_failed item e);
+            drain ()
+      in
+      drain ()
+    in
+    spawn_pool ~jobs worker;
+    List.iter
+      (fun (((i, _, _) as item), e) ->
+        let final_failure e =
+          if !first_error = None then first_error := Some e;
+          if failures.(i) = None then
+            failures.(i) <- Some (Runtime.Outcome.reason_of_exn e)
+        in
+        match Runtime.Budget.expired budget with
+        | Some _ -> final_failure e
+        | None -> (
+            incr retries;
+            let path_memo =
+              if optimize then Some (Path_memo.create ()) else None
+            in
+            match eval_chunk ?path_memo item with
+            | result -> merge item result
+            | exception e' -> final_failure e'))
+      (List.rev !failed_chunks);
+  in
+  List.iter
+    (fun level_defs ->
+      if !first_error = None || on_error = `Skip then run_level level_defs)
+    levels;
   (match on_error, !first_error with
   | `Fail, Some e -> raise e
   | _ -> ());
@@ -478,7 +684,9 @@ let validate ?(jobs = 1) ?(budget = Runtime.Budget.unlimited)
           candidates = Array.length targets;
           conforming = conforming.(i);
           wall = walls.(i);
-          failed = failures.(i) })
+          failed = failures.(i);
+          skipped = skipped.(i);
+          shared_with = None })
       plans
   in
   let stats =
@@ -489,6 +697,11 @@ let validate ?(jobs = 1) ?(budget = Runtime.Budget.unlimited)
       memo_hits = totals.Counters.memo_hits;
       memo_misses = totals.Counters.memo_misses;
       path_evals = totals.Counters.path_evals;
+      path_memo_lookups = totals.Counters.path_memo_lookups;
+      path_memo_hits = totals.Counters.path_memo_hits;
+      path_memo_misses = totals.Counters.path_memo_misses;
+      checks_skipped = Array.fold_left ( + ) 0 skipped;
+      requests_shared = 0;
       triples_emitted = 0;
       retries = !retries;
       planning;

@@ -59,6 +59,13 @@ module Stats : sig
     failed : Runtime.Outcome.reason option;
         (** [Some r] when the shape's evaluation failed (after retry);
             its contribution to the fragment is then incomplete *)
+    skipped : int;
+        (** candidates answered by the containment skip rule instead of
+            a constraint check (optimized validation only) *)
+    shared_with : string option;
+        (** [Some rep] when this fragment request was structurally equal
+            to request [rep] after resolution + NNF and rode on it
+            (optimized fragment runs only) *)
   }
 
   type t = {
@@ -69,9 +76,20 @@ module Stats : sig
     memo_hits : int;
     memo_misses : int;
     path_evals : int;      (** path-expression evaluations *)
+    path_memo_lookups : int;
+        (** per-(path, node) memo probes
+            ([= path_memo_hits + path_memo_misses]); nonzero only with
+            [~optimize:true].  For [jobs > 1] the split between hits and
+            misses depends on which worker ran which chunk, so only
+            [jobs <= 1] values are stable across runs. *)
+    path_memo_hits : int;
+    path_memo_misses : int;
+    checks_skipped : int;  (** total {!shape_stat.skipped} *)
+    requests_shared : int; (** requests that rode on an equal request *)
     triples_emitted : int; (** size of the merged fragment *)
     retries : int;         (** failed chunks retried sequentially *)
-    planning : float;      (** seconds spent planning candidate sets *)
+    planning : float;      (** seconds spent planning candidate sets
+                               (including the containment plan) *)
     wall : float;          (** end-to-end seconds for the run *)
     shapes : shape_stat list;  (** per-request breakdown, request order *)
   }
@@ -110,10 +128,22 @@ val run :
   ?jobs:int ->
   ?budget:Runtime.Budget.t ->
   ?on_error:on_error ->
+  ?optimize:bool ->
   Rdf.Graph.t -> request list -> Rdf.Graph.t * Stats.t
 (** [run g requests] computes [⋃ Frag(G, shape)] over the requests and
     reports statistics.  [jobs] defaults to 1 (no domains spawned);
-    [budget] defaults to unlimited; [on_error] defaults to [`Fail]. *)
+    [budget] defaults to unlimited; [on_error] defaults to [`Fail].
+
+    With [~optimize:true] (default off) the cross-shape optimizer is
+    enabled: requests that are structurally equal after reference
+    resolution and NNF are evaluated once ([requests_shared]), and each
+    worker shares [[E]](v) results across shapes through a
+    {!Shacl.Path_memo} table.  The resulting fragment is identical —
+    request sharing merges only requests with identical checker
+    behavior, and path evaluation is pure — only the statistics differ
+    (shared requests report zero candidates).  Budget accounting also
+    gets cheaper: a path-memo hit costs one tick where the evaluation
+    it replaces ticked per edge. *)
 
 val fragment :
   ?schema:Shacl.Schema.t ->
@@ -134,6 +164,7 @@ val validate :
   ?jobs:int ->
   ?budget:Runtime.Budget.t ->
   ?on_error:on_error ->
+  ?optimize:bool ->
   Shacl.Schema.t -> Rdf.Graph.t -> Shacl.Validate.report * Stats.t
 (** Parallel, instrumented equivalent of [Validate.validate]: target
     nodes of each definition are sharded across the pool and checked for
@@ -142,4 +173,13 @@ val validate :
     to the sequential one, except that with [~on_error:`Skip] a failed
     definition's results are excluded wholesale (the report then covers
     exactly the definitions that were fully checked, and {!Stats.degraded}
-    is true). *)
+    is true).
+
+    With [~optimize:true] (default off) the engine executes {!Plan.make}:
+    definitions run level by level, and a definition with a proven
+    containment [A ⊑ B] from an earlier level skips its constraint check
+    on nodes already proven [A]-conformant ([checks_skipped], sound by
+    the containment), while workers share path evaluations through a
+    {!Shacl.Path_memo} table.  Verdicts — and the report — are identical
+    to the unoptimized run; skipped checks still count as checked
+    candidates. *)

@@ -48,15 +48,18 @@ let count_miss counters =
   | None -> ()
 
 let make_naive ?counters ?(budget = Runtime.Budget.unlimited)
-    ?(schema = Schema.empty) g =
+    ?(schema = Schema.empty) ?path_memo g =
   let memo : (Term.t * Shape.t, Graph.t) Hashtbl.t = Hashtbl.create 256 in
-  let conforms = Conformance.memoized ?counters ~budget schema g in
+  let conforms = Conformance.memoized ?counters ~budget ?path_memo schema g in
   let eval e v =
-    Runtime.Budget.tick budget;
-    (match counters with
-    | Some c -> c.Counters.path_evals <- c.Counters.path_evals + 1
-    | None -> ());
-    Rdf.Path.eval ~step:(Runtime.Budget.step_hook budget) g e v
+    match path_memo with
+    | Some table -> Path_memo.eval ?counters table budget g e v
+    | None ->
+        Runtime.Budget.tick budget;
+        (match counters with
+        | Some c -> c.Counters.path_evals <- c.Counters.path_evals + 1
+        | None -> ());
+        Rdf.Path.eval ~step:(Runtime.Budget.step_hook budget) g e v
   in
   let trace_all e v ~targets =
     Rdf.Path.trace_all ~step:(Runtime.Budget.step_hook budget) g e v ~targets
@@ -206,16 +209,19 @@ let b ?budget ?schema g v phi =
 (* ------------------------------------------------------------------ *)
 
 let make_instrumented ?counters ?(budget = Runtime.Budget.unlimited)
-    ?(schema = Schema.empty) g =
+    ?(schema = Schema.empty) ?path_memo g =
   let memo : (Term.t * Shape.t, bool * Graph.t) Hashtbl.t =
     Hashtbl.create 256
   in
   let eval e v =
-    Runtime.Budget.tick budget;
-    (match counters with
-    | Some c -> c.Counters.path_evals <- c.Counters.path_evals + 1
-    | None -> ());
-    Rdf.Path.eval ~step:(Runtime.Budget.step_hook budget) g e v
+    match path_memo with
+    | Some table -> Path_memo.eval ?counters table budget g e v
+    | None ->
+        Runtime.Budget.tick budget;
+        (match counters with
+        | Some c -> c.Counters.path_evals <- c.Counters.path_evals + 1
+        | None -> ());
+        Rdf.Path.eval ~step:(Runtime.Budget.step_hook budget) g e v
   in
   let trace_all e v ~targets =
     Rdf.Path.trace_all ~step:(Runtime.Budget.step_hook budget) g e v ~targets
@@ -450,13 +456,13 @@ let make_instrumented ?counters ?(budget = Runtime.Budget.unlimited)
 let check ?budget ?schema g v phi =
   make_instrumented ?budget ?schema g v (Shape.nnf phi)
 
-let checker ?counters ?budget ?schema g phi =
-  let go = make_instrumented ?counters ?budget ?schema g in
+let checker ?counters ?budget ?schema ?path_memo g phi =
+  let go = make_instrumented ?counters ?budget ?schema ?path_memo g in
   let normalized = Shape.nnf phi in
   fun v -> go v normalized
 
-let naive_checker ?counters ?budget ?schema g phi =
-  let conforms, go = make_naive ?counters ?budget ?schema g in
+let naive_checker ?counters ?budget ?schema ?path_memo g phi =
+  let conforms, go = make_naive ?counters ?budget ?schema ?path_memo g in
   let normalized = Shape.nnf phi in
   fun v ->
     if conforms v normalized then (true, go v normalized)

@@ -47,6 +47,7 @@ val checker :
   ?counters:Shacl.Counters.t ->
   ?budget:Runtime.Budget.t ->
   ?schema:Shacl.Schema.t ->
+  ?path_memo:Shacl.Path_memo.t ->
   Rdf.Graph.t -> Shacl.Shape.t -> (Rdf.Term.t -> bool * Rdf.Graph.t)
 (** Batch variant of {!check}: the shape is normalized once and one memo
     table is shared across all focus nodes, which is how an instrumented
@@ -55,12 +56,16 @@ val checker :
     When [counters] is given, memo traffic and path evaluations are
     accumulated into it.  When [budget] is given, each memo lookup and
     path evaluation spends one unit of fuel and the returned closure may
-    raise [Runtime.Budget.Exhausted] at those safe points. *)
+    raise [Runtime.Budget.Exhausted] at those safe points.  When
+    [path_memo] is given, [[E]](v) evaluations are shared through it —
+    including across separate [checker] instances handed the same
+    table. *)
 
 val naive_checker :
   ?counters:Shacl.Counters.t ->
   ?budget:Runtime.Budget.t ->
   ?schema:Shacl.Schema.t ->
+  ?path_memo:Shacl.Path_memo.t ->
   Rdf.Graph.t -> Shacl.Shape.t -> (Rdf.Term.t -> bool * Rdf.Graph.t)
 (** Batch variant of {!b}, with the conformance verdict alongside the
     neighborhood (empty when the node does not conform), mirroring

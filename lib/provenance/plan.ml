@@ -1,0 +1,282 @@
+open Rdf
+open Shacl
+
+type edge = { sub : int; sup : int; equivalent : bool }
+
+type t = {
+  defs : Schema.def array;
+  edges : edge list;
+  class_of : int array;
+  classes : int list array;
+  levels : int array;
+  skip_preds : int list array;
+  shared_paths : (Rdf.Path.t * int) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let find_root parent i =
+  let rec go i = if parent.(i) = i then i else go parent.(i) in
+  go i
+
+let union parent i j =
+  let ri = find_root parent i and rj = find_root parent j in
+  if ri <> rj then
+    (* keep the smallest index as representative *)
+    if ri < rj then parent.(rj) <- ri else parent.(ri) <- rj
+
+let make schema =
+  let defs = Array.of_list (Schema.defs schema) in
+  let n = Array.length defs in
+  let norm =
+    Array.map
+      (fun (d : Schema.def) ->
+        Analysis.Containment.normalize schema d.shape)
+      defs
+  in
+  (* The full proven-containment relation between distinct definitions.
+     Every proven edge is kept — even vacuous ones (an unsatisfiable sub
+     never fires at runtime; a tautological sup is skipped for free).
+     The planner uses the syntactic core only: the unsatisfiability
+     fallback pays its (simplifier) cost on every one of the ~n² pairs
+     that fail, which for a run-time plan is a poor trade — the lint
+     pass keeps the full-precision test. *)
+  let sub = Array.make_matrix n n false in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then
+        sub.(i).(j) <- Analysis.Containment.subsumes_syntactic norm.(i) norm.(j)
+    done
+  done;
+  let edges = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto 0 do
+      if i <> j && sub.(i).(j) then
+        edges := { sub = i; sup = j; equivalent = sub.(j).(i) } :: !edges
+    done
+  done;
+  let edges = !edges in
+  (* Equivalence classes: connected components of the mutual edges. *)
+  let parent = Array.init n (fun i -> i) in
+  List.iter (fun e -> if e.equivalent then union parent e.sub e.sup) edges;
+  let class_of = Array.init n (fun i -> find_root parent i) in
+  let classes = Array.make n [] in
+  for i = n - 1 downto 0 do
+    classes.(class_of.(i)) <- i :: classes.(class_of.(i))
+  done;
+  (* The skip DAG: an edge [i -> j] schedules [i] strictly before [j] so
+     that [j]'s checks can be skipped on nodes proven [i]-conformant.
+     Within an equivalence class only the representative feeds the other
+     members — a chain through every member would serialize the class
+     into one level per shape for no extra skipping power.  Cross-class
+     containments are automatically strict (a mutual pair is one
+     class), so the result is acyclic. *)
+  let dag_edge i j =
+    sub.(i).(j) && (class_of.(i) <> class_of.(j) || class_of.(j) = i)
+  in
+  (* Transitive reduction: with [A ⊑ B ⊑ C], skipping [C] against [B]
+     alone is enough (B conforms wherever A does), so [C] keeps only its
+     direct predecessors.  This bounds the runtime cost of building skip
+     sets — the full relation can have Θ(n²) edges where the reduction
+     stays near-linear on typical shape hierarchies. *)
+  let direct i j =
+    dag_edge i j
+    && not
+         (List.exists
+            (fun k -> k <> i && k <> j && dag_edge i k && dag_edge k j)
+            (List.init n Fun.id))
+  in
+  let skip_preds =
+    Array.init n (fun j ->
+        List.filter (fun i -> i <> j && direct i j) (List.init n Fun.id))
+  in
+  (* Longest-path layering over the DAG: level 0 has no skip
+     predecessors; a shape sits one level above its deepest one. *)
+  let levels = Array.make n (-1) in
+  let rec level j =
+    if levels.(j) >= 0 then levels.(j)
+    else begin
+      (* cycle-free by construction of [dag_edge] *)
+      let l =
+        List.fold_left (fun acc i -> max acc (level i + 1)) 0 skip_preds.(j)
+      in
+      levels.(j) <- l;
+      l
+    end
+  in
+  for j = 0 to n - 1 do ignore (level j) done;
+  (* Paths mentioned (after normalization) by more than one definition:
+     the sharing opportunities for the per-(path, node) memo table. *)
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun (d : Schema.def) ->
+      let paths =
+        Shape.fold_paths
+          (fun e acc -> Analysis.Containment.norm_path e :: acc)
+          (Shape.And [ d.shape; d.target ])
+          []
+        |> List.sort_uniq Rdf.Path.compare
+      in
+      List.iter
+        (fun e ->
+          Hashtbl.replace tbl e
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl e)))
+        paths)
+    defs;
+  let shared_paths =
+    Hashtbl.fold (fun e c acc -> if c > 1 then (e, c) :: acc else acc) tbl []
+    |> List.sort (fun (e1, c1) (e2, c2) ->
+           let c = Int.compare c2 c1 in
+           if c <> 0 then c else Rdf.Path.compare e1 e2)
+  in
+  { defs; edges; class_of; classes; levels; skip_preds; shared_paths }
+
+let n_defs t = Array.length t.defs
+
+let n_levels t =
+  Array.fold_left (fun acc l -> max acc (l + 1)) 0 t.levels
+
+let order t =
+  let idx = List.init (n_defs t) Fun.id in
+  List.stable_sort (fun i j -> Int.compare t.levels.(i) t.levels.(j)) idx
+
+let equivalence_classes t =
+  Array.to_list t.classes |> List.filter (fun c -> List.length c > 1)
+
+let skippable t =
+  List.length (List.filter (fun j -> t.skip_preds.(j) <> [])
+                 (List.init (n_defs t) Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let def_name t i = (t.defs.(i) : Schema.def).name
+
+let pp ppf t =
+  let n = n_defs t in
+  Format.fprintf ppf "plan: %d shape(s), %d level(s)@." n (n_levels t);
+  let containments = List.filter (fun e -> not e.equivalent) t.edges in
+  let equivalences =
+    List.filter (fun e -> e.equivalent && e.sub < e.sup) t.edges
+  in
+  if containments <> [] then begin
+    Format.fprintf ppf "containments (sub [= sup):@.";
+    List.iter
+      (fun e ->
+        Format.fprintf ppf "  %a [= %a@." Term.pp (def_name t e.sub) Term.pp
+          (def_name t e.sup))
+      containments
+  end;
+  if equivalences <> [] then begin
+    Format.fprintf ppf "equivalences:@.";
+    List.iter
+      (fun e ->
+        Format.fprintf ppf "  %a == %a@." Term.pp (def_name t e.sub) Term.pp
+          (def_name t e.sup))
+      equivalences
+  end;
+  for l = 0 to n_levels t - 1 do
+    let members =
+      List.filter (fun i -> t.levels.(i) = l) (List.init n Fun.id)
+    in
+    Format.fprintf ppf "level %d:@." l;
+    List.iter
+      (fun i ->
+        match t.skip_preds.(i) with
+        | [] -> Format.fprintf ppf "  %a@." Term.pp (def_name t i)
+        | preds ->
+            Format.fprintf ppf "  %a (skip via %a)@." Term.pp (def_name t i)
+              (Format.pp_print_list
+                 ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+                 (fun ppf p -> Term.pp ppf (def_name t p)))
+              preds)
+      members
+  done;
+  match t.shared_paths with
+  | [] -> ()
+  | shared ->
+      Format.fprintf ppf "shared paths (memo candidates):@.";
+      List.iter
+        (fun (e, c) ->
+          Format.fprintf ppf "  %a used by %d shape(s)@." Rdf.Path.pp e c)
+        shared
+
+(* Hand-rolled JSON, as elsewhere in the repo (no JSON dependency). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  let name i = json_escape (Term.to_string (def_name t i)) in
+  Buffer.add_string buf "{\n  \"shapes\": [";
+  Array.iteri
+    (fun i _ ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Printf.sprintf "\"%s\"" (name i)))
+    t.defs;
+  Buffer.add_string buf "],\n  \"edges\": [\n";
+  List.iteri
+    (fun k e ->
+      if k > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"sub\": \"%s\", \"sup\": \"%s\", \
+                         \"equivalent\": %b}"
+           (name e.sub) (name e.sup) e.equivalent))
+    t.edges;
+  Buffer.add_string buf "\n  ],\n  \"levels\": [\n";
+  let nl = n_levels t in
+  for l = 0 to nl - 1 do
+    if l > 0 then Buffer.add_string buf ",\n";
+    let members =
+      List.filter (fun i -> t.levels.(i) = l) (List.init (n_defs t) Fun.id)
+    in
+    Buffer.add_string buf "    [";
+    List.iteri
+      (fun k i ->
+        if k > 0 then Buffer.add_string buf ", ";
+        Buffer.add_string buf (Printf.sprintf "\"%s\"" (name i)))
+      members;
+    Buffer.add_string buf "]"
+  done;
+  Buffer.add_string buf "\n  ],\n  \"skip\": [\n";
+  let first = ref true in
+  Array.iteri
+    (fun j preds ->
+      if preds <> [] then begin
+        if not !first then Buffer.add_string buf ",\n";
+        first := false;
+        Buffer.add_string buf
+          (Printf.sprintf "    {\"shape\": \"%s\", \"via\": [" (name j));
+        List.iteri
+          (fun k i ->
+            if k > 0 then Buffer.add_string buf ", ";
+            Buffer.add_string buf (Printf.sprintf "\"%s\"" (name i)))
+          preds;
+        Buffer.add_string buf "]}"
+      end)
+    t.skip_preds;
+  Buffer.add_string buf "\n  ],\n  \"shared_paths\": [\n";
+  List.iteri
+    (fun k (e, c) ->
+      if k > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"path\": \"%s\", \"shapes\": %d}"
+           (json_escape (Rdf.Path.to_string e)) c))
+    t.shared_paths;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf

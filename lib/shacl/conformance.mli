@@ -5,14 +5,18 @@
     [h] (used to resolve [hasShape] references). *)
 
 val conforms :
-  ?budget:Runtime.Budget.t ->
+  ?budget:Runtime.Budget.t -> ?path_memo:Path_memo.t ->
   Schema.t -> Rdf.Graph.t -> Rdf.Term.t -> Shape.t -> bool
 (** [conforms h g a phi] is [H, G, a ⊨ phi].  When [budget] is given it
     is consumed at memo lookups and path evaluations, and the check may
-    raise [Runtime.Budget.Exhausted]. *)
+    raise [Runtime.Budget.Exhausted].  When [path_memo] is given,
+    [[E]](v) evaluations are answered from (and recorded in) the shared
+    table — sound because the graph is immutable and path evaluation is
+    pure. *)
 
 val checker :
   ?counters:Counters.t -> ?budget:Runtime.Budget.t ->
+  ?path_memo:Path_memo.t ->
   Schema.t -> Rdf.Graph.t -> Shape.t ->
   Rdf.Term.t -> bool
 (** [checker h g phi] is a batch variant of {!conforms}: partially applied
@@ -28,6 +32,7 @@ val checker :
 
 val memoized :
   ?counters:Counters.t -> ?budget:Runtime.Budget.t ->
+  ?path_memo:Path_memo.t ->
   Schema.t -> Rdf.Graph.t ->
   Rdf.Term.t -> Shape.t -> bool
 (** Like {!checker}, but sharing one memo table across arbitrary shapes

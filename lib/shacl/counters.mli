@@ -15,6 +15,12 @@ type t = {
   mutable memo_hits : int;     (** probes answered from the table *)
   mutable memo_misses : int;   (** probes that fell through to compute *)
   mutable path_evals : int;    (** path-expression evaluations [[E]](v) *)
+  mutable path_memo_lookups : int;
+      (** per-(path, node) memo probes ({!Path_memo}) *)
+  mutable path_memo_hits : int;
+      (** path-memo probes answered from the table *)
+  mutable path_memo_misses : int;
+      (** path-memo probes that fell through to {!Rdf.Path.eval} *)
 }
 
 val create : unit -> t

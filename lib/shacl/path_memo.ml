@@ -1,0 +1,59 @@
+open Rdf
+
+(* One node-keyed table per distinct path expression, with the outer
+   level keyed structurally: physically distinct copies of the same
+   path (e.g. the same class path parsed in two shapes) share one
+   table, and a checker alternating between several compound paths
+   pays one hash per lookup rather than repositioning a hot-list. *)
+type t = { tables : (Path.t, (Term.t, Term.Set.t) Hashtbl.t) Hashtbl.t }
+
+let create () = { tables = Hashtbl.create 16 }
+
+(* A bare forward or inverse step is a single index lookup in the graph
+   — re-evaluating it is as cheap as hashing the memo key, so caching
+   those only adds overhead.  Compound paths (sequences, alternatives,
+   closures) do real traversal work and are the ones worth sharing. *)
+let worth_memoizing = function
+  | Path.Prop _ | Path.Inv (Path.Prop _) -> false
+  | _ -> true
+
+let table_for t e =
+  match Hashtbl.find_opt t.tables e with
+  | Some table -> table
+  | None ->
+      let table = Hashtbl.create 1024 in
+      Hashtbl.add t.tables e table;
+      table
+
+let eval ?counters t budget g e a =
+  Runtime.Budget.tick budget;
+  if not (worth_memoizing e) then begin
+    (match counters with
+    | Some c -> c.Counters.path_evals <- c.Counters.path_evals + 1
+    | None -> ());
+    Rdf.Path.eval ~step:(Runtime.Budget.step_hook budget) g e a
+  end
+  else begin
+    (match counters with
+    | Some c ->
+        c.Counters.path_memo_lookups <- c.Counters.path_memo_lookups + 1
+    | None -> ());
+    let table = table_for t e in
+    match Hashtbl.find_opt table a with
+    | Some cached ->
+        (match counters with
+        | Some c -> c.Counters.path_memo_hits <- c.Counters.path_memo_hits + 1
+        | None -> ());
+        cached
+    | None ->
+        (match counters with
+        | Some c ->
+            c.Counters.path_memo_misses <- c.Counters.path_memo_misses + 1;
+            c.Counters.path_evals <- c.Counters.path_evals + 1
+        | None -> ());
+        let result =
+          Rdf.Path.eval ~step:(Runtime.Budget.step_hook budget) g e a
+        in
+        Hashtbl.add table a result;
+        result
+  end

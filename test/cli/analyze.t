@@ -1,0 +1,227 @@
+The analyze subcommand reports the cross-shape containment lattice and
+the evaluation plan that validate executes under --optimize.  The
+fixture has a strict containment (StrictAuthorShape [= AuthorShape), a
+duplicated definition (AuthorShapeCopy == AuthorShape), and a shape
+with a redundant conjunct.
+
+  $ shaclprov analyze -s containment_shapes.ttl
+  warning[shape-equivalent] shape <http://example.org/AuthorShapeCopy>: shape is equivalent to <http://example.org/AuthorShape>; the definitions accept exactly the same nodes
+  warning[shape-equivalent] shape <http://example.org/StrictAuthorShape>: shape is equivalent to <http://example.org/RedundantShape>; the definitions accept exactly the same nodes
+  hint[shape-subsumed] shape <http://example.org/RedundantShape>: shape is subsumed by <http://example.org/AuthorShape>: every conforming node also conforms to it
+  hint[shape-subsumed] shape <http://example.org/RedundantShape>: shape is subsumed by <http://example.org/AuthorShapeCopy>: every conforming node also conforms to it
+  hint[constraint-redundant-within-shape] shape <http://example.org/RedundantShape>: conjunct >=1 <http://example.org/author> . top is implied by sibling conjunct 
+  >=2 <http://example.org/author> . top and can be dropped
+  hint[shape-subsumed] shape <http://example.org/StrictAuthorShape>: shape is subsumed by <http://example.org/AuthorShape>: every conforming node also conforms to it
+  hint[shape-subsumed] shape <http://example.org/StrictAuthorShape>: shape is subsumed by <http://example.org/AuthorShapeCopy>: every conforming node also conforms to it
+  plan: 9 shape(s), 4 level(s)
+  containments (sub [= sup):
+    <http://example.org/RedundantShape> [= <http://example.org/AuthorShape>
+    <http://example.org/RedundantShape> [= <http://example.org/AuthorShapeCopy>
+    <http://example.org/RedundantShape> [= _:genid0
+    <http://example.org/RedundantShape> [= _:genid2
+    <http://example.org/RedundantShape> [= _:genid4
+    <http://example.org/StrictAuthorShape> [= <http://example.org/AuthorShape>
+    <http://example.org/StrictAuthorShape> [= <http://example.org/AuthorShapeCopy>
+    <http://example.org/StrictAuthorShape> [= _:genid0
+    <http://example.org/StrictAuthorShape> [= _:genid2
+    <http://example.org/StrictAuthorShape> [= _:genid4
+    _:genid1 [= <http://example.org/AuthorShape>
+    _:genid1 [= <http://example.org/AuthorShapeCopy>
+    _:genid1 [= _:genid0
+    _:genid1 [= _:genid2
+    _:genid1 [= _:genid4
+    _:genid3 [= <http://example.org/AuthorShape>
+    _:genid3 [= <http://example.org/AuthorShapeCopy>
+    _:genid3 [= _:genid0
+    _:genid3 [= _:genid2
+    _:genid3 [= _:genid4
+  equivalences:
+    <http://example.org/AuthorShape> == <http://example.org/AuthorShapeCopy>
+    <http://example.org/AuthorShape> == _:genid0
+    <http://example.org/AuthorShape> == _:genid2
+    <http://example.org/AuthorShape> == _:genid4
+    <http://example.org/AuthorShapeCopy> == _:genid0
+    <http://example.org/AuthorShapeCopy> == _:genid2
+    <http://example.org/AuthorShapeCopy> == _:genid4
+    <http://example.org/RedundantShape> == <http://example.org/StrictAuthorShape>
+    <http://example.org/RedundantShape> == _:genid1
+    <http://example.org/RedundantShape> == _:genid3
+    <http://example.org/StrictAuthorShape> == _:genid1
+    <http://example.org/StrictAuthorShape> == _:genid3
+    _:genid0 == _:genid2
+    _:genid0 == _:genid4
+    _:genid1 == _:genid3
+    _:genid2 == _:genid4
+  level 0:
+    <http://example.org/RedundantShape>
+  level 1:
+    <http://example.org/StrictAuthorShape> (skip via <http://example.org/RedundantShape>)
+    _:genid1 (skip via <http://example.org/RedundantShape>)
+    _:genid3 (skip via <http://example.org/RedundantShape>)
+  level 2:
+    <http://example.org/AuthorShape> (skip via <http://example.org/StrictAuthorShape>, _:genid1, _:genid3)
+  level 3:
+    <http://example.org/AuthorShapeCopy> (skip via <http://example.org/AuthorShape>)
+    _:genid0 (skip via <http://example.org/AuthorShape>)
+    _:genid2 (skip via <http://example.org/AuthorShape>)
+    _:genid4 (skip via <http://example.org/AuthorShape>)
+  shared paths (memo candidates):
+    <http://example.org/author> used by 5 shape(s)
+    <http://www.w3.org/1999/02/22-rdf-syntax-ns#type>/<http://www.w3.org/2000/01/rdf-schema#subClassOf>* used by 4 shape(s)
+
+Machine-readable form for tooling.
+
+  $ shaclprov analyze -s containment_shapes.ttl --json
+  {
+    "diagnostics": [
+      {"severity": "warning", "code": "shape-equivalent", "shape": "<http://example.org/AuthorShapeCopy>", "message": "shape is equivalent to <http://example.org/AuthorShape>; the definitions accept exactly the same nodes"},
+      {"severity": "warning", "code": "shape-equivalent", "shape": "<http://example.org/StrictAuthorShape>", "message": "shape is equivalent to <http://example.org/RedundantShape>; the definitions accept exactly the same nodes"},
+      {"severity": "hint", "code": "shape-subsumed", "shape": "<http://example.org/RedundantShape>", "message": "shape is subsumed by <http://example.org/AuthorShape>: every conforming node also conforms to it"},
+      {"severity": "hint", "code": "shape-subsumed", "shape": "<http://example.org/RedundantShape>", "message": "shape is subsumed by <http://example.org/AuthorShapeCopy>: every conforming node also conforms to it"},
+      {"severity": "hint", "code": "constraint-redundant-within-shape", "shape": "<http://example.org/RedundantShape>", "message": "conjunct >=1 <http://example.org/author> . top is implied by sibling conjunct \n>=2 <http://example.org/author> . top and can be dropped"},
+      {"severity": "hint", "code": "shape-subsumed", "shape": "<http://example.org/StrictAuthorShape>", "message": "shape is subsumed by <http://example.org/AuthorShape>: every conforming node also conforms to it"},
+      {"severity": "hint", "code": "shape-subsumed", "shape": "<http://example.org/StrictAuthorShape>", "message": "shape is subsumed by <http://example.org/AuthorShapeCopy>: every conforming node also conforms to it"}
+    ],
+    "plan": {
+      "shapes": ["<http://example.org/AuthorShape>", "<http://example.org/AuthorShapeCopy>", "<http://example.org/RedundantShape>", "<http://example.org/StrictAuthorShape>", "_:genid0", "_:genid1", "_:genid2", "_:genid3", "_:genid4"],
+      "edges": [
+        {"sub": "<http://example.org/AuthorShape>", "sup": "<http://example.org/AuthorShapeCopy>", "equivalent": true},
+        {"sub": "<http://example.org/AuthorShape>", "sup": "_:genid0", "equivalent": true},
+        {"sub": "<http://example.org/AuthorShape>", "sup": "_:genid2", "equivalent": true},
+        {"sub": "<http://example.org/AuthorShape>", "sup": "_:genid4", "equivalent": true},
+        {"sub": "<http://example.org/AuthorShapeCopy>", "sup": "<http://example.org/AuthorShape>", "equivalent": true},
+        {"sub": "<http://example.org/AuthorShapeCopy>", "sup": "_:genid0", "equivalent": true},
+        {"sub": "<http://example.org/AuthorShapeCopy>", "sup": "_:genid2", "equivalent": true},
+        {"sub": "<http://example.org/AuthorShapeCopy>", "sup": "_:genid4", "equivalent": true},
+        {"sub": "<http://example.org/RedundantShape>", "sup": "<http://example.org/AuthorShape>", "equivalent": false},
+        {"sub": "<http://example.org/RedundantShape>", "sup": "<http://example.org/AuthorShapeCopy>", "equivalent": false},
+        {"sub": "<http://example.org/RedundantShape>", "sup": "<http://example.org/StrictAuthorShape>", "equivalent": true},
+        {"sub": "<http://example.org/RedundantShape>", "sup": "_:genid0", "equivalent": false},
+        {"sub": "<http://example.org/RedundantShape>", "sup": "_:genid1", "equivalent": true},
+        {"sub": "<http://example.org/RedundantShape>", "sup": "_:genid2", "equivalent": false},
+        {"sub": "<http://example.org/RedundantShape>", "sup": "_:genid3", "equivalent": true},
+        {"sub": "<http://example.org/RedundantShape>", "sup": "_:genid4", "equivalent": false},
+        {"sub": "<http://example.org/StrictAuthorShape>", "sup": "<http://example.org/AuthorShape>", "equivalent": false},
+        {"sub": "<http://example.org/StrictAuthorShape>", "sup": "<http://example.org/AuthorShapeCopy>", "equivalent": false},
+        {"sub": "<http://example.org/StrictAuthorShape>", "sup": "<http://example.org/RedundantShape>", "equivalent": true},
+        {"sub": "<http://example.org/StrictAuthorShape>", "sup": "_:genid0", "equivalent": false},
+        {"sub": "<http://example.org/StrictAuthorShape>", "sup": "_:genid1", "equivalent": true},
+        {"sub": "<http://example.org/StrictAuthorShape>", "sup": "_:genid2", "equivalent": false},
+        {"sub": "<http://example.org/StrictAuthorShape>", "sup": "_:genid3", "equivalent": true},
+        {"sub": "<http://example.org/StrictAuthorShape>", "sup": "_:genid4", "equivalent": false},
+        {"sub": "_:genid0", "sup": "<http://example.org/AuthorShape>", "equivalent": true},
+        {"sub": "_:genid0", "sup": "<http://example.org/AuthorShapeCopy>", "equivalent": true},
+        {"sub": "_:genid0", "sup": "_:genid2", "equivalent": true},
+        {"sub": "_:genid0", "sup": "_:genid4", "equivalent": true},
+        {"sub": "_:genid1", "sup": "<http://example.org/AuthorShape>", "equivalent": false},
+        {"sub": "_:genid1", "sup": "<http://example.org/AuthorShapeCopy>", "equivalent": false},
+        {"sub": "_:genid1", "sup": "<http://example.org/RedundantShape>", "equivalent": true},
+        {"sub": "_:genid1", "sup": "<http://example.org/StrictAuthorShape>", "equivalent": true},
+        {"sub": "_:genid1", "sup": "_:genid0", "equivalent": false},
+        {"sub": "_:genid1", "sup": "_:genid2", "equivalent": false},
+        {"sub": "_:genid1", "sup": "_:genid3", "equivalent": true},
+        {"sub": "_:genid1", "sup": "_:genid4", "equivalent": false},
+        {"sub": "_:genid2", "sup": "<http://example.org/AuthorShape>", "equivalent": true},
+        {"sub": "_:genid2", "sup": "<http://example.org/AuthorShapeCopy>", "equivalent": true},
+        {"sub": "_:genid2", "sup": "_:genid0", "equivalent": true},
+        {"sub": "_:genid2", "sup": "_:genid4", "equivalent": true},
+        {"sub": "_:genid3", "sup": "<http://example.org/AuthorShape>", "equivalent": false},
+        {"sub": "_:genid3", "sup": "<http://example.org/AuthorShapeCopy>", "equivalent": false},
+        {"sub": "_:genid3", "sup": "<http://example.org/RedundantShape>", "equivalent": true},
+        {"sub": "_:genid3", "sup": "<http://example.org/StrictAuthorShape>", "equivalent": true},
+        {"sub": "_:genid3", "sup": "_:genid0", "equivalent": false},
+        {"sub": "_:genid3", "sup": "_:genid1", "equivalent": true},
+        {"sub": "_:genid3", "sup": "_:genid2", "equivalent": false},
+        {"sub": "_:genid3", "sup": "_:genid4", "equivalent": false},
+        {"sub": "_:genid4", "sup": "<http://example.org/AuthorShape>", "equivalent": true},
+        {"sub": "_:genid4", "sup": "<http://example.org/AuthorShapeCopy>", "equivalent": true},
+        {"sub": "_:genid4", "sup": "_:genid0", "equivalent": true},
+        {"sub": "_:genid4", "sup": "_:genid2", "equivalent": true}
+      ],
+      "levels": [
+        ["<http://example.org/RedundantShape>"],
+        ["<http://example.org/StrictAuthorShape>", "_:genid1", "_:genid3"],
+        ["<http://example.org/AuthorShape>"],
+        ["<http://example.org/AuthorShapeCopy>", "_:genid0", "_:genid2", "_:genid4"]
+      ],
+      "skip": [
+        {"shape": "<http://example.org/AuthorShape>", "via": ["<http://example.org/StrictAuthorShape>", "_:genid1", "_:genid3"]},
+        {"shape": "<http://example.org/AuthorShapeCopy>", "via": ["<http://example.org/AuthorShape>"]},
+        {"shape": "<http://example.org/StrictAuthorShape>", "via": ["<http://example.org/RedundantShape>"]},
+        {"shape": "_:genid0", "via": ["<http://example.org/AuthorShape>"]},
+        {"shape": "_:genid1", "via": ["<http://example.org/RedundantShape>"]},
+        {"shape": "_:genid2", "via": ["<http://example.org/AuthorShape>"]},
+        {"shape": "_:genid3", "via": ["<http://example.org/RedundantShape>"]},
+        {"shape": "_:genid4", "via": ["<http://example.org/AuthorShape>"]}
+      ],
+      "shared_paths": [
+        {"path": "<http://example.org/author>", "shapes": 5},
+        {"path": "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>/<http://www.w3.org/2000/01/rdf-schema#subClassOf>*", "shapes": 4}
+      ]
+    }
+  }
+
+The same lattice surfaces as lint diagnostics.
+
+  $ shaclprov lint -s containment_shapes.ttl
+  warning[shape-equivalent] shape <http://example.org/AuthorShapeCopy>: shape is equivalent to <http://example.org/AuthorShape>; the definitions accept exactly the same nodes
+  warning[shape-equivalent] shape <http://example.org/StrictAuthorShape>: shape is equivalent to <http://example.org/RedundantShape>; the definitions accept exactly the same nodes
+  hint[shape-subsumed] shape <http://example.org/RedundantShape>: shape is subsumed by <http://example.org/AuthorShape>: every conforming node also conforms to it
+  hint[shape-subsumed] shape <http://example.org/RedundantShape>: shape is subsumed by <http://example.org/AuthorShapeCopy>: every conforming node also conforms to it
+  hint[constraint-redundant-within-shape] shape <http://example.org/RedundantShape>: conjunct >=1 <http://example.org/author> . top is implied by sibling conjunct 
+  >=2 <http://example.org/author> . top and can be dropped
+  hint[shape-subsumed] shape <http://example.org/StrictAuthorShape>: shape is subsumed by <http://example.org/AuthorShape>: every conforming node also conforms to it
+  hint[shape-subsumed] shape <http://example.org/StrictAuthorShape>: shape is subsumed by <http://example.org/AuthorShapeCopy>: every conforming node also conforms to it
+  9 shape(s) checked: 0 error(s), 2 warning(s), 5 hint(s)
+
+Validation with the planner enabled skips checks proven redundant and
+reports the skip count under --stats (single worker keeps the memo
+counters deterministic).
+
+  $ shaclprov validate -d data.ttl -s containment_shapes.ttl --optimize --stats -j 1
+  warning[shape-equivalent] shape <http://example.org/AuthorShapeCopy>: shape is equivalent to <http://example.org/AuthorShape>; the definitions accept exactly the same nodes
+  warning[shape-equivalent] shape <http://example.org/StrictAuthorShape>: shape is equivalent to <http://example.org/RedundantShape>; the definitions accept exactly the same nodes
+  engine: 1 job(s), 8 candidate(s) checked, 4 conforming, 0 triple(s) emitted
+  memo: 14 lookup(s), 0 hit(s), 14 miss(es); 6 path evaluation(s)
+  time: planning 0.000s, total 0.000s
+  containment: 2 check(s) skipped, 0 shared request(s)
+  shape <http://example.org/AuthorShape>: 2 candidate(s) (target-pruned), 2 conforming, 0.000s
+  shape <http://example.org/AuthorShapeCopy>: 2 candidate(s) (target-pruned), 2 conforming, 0.000s, 2 skipped
+  shape <http://example.org/RedundantShape>: 2 candidate(s) (target-pruned), 0 conforming, 0.000s
+  shape <http://example.org/StrictAuthorShape>: 2 candidate(s) (target-pruned), 0 conforming, 0.000s
+  shape _:genid0: 0 candidate(s) (target-pruned), 0 conforming, 0.000s
+  shape _:genid1: 0 candidate(s) (target-pruned), 0 conforming, 0.000s
+  shape _:genid2: 0 candidate(s) (target-pruned), 0 conforming, 0.000s
+  shape _:genid3: 0 candidate(s) (target-pruned), 0 conforming, 0.000s
+  shape _:genid4: 0 candidate(s) (target-pruned), 0 conforming, 0.000s
+  does not conform: 4 violation(s)
+    node <http://example.org/p2> violates shape <http://example.org/RedundantShape>
+    node <http://example.org/p1> violates shape <http://example.org/RedundantShape>
+    node <http://example.org/p2> violates shape <http://example.org/StrictAuthorShape>
+    node <http://example.org/p1> violates shape <http://example.org/StrictAuthorShape>
+  
+  [1]
+
+The optimizer is invisible in the report: byte-identical output with
+the planner on and off.
+
+  $ shaclprov validate -d data.ttl -s containment_shapes.ttl > off.txt 2>/dev/null || true
+  $ shaclprov validate -d data.ttl -s containment_shapes.ttl --optimize > on.txt 2>/dev/null || true
+  $ diff off.txt on.txt && echo identical
+  identical
+
+The bundled example schemas analyze cleanly; the workshop schema's
+loader-generated target shape is proven equivalent to its source
+definition and rides on it.
+
+  $ shaclprov analyze -s ../../examples/workshop_shapes.ttl
+  plan: 3 shape(s), 2 level(s)
+  equivalences:
+    <http://example.org/WorkshopShape> == _:genid0
+  level 0:
+    <http://example.org/WorkshopShape>
+    _:genid1
+  level 1:
+    _:genid0 (skip via <http://example.org/WorkshopShape>)
+  shared paths (memo candidates):
+    <http://www.w3.org/1999/02/22-rdf-syntax-ns#type>/<http://www.w3.org/2000/01/rdf-schema#subClassOf>* used by 2 shape(s)

@@ -41,6 +41,8 @@ let () =
       "schema", Test_schema.suite;
       "analysis", Test_analysis.suite;
       Tgen.qsuite "analysis:props" Test_analysis.props;
+      "containment", Test_containment.suite;
+      Tgen.qsuite "containment:props" Test_containment.props;
       "misc", Test_misc.suite;
       "extensions", Test_extensions.suite;
       Tgen.qsuite "extensions:props" Test_extensions.props ]
