@@ -30,6 +30,8 @@ module Stats = struct
     requests_shared : int;
     triples_emitted : int;
     retries : int;
+    interned_terms : int;
+    store_lookups : int;
     planning : float;
     wall : float;
     shapes : shape_stat list;
@@ -58,6 +60,9 @@ module Stats = struct
       Format.fprintf ppf
         "@,containment: %d check(s) skipped, %d shared request(s)"
         t.checks_skipped t.requests_shared;
+    if t.interned_terms > 0 then
+      Format.fprintf ppf "@,store: %d interned term(s), %d index probe(s)"
+        t.interned_terms t.store_lookups;
     let failures = List.length (failed_shapes t) in
     if failures > 0 || t.retries > 0 then
       Format.fprintf ppf "@,degraded: %d shape(s) failed, %d chunk retry(s)"
@@ -144,22 +149,99 @@ let make_queue items =
             queue := rest;
             Some x)
 
-(* Run [worker] on [jobs] domains.  Each domain body is wrapped so that
-   an exception cannot tear down the pool mid-join: every domain is
-   always joined — leaving the shared queue and merge mutex in a
-   consistent, released state — and only then is the first captured
-   error re-raised on the calling domain. *)
+(* Run [worker 0 .. worker (n-1)] on [n] domains, where [n] is [jobs]
+   capped at the hardware's recommended domain count — oversubscribing
+   domains on fewer cores only buys stop-the-world GC barriers and OS
+   timesharing (the Domain documentation advises against it).  Work
+   distribution stays keyed to [jobs] (chunking happens before the
+   pool), so statistics at a fixed -j do not depend on the machine;
+   only which worker drains which chunk does, and the per-worker
+   accumulators make that unobservable.  The index lets each worker own
+   a private accumulator.  Each domain body is wrapped so that an
+   exception cannot tear down the pool mid-join: every domain is always
+   joined — leaving the shared queue in a consistent, released state —
+   and only then is the first captured error re-raised on the calling
+   domain. *)
 let spawn_pool ~jobs worker =
-  if jobs <= 1 then worker ()
+  let n = min jobs (Domain.recommended_domain_count ()) in
+  if n <= 1 then worker 0
   else
     let domains =
-      List.init jobs (fun _ ->
+      List.init n (fun w ->
           Domain.spawn (fun () ->
-              match worker () with () -> None | exception e -> Some e))
+              match worker w with () -> None | exception e -> Some e))
     in
     match List.filter_map Domain.join domains with
     | [] -> ()
     | e :: _ -> raise e
+
+(* ---------------- per-worker accumulators --------------------------- *)
+
+(* Everything a run accumulates, owned by exactly one domain at a time:
+   each pool worker writes only its own record (no lock anywhere on the
+   merge path), the calling domain folds the records together once
+   after the pool is joined.  Result triples are a bitset over the
+   frozen store's canonical SPO row ids — chunk output merges by
+   bitwise OR, which is commutative, so the fragment is independent of
+   scheduling by construction.  [extra] catches triples with no row id
+   (only possible when the graph has no store, i.e. it is empty). *)
+type 'item acc = {
+  bits : Bytes.t;
+  extra : (Triple.t, unit) Hashtbl.t;
+  counters : Counters.t;
+  conf : int array;
+  skip : int array;
+  walls : float array;
+  mutable checked : int;
+  mutable failed : ('item * exn) list;
+}
+
+let make_acc ~nrows ~nshapes =
+  { bits = Bytes.make ((nrows + 7) / 8) '\000';
+    extra = Hashtbl.create 16;
+    counters = Counters.create ();
+    conf = Array.make nshapes 0;
+    skip = Array.make nshapes 0;
+    walls = Array.make nshapes 0.0;
+    checked = 0;
+    failed = [] }
+
+let or_bits ~into b =
+  for k = 0 to Bytes.length into - 1 do
+    Bytes.unsafe_set into k
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get into k)
+         lor Char.code (Bytes.unsafe_get b k)))
+  done
+
+let set_bit b r =
+  let k = r lsr 3 in
+  Bytes.unsafe_set b k
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get b k) lor (1 lsl (r land 7))))
+
+let get_bit b r = Char.code (Bytes.unsafe_get b (r lsr 3)) land (1 lsl (r land 7)) <> 0
+
+(* Fold every worker's accumulator into the first one (the calling
+   domain owns them all once the pool is joined). *)
+let fold_accs accs =
+  let final = accs.(0) in
+  Array.iteri
+    (fun w a ->
+      if w > 0 then begin
+        or_bits ~into:final.bits a.bits;
+        Hashtbl.iter (fun tr () -> Hashtbl.replace final.extra tr ()) a.extra;
+        Counters.add ~into:final.counters a.counters;
+        Array.iteri (fun i c -> final.conf.(i) <- final.conf.(i) + c) a.conf;
+        Array.iteri (fun i c -> final.skip.(i) <- final.skip.(i) + c) a.skip;
+        Array.iteri (fun i t -> final.walls.(i) <- final.walls.(i) +. t) a.walls;
+        final.checked <- final.checked + a.checked
+      end)
+    accs;
+  final
+
+(* Failed chunks of all workers, restored to arrival order per worker. *)
+let failed_of accs =
+  List.concat_map (fun a -> List.rev a.failed) (Array.to_list accs)
 
 (* Split a candidate array into at most [jobs] balanced chunks.  The
    split depends only on the array and [jobs], so execution statistics
@@ -206,6 +288,11 @@ let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
     ?(optimize = false) g requests =
   let jobs = max 1 jobs in
   let t0 = now () in
+  (* Freeze once up front: planning, checking and tracing all run
+     against the interned store, and workers share it read-only. *)
+  let g = Graph.freeze g in
+  let store = Graph.store g in
+  let nrows = match store with Some st -> Store.n_triples st | None -> 0 in
   let all_nodes = lazy (Graph.nodes g) in
   (* Under the optimizer, requests with equal target expressions share
      one base candidate computation (the stray-constant adjustment is
@@ -279,23 +366,30 @@ let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
          plans)
   in
   let pop = make_queue items in
-  (* Global accumulators, guarded by [merge_lock]. *)
-  let merge_lock = Mutex.create () in
-  let acc : (Triple.t, unit) Hashtbl.t = Hashtbl.create 1024 in
-  let totals = Counters.create () in
-  let conforming = Array.make nshapes 0 in
-  let walls = Array.make nshapes 0.0 in
-  let checked = ref 0 in
+  (* One accumulator per worker: the hot path merges chunk results into
+     the worker's own record without taking any lock; the records are
+     folded together once after the pool is joined. *)
+  let accs = Array.init jobs (fun _ -> make_acc ~nrows ~nshapes) in
   let retries = ref 0 in
-  let failed_chunks : ((int * Term.t array) * exn) list ref = ref [] in
   let failures : Runtime.Outcome.reason option array = Array.make nshapes None in
   (* Evaluate one chunk into private accumulators; raises on fault,
-     budget exhaustion, or any crash inside shape evaluation. *)
+     budget exhaustion, or any crash inside shape evaluation.  Emitted
+     triples become bits in a chunk-local row bitset: a neighborhood is
+     a subgraph of [g], so on a frozen graph every triple has a row. *)
   let eval_chunk ?path_memo (i, chunk) =
     probe_sites labels.(i);
     Runtime.Budget.check budget;
     let t = now () in
-    let local : (Triple.t, unit) Hashtbl.t = Hashtbl.create 256 in
+    let bits = Bytes.make ((nrows + 7) / 8) '\000' in
+    let extra = ref [] in
+    let mark tr =
+      match store with
+      | Some st -> (
+          match Store.row_of_triple st tr with
+          | Some r -> set_bit bits r
+          | None -> extra := tr :: !extra)
+      | None -> extra := tr :: !extra
+    in
     let counters = Counters.create () in
     let conforming = ref 0 in
     let check =
@@ -312,25 +406,23 @@ let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
         let conforms, neighborhood = check v in
         if conforms then begin
           incr conforming;
-          Graph.iter (fun tr -> Hashtbl.replace local tr ()) neighborhood
+          Graph.iter mark neighborhood
         end)
       chunk;
-    local, counters, !conforming, Array.length chunk, now () -. t
+    bits, !extra, counters, !conforming, Array.length chunk, now () -. t
   in
-  let merge (i, _chunk) (local, counters, chunk_conforming, chunk_checked, wall)
-      =
-    with_lock merge_lock (fun () ->
-        Hashtbl.iter (fun tr () -> Hashtbl.replace acc tr ()) local;
-        Counters.add ~into:totals counters;
-        conforming.(i) <- conforming.(i) + chunk_conforming;
-        walls.(i) <- walls.(i) +. wall;
-        checked := !checked + chunk_checked)
+  (* Lock-free: [acc] is owned by the calling worker. *)
+  let merge acc (i, _chunk)
+      (bits, extra, counters, chunk_conforming, chunk_checked, wall) =
+    or_bits ~into:acc.bits bits;
+    List.iter (fun tr -> Hashtbl.replace acc.extra tr ()) extra;
+    Counters.add ~into:acc.counters counters;
+    acc.conf.(i) <- acc.conf.(i) + chunk_conforming;
+    acc.walls.(i) <- acc.walls.(i) +. wall;
+    acc.checked <- acc.checked + chunk_checked
   in
-  let record_failed item e =
-    with_lock merge_lock (fun () ->
-        failed_chunks := (item, e) :: !failed_chunks)
-  in
-  let worker () =
+  let worker w =
+    let acc = accs.(w) in
     (* One path memo per worker domain: shared across every chunk — and
        so across shapes — this worker processes, never across domains. *)
     let path_memo = if optimize then Some (Path_memo.create ()) else None in
@@ -339,8 +431,8 @@ let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
       | None -> ()
       | Some item ->
           (match eval_chunk ?path_memo item with
-          | result -> merge item result
-          | exception e -> record_failed item e);
+          | result -> merge acc item result
+          | exception e -> acc.failed <- (item, e) :: acc.failed);
           drain ()
     in
     drain ()
@@ -349,7 +441,9 @@ let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
   (* Sequential degradation: retry each failed chunk once on this domain
      (faults may be transient; a fresh memo table also helps after an
      overflow), unless the budget is already gone — then skip straight
-     to the failure verdict so a timed-out run still returns promptly. *)
+     to the failure verdict so a timed-out run still returns promptly.
+     The pool is joined, so this domain owns every accumulator; retried
+     chunks merge into the first. *)
   let first_error = ref None in
   List.iter
     (fun (((i, _) as item), e) ->
@@ -366,14 +460,37 @@ let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
             if optimize then Some (Path_memo.create ()) else None
           in
           match eval_chunk ?path_memo item with
-          | result -> merge item result
+          | result -> merge accs.(0) item result
           | exception e' -> final_failure e'))
-    (List.rev !failed_chunks);
+    (failed_of accs);
   (match on_error, !first_error with
   | `Fail, Some e -> raise e
   | _ -> ());
+  let final = fold_accs accs in
+  let totals = final.counters in
+  let conforming = final.conf in
+  let walls = final.walls in
+  let checked = ref final.checked in
+  (* The fragment is decoded from the merged bitset in ascending row
+     order — canonical SPO order, independent of scheduling. *)
+  let emitted = ref 0 in
   let fragment =
-    Hashtbl.fold (fun tr () frag -> Graph.add_triple tr frag) acc Graph.empty
+    let frag = ref Graph.empty in
+    (match store with
+    | Some st ->
+        for r = 0 to nrows - 1 do
+          if get_bit final.bits r then begin
+            incr emitted;
+            frag := Graph.add_triple (Store.row_triple st r) !frag
+          end
+        done
+    | None -> ());
+    Hashtbl.iter
+      (fun tr () ->
+        incr emitted;
+        frag := Graph.add_triple tr !frag)
+      final.extra;
+    !frag
   in
   let shape_stats =
     List.mapi
@@ -418,8 +535,10 @@ let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
       path_memo_misses = totals.Counters.path_memo_misses;
       checks_skipped = 0;
       requests_shared;
-      triples_emitted = Hashtbl.length acc;
+      triples_emitted = !emitted;
       retries = !retries;
+      interned_terms = (match store with Some st -> Store.n_terms st | None -> 0);
+      store_lookups = totals.Counters.store_lookups;
       planning;
       wall = now () -. t0;
       shapes = shape_stats }
@@ -438,6 +557,8 @@ let validate ?(jobs = 1) ?(budget = Runtime.Budget.unlimited)
     ?(on_error = `Fail) ?(optimize = false) schema g =
   let jobs = max 1 jobs in
   let t0 = now () in
+  let g = Graph.freeze g in
+  let store = Graph.store g in
   (* The containment plan is static — graph-independent — and its cost
      is accounted as planning time. *)
   let plan_opt = if optimize then Some (Plan.make schema) else None in
@@ -486,13 +607,11 @@ let validate ?(jobs = 1) ?(budget = Runtime.Budget.unlimited)
               (fun i -> p.Plan.levels.(i) = l)
               (List.init ndefs Fun.id))
   in
-  let merge_lock = Mutex.create () in
-  let totals = Counters.create () in
-  let conforming = Array.make ndefs 0 in
-  let walls = Array.make ndefs 0.0 in
-  let checked = ref 0 in
+  (* One accumulator per worker, reused across levels: between levels
+     only the calling domain runs, and within a level each worker
+     touches only its own record — no lock on the merge path. *)
+  let accs = Array.init jobs (fun _ -> make_acc ~nrows:0 ~nshapes:ndefs) in
   let retries = ref 0 in
-  let skipped = Array.make ndefs 0 in
   let failures : Runtime.Outcome.reason option array = Array.make ndefs None in
   (* Skip sources for each def, rebuilt before its level runs: the
      verdict arrays of proven-contained predecessors that share this
@@ -550,14 +669,13 @@ let validate ?(jobs = 1) ?(budget = Runtime.Budget.unlimited)
       chunk;
     counters, !conforming, !chunk_skipped, Array.length chunk, now () -. t
   in
-  let merge (i, _, _)
+  let merge acc (i, _, _)
       (counters, chunk_conforming, chunk_skipped, chunk_checked, wall) =
-    with_lock merge_lock (fun () ->
-        Counters.add ~into:totals counters;
-        conforming.(i) <- conforming.(i) + chunk_conforming;
-        skipped.(i) <- skipped.(i) + chunk_skipped;
-        walls.(i) <- walls.(i) +. wall;
-        checked := !checked + chunk_checked)
+    Counters.add ~into:acc.counters counters;
+    acc.conf.(i) <- acc.conf.(i) + chunk_conforming;
+    acc.skip.(i) <- acc.skip.(i) + chunk_skipped;
+    acc.walls.(i) <- acc.walls.(i) +. wall;
+    acc.checked <- acc.checked + chunk_checked
   in
   let first_error = ref None in
   let run_level level_defs =
@@ -596,14 +714,8 @@ let validate ?(jobs = 1) ?(budget = Runtime.Budget.unlimited)
         level_defs
     in
     let pop = make_queue items in
-    let failed_chunks : ((int * int * Term.t array) * exn) list ref =
-      ref []
-    in
-    let record_failed item e =
-      with_lock merge_lock (fun () ->
-          failed_chunks := (item, e) :: !failed_chunks)
-    in
-    let worker () =
+    let worker w =
+      let acc = accs.(w) in
       let path_memo =
         match solo_memo with
         | Some _ -> solo_memo
@@ -614,13 +726,15 @@ let validate ?(jobs = 1) ?(budget = Runtime.Budget.unlimited)
         | None -> ()
         | Some item ->
             (match eval_chunk ?path_memo item with
-            | result -> merge item result
-            | exception e -> record_failed item e);
+            | result -> merge acc item result
+            | exception e -> acc.failed <- (item, e) :: acc.failed);
             drain ()
       in
       drain ()
     in
     spawn_pool ~jobs worker;
+    let failed_chunks = failed_of accs in
+    Array.iter (fun a -> a.failed <- []) accs;
     List.iter
       (fun (((i, _, _) as item), e) ->
         let final_failure e =
@@ -636,9 +750,9 @@ let validate ?(jobs = 1) ?(budget = Runtime.Budget.unlimited)
               if optimize then Some (Path_memo.create ()) else None
             in
             match eval_chunk ?path_memo item with
-            | result -> merge item result
+            | result -> merge accs.(0) item result
             | exception e' -> final_failure e'))
-      (List.rev !failed_chunks);
+      failed_chunks
   in
   List.iter
     (fun level_defs ->
@@ -647,6 +761,12 @@ let validate ?(jobs = 1) ?(budget = Runtime.Budget.unlimited)
   (match on_error, !first_error with
   | `Fail, Some e -> raise e
   | _ -> ());
+  let final = fold_accs accs in
+  let totals = final.counters in
+  let conforming = final.conf in
+  let skipped = final.skip in
+  let walls = final.walls in
+  let checked = ref final.checked in
   (* Assemble results exactly as the sequential [Validate.validate] does:
      per definition, a [Term.Set.fold] pushing to the front — i.e. each
      definition's results in descending node order.  Definitions whose
@@ -704,6 +824,8 @@ let validate ?(jobs = 1) ?(budget = Runtime.Budget.unlimited)
       requests_shared = 0;
       triples_emitted = 0;
       retries = !retries;
+      interned_terms = (match store with Some st -> Store.n_terms st | None -> 0);
+      store_lookups = totals.Counters.store_lookups;
       planning;
       wall = now () -. t0;
       shapes = shape_stats }

@@ -88,6 +88,10 @@ module Stats : sig
     requests_shared : int; (** requests that rode on an equal request *)
     triples_emitted : int; (** size of the merged fragment *)
     retries : int;         (** failed chunks retried sequentially *)
+    interned_terms : int;  (** terms in the frozen graph's dictionary *)
+    store_lookups : int;
+        (** adjacency-index probes made by path evaluation (each [Prop]
+            or inverse-[Prop] application at a node) *)
     planning : float;      (** seconds spent planning candidate sets
                                (including the containment plan) *)
     wall : float;          (** end-to-end seconds for the run *)
@@ -133,6 +137,12 @@ val run :
 (** [run g requests] computes [⋃ Frag(G, shape)] over the requests and
     reports statistics.  [jobs] defaults to 1 (no domains spawned);
     [budget] defaults to unlimited; [on_error] defaults to [`Fail].
+
+    The pool spawns at most [Domain.recommended_domain_count ()]
+    domains regardless of [jobs] — oversubscribing a machine's cores
+    only costs GC barriers.  Work is still chunked by [jobs], so the
+    output and the deterministic statistics of [-j N] are the same on
+    every machine; only wall-clock time depends on the hardware.
 
     With [~optimize:true] (default off) the cross-shape optimizer is
     enabled: requests that are structurally equal after reference

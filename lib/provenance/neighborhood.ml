@@ -47,6 +47,11 @@ let count_miss counters =
   | Some c -> c.Counters.memo_misses <- c.Counters.memo_misses + 1
   | None -> ()
 
+let count_store_lookup counters =
+  match counters with
+  | None -> ignore
+  | Some c -> fun () -> c.Counters.store_lookups <- c.Counters.store_lookups + 1
+
 let make_naive ?counters ?(budget = Runtime.Budget.unlimited)
     ?(schema = Schema.empty) ?path_memo g =
   let memo : (Term.t * Shape.t, Graph.t) Hashtbl.t = Hashtbl.create 256 in
@@ -59,7 +64,9 @@ let make_naive ?counters ?(budget = Runtime.Budget.unlimited)
         (match counters with
         | Some c -> c.Counters.path_evals <- c.Counters.path_evals + 1
         | None -> ());
-        Rdf.Path.eval ~step:(Runtime.Budget.step_hook budget) g e v
+        Rdf.Path.eval
+          ~step:(Runtime.Budget.step_hook budget)
+          ~lookup:(count_store_lookup counters) g e v
   in
   let trace_all e v ~targets =
     Rdf.Path.trace_all ~step:(Runtime.Budget.step_hook budget) g e v ~targets
@@ -221,7 +228,9 @@ let make_instrumented ?counters ?(budget = Runtime.Budget.unlimited)
         (match counters with
         | Some c -> c.Counters.path_evals <- c.Counters.path_evals + 1
         | None -> ());
-        Rdf.Path.eval ~step:(Runtime.Budget.step_hook budget) g e v
+        Rdf.Path.eval
+          ~step:(Runtime.Budget.step_hook budget)
+          ~lookup:(count_store_lookup counters) g e v
   in
   let trace_all e v ~targets =
     Rdf.Path.trace_all ~step:(Runtime.Budget.step_hook budget) g e v ~targets

@@ -2,28 +2,57 @@
      spo : subject -> predicate -> object set
      pos : predicate -> object -> subject set
      osp : object -> subject -> predicate set
-   [size] caches the triple count so [cardinal] is O(1). *)
+   [size] caches the triple count so [cardinal] is O(1).
+
+   The persistent maps are the builder representation: purely
+   functional, sharable, cheap to update.  [freeze] packs the same
+   triple set into an interned, int-packed [Store.t] (term dictionary +
+   sorted-array SPO/POS/OSP indexes) that answers the hot read paths
+   with binary searches and no per-lookup allocation; any update drops
+   the store, so a store never disagrees with the maps it was built
+   from.
+
+   [uid] identifies the triple set for external memo tables
+   (Shacl.Path_memo keys its entries per graph): two graphs with the
+   same uid always hold the same triples — updates allocate a fresh
+   uid, while [freeze] keeps it (same triples, new index). *)
 
 type t = {
   spo : Term.Set.t Iri.Map.t Term.Map.t;
   pos : Term.Set.t Term.Map.t Iri.Map.t;
   osp : Iri.Set.t Term.Map.t Term.Map.t;
   size : int;
+  uid : int;
+  store : Store.t option;
 }
 
+let uid_counter = Atomic.make 1
+let fresh_uid () = Atomic.fetch_and_add uid_counter 1
+
 let empty =
-  { spo = Term.Map.empty; pos = Iri.Map.empty; osp = Term.Map.empty; size = 0 }
+  { spo = Term.Map.empty;
+    pos = Iri.Map.empty;
+    osp = Term.Map.empty;
+    size = 0;
+    uid = 0;
+    store = None }
 
 let is_empty g = g.size = 0
 let cardinal g = g.size
+let uid g = g.uid
+let store g = g.store
+let frozen g = g.store <> None
 
 let mem_spo s p o g =
-  match Term.Map.find_opt s g.spo with
-  | None -> false
-  | Some by_p -> (
-      match Iri.Map.find_opt p by_p with
+  match g.store with
+  | Some st -> Store.mem st s p o
+  | None -> (
+      match Term.Map.find_opt s g.spo with
       | None -> false
-      | Some objs -> Term.Set.mem o objs)
+      | Some by_p -> (
+          match Iri.Map.find_opt p by_p with
+          | None -> false
+          | Some objs -> Term.Set.mem o objs))
 
 let mem t g = mem_spo (Triple.subject t) (Triple.predicate t) (Triple.object_ t) g
 
@@ -52,7 +81,7 @@ let add s p o g =
       let preds = Option.value (Term.Map.find_opt s by_s) ~default:Iri.Set.empty in
       Term.Map.add o (Term.Map.add s (Iri.Set.add p preds) by_s) g.osp
     in
-    { spo; pos; osp; size = g.size + 1 }
+    { spo; pos; osp; size = g.size + 1; uid = fresh_uid (); store = None }
 
 let add_triple t g = add (Triple.subject t) (Triple.predicate t) (Triple.object_ t) g
 
@@ -90,7 +119,7 @@ let remove t g =
       if Term.Map.is_empty by_s then Term.Map.remove o g.osp
       else Term.Map.add o by_s g.osp
     in
-    { spo; pos; osp; size = g.size - 1 }
+    { spo; pos; osp; size = g.size - 1; uid = fresh_uid (); store = None }
 
 let fold f g acc =
   Term.Map.fold
@@ -146,42 +175,58 @@ let predicates_between g s o =
   | Some by_s -> Option.value (Term.Map.find_opt s by_s) ~default:Iri.Set.empty
 
 let subject_triples g s =
-  match Term.Map.find_opt s g.spo with
-  | None -> []
-  | Some by_p ->
-      Iri.Map.fold
-        (fun p objs acc ->
-          Term.Set.fold (fun o acc -> Triple.make s p o :: acc) objs acc)
-        by_p []
+  match g.store with
+  | Some st -> Store.subject_triples st s
+  | None -> (
+      match Term.Map.find_opt s g.spo with
+      | None -> []
+      | Some by_p ->
+          Iri.Map.fold
+            (fun p objs acc ->
+              Term.Set.fold (fun o acc -> Triple.make s p o :: acc) objs acc)
+            by_p [])
 
 let object_triples g o =
-  match Term.Map.find_opt o g.osp with
-  | None -> []
-  | Some by_s ->
-      Term.Map.fold
-        (fun s preds acc ->
-          Iri.Set.fold (fun p acc -> Triple.make s p o :: acc) preds acc)
-        by_s []
+  match g.store with
+  | Some st -> Store.object_triples st o
+  | None -> (
+      match Term.Map.find_opt o g.osp with
+      | None -> []
+      | Some by_s ->
+          Term.Map.fold
+            (fun s preds acc ->
+              Iri.Set.fold (fun p acc -> Triple.make s p o :: acc) preds acc)
+            by_s [])
 
 let predicate_triples g p =
-  match Iri.Map.find_opt p g.pos with
-  | None -> []
-  | Some by_o ->
-      Term.Map.fold
-        (fun o subs acc ->
-          Term.Set.fold (fun s acc -> Triple.make s p o :: acc) subs acc)
-        by_o []
+  match g.store with
+  | Some st -> Store.predicate_triples st p
+  | None -> (
+      match Iri.Map.find_opt p g.pos with
+      | None -> []
+      | Some by_o ->
+          Term.Map.fold
+            (fun o subs acc ->
+              Term.Set.fold (fun s acc -> Triple.make s p o :: acc) subs acc)
+            by_o [])
 
 let out_predicates g s =
-  match Term.Map.find_opt s g.spo with
-  | None -> Iri.Set.empty
-  | Some by_p -> Iri.Map.fold (fun p _ acc -> Iri.Set.add p acc) by_p Iri.Set.empty
+  match g.store with
+  | Some st -> Store.out_predicates st s
+  | None -> (
+      match Term.Map.find_opt s g.spo with
+      | None -> Iri.Set.empty
+      | Some by_p ->
+          Iri.Map.fold (fun p _ acc -> Iri.Set.add p acc) by_p Iri.Set.empty)
 
 let nodes g =
-  let subs =
-    Term.Map.fold (fun s _ acc -> Term.Set.add s acc) g.spo Term.Set.empty
-  in
-  Term.Map.fold (fun o _ acc -> Term.Set.add o acc) g.osp subs
+  match g.store with
+  | Some st -> Store.nodes st
+  | None ->
+      let subs =
+        Term.Map.fold (fun s _ acc -> Term.Set.add s acc) g.spo Term.Set.empty
+      in
+      Term.Map.fold (fun o _ acc -> Term.Set.add o acc) g.osp subs
 
 let subjects_all g =
   Term.Map.fold (fun s _ acc -> Term.Set.add s acc) g.spo Term.Set.empty
@@ -190,6 +235,19 @@ let predicates_all g =
   Iri.Map.fold (fun p _ acc -> Iri.Set.add p acc) g.pos Iri.Set.empty
 
 let to_seq g = List.to_seq (to_list g)
+
+let freeze g =
+  if g.store <> None then g
+  else if g.size = 0 then g
+  else begin
+    let dummy =
+      Triple.make (Term.Blank "") (Iri.of_string "urn:x-dummy") (Term.Blank "")
+    in
+    let arr = Array.make g.size dummy in
+    let k = ref 0 in
+    iter (fun t -> arr.(!k) <- t; incr k) g;
+    { g with store = Some (Store.of_triples arr) }
+  end
 
 let pp ppf g =
   let first = ref true in

@@ -6,7 +6,14 @@
     of [s] via [p]", "subjects reaching [o] via [p]", "all triples around a
     node" — are logarithmic rather than linear.
 
-    All operations are purely functional; graphs can be shared freely. *)
+    All operations are purely functional; graphs can be shared freely.
+
+    The persistent maps are the {e builder} representation.  {!freeze}
+    additionally packs the triple set into an interned, int-packed
+    {!Store.t} (term dictionary + sorted-array indexes) that the read
+    paths dispatch to; read-heavy phases (validation, tracing) should
+    freeze the graph once up front.  Updating a frozen graph simply
+    drops the store. *)
 
 type t
 
@@ -15,6 +22,22 @@ val is_empty : t -> bool
 
 val cardinal : t -> int
 (** Number of triples. *)
+
+(** {1 Freezing} *)
+
+val freeze : t -> t
+(** Same triple set (and same {!uid}), with an interned {!Store.t}
+    built for it.  Idempotent; [O(n log n)] the first time. *)
+
+val frozen : t -> bool
+
+val store : t -> Store.t option
+(** The interned store, when the graph has been {!freeze}d. *)
+
+val uid : t -> int
+(** Identity of the {e triple set}, for external memo tables: two
+    graphs with the same uid hold the same triples.  [empty] has uid 0;
+    every update allocates a fresh uid; {!freeze} keeps it. *)
 
 (** {1 Building} *)
 

@@ -47,33 +47,181 @@ let closure step seeds =
    re-evaluation of a sub-path at a new node; callers use it to charge
    evaluation budgets proportionally to the work actually done (and to
    interrupt adversarially deep path expressions before the recursion
-   gets anywhere near the stack limit). *)
-let rec eval ?(step = ignore) g e a =
-  step ();
-  match e with
-  | Prop p -> Graph.objects g a p
-  | Inv e -> eval_inv ~step g e a
-  | Seq (e1, e2) ->
-      Term.Set.fold
-        (fun m acc -> Term.Set.union acc (eval ~step g e2 m))
-        (eval ~step g e1 a) Term.Set.empty
-  | Alt (e1, e2) -> Term.Set.union (eval ~step g e1 a) (eval ~step g e2 a)
-  | Opt e -> Term.Set.add a (eval ~step g e a)
-  | Star e -> closure (fun x -> eval ~step g e x) (Term.Set.singleton a)
+   gets anywhere near the stack limit).  [lookup] is invoked once per
+   adjacency-index probe (a [Prop]/[Inv Prop] application at one node),
+   so instrumented callers can report index traffic.
 
-and eval_inv ?(step = ignore) g e b =
+   Two interchangeable cores compute [[E]](a).  The map core walks the
+   graph's persistent indexes on terms.  The interned core — used when
+   the graph has been [Graph.freeze]d — runs the same recursion on
+   dense int ids over the frozen store's sorted-array indexes, and
+   decodes back to terms only at the result boundary.  Ids are assigned
+   in [Term.compare] order, so both cores visit nodes in the same
+   order, call [step]/[lookup] identically, and agree exactly; the
+   interned core replaces every term comparison (string and literal
+   compares) on the hot path with an int comparison. *)
+let rec eval_maps ~step ~lookup g e a =
   step ();
   match e with
-  | Prop p -> Graph.subjects g p b
-  | Inv e -> eval ~step g e b
+  | Prop p ->
+      lookup ();
+      Graph.objects g a p
+  | Inv e -> eval_inv_maps ~step ~lookup g e a
   | Seq (e1, e2) ->
       Term.Set.fold
-        (fun m acc -> Term.Set.union acc (eval_inv ~step g e1 m))
-        (eval_inv ~step g e2 b) Term.Set.empty
+        (fun m acc -> Term.Set.union acc (eval_maps ~step ~lookup g e2 m))
+        (eval_maps ~step ~lookup g e1 a)
+        Term.Set.empty
   | Alt (e1, e2) ->
-      Term.Set.union (eval_inv ~step g e1 b) (eval_inv ~step g e2 b)
-  | Opt e -> Term.Set.add b (eval_inv ~step g e b)
-  | Star e -> closure (fun x -> eval_inv ~step g e x) (Term.Set.singleton b)
+      Term.Set.union (eval_maps ~step ~lookup g e1 a) (eval_maps ~step ~lookup g e2 a)
+  | Opt e -> Term.Set.add a (eval_maps ~step ~lookup g e a)
+  | Star e ->
+      closure (fun x -> eval_maps ~step ~lookup g e x) (Term.Set.singleton a)
+
+and eval_inv_maps ~step ~lookup g e b =
+  step ();
+  match e with
+  | Prop p ->
+      lookup ();
+      Graph.subjects g p b
+  | Inv e -> eval_maps ~step ~lookup g e b
+  | Seq (e1, e2) ->
+      Term.Set.fold
+        (fun m acc -> Term.Set.union acc (eval_inv_maps ~step ~lookup g e1 m))
+        (eval_inv_maps ~step ~lookup g e2 b)
+        Term.Set.empty
+  | Alt (e1, e2) ->
+      Term.Set.union
+        (eval_inv_maps ~step ~lookup g e1 b)
+        (eval_inv_maps ~step ~lookup g e2 b)
+  | Opt e -> Term.Set.add b (eval_inv_maps ~step ~lookup g e b)
+  | Star e ->
+      closure (fun x -> eval_inv_maps ~step ~lookup g e x) (Term.Set.singleton b)
+
+(* ---------------- interned core ------------------------------------ *)
+
+module IdSet = Set.Make (Int)
+
+let closure_ids step seeds =
+  let rec loop visited frontier =
+    if IdSet.is_empty frontier then visited
+    else
+      let next =
+        IdSet.fold (fun x acc -> IdSet.union acc (step x)) frontier IdSet.empty
+      in
+      let fresh = IdSet.diff next visited in
+      loop (IdSet.union visited fresh) fresh
+  in
+  loop seeds seeds
+
+let objects_ids st pid a =
+  let lo, hi = Store.objects_range st ~s:a ~p:pid in
+  let acc = ref IdSet.empty in
+  for i = lo to hi - 1 do
+    acc := IdSet.add (Store.spo_obj st i) !acc
+  done;
+  !acc
+
+let subjects_ids st pid b =
+  let lo, hi = Store.subjects_range st ~p:pid ~o:b in
+  let acc = ref IdSet.empty in
+  for i = lo to hi - 1 do
+    acc := IdSet.add (Store.pos_subj st i) !acc
+  done;
+  !acc
+
+let rec eval_ids ~step ~lookup st e a =
+  step ();
+  match e with
+  | Prop p -> (
+      lookup ();
+      match Store.pred_id st p with
+      | None -> IdSet.empty
+      | Some pid -> objects_ids st pid a)
+  | Inv e -> eval_inv_ids ~step ~lookup st e a
+  | Seq (e1, e2) ->
+      IdSet.fold
+        (fun m acc -> IdSet.union acc (eval_ids ~step ~lookup st e2 m))
+        (eval_ids ~step ~lookup st e1 a)
+        IdSet.empty
+  | Alt (e1, e2) ->
+      IdSet.union (eval_ids ~step ~lookup st e1 a) (eval_ids ~step ~lookup st e2 a)
+  | Opt e -> IdSet.add a (eval_ids ~step ~lookup st e a)
+  | Star e ->
+      closure_ids (fun x -> eval_ids ~step ~lookup st e x) (IdSet.singleton a)
+
+and eval_inv_ids ~step ~lookup st e b =
+  step ();
+  match e with
+  | Prop p -> (
+      lookup ();
+      match Store.pred_id st p with
+      | None -> IdSet.empty
+      | Some pid -> subjects_ids st pid b)
+  | Inv e -> eval_ids ~step ~lookup st e b
+  | Seq (e1, e2) ->
+      IdSet.fold
+        (fun m acc -> IdSet.union acc (eval_inv_ids ~step ~lookup st e1 m))
+        (eval_inv_ids ~step ~lookup st e2 b)
+        IdSet.empty
+  | Alt (e1, e2) ->
+      IdSet.union
+        (eval_inv_ids ~step ~lookup st e1 b)
+        (eval_inv_ids ~step ~lookup st e2 b)
+  | Opt e -> IdSet.add b (eval_inv_ids ~step ~lookup st e b)
+  | Star e ->
+      closure_ids (fun x -> eval_inv_ids ~step ~lookup st e x) (IdSet.singleton b)
+
+(* Ids are term-ordered, so the ascending fold decodes to an ascending
+   insertion sequence. *)
+let decode st ids =
+  IdSet.fold (fun i acc -> Term.Set.add (Store.term st i) acc) ids Term.Set.empty
+
+(* ---------------- dispatch ----------------------------------------- *)
+
+(* Bare [p] / [p⁻] stay on the persistent maps even when frozen: the
+   map answers with a shared, already-built set (no allocation at all),
+   which beats decoding a store range.  Compound paths on a frozen
+   graph run entirely in id space.  A start node the dictionary has
+   never seen falls back to the map core (all its adjacency lookups
+   answer empty there, so the call is cheap). *)
+let eval ?(step = ignore) ?(lookup = ignore) g e a =
+  match e with
+  | Prop p ->
+      step ();
+      lookup ();
+      Graph.objects g a p
+  | Inv (Prop p) ->
+      step ();
+      step ();
+      lookup ();
+      Graph.subjects g p a
+  | _ -> (
+      match Graph.store g with
+      | Some st -> (
+          match Store.id st a with
+          | Some aid -> decode st (eval_ids ~step ~lookup st e aid)
+          | None -> eval_maps ~step ~lookup g e a)
+      | None -> eval_maps ~step ~lookup g e a)
+
+and eval_inv ?(step = ignore) ?(lookup = ignore) g e b =
+  match e with
+  | Prop p ->
+      step ();
+      lookup ();
+      Graph.subjects g p b
+  | Inv (Prop p) ->
+      step ();
+      step ();
+      lookup ();
+      Graph.objects g b p
+  | _ -> (
+      match Graph.store g with
+      | Some st -> (
+          match Store.id st b with
+          | Some bid -> decode st (eval_inv_ids ~step ~lookup st e bid)
+          | None -> eval_inv_maps ~step ~lookup g e b)
+      | None -> eval_inv_maps ~step ~lookup g e b)
 
 let holds g e a b = Term.Set.mem b (eval g e a)
 

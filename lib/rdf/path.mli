@@ -37,13 +37,22 @@ val compare : t -> t -> int
 
 (** {1 Evaluation} *)
 
-val eval : ?step:(unit -> unit) -> Graph.t -> t -> Term.t -> Term.Set.t
+val eval :
+  ?step:(unit -> unit) -> ?lookup:(unit -> unit) ->
+  Graph.t -> t -> Term.t -> Term.Set.t
 (** [eval g e a] is [[[E]]^G(a) = {b | (a,b) ∈ [[E]]^G}].  For [E*] and
     [E?] this includes [a] itself (the identity is over all of [N]).
     [step] is called once per path-operator application — a hook for
-    evaluation budgets; any exception it raises aborts the evaluation. *)
+    evaluation budgets; any exception it raises aborts the evaluation.
+    [lookup] is called once per adjacency-index probe (each [Prop] /
+    inverse-[Prop] application at a node) — a hook for index-traffic
+    counters.  On a {!Graph.freeze}d graph, compound paths are evaluated
+    on the interned store's int ids; both cores call [step] and [lookup]
+    identically and return the same set. *)
 
-val eval_inv : ?step:(unit -> unit) -> Graph.t -> t -> Term.t -> Term.Set.t
+val eval_inv :
+  ?step:(unit -> unit) -> ?lookup:(unit -> unit) ->
+  Graph.t -> t -> Term.t -> Term.Set.t
 (** [eval_inv g e b] is [{a | (a,b) ∈ [[E]]^G}]. *)
 
 val holds : Graph.t -> t -> Term.t -> Term.t -> bool

@@ -1,0 +1,303 @@
+(* Frozen, interned, int-packed triple store.
+
+   All terms of the graph are interned into a Dict (dense ids assigned
+   in Term.compare order), and the triple set is packed into three
+   sorted int-column indexes:
+
+     spo_*  rows sorted by (subject, predicate, object)
+     pos_*  rows sorted by (predicate, object, subject)
+     osp_*  rows sorted by (object, subject, predicate)
+
+   Every access pattern of validation and provenance tracing — objects
+   of [s] via [p], subjects reaching [o] via [p], all triples around a
+   node, triple membership — is a binary search to a contiguous row
+   range, with no per-lookup allocation.  The store is immutable after
+   construction and safe to share across domains.
+
+   A triple's identity is its row index in the canonical SPO ordering
+   ([triple_row]/[row_triple]); the parallel engine uses these row ids
+   as positions in per-worker output bitsets. *)
+
+type t = {
+  dict : Dict.t;
+  n : int;
+  spo_s : int array; spo_p : int array; spo_o : int array;
+  pos_p : int array; pos_o : int array; pos_s : int array;
+  osp_o : int array; osp_s : int array; osp_p : int array;
+  nodes : Term.Set.t;   (* decoded N(G), cached at build time *)
+  node_ids : bool array; (* id is a subject or object *)
+}
+
+let n_triples t = t.n
+let n_terms t = Dict.size t.dict
+let dict t = t.dict
+let id t x = Dict.find t.dict x
+let pred_id t p = Dict.find t.dict (Term.Iri p)
+let term t i = Dict.term t.dict i
+let nodes t = t.nodes
+
+let iri_of_id t i =
+  match Dict.term t.dict i with
+  | Term.Iri p -> p
+  | _ -> invalid_arg "Store.iri_of_id: id is not an IRI"
+
+(* ---------------- construction ------------------------------------- *)
+
+let sort_rows s p o order =
+  (* [order] is a permutation of row indices; sort it lexicographically
+     by the three key columns given. *)
+  let cmp i j =
+    let c = Int.compare s.(i) s.(j) in
+    if c <> 0 then c
+    else
+      let c = Int.compare p.(i) p.(j) in
+      if c <> 0 then c else Int.compare o.(i) o.(j)
+  in
+  Array.sort cmp order;
+  order
+
+let of_triples triples =
+  let m = Array.length triples in
+  (* distinct terms, sorted, so ids agree with Term.compare *)
+  let seen = Hashtbl.create (2 * m + 1) in
+  let note x = if not (Hashtbl.mem seen x) then Hashtbl.add seen x () in
+  Array.iter
+    (fun tr ->
+      note (Triple.subject tr);
+      note (Term.Iri (Triple.predicate tr));
+      note (Triple.object_ tr))
+    triples;
+  let terms = Array.make (Hashtbl.length seen) (Term.Blank "") in
+  let k = ref 0 in
+  Hashtbl.iter (fun x () -> terms.(!k) <- x; incr k) seen;
+  Array.sort Term.compare terms;
+  let dict = Dict.of_sorted terms in
+  let intern x =
+    match Dict.find dict x with Some i -> i | None -> assert false
+  in
+  let rs = Array.make m 0 and rp = Array.make m 0 and ro = Array.make m 0 in
+  Array.iteri
+    (fun i tr ->
+      rs.(i) <- intern (Triple.subject tr);
+      rp.(i) <- intern (Term.Iri (Triple.predicate tr));
+      ro.(i) <- intern (Triple.object_ tr))
+    triples;
+  (* canonical SPO order, deduplicated *)
+  let order = sort_rows rs rp ro (Array.init m Fun.id) in
+  let keep = ref [] and n = ref 0 in
+  Array.iteri
+    (fun k r ->
+      let dup =
+        k > 0
+        &&
+        let q = order.(k - 1) in
+        rs.(q) = rs.(r) && rp.(q) = rp.(r) && ro.(q) = ro.(r)
+      in
+      if not dup then begin keep := r :: !keep; incr n end)
+    order;
+  let n = !n in
+  let spo_s = Array.make n 0 and spo_p = Array.make n 0
+  and spo_o = Array.make n 0 in
+  List.iteri
+    (fun k r ->
+      let i = n - 1 - k in
+      spo_s.(i) <- rs.(r); spo_p.(i) <- rp.(r); spo_o.(i) <- ro.(r))
+    !keep;
+  let perm keys1 keys2 keys3 =
+    let order = sort_rows keys1 keys2 keys3 (Array.init n Fun.id) in
+    let a = Array.make n 0 and b = Array.make n 0 and c = Array.make n 0 in
+    Array.iteri
+      (fun k r -> a.(k) <- keys1.(r); b.(k) <- keys2.(r); c.(k) <- keys3.(r))
+      order;
+    a, b, c
+  in
+  let pos_p, pos_o, pos_s = perm spo_p spo_o spo_s in
+  let osp_o, osp_s, osp_p = perm spo_o spo_s spo_p in
+  let node_ids = Array.make (Dict.size dict) false in
+  Array.iter (fun s -> node_ids.(s) <- true) spo_s;
+  Array.iter (fun o -> node_ids.(o) <- true) spo_o;
+  let nodes = ref Term.Set.empty in
+  for i = Array.length node_ids - 1 downto 0 do
+    if node_ids.(i) then nodes := Term.Set.add (Dict.term dict i) !nodes
+  done;
+  { dict; n; spo_s; spo_p; spo_o; pos_p; pos_o; pos_s; osp_o; osp_s; osp_p;
+    nodes = !nodes; node_ids }
+
+let is_node_id t i = i >= 0 && i < Array.length t.node_ids && t.node_ids.(i)
+
+(* ---------------- binary searches ---------------------------------- *)
+
+(* First row with key column >= k / > k: plain int loops, no closures,
+   no allocation. *)
+let lb1 a k n =
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < k then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let ub1 a k n =
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) <= k then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let lb2 a b ka kb n =
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let am = a.(mid) in
+    if am < ka || (am = ka && b.(mid) < kb) then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let ub2 a b ka kb n =
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let am = a.(mid) in
+    if am < ka || (am = ka && b.(mid) <= kb) then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let lb3 a b c ka kb kc n =
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let am = a.(mid) in
+    if
+      am < ka
+      || (am = ka
+          &&
+          let bm = b.(mid) in
+          bm < kb || (bm = kb && c.(mid) < kc))
+    then lo := mid + 1
+    else hi := mid
+  done;
+  !lo
+
+(* ---------------- range lookups (ids) ------------------------------ *)
+
+let objects_range t ~s ~p = lb2 t.spo_s t.spo_p s p t.n, ub2 t.spo_s t.spo_p s p t.n
+let spo_obj t i = t.spo_o.(i)
+let spo_pred t i = t.spo_p.(i)
+let spo_subj t i = t.spo_s.(i)
+
+let subjects_range t ~p ~o = lb2 t.pos_p t.pos_o p o t.n, ub2 t.pos_p t.pos_o p o t.n
+let pos_subj t i = t.pos_s.(i)
+let pos_obj t i = t.pos_o.(i)
+
+let preds_range t ~o ~s = lb2 t.osp_o t.osp_s o s t.n, ub2 t.osp_o t.osp_s o s t.n
+let osp_pred t i = t.osp_p.(i)
+let osp_subj t i = t.osp_s.(i)
+
+let subject_range t s = lb1 t.spo_s s t.n, ub1 t.spo_s s t.n
+let object_range t o = lb1 t.osp_o o t.n, ub1 t.osp_o o t.n
+let predicate_range t p = lb1 t.pos_p p t.n, ub1 t.pos_p p t.n
+
+let mem_ids t s p o =
+  let i = lb3 t.spo_s t.spo_p t.spo_o s p o t.n in
+  i < t.n && t.spo_s.(i) = s && t.spo_p.(i) = p && t.spo_o.(i) = o
+
+let triple_row t s p o =
+  let i = lb3 t.spo_s t.spo_p t.spo_o s p o t.n in
+  if i < t.n && t.spo_s.(i) = s && t.spo_p.(i) = p && t.spo_o.(i) = o then
+    Some i
+  else None
+
+let row_triple t i =
+  Triple.make (term t t.spo_s.(i)) (iri_of_id t t.spo_p.(i)) (term t t.spo_o.(i))
+
+let row_of_triple t tr =
+  match
+    ( id t (Triple.subject tr),
+      pred_id t (Triple.predicate tr),
+      id t (Triple.object_ tr) )
+  with
+  | Some s, Some p, Some o -> triple_row t s p o
+  | _ -> None
+
+(* ---------------- term-level conveniences --------------------------- *)
+
+let mem t s p o =
+  match id t s, pred_id t p, id t o with
+  | Some s, Some p, Some o -> mem_ids t s p o
+  | _ -> false
+
+let fold_objects t ~s ~p f acc =
+  match id t s, pred_id t p with
+  | Some s, Some p ->
+      let lo, hi = objects_range t ~s ~p in
+      let acc = ref acc in
+      for i = lo to hi - 1 do
+        acc := f t.spo_o.(i) !acc
+      done;
+      !acc
+  | _ -> acc
+
+let fold_subjects t ~p ~o f acc =
+  match pred_id t p, id t o with
+  | Some p, Some o ->
+      let lo, hi = subjects_range t ~p ~o in
+      let acc = ref acc in
+      for i = lo to hi - 1 do
+        acc := f t.pos_s.(i) !acc
+      done;
+      !acc
+  | _ -> acc
+
+let subject_triples t s =
+  match id t s with
+  | None -> []
+  | Some sid ->
+      let lo, hi = subject_range t sid in
+      let acc = ref [] in
+      for i = hi - 1 downto lo do
+        acc := row_triple t i :: !acc
+      done;
+      !acc
+
+let object_triples t o =
+  match id t o with
+  | None -> []
+  | Some oid ->
+      let lo, hi = object_range t oid in
+      let acc = ref [] in
+      for i = hi - 1 downto lo do
+        acc :=
+          Triple.make (term t t.osp_s.(i)) (iri_of_id t t.osp_p.(i)) (term t oid)
+          :: !acc
+      done;
+      !acc
+
+let predicate_triples t p =
+  match pred_id t p with
+  | None -> []
+  | Some pid ->
+      let lo, hi = predicate_range t pid in
+      let acc = ref [] in
+      for i = hi - 1 downto lo do
+        acc :=
+          Triple.make (term t t.pos_s.(i)) (iri_of_id t pid) (term t t.pos_o.(i))
+          :: !acc
+      done;
+      !acc
+
+let out_predicates t s =
+  match id t s with
+  | None -> Iri.Set.empty
+  | Some sid ->
+      let lo, hi = subject_range t sid in
+      let acc = ref Iri.Set.empty in
+      let last = ref (-1) in
+      for i = lo to hi - 1 do
+        let p = t.spo_p.(i) in
+        if p <> !last then begin
+          last := p;
+          acc := Iri.Set.add (iri_of_id t p) !acc
+        end
+      done;
+      !acc

@@ -1,0 +1,85 @@
+(** Frozen, interned, int-packed triple store (the graph's query core).
+
+    Built once from a triple set by {!Graph.freeze}: every term is
+    interned into a {!Dict} (dense ids in [Term.compare] order) and the
+    triples are packed into three sorted int-column indexes — SPO, POS
+    and OSP row orderings — so every access pattern of SHACL validation
+    and provenance tracing is a binary search to a contiguous row range
+    with {b no per-lookup allocation}.  Immutable after construction;
+    safe to share across domains.
+
+    Id-boundary rules: functions suffixed [_ids]/[_range] and the
+    [fold_*] callbacks speak dense int ids; terms cross the boundary
+    only through {!id}/{!pred_id} (encode) and {!term}/{!row_triple}
+    (decode).  A term absent from the dictionary does not occur in the
+    graph, so every query about it answers empty. *)
+
+type t
+
+val of_triples : Triple.t array -> t
+(** Build from a triple array (duplicates are removed). *)
+
+val n_triples : t -> int
+val n_terms : t -> int
+val dict : t -> Dict.t
+
+(** {1 Encode / decode} *)
+
+val id : t -> Term.t -> int option
+val pred_id : t -> Iri.t -> int option
+val term : t -> int -> Term.t
+val is_node_id : t -> int -> bool
+(** The id occurs in subject or object position. *)
+
+val nodes : t -> Term.Set.t
+(** [N(G)], decoded once at build time and shared. *)
+
+(** {1 Membership} *)
+
+val mem : t -> Term.t -> Iri.t -> Term.t -> bool
+val mem_ids : t -> int -> int -> int -> bool
+
+(** {1 Row identity}
+
+    A triple's identity is its row index in the canonical SPO ordering:
+    the engine's per-worker accumulators are bitsets over these rows. *)
+
+val triple_row : t -> int -> int -> int -> int option
+val row_triple : t -> int -> Triple.t
+val row_of_triple : t -> Triple.t -> int option
+
+(** {1 Ranges (ids)}
+
+    Each returns a half-open row interval [\[lo, hi)] in the named
+    ordering; the matching column accessors read single cells. *)
+
+val objects_range : t -> s:int -> p:int -> int * int
+val spo_obj : t -> int -> int
+val spo_pred : t -> int -> int
+val spo_subj : t -> int -> int
+
+val subjects_range : t -> p:int -> o:int -> int * int
+val pos_subj : t -> int -> int
+val pos_obj : t -> int -> int
+
+val preds_range : t -> o:int -> s:int -> int * int
+val osp_pred : t -> int -> int
+val osp_subj : t -> int -> int
+
+val subject_range : t -> int -> int * int
+(** SPO rows of a subject. *)
+
+val object_range : t -> int -> int * int
+(** OSP rows of an object. *)
+
+val predicate_range : t -> int -> int * int
+(** POS rows of a predicate. *)
+
+(** {1 Term-level folds and views} *)
+
+val fold_objects : t -> s:Term.t -> p:Iri.t -> (int -> 'a -> 'a) -> 'a -> 'a
+val fold_subjects : t -> p:Iri.t -> o:Term.t -> (int -> 'a -> 'a) -> 'a -> 'a
+val subject_triples : t -> Term.t -> Triple.t list
+val object_triples : t -> Term.t -> Triple.t list
+val predicate_triples : t -> Iri.t -> Triple.t list
+val out_predicates : t -> Term.t -> Iri.Set.t

@@ -298,6 +298,9 @@ let rec accept_loop t =
 (* ---------------- lifecycle ----------------------------------------- *)
 
 let start ?(namespaces = Rdf.Namespace.default) config ~schema ~graph =
+  (* Freeze once at load: every request evaluates against the same
+     interned store instead of each engine run freezing its own copy. *)
+  let graph = Rdf.Graph.freeze graph in
   (* A peer hanging up mid-write must surface as EPIPE, not kill the
      process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());

@@ -22,7 +22,13 @@ let eval env e a =
       (match env.counters with
       | Some c -> c.Counters.path_evals <- c.Counters.path_evals + 1
       | None -> ());
-      Rdf.Path.eval ~step:(Runtime.Budget.step_hook env.budget) env.g e a
+      let lookup =
+        match env.counters with
+        | None -> ignore
+        | Some c ->
+            fun () -> c.Counters.store_lookups <- c.Counters.store_lookups + 1
+      in
+      Rdf.Path.eval ~step:(Runtime.Budget.step_hook env.budget) ~lookup env.g e a
 
 let rec conforms_env env a phi =
   match env.memo, phi with

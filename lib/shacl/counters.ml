@@ -6,6 +6,7 @@ type t = {
   mutable path_memo_lookups : int;
   mutable path_memo_hits : int;
   mutable path_memo_misses : int;
+  mutable store_lookups : int;
 }
 
 let create () =
@@ -15,7 +16,8 @@ let create () =
     path_evals = 0;
     path_memo_lookups = 0;
     path_memo_hits = 0;
-    path_memo_misses = 0 }
+    path_memo_misses = 0;
+    store_lookups = 0 }
 
 let add ~into c =
   into.memo_lookups <- into.memo_lookups + c.memo_lookups;
@@ -24,7 +26,8 @@ let add ~into c =
   into.path_evals <- into.path_evals + c.path_evals;
   into.path_memo_lookups <- into.path_memo_lookups + c.path_memo_lookups;
   into.path_memo_hits <- into.path_memo_hits + c.path_memo_hits;
-  into.path_memo_misses <- into.path_memo_misses + c.path_memo_misses
+  into.path_memo_misses <- into.path_memo_misses + c.path_memo_misses;
+  into.store_lookups <- into.store_lookups + c.store_lookups
 
 let total cs =
   let t = create () in

@@ -21,6 +21,9 @@ type t = {
       (** path-memo probes answered from the table *)
   mutable path_memo_misses : int;
       (** path-memo probes that fell through to {!Rdf.Path.eval} *)
+  mutable store_lookups : int;
+      (** adjacency-index probes made by path evaluation (the [lookup]
+          hook of {!Rdf.Path.eval}) *)
 }
 
 val create : unit -> t

@@ -1,11 +1,18 @@
 open Rdf
 
-(* One node-keyed table per distinct path expression, with the outer
-   level keyed structurally: physically distinct copies of the same
-   path (e.g. the same class path parsed in two shapes) share one
-   table, and a checker alternating between several compound paths
-   pays one hash per lookup rather than repositioning a hot-list. *)
-type t = { tables : (Path.t, (Term.t, Term.Set.t) Hashtbl.t) Hashtbl.t }
+(* One node-keyed table per distinct (graph, path expression) pair.
+   The path level is keyed structurally: physically distinct copies of
+   the same path (e.g. the same class path parsed in two shapes) share
+   one table, and a checker alternating between several compound paths
+   pays one hash per lookup rather than repositioning a hot-list.
+
+   The graph level is keyed by [Graph.uid]: a uid identifies a triple
+   set (updates allocate a fresh uid, [Graph.freeze] keeps it), so a
+   memo table reused across different graphs — the engine's checkers
+   evaluate over the data graph but test helpers and the service reuse
+   tables across requests — can never serve a result computed on an
+   earlier triple set. *)
+type t = { tables : (int * Path.t, (Term.t, Term.Set.t) Hashtbl.t) Hashtbl.t }
 
 let create () = { tables = Hashtbl.create 16 }
 
@@ -17,13 +24,19 @@ let worth_memoizing = function
   | Path.Prop _ | Path.Inv (Path.Prop _) -> false
   | _ -> true
 
-let table_for t e =
-  match Hashtbl.find_opt t.tables e with
+let table_for t g e =
+  let key = (Graph.uid g, e) in
+  match Hashtbl.find_opt t.tables key with
   | Some table -> table
   | None ->
       let table = Hashtbl.create 1024 in
-      Hashtbl.add t.tables e table;
+      Hashtbl.add t.tables key table;
       table
+
+let lookup_hook counters =
+  match counters with
+  | None -> ignore
+  | Some c -> fun () -> c.Counters.store_lookups <- c.Counters.store_lookups + 1
 
 let eval ?counters t budget g e a =
   Runtime.Budget.tick budget;
@@ -31,14 +44,16 @@ let eval ?counters t budget g e a =
     (match counters with
     | Some c -> c.Counters.path_evals <- c.Counters.path_evals + 1
     | None -> ());
-    Rdf.Path.eval ~step:(Runtime.Budget.step_hook budget) g e a
+    Rdf.Path.eval
+      ~step:(Runtime.Budget.step_hook budget)
+      ~lookup:(lookup_hook counters) g e a
   end
   else begin
     (match counters with
     | Some c ->
         c.Counters.path_memo_lookups <- c.Counters.path_memo_lookups + 1
     | None -> ());
-    let table = table_for t e in
+    let table = table_for t g e in
     match Hashtbl.find_opt table a with
     | Some cached ->
         (match counters with
@@ -52,7 +67,9 @@ let eval ?counters t budget g e a =
             c.Counters.path_evals <- c.Counters.path_evals + 1
         | None -> ());
         let result =
-          Rdf.Path.eval ~step:(Runtime.Budget.step_hook budget) g e a
+          Rdf.Path.eval
+            ~step:(Runtime.Budget.step_hook budget)
+            ~lookup:(lookup_hook counters) g e a
         in
         Hashtbl.add table a result;
         result

@@ -8,6 +8,11 @@
     scopes — the containment planner threads one table per worker
     through {!Conformance} and [Provenance.Neighborhood].
 
+    Entries are keyed per graph (by {!Rdf.Graph.uid}) as well as per
+    (path, node), so a table that outlives one graph — reused across
+    service requests, or used while a graph is being edited between
+    runs — never serves a result computed on a different triple set.
+
     Not thread-safe: use one table per domain.
 
     A hit costs one {!Runtime.Budget.tick} where the evaluation it

@@ -185,6 +185,7 @@ counters deterministic).
   memo: 14 lookup(s), 0 hit(s), 14 miss(es); 6 path evaluation(s)
   time: planning 0.000s, total 0.000s
   containment: 2 check(s) skipped, 0 shared request(s)
+  store: 9 interned term(s), 6 index probe(s)
   shape <http://example.org/AuthorShape>: 2 candidate(s) (target-pruned), 2 conforming, 0.000s
   shape <http://example.org/AuthorShapeCopy>: 2 candidate(s) (target-pruned), 2 conforming, 0.000s, 2 skipped
   shape <http://example.org/RedundantShape>: 2 candidate(s) (target-pruned), 0 conforming, 0.000s

@@ -103,6 +103,7 @@ The parallel engine: --stats reports planning and execution counters
   engine: 2 job(s), 2 candidate(s) checked, 1 conforming, 3 triple(s) emitted
   memo: 11 lookup(s), 0 hit(s), 11 miss(es); 5 path evaluation(s)
   time: planning _s, total _s
+  store: 9 interned term(s), 8 index probe(s)
   shape <http://example.org/WorkshopShape>: 2 candidate(s) (target-pruned), 1 conforming, _s
   shape _:genid0: 0 candidate(s) (target-pruned), 0 conforming, _s
   shape _:genid1: 0 candidate(s) (target-pruned), 0 conforming, _s
@@ -124,6 +125,7 @@ Validation on the parallel engine: same report, plus counters on request.
   engine: 2 job(s), 2 candidate(s) checked, 1 conforming, 0 triple(s) emitted
   memo: 8 lookup(s), 0 hit(s), 8 miss(es); 4 path evaluation(s)
   time: planning _s, total _s
+  store: 9 interned term(s), 6 index probe(s)
   shape <http://example.org/WorkshopShape>: 2 candidate(s) (target-pruned), 1 conforming, _s
   shape _:genid0: 0 candidate(s) (target-pruned), 0 conforming, _s
   shape _:genid1: 0 candidate(s) (target-pruned), 0 conforming, _s
@@ -165,6 +167,7 @@ completes, reports the failure in --stats, and exits 3.
   engine: 4 job(s), 0 candidate(s) checked, 0 conforming, 0 triple(s) emitted
   memo: 0 lookup(s), 0 hit(s), 0 miss(es); 0 path evaluation(s)
   time: planning _s, total _s
+  store: 9 interned term(s), 0 index probe(s)
   degraded: 1 shape(s) failed, 2 chunk retry(s)
   shape <http://example.org/WorkshopShape>: 2 candidate(s) (target-pruned), 0 conforming, _s, FAILED: crashed: injected fault at shape:<http://example.org/WorkshopShape>
   shape _:genid0: 0 candidate(s) (target-pruned), 0 conforming, _s

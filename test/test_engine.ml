@@ -116,6 +116,62 @@ let prop_determinism =
           Graph.equal reference (Engine.fragment_schema ~jobs h g))
         [ 2; 3; 4 ])
 
+(* --- deterministic merge: byte-identical output across -j ----------- *)
+
+(* Per-shape fields stable across everything but wall-clock time. *)
+let shapes_fingerprint (s : Engine.Stats.t) =
+  String.concat "; "
+    (List.map
+       (fun (sh : Engine.Stats.shape_stat) ->
+         Printf.sprintf "%s:%b:%d:%d:%d" sh.label sh.pruned sh.candidates
+           sh.conforming sh.skipped)
+       s.shapes)
+
+(* The projection of the statistics that is independent of [jobs]:
+   chunking splits each shape's candidates into at most [jobs] chunks
+   and every chunk gets a private memo table, so the memo and
+   path-evaluation counters are deterministic only at a fixed -j
+   (engine.mli documents exactly this contract). *)
+let cross_jobs_fingerprint (s : Engine.Stats.t) =
+  Format.asprintf
+    "checked=%d conf=%d skip=%d shared=%d emitted=%d retries=%d \
+     interned=%d shapes=[%s]"
+    s.nodes_checked s.conforming s.checks_skipped s.requests_shared
+    s.triples_emitted s.retries s.interned_terms (shapes_fingerprint s)
+
+(* Everything except wall-clock fields: stable across repeated runs at
+   a fixed -j (the path-memo hit/miss split is worker-assignment
+   dependent under ~optimize with jobs > 1, but zero here). *)
+let stats_fingerprint (s : Engine.Stats.t) =
+  Format.asprintf
+    "%s memo=%d/%d/%d paths=%d probes=%d"
+    (cross_jobs_fingerprint s)
+    s.memo_lookups s.memo_hits s.memo_misses s.path_evals s.store_lookups
+
+let prop_byte_determinism =
+  QCheck.Test.make
+    ~name:"byte determinism: turtle + stats identical across -j and reruns"
+    ~count:100
+    QCheck.(pair Tgen.arbitrary_graph arbitrary_schema)
+    (fun (g, h) ->
+      let observe jobs =
+        let fragment, stats =
+          Engine.run ~schema:h ~jobs g (Engine.requests_of_schema h)
+        in
+        (Turtle.to_string fragment, stats)
+      in
+      let t0, s0 = observe 1 in
+      List.for_all
+        (fun jobs ->
+          let t1, s1 = observe jobs in
+          (* rerun at the same -j: full counters must repeat *)
+          let t1', s1' = observe jobs in
+          String.equal t0 t1
+          && String.equal (cross_jobs_fingerprint s0) (cross_jobs_fingerprint s1)
+          && String.equal t1 t1'
+          && String.equal (stats_fingerprint s1) (stats_fingerprint s1'))
+        [ 1; 2; 3; 4 ])
+
 (* --- Theorem 4.1 / Sufficiency on engine output -------------------- *)
 
 let prop_conformance_preserved =
@@ -278,6 +334,44 @@ let resilience_schema =
         Shape.Ge (1, Rdf.Path.Prop ty, Shape.Top),
         Shape.Ge (1, Rdf.Path.Prop ty, Shape.Has_value (ex "T")) ) ]
 
+(* The deterministic-merge regression: the per-worker accumulator merge
+   must make the fragment bytes, the report bytes and the (stable
+   projection of the) statistics identical across -j 1/2/4 and across
+   repeated runs at each -j. *)
+let test_deterministic_merge () =
+  let requests = Engine.requests_of_schema resilience_schema in
+  let observe jobs =
+    let fragment, stats =
+      Engine.run ~schema:resilience_schema ~jobs sample_graph requests
+    in
+    let report, vstats = Engine.validate ~jobs resilience_schema sample_graph in
+    ( Turtle.to_string fragment,
+      Format.asprintf "%a" Validate.pp_report report,
+      stats, vstats )
+  in
+  let t0, r0, s0, v0 = observe 1 in
+  List.iter
+    (fun jobs ->
+      let t1, r1, s1, v1 = observe jobs in
+      let t1', r1', s1', v1' = observe jobs in
+      Alcotest.(check string) (Printf.sprintf "turtle bytes -j %d" jobs) t0 t1;
+      Alcotest.(check string) (Printf.sprintf "report bytes -j %d" jobs) r0 r1;
+      Alcotest.(check string)
+        (Printf.sprintf "cross-j run stats -j %d" jobs)
+        (cross_jobs_fingerprint s0) (cross_jobs_fingerprint s1);
+      Alcotest.(check string)
+        (Printf.sprintf "cross-j validate stats -j %d" jobs)
+        (cross_jobs_fingerprint v0) (cross_jobs_fingerprint v1);
+      Alcotest.(check string) (Printf.sprintf "rerun turtle -j %d" jobs) t1 t1';
+      Alcotest.(check string) (Printf.sprintf "rerun report -j %d" jobs) r1 r1';
+      Alcotest.(check string)
+        (Printf.sprintf "rerun run stats -j %d" jobs)
+        (stats_fingerprint s1) (stats_fingerprint s1');
+      Alcotest.(check string)
+        (Printf.sprintf "rerun validate stats -j %d" jobs)
+        (stats_fingerprint v1) (stats_fingerprint v1'))
+    [ 1; 2; 4 ]
+
 let with_fault ?at site f =
   Runtime.Fault.configure ?at site;
   Fun.protect ~finally:Runtime.Fault.disable f
@@ -421,6 +515,7 @@ let suite =
     "stats: pruning and counts", `Quick, test_stats_pruning;
     "stats: emitted and memo", `Quick, test_stats_counts;
     "parallel validate parity", `Quick, test_validate_matches;
+    "deterministic merge across -j", `Quick, test_deterministic_merge;
     "fault isolation", `Quick, test_fault_isolation;
     "transient fault: retry succeeds", `Quick, test_fault_retry_succeeds;
     "`Fail policy re-raises", `Quick, test_fault_fail_policy_raises;
@@ -430,6 +525,7 @@ let suite =
 
 let props =
   [ prop_differential_instrumented; prop_differential_naive;
-    prop_differential_schema; prop_determinism; prop_conformance_preserved;
+    prop_differential_schema; prop_determinism; prop_byte_determinism;
+    prop_conformance_preserved;
     prop_sufficiency_engine; prop_validate_parity; prop_stats_invariants;
     prop_fault_isolation ]

@@ -1,0 +1,363 @@
+(* Differential harness for the interned graph core.
+
+   The frozen store ([Graph.freeze] → [Rdf.Store]) must be
+   observationally identical to both the retained persistent-map
+   indexes and a naive triple-list reference, over every access pattern
+   the validator and the provenance tracer use: adjacency by predicate,
+   triple membership, whole-node views, path evaluation [[E]]^G,
+   neighborhoods B(v, G, φ) and full shape fragments.
+
+   Graphs are drawn over a vocabulary that deliberately stresses the
+   dictionary: IRI nodes, blank nodes, unicode literals (multi-byte
+   code points, combining marks), language tags and numbers — and every
+   triple list is inserted with duplicates, so dedup in the store
+   builder is exercised on each case. *)
+
+open Rdf
+module Shape = Shacl.Shape
+
+let ( ==> ) = QCheck.( ==> )
+
+(* ---------------- vocabulary ---------------------------------------- *)
+
+let blanks = List.map Term.blank [ "b0"; "b1"; "b2"; "düp" ]
+
+let unicode_literals =
+  [ Term.str "héllo wörld";
+    Term.str "日本語テキスト";
+    Term.str "z\xCC\x8Aa";                    (* z + combining ring *)
+    Term.Literal (Literal.lang_string "ß" ~lang:"de");
+    Term.Literal (Literal.lang_string "émoji \xF0\x9F\x90\xAB" ~lang:"fr") ]
+
+let subjects = Tgen.nodes @ blanks
+let objects = subjects @ unicode_literals @ Tgen.literals
+let props = Tgen.props
+
+open QCheck
+
+let gen_triple =
+  Gen.map3
+    (fun s p o -> Triple.make s p o)
+    (Gen.oneofl subjects) (Gen.oneofl props) (Gen.oneofl objects)
+
+(* A raw triple list (duplicates likely on the small vocabulary), kept
+   as a list so the naive reference sees exactly what was inserted. *)
+let gen_triples = Gen.list_size (Gen.int_range 0 30) gen_triple
+
+let print_triples l =
+  String.concat "\n" (List.map (fun t -> Format.asprintf "%a" Triple.pp t) l)
+
+let arbitrary_triples = make gen_triples ~print:print_triples
+
+(* Every graph under test is built twice: the plain persistent-map graph
+   and a frozen copy built from the list with every triple inserted
+   twice (duplicate insertion must be invisible). *)
+let graphs_of l =
+  let g = Graph.of_list l in
+  let gf = Graph.freeze (Graph.of_list (l @ l)) in
+  g, gf
+
+(* ---------------- naive reference ----------------------------------- *)
+
+let ref_mem l s p o =
+  List.exists
+    (fun t ->
+      Term.equal (Triple.subject t) s
+      && Iri.equal (Triple.predicate t) p
+      && Term.equal (Triple.object_ t) o)
+    l
+
+let ref_objects l s p =
+  List.fold_left
+    (fun acc t ->
+      if Term.equal (Triple.subject t) s && Iri.equal (Triple.predicate t) p
+      then Term.Set.add (Triple.object_ t) acc
+      else acc)
+    Term.Set.empty l
+
+let ref_subjects l p o =
+  List.fold_left
+    (fun acc t ->
+      if Iri.equal (Triple.predicate t) p && Term.equal (Triple.object_ t) o
+      then Term.Set.add (Triple.subject t) acc
+      else acc)
+    Term.Set.empty l
+
+let ref_nodes l =
+  List.fold_left
+    (fun acc t ->
+      Term.Set.add (Triple.subject t) (Term.Set.add (Triple.object_ t) acc))
+    Term.Set.empty l
+
+(* ---------------- properties ---------------------------------------- *)
+
+let count = 500
+
+(* Adjacency and membership: frozen = unfrozen = naive list, probed over
+   the whole vocabulary (hits and misses both matter — a store answering
+   garbage outside its dictionary would only show on misses). *)
+let adjacency_agrees =
+  Test.make ~count ~name:"objects/subjects/mem: store = maps = naive"
+    arbitrary_triples (fun l ->
+      let g, gf = graphs_of l in
+      List.for_all
+        (fun s ->
+          List.for_all
+            (fun p ->
+              Term.Set.equal (Graph.objects g s p) (ref_objects l s p)
+              && Term.Set.equal (Graph.objects gf s p) (ref_objects l s p))
+            props)
+        subjects
+      && List.for_all
+           (fun o ->
+             List.for_all
+               (fun p ->
+                 Term.Set.equal (Graph.subjects g p o) (ref_subjects l p o)
+                 && Term.Set.equal (Graph.subjects gf p o) (ref_subjects l p o))
+               props)
+           objects
+      && List.for_all
+           (fun s ->
+             List.for_all
+               (fun p ->
+                 List.for_all
+                   (fun o ->
+                     Graph.mem_spo s p o gf = ref_mem l s p o
+                     && Graph.mem_spo s p o g = ref_mem l s p o)
+                   objects)
+               props)
+           subjects)
+
+let sorted_triples ts = List.sort Triple.compare ts
+
+(* Whole-node views: the store-backed lists contain the same triples as
+   the map-backed ones (order is unspecified, so compare sorted). *)
+let views_agree =
+  Test.make ~count ~name:"triple views and nodes: store = maps"
+    arbitrary_triples (fun l ->
+      let g, gf = graphs_of l in
+      Graph.cardinal g = Graph.cardinal gf
+      && Graph.equal g gf
+      && Term.Set.equal (Graph.nodes gf) (ref_nodes l)
+      && Term.Set.equal (Graph.nodes g) (Graph.nodes gf)
+      && List.for_all
+           (fun s ->
+             sorted_triples (Graph.subject_triples g s)
+             = sorted_triples (Graph.subject_triples gf s)
+             && Iri.Set.equal (Graph.out_predicates g s)
+                  (Graph.out_predicates gf s))
+           subjects
+      && List.for_all
+           (fun o ->
+             sorted_triples (Graph.object_triples g o)
+             = sorted_triples (Graph.object_triples gf o))
+           objects
+      && List.for_all
+           (fun p ->
+             sorted_triples (Graph.predicate_triples g p)
+             = sorted_triples (Graph.predicate_triples gf p))
+           props)
+
+(* Path evaluation: the interned core (frozen graph) and the map core
+   (unfrozen graph) must agree exactly — on the result set, and on the
+   [step] and [lookup] hook call counts, which budget/fuel accounting
+   depends on. *)
+let eval_counted g e a =
+  let steps = ref 0 and lookups = ref 0 in
+  let r =
+    Path.eval ~step:(fun () -> incr steps) ~lookup:(fun () -> incr lookups)
+      g e a
+  in
+  r, !steps, !lookups
+
+let eval_inv_counted g e b =
+  let steps = ref 0 and lookups = ref 0 in
+  let r =
+    Path.eval_inv ~step:(fun () -> incr steps)
+      ~lookup:(fun () -> incr lookups) g e b
+  in
+  r, !steps, !lookups
+
+let path_eval_agrees =
+  Test.make ~count ~name:"path eval: interned core = map core (+ hook parity)"
+    (triple arbitrary_triples Tgen.arbitrary_path
+       (make (Gen.oneofl subjects) ~print:Term.to_string))
+    (fun (l, e, a) ->
+      let g, gf = graphs_of l in
+      let r1, s1, l1 = eval_counted g e a in
+      let r2, s2, l2 = eval_counted gf e a in
+      let i1, t1, m1 = eval_inv_counted g e a in
+      let i2, t2, m2 = eval_inv_counted gf e a in
+      Term.Set.equal r1 r2 && s1 = s2 && l1 = l2
+      && Term.Set.equal i1 i2 && t1 = t2 && m1 = m2)
+
+(* A start node the dictionary has never seen must fall back cleanly. *)
+let path_eval_unknown_start =
+  Test.make ~count ~name:"path eval: unknown start node"
+    (pair arbitrary_triples Tgen.arbitrary_path) (fun (l, e) ->
+      let g, gf = graphs_of l in
+      let stranger = Term.iri "http://example.org/never-inserted" in
+      Term.Set.equal (Path.eval g e stranger) (Path.eval gf e stranger)
+      && Term.Set.equal
+           (Path.eval_inv g e stranger)
+           (Path.eval_inv gf e stranger))
+
+(* Neighborhoods: B(v, G, φ) must not depend on the representation. *)
+let neighborhood_agrees =
+  Test.make ~count ~name:"neighborhood: B(v,G,phi) frozen = unfrozen"
+    (triple arbitrary_triples Tgen.arbitrary_shape Tgen.arbitrary_node)
+    (fun (l, phi, v) ->
+      let g, gf = graphs_of l in
+      let c1, n1 = Provenance.Neighborhood.check g v phi in
+      let c2, n2 = Provenance.Neighborhood.check gf v phi in
+      c1 = c2 && Graph.equal n1 n2)
+
+(* Full fragments: the parallel engine (which freezes internally) against
+   the sequential oracle on the unfrozen graph — set-equal, and (the
+   paper's notion of output equivalence) isomorphic. *)
+let fragment_agrees =
+  Test.make ~count ~name:"fragment: engine on frozen = sequential oracle"
+    (pair arbitrary_triples Tgen.arbitrary_shape) (fun (l, phi) ->
+      let g, _ = graphs_of l in
+      let oracle = Provenance.Fragment.frag g [ phi ] in
+      let frag1 = Provenance.Engine.fragment ~jobs:1 g [ phi ] in
+      let frag2 = Provenance.Engine.fragment ~jobs:3 g [ phi ] in
+      Graph.equal oracle frag1 && Graph.equal oracle frag2
+      && Isomorphism.isomorphic oracle frag1)
+
+(* Store internals: canonical row ids round-trip, and ids are assigned
+   in term order (the invariant that makes ordered id iteration decode
+   to term-ordered output). *)
+let store_internals =
+  Test.make ~count ~name:"store: row round-trip, ids in term order"
+    arbitrary_triples (fun l ->
+      l <> [] ==>
+      let _, gf = graphs_of l in
+      match Graph.store gf with
+      | None -> false
+      | Some st ->
+          let n = Store.n_triples st in
+          let rows_ok = ref true in
+          for r = 0 to n - 1 do
+            match Store.row_of_triple st (Store.row_triple st r) with
+            | Some r' when r' = r -> ()
+            | _ -> rows_ok := false
+          done;
+          let order_ok = ref true in
+          for i = 0 to Store.n_terms st - 2 do
+            if Term.compare (Store.term st i) (Store.term st (i + 1)) >= 0
+            then order_ok := false
+          done;
+          !rows_ok && !order_ok
+          && Store.n_triples st = Graph.cardinal gf)
+
+(* Freezing is transparent: same triples, same uid; updating a frozen
+   graph drops the store and yields a fresh uid. *)
+let freeze_transparent =
+  Test.make ~count ~name:"freeze: same graph, same uid; update thaws"
+    (pair arbitrary_triples
+       (make gen_triple ~print:(fun t -> Format.asprintf "%a" Triple.pp t)))
+    (fun (l, extra) ->
+      let g = Graph.of_list l in
+      let gf = Graph.freeze g in
+      let g' = Graph.add_triple extra gf in
+      Graph.equal g gf
+      && Graph.uid g = Graph.uid gf
+      && (Graph.is_empty g || Graph.frozen gf)
+      && Graph.mem extra g'
+      &&
+      (* a no-op add keeps the graph (store, uid and all); a real add
+         thaws and re-identifies it *)
+      if Graph.mem extra gf then Graph.frozen g' || Graph.is_empty g
+      else (not (Graph.frozen g')) && Graph.uid g' <> Graph.uid gf)
+
+let props =
+  [ adjacency_agrees;
+    views_agree;
+    path_eval_agrees;
+    path_eval_unknown_start;
+    neighborhood_agrees;
+    fragment_agrees;
+    store_internals;
+    freeze_transparent ]
+
+(* ---------------- unit regressions ---------------------------------- *)
+
+let a = Term.iri (Tgen.ex "a")
+let b = Term.iri (Tgen.ex "b")
+let c = Term.iri (Tgen.ex "c")
+let d = Term.iri (Tgen.ex "d")
+let p = Tgen.prop_p
+let q = Tgen.prop_q
+
+(* The memo table is keyed per graph: evaluating the same compound path
+   at the same node after the graph changed must re-evaluate, not serve
+   the result cached for the old graph. *)
+let test_path_memo_not_stale () =
+  let table = Shacl.Path_memo.create () in
+  let budget = Runtime.Budget.unlimited in
+  let e = Path.Seq (Path.Prop p, Path.Prop q) in
+  let g1 = Graph.add a p b (Graph.add b q c Graph.empty) in
+  let r1 = Shacl.Path_memo.eval table budget g1 e a in
+  Alcotest.check Tgen.term_set_testable "before update"
+    (Term.Set.singleton c) r1;
+  let g2 = Graph.add b q d g1 in
+  let r2 = Shacl.Path_memo.eval table budget g2 e a in
+  Alcotest.check Tgen.term_set_testable "after add (fresh entry)"
+    (Term.Set.of_list [ c; d ]) r2;
+  let g3 = Graph.remove (Triple.make b q c) g2 in
+  let r3 = Shacl.Path_memo.eval table budget g3 e a in
+  Alcotest.check Tgen.term_set_testable "after remove (fresh entry)"
+    (Term.Set.singleton d) r3;
+  (* the old graphs still answer from their own entries *)
+  Alcotest.check Tgen.term_set_testable "old graph unchanged"
+    (Term.Set.singleton c)
+    (Shacl.Path_memo.eval table budget g1 e a)
+
+(* A frozen graph shares the uid of its unfrozen self, so a memo entry
+   computed pre-freeze is (correctly) reused post-freeze. *)
+let test_path_memo_across_freeze () =
+  let table = Shacl.Path_memo.create () in
+  let budget = Runtime.Budget.unlimited in
+  let e = Path.Seq (Path.Prop p, Path.Prop q) in
+  let g = Graph.add a p b (Graph.add b q c Graph.empty) in
+  let r1 = Shacl.Path_memo.eval table budget g e a in
+  let r2 = Shacl.Path_memo.eval table budget (Graph.freeze g) e a in
+  Alcotest.check Tgen.term_set_testable "same result across freeze" r1 r2
+
+let test_uid_contract () =
+  Alcotest.(check int) "empty uid" 0 (Graph.uid Graph.empty);
+  let g1 = Graph.add a p b Graph.empty in
+  let g2 = Graph.add a p b g1 in
+  Alcotest.(check int) "no-op add keeps uid" (Graph.uid g1) (Graph.uid g2);
+  let g3 = Graph.add b q c g1 in
+  Alcotest.(check bool) "real add changes uid" false
+    (Graph.uid g1 = Graph.uid g3);
+  Alcotest.(check int) "freeze keeps uid" (Graph.uid g3)
+    (Graph.uid (Graph.freeze g3));
+  let g4 = Graph.remove (Triple.make b q c) g3 in
+  Alcotest.(check bool) "remove changes uid" false
+    (Graph.uid g3 = Graph.uid g4)
+
+let test_freeze_empty () =
+  let g = Graph.freeze Graph.empty in
+  Alcotest.(check bool) "empty graph has no store" false (Graph.frozen g);
+  Alcotest.(check bool) "still empty" true (Graph.is_empty g)
+
+let test_store_counts_probes () =
+  let g = Graph.freeze (Graph.add a p b (Graph.add b q c Graph.empty)) in
+  let lookups = ref 0 in
+  ignore
+    (Path.eval ~lookup:(fun () -> incr lookups) g
+       (Path.Seq (Path.Prop p, Path.Prop q))
+       a);
+  Alcotest.(check bool) "lookup hook fired" true (!lookups > 0)
+
+let suite =
+  [ Alcotest.test_case "path memo: no stale hits across graphs" `Quick
+      test_path_memo_not_stale;
+    Alcotest.test_case "path memo: shared across freeze" `Quick
+      test_path_memo_across_freeze;
+    Alcotest.test_case "graph uid contract" `Quick test_uid_contract;
+    Alcotest.test_case "freeze of the empty graph" `Quick test_freeze_empty;
+    Alcotest.test_case "store lookup hook" `Quick test_store_counts_probes ]

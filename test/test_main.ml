@@ -4,6 +4,8 @@ let () =
   Alcotest.run "shaclprov"
     [ "rdf", Test_rdf.suite;
       Tgen.qsuite "rdf:props" Test_rdf.props;
+      "graph-differential", Test_graph_differential.suite;
+      Tgen.qsuite "graph-differential:props" Test_graph_differential.props;
       "turtle", Test_turtle.suite;
       Tgen.qsuite "turtle:props" Test_turtle.props;
       "path", Test_path.suite;
