@@ -16,7 +16,8 @@ let experiments =
     "ldf", ("Figure 4: LDF-spectrum positioning", Exp_ldf.run);
     "ablations", ("Design-choice ablations", Exp_ablation.run);
     "parallel", ("Parallel fragment engine scaling", Exp_parallel.run);
-    "containment", ("Cross-shape containment planner", Exp_containment.run) ]
+    "containment", ("Cross-shape containment planner", Exp_containment.run);
+    "cluster", ("Sharded cluster: scatter-gather and failover", Exp_cluster.run) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -285,7 +285,7 @@ let probe_sites label =
 
 let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
     ?(jobs = 1) ?(budget = Runtime.Budget.unlimited) ?(on_error = `Fail)
-    ?(optimize = false) g requests =
+    ?(optimize = false) ?restrict g requests =
   let jobs = max 1 jobs in
   let t0 = now () in
   (* Freeze once up front: planning, checking and tracing all run
@@ -325,11 +325,20 @@ let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
         Term.Set.union base stray_constants, true)
     | _ -> plan ~schema ~all_nodes g r
   in
+  (* [restrict] narrows the *candidate* set, not the graph: each kept
+     candidate is still checked against the whole graph, so a shard
+     worker's answer is exact over the nodes it owns and the union over
+     a partition of the node space is exactly the unrestricted run. *)
+  let restrict_list l =
+    match restrict with None -> l | Some keep -> List.filter keep l
+  in
   let plans =
     List.map
       (fun r ->
         let candidates, pruned = plan_cached r in
-        r, Array.of_list (Term.Set.elements candidates), pruned)
+        ( r,
+          Array.of_list (restrict_list (Term.Set.elements candidates)),
+          pruned ))
       requests
   in
   let shapes = Array.of_list (List.map (fun (r, _, _) -> r.shape) plans) in
@@ -554,7 +563,7 @@ let fragment_schema ?algorithm ?jobs schema g =
 (* ---------------- validation --------------------------------------- *)
 
 let validate ?(jobs = 1) ?(budget = Runtime.Budget.unlimited)
-    ?(on_error = `Fail) ?(optimize = false) schema g =
+    ?(on_error = `Fail) ?(optimize = false) ?restrict schema g =
   let jobs = max 1 jobs in
   let t0 = now () in
   let g = Graph.freeze g in
@@ -570,7 +579,14 @@ let validate ?(jobs = 1) ?(budget = Runtime.Budget.unlimited)
   let target_cache : (Shape.t * Term.t array) list ref = ref [] in
   let targets_of (def : Schema.def) =
     let compute () =
-      Array.of_list (Term.Set.elements (Validate.target_nodes schema g def))
+      (* same contract as [run]: owned targets only, checked against the
+         whole graph — the restriction is constant for the run, so the
+         dedup cache below stays valid *)
+      let nodes = Term.Set.elements (Validate.target_nodes schema g def) in
+      let nodes =
+        match restrict with None -> nodes | Some keep -> List.filter keep nodes
+      in
+      Array.of_list nodes
     in
     if not optimize then compute ()
     else

@@ -29,6 +29,15 @@ val freeze : t -> t
 (** Same triple set (and same {!uid}), with an interned {!Store.t}
     built for it.  Idempotent; [O(n log n)] the first time. *)
 
+val freeze_filter : keep:(Term.t -> bool) -> t -> t
+(** [freeze_filter ~keep g] is the subject partition of [g] — the
+    triples whose {e subject} satisfies [keep] — already frozen.
+    Equivalent to [freeze (filter (fun t -> keep (Triple.subject t)) g)]
+    but one pass: the kept per-subject index subtrees are shared with
+    [g] and [keep] is consulted once per subject, not once per triple.
+    The result has a fresh {!uid} (it is a different triple set).  Shard
+    workers use it to load their slice of a hash-partitioned graph. *)
+
 val frozen : t -> bool
 
 val store : t -> Store.t option

@@ -20,16 +20,36 @@ let delay p ~rand ~attempt =
   in
   if upper <= 0.0 then 0.0 else Float.max 0.0 (Float.min upper (rand upper))
 
-let run ?(sleep = Unix.sleepf) ?(rand = Random.float) p ~retryable f =
+let run ?(sleep = Unix.sleepf) ?(rand = Random.float) ?(now = Unix.gettimeofday)
+    ?deadline p ~retryable f =
+  (* The deadline is a wall-clock cap across *all* attempts, measured
+     from here: once it passes, the last error is returned even if
+     attempts remain.  Without it, a flapping server holds a caller for
+     attempts × per-attempt-timeout (+ backoff) — the failure mode the
+     cap exists to bound. *)
+  let started = now () in
+  let expired () =
+    match deadline with
+    | None -> false
+    | Some d -> now () -. started >= d
+  in
   let rec go attempt =
     match f attempt with
     | Ok _ as ok -> ok
     | Error e as err ->
-        if attempt >= p.max_attempts || not (retryable e) then err
+        if attempt >= p.max_attempts || not (retryable e) || expired () then
+          err
         else begin
           let d = delay p ~rand ~attempt in
+          (* never sleep past the deadline: clamp the backoff to the
+             time remaining, and give up if nothing remains *)
+          let d =
+            match deadline with
+            | None -> d
+            | Some cap -> Float.min d (cap -. (now () -. started))
+          in
           if d > 0.0 then sleep d;
-          go (attempt + 1)
+          if expired () then err else go (attempt + 1)
         end
   in
   go 1

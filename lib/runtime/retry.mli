@@ -37,6 +37,8 @@ val delay : policy -> rand:(float -> float) -> attempt:int -> float
 val run :
   ?sleep:(float -> unit) ->
   ?rand:(float -> float) ->
+  ?now:(unit -> float) ->
+  ?deadline:float ->
   policy ->
   retryable:('e -> bool) ->
   (int -> ('a, 'e) result) ->
@@ -45,4 +47,12 @@ val run :
     fails with a non-retryable error, or [policy.max_attempts] attempts
     have been spent; the last result is returned.  [sleep] (default
     [Unix.sleepf]) and [rand] (default [Random.float]) are injectable
-    for tests. *)
+    for tests.
+
+    [deadline] is an overall wall-clock cap in seconds across {e all}
+    attempts, measured by [now] (default [Unix.gettimeofday]) from the
+    moment [run] is entered.  Once it passes, no further attempt is
+    made and the last error is returned, even if [max_attempts] has not
+    been reached; backoff sleeps are clamped so the caller never waits
+    past the deadline.  Without it, a flapping server can hold a caller
+    for the full [attempts × per-attempt timeout] plus backoff. *)

@@ -1,6 +1,7 @@
 type 'a t = {
   lock : Mutex.t;
   nonempty : Condition.t;
+  nonfull : Condition.t;
   items : 'a Queue.t;
   cap : int;
   mutable closed : bool;
@@ -9,6 +10,7 @@ type 'a t = {
 let create ~capacity =
   { lock = Mutex.create ();
     nonempty = Condition.create ();
+    nonfull = Condition.create ();
     items = Queue.create ();
     cap = max 1 capacity;
     closed = false }
@@ -23,17 +25,35 @@ let try_push t x =
         `Queued
       end)
 
+let push t x =
+  Mutex.protect t.lock (fun () ->
+      while Queue.length t.items >= t.cap && not t.closed do
+        Condition.wait t.nonfull t.lock
+      done;
+      if t.closed then `Closed
+      else begin
+        Queue.push x t.items;
+        Condition.signal t.nonempty;
+        `Queued
+      end)
+
 let pop t =
   Mutex.protect t.lock (fun () ->
       while Queue.is_empty t.items && not t.closed do
         Condition.wait t.nonempty t.lock
       done;
-      if Queue.is_empty t.items then None else Some (Queue.pop t.items))
+      if Queue.is_empty t.items then None
+      else begin
+        let x = Queue.pop t.items in
+        Condition.signal t.nonfull;
+        Some x
+      end)
 
 let close t =
   Mutex.protect t.lock (fun () ->
       t.closed <- true;
-      Condition.broadcast t.nonempty)
+      Condition.broadcast t.nonempty;
+      Condition.broadcast t.nonfull)
 
 let length t = Mutex.protect t.lock (fun () -> Queue.length t.items)
 let capacity t = t.cap

@@ -19,6 +19,12 @@ val try_push : 'a t -> 'a -> [ `Queued | `Shed | `Closed ]
     capacity (load-shedding — the item was {e not} enqueued), [`Closed]
     after {!close}. *)
 
+val push : 'a t -> 'a -> [ `Queued | `Closed ]
+(** Blocking variant for producers that apply backpressure instead of
+    shedding (e.g. a local harness feeding work at its own pace): wait
+    while the queue is at capacity, then enqueue.  {!close} wakes every
+    blocked producer, which returns [`Closed] without enqueueing. *)
+
 val pop : 'a t -> 'a option
 (** Block until an item is available ([Some]) or the queue is closed and
     drained ([None]). *)

@@ -72,7 +72,19 @@ let round_trip ?(timeout = 30.0) ~host ~port request =
                   | Ok (_id, Wire.Error msg) -> Error (Remote_error msg)
                   | Ok (_id, reply) -> Ok reply))))
 
-let call ?(policy = Runtime.Retry.default) ?sleep ?rand ?timeout ~host ~port
-    request =
-  Runtime.Retry.run ?sleep ?rand policy ~retryable (fun _attempt ->
+let call ?(policy = Runtime.Retry.default) ?sleep ?rand
+    ?(now = Unix.gettimeofday) ?timeout ?deadline ~host ~port request =
+  let started = now () in
+  Runtime.Retry.run ?sleep ?rand ~now ?deadline policy ~retryable
+    (fun _attempt ->
+      (* each attempt's socket timeout is clamped to the time the
+         overall deadline leaves it, so the last attempt cannot run past
+         the cap on its own *)
+      let timeout =
+        match deadline with
+        | None -> timeout
+        | Some cap ->
+            let left = Float.max 0.01 (cap -. (now () -. started)) in
+            Some (match timeout with None -> left | Some t -> Float.min t left)
+      in
       round_trip ?timeout ~host ~port request)

@@ -38,11 +38,21 @@ val call :
   ?policy:Runtime.Retry.policy ->
   ?sleep:(float -> unit) ->
   ?rand:(float -> float) ->
+  ?now:(unit -> float) ->
   ?timeout:float ->
+  ?deadline:float ->
   host:string ->
   port:int ->
   Wire.request ->
   (Wire.reply, error) result
 (** {!round_trip} under [policy] (default {!Runtime.Retry.default}):
     full-jitter exponential backoff between attempts, {!retryable}
-    errors only. *)
+    errors only.
+
+    [deadline] caps the {e whole} call — every attempt plus every
+    backoff — in wall-clock seconds (measured by [now], injectable for
+    tests): once it passes no further attempt is made, backoff sleeps
+    are clamped to the time remaining, and each attempt's socket
+    [timeout] is clamped likewise, so the call returns within
+    [deadline] (plus one socket-timeout granularity) even against a
+    flapping server that keeps inviting retries. *)

@@ -1,0 +1,73 @@
+(* In-process cluster harness: [shards × replicas] shard workers, each
+   a full [Server] with its own listener, worker pool and acceptor
+   domain, all inside the calling process.  Tests and benchmarks use it
+   to stand up a real cluster — real sockets, real wire protocol, real
+   failover — without forking processes; the CLI's [cluster] command
+   builds the multi-process equivalent on top of [Shard.start]. *)
+
+type member = {
+  shard : int;
+  replica : int;
+  port : int;                        (* remembered past death *)
+  mutable server : Server.t option;  (* None once killed *)
+}
+
+type t = {
+  ring : Ring.t;
+  members : member array array;
+  namespaces : Rdf.Namespace.t;
+}
+
+let launch ?(namespaces = Rdf.Namespace.default) ?vnodes ?seed
+    ?(replicas = 1) ?(config = Server.default_config) ~shards ~schema ~graph
+    () =
+  if replicas < 1 then invalid_arg "Cluster.launch: replicas must be >= 1";
+  let ring = Ring.make ?vnodes ?seed ~shards () in
+  (* every member binds an ephemeral port on the loopback host *)
+  let config = { config with Server.port = 0; port_file = None } in
+  let members =
+    Array.init shards (fun shard ->
+        Array.init replicas (fun replica ->
+            let server =
+              Shard.start ~namespaces ~ring ~shard config ~schema ~graph
+            in
+            { shard; replica; port = Server.port server;
+              server = Some server }))
+  in
+  { ring; members; namespaces }
+
+let ring t = t.ring
+let namespaces t = t.namespaces
+
+(* a killed member keeps its (now closed) port in the map: the router
+   is expected to discover the corpse and fail over, exactly as it
+   would with a crashed process *)
+let endpoints t =
+  Array.map
+    (Array.map (fun m -> { Router.host = "127.0.0.1"; port = m.port }))
+    t.members
+
+let kill t ~shard ~replica =
+  let m = t.members.(shard).(replica) in
+  match m.server with
+  | None -> ()
+  | Some s ->
+      m.server <- None;
+      ignore (Server.shutdown s : [ `Drained | `Forced ])
+
+let router ?policy ?call_timeout ?deadline ?hedge_delay ?probe_timeout
+    ?probe_policy t =
+  Router.create
+    (Router.config ~namespaces:t.namespaces ?policy ?call_timeout ?deadline
+       ?hedge_delay ?probe_timeout ?probe_policy ~ring:t.ring
+       ~replicas:(endpoints t) ())
+
+let shutdown t =
+  Array.iter
+    (Array.iter (fun m ->
+         match m.server with
+         | None -> ()
+         | Some s ->
+             m.server <- None;
+             ignore (Server.shutdown s : [ `Drained | `Forced ])))
+    t.members

@@ -1,0 +1,51 @@
+(** In-process cluster harness: [shards × replicas] {!Shard} workers —
+    real listeners, real wire protocol, real failover — inside one
+    process, for tests and benchmarks.  The CLI's [cluster] command is
+    the multi-process analogue.
+
+    {!kill} shuts one member down and leaves its (closed) port in the
+    endpoint map, so a {!router} built over the cluster discovers the
+    corpse the same way it would a crashed process: connection refused,
+    mark dead, fail over. *)
+
+type t
+
+val launch :
+  ?namespaces:Rdf.Namespace.t ->
+  ?vnodes:int ->
+  ?seed:int ->
+  ?replicas:int ->
+  ?config:Server.config ->
+  shards:int ->
+  schema:Shacl.Schema.t ->
+  graph:Rdf.Graph.t ->
+  unit ->
+  t
+(** Start every member on an ephemeral loopback port ([config]'s port
+    and port-file settings are overridden).  [replicas] defaults to 1.
+    Raises as {!Server.start} does when a member cannot bind. *)
+
+val ring : t -> Ring.t
+val namespaces : t -> Rdf.Namespace.t
+
+val endpoints : t -> Router.endpoint array array
+(** [(shards × replicas)] endpoint map, killed members included. *)
+
+val router :
+  ?policy:Runtime.Retry.policy ->
+  ?call_timeout:float ->
+  ?deadline:float ->
+  ?hedge_delay:float ->
+  ?probe_timeout:float ->
+  ?probe_policy:Runtime.Retry.policy ->
+  t ->
+  Router.t
+(** A router over {!endpoints} with the cluster's ring and namespaces;
+    options as in {!Router.config}. *)
+
+val kill : t -> shard:int -> replica:int -> unit
+(** Shut one member down (drain-based, like a crash from the router's
+    point of view once the port closes).  Idempotent. *)
+
+val shutdown : t -> unit
+(** {!kill} every member that is still up. *)

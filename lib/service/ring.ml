@@ -1,0 +1,123 @@
+(* Consistent-hash ring: a deterministic partition of a [space]-sized
+   key circle among [shards] shards, via [vnodes] points per shard.
+
+   Everything is a pure function of (shards, vnodes, seed): router and
+   shard workers build their own rings independently and agree on every
+   ownership decision without any coordination message.  The hash is a
+   seeded FNV-1a with a finalizing avalanche — not cryptographic, just
+   fast and stable across OCaml versions (no dependence on
+   [Hashtbl.hash], whose output is not pinned by the stdlib contract).
+
+   Arc convention: with the distinct point positions sorted as
+   p_0 < p_1 < … < p_{m-1}, the point at p_j owns the half-open arc
+   [p_{j-1}, p_j), and the point at p_0 owns the wrapping remainder
+   [p_{m-1}, space) ∪ [0, p_0).  [owner] and [ranges] implement the
+   same convention, so the coalesced [ranges] of all shards tile the
+   space exactly. *)
+
+type t = {
+  shards : int;
+  vnodes : int;
+  seed : int;
+  positions : int array;      (* sorted, distinct *)
+  owners : int array;         (* owners.(j) = shard of positions.(j) *)
+}
+
+let space = 1 lsl 30
+
+(* seeded FNV-1a over the bytes, 64-bit wrap-around arithmetic masked
+   into OCaml's 63-bit ints, then a xor-shift avalanche so consecutive
+   vnode labels ("3:17", "3:18") land far apart *)
+let hash_string ~seed s =
+  let h = ref (0x3bf29ce484222325 lxor (seed * 0x9e3779b97f4a7)) in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x100000001b3)
+    s;
+  let x = !h land max_int in
+  let x = x lxor (x lsr 33) in
+  let x = x * 0xff51afd7ed558cd land max_int in
+  let x = x lxor (x lsr 29) in
+  x
+
+let position ~seed s = hash_string ~seed s land (space - 1)
+
+let make ?(vnodes = 64) ?(seed = 0) ~shards () =
+  if shards < 1 then invalid_arg "Ring.make: shards must be >= 1";
+  let vnodes = max 1 vnodes in
+  let points = ref [] in
+  for s = 0 to shards - 1 do
+    for v = 0 to vnodes - 1 do
+      points := (position ~seed (Printf.sprintf "%d:%d" s v), s) :: !points
+    done
+  done;
+  (* sort by position; a position collision is resolved to the lowest
+     shard id — [sort_uniq compare] orders equal positions by shard id,
+     so keeping the first point of each position run is deterministic *)
+  let sorted = List.sort_uniq compare !points in
+  let deduped =
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun (p, _) ->
+        if Hashtbl.mem seen p then false
+        else begin
+          Hashtbl.add seen p ();
+          true
+        end)
+      sorted
+  in
+  { shards;
+    vnodes;
+    seed;
+    positions = Array.of_list (List.map fst deduped);
+    owners = Array.of_list (List.map snd deduped) }
+
+let shards t = t.shards
+let seed t = t.seed
+let vnodes t = t.vnodes
+
+(* index of the first point with position strictly greater than [x],
+   wrapping to 0 when [x] is at or past the last point *)
+let point_after t x =
+  let n = Array.length t.positions in
+  let rec search lo hi =
+    (* invariant: positions.(i) <= x for i < lo; positions.(i) > x for
+       i >= hi *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.positions.(mid) > x then search lo mid else search (mid + 1) hi
+  in
+  let j = search 0 n in
+  if j = n then 0 else j
+
+let owner_pos t x = t.owners.(point_after t x)
+let owner t key = owner_pos t (position ~seed:t.seed key)
+let owner_term t term = owner t (Rdf.Term.to_string term)
+
+let ranges t shard =
+  if shard < 0 || shard >= t.shards then
+    invalid_arg "Ring.ranges: no such shard";
+  let n = Array.length t.positions in
+  let arcs = ref [] in
+  for j = n - 1 downto 0 do
+    if t.owners.(j) = shard then
+      if j = 0 then begin
+        (* the wrapping arc, split at 0 into its two halves *)
+        arcs := (0, t.positions.(0)) :: !arcs;
+        if t.positions.(n - 1) < space then
+          arcs := !arcs @ [ t.positions.(n - 1), space ]
+      end
+      else arcs := (t.positions.(j - 1), t.positions.(j)) :: !arcs
+  done;
+  (* coalesce abutting arcs (adjacent vnodes of the same shard) *)
+  let rec coalesce = function
+    | (a, b) :: (c, d) :: rest when b = c -> coalesce ((a, d) :: rest)
+    | x :: rest -> x :: coalesce rest
+    | [] -> []
+  in
+  coalesce (List.filter (fun (a, b) -> a < b) (List.sort compare !arcs))
+
+let replica_order t ~replicas key =
+  let replicas = max 1 replicas in
+  let first = hash_string ~seed:(t.seed + 1) key mod replicas in
+  List.init replicas (fun k -> (first + k) mod replicas)

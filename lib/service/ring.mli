@@ -1,0 +1,56 @@
+(** Consistent-hash ring: the cluster's coordination-free partition of
+    the node space.
+
+    A ring is a pure function of [(shards, vnodes, seed)]: every router
+    and every shard worker builds its own copy and they agree on every
+    ownership decision without exchanging a byte.  Keys (rendered RDF
+    terms) hash onto a circle of {!space} positions; each shard plants
+    [vnodes] points on the circle, and a key belongs to the shard of
+    the first point after it (wrapping).  More vnodes → smoother
+    balance; the default 64 keeps the per-shard load within a few
+    percent of even for realistic graph sizes.
+
+    The ring also names what a {e missing} shard means: {!ranges} lists
+    the half-open position intervals a shard owns, which is exactly the
+    manifest a partial scatter-gather answer reports for the shards
+    that did not reply (see [Wire.Partial]). *)
+
+type t
+
+val space : int
+(** Size of the position circle, [2{^30}].  Positions are
+    [0 .. space - 1]. *)
+
+val make : ?vnodes:int -> ?seed:int -> shards:int -> unit -> t
+(** [make ~shards ()] builds the ring deterministically.  [vnodes]
+    defaults to 64 points per shard (clamped to at least 1); [seed]
+    (default 0) varies the whole layout — all parties must agree on
+    it.  Raises [Invalid_argument] when [shards < 1]. *)
+
+val shards : t -> int
+val vnodes : t -> int
+val seed : t -> int
+
+val position : seed:int -> string -> int
+(** Where a key lands on the circle — a seeded FNV-1a hash folded into
+    [\[0, space)].  Stable across processes and OCaml versions. *)
+
+val owner : t -> string -> int
+(** The shard owning a key (0-based). *)
+
+val owner_term : t -> Rdf.Term.t -> int
+(** [owner] of the term's canonical rendering — the form shard workers
+    hash when restricting candidate enumeration, so router and worker
+    always agree on who owns a node. *)
+
+val ranges : t -> int -> (int * int) list
+(** The half-open position intervals [\[lo, hi)] a shard owns, sorted
+    and coalesced.  Over all shards the ranges tile [\[0, space)]
+    exactly: they are disjoint and their lengths sum to {!space}.
+    Raises [Invalid_argument] for an out-of-range shard id. *)
+
+val replica_order : t -> replicas:int -> string -> int list
+(** A deterministic rotation of [0 .. replicas - 1] keyed by the
+    request key: which replica of the owning shard to try first, then
+    second, … — spreading load across replicas while keeping failover
+    order reproducible for a given request. *)

@@ -1,0 +1,422 @@
+(* Scatter-gather coordinator for the shard cluster.
+
+   One logical request fans out to every shard ([validate] /
+   [fragment]) or routes to a single shard (anything else).  Each
+   shard's slot is served by [replicas.(shard)] interchangeable
+   workers; the router tries them in the deterministic
+   [Ring.replica_order] rotation, failing over on transport-class
+   errors, hedging a straggler onto the next replica after an adaptive
+   delay, and marking unreachable replicas dead so later requests skip
+   them until a backoff-scheduled probe revives them.
+
+   Concurrency is systhreads, not domains, on purpose: a hedged call
+   that lost the race is *abandoned*, not joined — its socket times out
+   on its own and the thread exits into the void.  Domains would force
+   us to join (and thus wait out) every straggler; threads let the
+   router return as soon as it has an answer.  All shared state
+   (first-result cell, health table, latency window) is tiny and
+   mutex-protected; the wait loops poll at millisecond granularity
+   because stdlib [Condition] has no timed wait. *)
+
+type endpoint = { host : string; port : int }
+
+type config = {
+  ring : Ring.t;
+  replicas : endpoint array array;
+  namespaces : Rdf.Namespace.t;
+  policy : Runtime.Retry.policy;
+  call_timeout : float;
+  deadline : float option;
+  hedge_delay : float option;
+  hedge_quantile : float;
+  probe_timeout : float;
+  probe_policy : Runtime.Retry.policy;
+}
+
+let config ?(namespaces = Rdf.Namespace.default)
+    ?(policy = Runtime.Retry.policy ~max_attempts:2 ())
+    ?(call_timeout = 30.0) ?deadline ?hedge_delay ?(hedge_quantile = 0.9)
+    ?(probe_timeout = 1.0)
+    ?(probe_policy =
+      Runtime.Retry.policy ~max_attempts:1 ~base_delay:0.25 ~cap_delay:10.0 ())
+    ~ring ~replicas () =
+  if Array.length replicas <> Ring.shards ring then
+    invalid_arg "Router.config: one endpoint group per ring shard required";
+  Array.iter
+    (fun group ->
+      if Array.length group = 0 then
+        invalid_arg "Router.config: every shard needs at least one replica")
+    replicas;
+  { ring; replicas; namespaces; policy; call_timeout; deadline; hedge_delay;
+    hedge_quantile; probe_timeout; probe_policy }
+
+(* Per-replica liveness, updated under [hlock].  [fails] counts
+   consecutive failures and drives the full-jitter re-probe backoff;
+   a probe only happens when a request actually wants the replica
+   ("probe on demand"), so an idle router costs nothing. *)
+type health = {
+  mutable dead : bool;
+  mutable fails : int;
+  mutable next_probe : float;
+}
+
+type t = {
+  cfg : config;
+  health : health array array;
+  hlock : Mutex.t;
+  (* sliding window of successful shard-call latencies, for the
+     adaptive hedge delay *)
+  lat : float array;
+  mutable lat_n : int;
+  llock : Mutex.t;
+  mutable reqno : int;
+  rlock : Mutex.t;
+}
+
+let create cfg =
+  { cfg;
+    health =
+      Array.map
+        (Array.map (fun _ -> { dead = false; fails = 0; next_probe = 0.0 }))
+        cfg.replicas;
+    hlock = Mutex.create ();
+    lat = Array.make 64 0.0;
+    lat_n = 0;
+    llock = Mutex.create ();
+    reqno = 0;
+    rlock = Mutex.create () }
+
+let now = Unix.gettimeofday
+
+let alive t =
+  Mutex.protect t.hlock (fun () ->
+      Array.map (Array.map (fun h -> not h.dead)) t.health)
+
+(* ---------------- health ------------------------------------------- *)
+
+let mark_dead t ~shard ~replica =
+  Mutex.protect t.hlock (fun () ->
+      let h = t.health.(shard).(replica) in
+      h.dead <- true;
+      h.fails <- h.fails + 1;
+      h.next_probe <-
+        now ()
+        +. Runtime.Retry.delay t.cfg.probe_policy ~rand:Random.float
+             ~attempt:(min h.fails 16))
+
+let mark_alive t ~shard ~replica =
+  Mutex.protect t.hlock (fun () ->
+      let h = t.health.(shard).(replica) in
+      h.dead <- false;
+      h.fails <- 0;
+      h.next_probe <- 0.0)
+
+(* A dead replica is skipped until its probe comes due; a due probe is
+   a cheap [ping] with a short timeout.  Any decoded reply — even
+   [overloaded] — proves the process is alive. *)
+let replica_usable t ~shard ~replica =
+  let probe_due =
+    Mutex.protect t.hlock (fun () ->
+        let h = t.health.(shard).(replica) in
+        if not h.dead then `Alive
+        else if now () >= h.next_probe then `Probe
+        else `Dead)
+  in
+  match probe_due with
+  | `Alive -> true
+  | `Dead -> false
+  | `Probe -> (
+      let ep = t.cfg.replicas.(shard).(replica) in
+      match
+        Client.round_trip ~timeout:t.cfg.probe_timeout ~host:ep.host
+          ~port:ep.port
+          (Wire.request Wire.Ping)
+      with
+      | Ok _ | Error (Client.Overloaded _) ->
+          mark_alive t ~shard ~replica;
+          true
+      | Error _ ->
+          mark_dead t ~shard ~replica;
+          false)
+
+(* ---------------- hedging ------------------------------------------ *)
+
+let record_latency t dt =
+  Mutex.protect t.llock (fun () ->
+      t.lat.(t.lat_n mod Array.length t.lat) <- dt;
+      t.lat_n <- t.lat_n + 1)
+
+(* hedge after the configured fixed delay, or after the [hedge_quantile]
+   of recent latencies once enough history exists; [None] disables
+   hedging (failover on actual failure still happens) *)
+let hedge_after t =
+  match t.cfg.hedge_delay with
+  | Some d -> Some (Float.max 0.0 d)
+  | None ->
+      Mutex.protect t.llock (fun () ->
+          let n = min t.lat_n (Array.length t.lat) in
+          if n < 8 then None
+          else begin
+            let window = Array.sub t.lat 0 n in
+            Array.sort compare window;
+            let k =
+              min (n - 1)
+                (int_of_float (Float.of_int n *. t.cfg.hedge_quantile))
+            in
+            Some (Float.max 0.01 window.(k))
+          end)
+
+(* ---------------- one shard ---------------------------------------- *)
+
+(* Race the shard's replicas: start with the rotation's first usable
+   one, launch the next when the current attempt fails (failover) or
+   lingers past the hedge delay (hedging), first decoded reply wins.
+   Stragglers are abandoned; their late writes to the result cell are
+   ignored.  Returns the reply, or the error that best explains the
+   shard's silence. *)
+let call_shard t ~key ~stop_at (req : Wire.request) shard =
+  let eps = t.cfg.replicas.(shard) in
+  let order =
+    Ring.replica_order t.cfg.ring ~replicas:(Array.length eps) key
+  in
+  let usable = List.filter (fun r -> replica_usable t ~shard ~replica:r) order in
+  match usable with
+  | [] -> Error (Client.Connect "no live replica")
+  | first :: rest ->
+      let lock = Mutex.create () in
+      let winner = ref None in
+      let errors = ref [] in
+      let in_flight = ref 0 in
+      let launch replica =
+        incr in_flight;
+        let ep = eps.(replica) in
+        ignore
+          (Thread.create
+             (fun () ->
+               let t0 = now () in
+               let deadline =
+                 Float.max 0.05 (stop_at -. t0)
+               in
+               let res =
+                 Client.call ~policy:t.cfg.policy ~timeout:t.cfg.call_timeout
+                   ~deadline ~host:ep.host ~port:ep.port req
+               in
+               Mutex.protect lock (fun () ->
+                   decr in_flight;
+                   match res with
+                   | Ok reply ->
+                       if !winner = None then begin
+                         winner := Some reply;
+                         record_latency t (now () -. t0)
+                       end
+                   | Error e -> errors := (replica, e) :: !errors);
+               (* transport-class exhaustion ⇒ the process is likely
+                  gone; budget-class failures leave it alive *)
+               match res with
+               | Error (Client.Connect _ | Client.Io _) ->
+                   mark_dead t ~shard ~replica
+               | _ -> ())
+             ())
+      in
+      launch first;
+      let pending = ref rest in
+      let last_launch = ref (now ()) in
+      let seen_errors = ref 0 in
+      let rec wait () =
+        let snapshot =
+          Mutex.protect lock (fun () ->
+              (!winner, !in_flight, List.length !errors, !errors))
+        in
+        match snapshot with
+        | Some reply, _, _, _ -> Ok reply
+        | None, in_flight, nerrors, errors ->
+            (* a Remote_error or budget failure is deterministic — the
+               other replicas would answer identically, so stop the race *)
+            let fatal =
+              List.find_opt
+                (fun (_, e) ->
+                  match e with
+                  | Client.Remote_error _
+                  | Client.Failed ((Wire.Timeout | Wire.Fuel), _) ->
+                      true
+                  | _ -> false)
+                errors
+            in
+            (match fatal with
+            | Some (_, e) -> Error e
+            | None ->
+                if in_flight = 0 && !pending = [] then
+                  (* everyone reported in, nobody won *)
+                  Error
+                    (match errors with
+                    | (_, e) :: _ -> e
+                    | [] -> Client.Connect "no live replica")
+                else if now () >= stop_at then
+                  Error (Client.Failed (Wire.Timeout, "router deadline"))
+                else begin
+                  (* failover: a fresh failure frees the next replica
+                     immediately; hedging: so does a straggler once the
+                     hedge delay has passed *)
+                  let hedge_due =
+                    match hedge_after t with
+                    | None -> false
+                    | Some d -> now () -. !last_launch >= d
+                  in
+                  (match !pending with
+                  | r :: more when nerrors > !seen_errors || hedge_due ->
+                      seen_errors := nerrors;
+                      last_launch := now ();
+                      pending := more;
+                      launch r
+                  | _ -> ());
+                  Thread.delay 0.002;
+                  wait ()
+                end)
+      in
+      wait ()
+
+(* ---------------- merging ------------------------------------------ *)
+
+let gap_of_error ring shard e : Runtime.Outcome.gap =
+  let reason =
+    match e with
+    | Client.Failed (Wire.Timeout, _) -> Runtime.Outcome.Timed_out
+    | Client.Failed (Wire.Fuel, _) -> Runtime.Outcome.Fuel_exhausted
+    | e -> Runtime.Outcome.Crashed (Format.asprintf "%a" Client.pp_error e)
+  in
+  { Runtime.Outcome.shard; ranges = Ring.ranges ring shard; reason }
+
+(* The union of per-shard fragments, re-serialized once with the
+   router's namespaces: candidate sets partition across shards, so on a
+   healthy cluster this graph — and therefore its canonical rendering —
+   is byte-identical to the single-process engine's. *)
+let merge_fragments t parts =
+  let rec union acc = function
+    | [] -> Ok acc
+    | turtle :: rest -> (
+        match Rdf.Turtle.parse turtle with
+        | Ok g -> union (Rdf.Graph.union acc g) rest
+        | Error e ->
+            Error
+              (Format.asprintf "shard fragment unparsable: %a"
+                 Rdf.Turtle.pp_error e))
+  in
+  match union Rdf.Graph.empty parts with
+  | Error msg -> Error (Client.Protocol msg)
+  | Ok g ->
+      Ok
+        (Wire.Fragmented
+           { triples = Rdf.Graph.cardinal g;
+             turtle = Rdf.Turtle.to_string ~prefixes:t.cfg.namespaces g })
+
+let merge_validations parts =
+  let conforms, checks, violations =
+    List.fold_left
+      (fun (c, k, v) (c', k', v') -> c && c', k + k', v + v')
+      (true, 0, 0) parts
+  in
+  Ok (Wire.Validated { conforms; checks; violations })
+
+(* ---------------- entry point -------------------------------------- *)
+
+let fresh_key t (req : Wire.request) =
+  match req.id with
+  | Some id -> id
+  | None ->
+      Mutex.protect t.rlock (fun () ->
+          t.reqno <- t.reqno + 1;
+          Printf.sprintf "r%d" t.reqno)
+
+let stop_at_of t =
+  match t.cfg.deadline with
+  | Some d -> now () +. d
+  | None ->
+      (* generous implicit bound: per-replica retries plus slack; only
+         there so an unresponsive cluster cannot hang the router
+         forever *)
+      now ()
+      +. (t.cfg.call_timeout *. float_of_int t.cfg.policy.max_attempts)
+      +. t.cfg.policy.cap_delay +. 1.0
+
+let scatter t (req : Wire.request) merge =
+  let key = fresh_key t req in
+  let stop_at = stop_at_of t in
+  let nshards = Ring.shards t.cfg.ring in
+  let results = Array.make nshards (Error (Client.Connect "unreached")) in
+  let threads =
+    List.init nshards (fun shard ->
+        Thread.create
+          (fun () ->
+            results.(shard) <-
+              call_shard t ~key:(Printf.sprintf "%s/%d" key shard) ~stop_at
+                req shard)
+          ())
+  in
+  List.iter Thread.join threads;
+  (* a malformed request fails identically on every shard: surface it
+     as the router's own error rather than an all-shards gap *)
+  let fatal =
+    Array.to_seq results
+    |> Seq.find_map (function
+         | Error (Client.Remote_error _ as e) -> Some e
+         | _ -> None)
+  in
+  match fatal with
+  | Some e -> Error e
+  | None -> (
+      let oks, gaps =
+        Array.to_seq results |> Seq.mapi (fun shard r -> shard, r)
+        |> Seq.fold_left
+             (fun (oks, gaps) (shard, r) ->
+               match r with
+               | Ok reply -> (shard, reply) :: oks, gaps
+               | Error e -> oks, gap_of_error t.cfg.ring shard e :: gaps)
+             ([], [])
+      in
+      let oks = List.rev oks and gaps = List.rev gaps in
+      match merge (List.map snd oks) with
+      | Error _ as e -> e
+      | Ok merged -> (
+          match Runtime.Outcome.partial merged gaps with
+          | Runtime.Outcome.Completed v -> Ok v
+          | Runtime.Outcome.Partial { value; missing } ->
+              Ok (Wire.Partial { value; missing })
+          | Runtime.Outcome.Failed _ -> assert false))
+
+let call t (req : Wire.request) =
+  match req.op with
+  | Wire.Validate ->
+      scatter t req (fun replies ->
+          let parts =
+            List.filter_map
+              (function
+                | Wire.Validated { conforms; checks; violations } ->
+                    Some (conforms, checks, violations)
+                | _ -> None)
+              replies
+          in
+          if List.length parts <> List.length replies then
+            Error (Client.Protocol "shard sent a non-validate reply")
+          else merge_validations parts)
+  | Wire.Fragment _ ->
+      scatter t req (fun replies ->
+          let parts =
+            List.filter_map
+              (function
+                | Wire.Fragmented { turtle; _ } -> Some turtle
+                | _ -> None)
+              replies
+          in
+          if List.length parts <> List.length replies then
+            Error (Client.Protocol "shard sent a non-fragment reply")
+          else merge_fragments t parts)
+  | Wire.Neighborhood { node; _ } ->
+      (* single-node provenance needs no scatter: every worker holds the
+         whole graph, so any shard answers exactly; route by the node's
+         hash to spread load deterministically *)
+      call_shard t ~key:node ~stop_at:(stop_at_of t) req
+        (Ring.owner t.cfg.ring node)
+  | Wire.Health | Wire.Stats | Wire.Ping | Wire.Sleep _ ->
+      let key = fresh_key t req in
+      call_shard t ~key ~stop_at:(stop_at_of t) req
+        (Ring.owner t.cfg.ring key)

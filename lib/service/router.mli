@@ -1,0 +1,85 @@
+(** Scatter-gather router for the sharded fragment cluster.
+
+    The router owns no data and runs no engine: it fans a [validate] /
+    [fragment] request out to every {!Ring} shard, collects the
+    restricted answers, and merges them.  Because shard workers
+    restrict only candidate enumeration (the graph stays whole — see
+    {!Shard}), the merge is exact: fragment triples union and validate
+    counters sum into precisely the single-process answer, and on a
+    healthy cluster the merged fragment is re-serialized into
+    byte-identical Turtle.
+
+    Failure handling, per shard:
+    {ul
+    {- {b Failover.}  Replicas are tried in the deterministic
+       {!Ring.replica_order} rotation; transport-class failures
+       ([Connect] / [Io] / exhausted retries) move on to the next
+       replica and mark the loser dead.}
+    {- {b Hedging.}  A straggling replica is raced against the next one
+       after a delay — fixed ([hedge_delay]) or adaptive (the
+       [hedge_quantile] of recent latencies); the first reply wins and
+       the straggler is abandoned, never joined.}
+    {- {b Probing.}  Dead replicas are skipped until a full-jitter
+       backoff schedule makes a probe due; the probe is a cheap [ping]
+       and any decoded reply (even [overloaded]) revives the replica.}
+    {- {b Degrading.}  A shard whose every replica is unreachable (or
+       whose answer is deterministically failed — budget exhaustion)
+       becomes a {!Runtime.Outcome.gap}; the merged result is then a
+       [Wire.Partial] carrying the exact hash ranges the answer is
+       silent about.  A [Remote_error] (malformed request) aborts the
+       whole scatter instead: it would fail identically everywhere.}}
+
+    Single-node ops ([neighborhood] etc.) are routed to one shard
+    picked by hash — every worker holds the whole graph, so any of
+    them answers exactly. *)
+
+type endpoint = { host : string; port : int }
+
+type config = {
+  ring : Ring.t;
+  replicas : endpoint array array;  (** [replicas.(shard).(replica)] *)
+  namespaces : Rdf.Namespace.t;     (** for re-serializing merged fragments *)
+  policy : Runtime.Retry.policy;    (** per-replica call retry policy *)
+  call_timeout : float;             (** per-attempt socket timeout, seconds *)
+  deadline : float option;          (** overall scatter-gather cap, seconds *)
+  hedge_delay : float option;
+      (** fixed hedge delay; [None] = adaptive from latency history *)
+  hedge_quantile : float;           (** adaptive hedge point, default 0.9 *)
+  probe_timeout : float;            (** socket timeout of a liveness probe *)
+  probe_policy : Runtime.Retry.policy;
+      (** backoff schedule for re-probing dead replicas *)
+}
+
+val config :
+  ?namespaces:Rdf.Namespace.t ->
+  ?policy:Runtime.Retry.policy ->
+  ?call_timeout:float ->
+  ?deadline:float ->
+  ?hedge_delay:float ->
+  ?hedge_quantile:float ->
+  ?probe_timeout:float ->
+  ?probe_policy:Runtime.Retry.policy ->
+  ring:Ring.t ->
+  replicas:endpoint array array ->
+  unit ->
+  config
+(** Defaults: 2 call attempts per replica, 30 s call timeout, no
+    overall deadline (an implicit generous bound still applies),
+    adaptive hedging at the 0.9 quantile, 1 s probes backing off from
+    250 ms to 10 s.  Raises [Invalid_argument] unless there is exactly
+    one non-empty endpoint group per ring shard. *)
+
+type t
+
+val create : config -> t
+
+val call : t -> Wire.request -> (Wire.reply, Client.error) result
+(** Route one request.  [Ok (Wire.Partial _)] is the degraded-success
+    case: the payload is exact over the answering shards and [missing]
+    manifests the silent ones.  [Error] is reserved for failures that
+    poison the whole request — a malformed request ([Remote_error]),
+    an undecodable merge ([Protocol]), or a single-shard op whose
+    target shard is unreachable. *)
+
+val alive : t -> bool array array
+(** Liveness snapshot of every replica, [(shards × replicas)]. *)

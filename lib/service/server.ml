@@ -38,6 +38,8 @@ type t = {
   namespaces : Rdf.Namespace.t;
   schema : Shacl.Schema.t;
   graph : Rdf.Graph.t;
+  shard : int option;
+  restrict : (Rdf.Term.t -> bool) option;
   lsock : Unix.file_descr;
   bound_port : int;
   started : float;
@@ -112,7 +114,8 @@ let execute t budget : Wire.op -> Wire.reply = function
         Wire.Error "no schema loaded (start the server with --shapes)"
       else begin
         let report, _stats =
-          Provenance.Engine.validate ~jobs:1 ~budget t.schema t.graph
+          Provenance.Engine.validate ?restrict:t.restrict ~jobs:1 ~budget
+            t.schema t.graph
         in
         Wire.Validated
           { conforms = report.Shacl.Validate.conforms;
@@ -152,8 +155,8 @@ let execute t budget : Wire.op -> Wire.reply = function
             | l -> List.rev l
           in
           let fragment, _stats =
-            Provenance.Engine.run ~schema:t.schema ~jobs:1 ~budget t.graph
-              requests
+            Provenance.Engine.run ?restrict:t.restrict ~schema:t.schema ~jobs:1
+              ~budget t.graph requests
           in
           Wire.Fragmented
             { triples = Rdf.Graph.cardinal fragment;
@@ -183,6 +186,7 @@ let execute t budget : Wire.op -> Wire.reply = function
                 { conforms = false; turtle = turtle t explanation }))
   | Wire.Health -> Wire.Healthy { uptime = Unix.gettimeofday () -. t.started }
   | Wire.Stats -> Wire.Statistics (stats t)
+  | Wire.Ping -> Wire.Pong { shard = t.shard }
   | Wire.Sleep ms ->
       (* diagnostic: bounded so a stray request cannot park a worker
          beyond any plausible drain deadline *)
@@ -297,7 +301,27 @@ let rec accept_loop t =
 
 (* ---------------- lifecycle ----------------------------------------- *)
 
-let start ?(namespaces = Rdf.Namespace.default) config ~schema ~graph =
+(* Temp file in the target's own directory plus [rename]: a reader
+   polling the path either sees nothing or a complete "port\n" line,
+   never a torn write (rename is atomic within a filesystem; a temp file
+   elsewhere could cross filesystems and lose that). *)
+let write_port_file path port =
+  let tmp =
+    Filename.temp_file ~temp_dir:(Filename.dirname path)
+      (Filename.basename path ^ ".") ".tmp"
+  in
+  (try
+     let oc = open_out tmp in
+     (try Printf.fprintf oc "%d\n" port
+      with e -> close_out_noerr oc; raise e);
+     close_out oc
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let start ?(namespaces = Rdf.Namespace.default) ?shard ?restrict config
+    ~schema ~graph =
   (* Freeze once at load: every request evaluates against the same
      interned store instead of each engine run freezing its own copy. *)
   let graph = Rdf.Graph.freeze graph in
@@ -327,7 +351,8 @@ let start ?(namespaces = Rdf.Namespace.default) config ~schema ~graph =
           in_flight = Atomic.make 0 }
       in
       let t =
-        { config; namespaces; schema; graph; lsock; bound_port;
+        { config; namespaces; schema; graph; shard; restrict; lsock;
+          bound_port;
           started = Unix.gettimeofday ();
           stop = Atomic.make false;
           queue;
@@ -342,11 +367,7 @@ let start ?(namespaces = Rdf.Namespace.default) config ~schema ~graph =
              ~on_crash:(fun fd e -> on_crash t fd e)
              queue);
       t.acceptor <- Some (Domain.spawn (fun () -> accept_loop t));
-      Option.iter
-        (fun path ->
-          let oc = open_out path in
-          Printf.fprintf oc "%d\n" bound_port;
-          close_out oc)
+      Option.iter (fun path -> write_port_file path bound_port)
         config.port_file;
       t
     with e ->

@@ -51,6 +51,8 @@ type t
 
 val start :
   ?namespaces:Rdf.Namespace.t ->
+  ?shard:int ->
+  ?restrict:(Rdf.Term.t -> bool) ->
   config ->
   schema:Shacl.Schema.t ->
   graph:Rdf.Graph.t ->
@@ -58,7 +60,18 @@ val start :
 (** Bind, listen, spawn the worker pool and the acceptor domain, and
     return immediately.  Raises [Unix.Unix_error] when the address
     cannot be bound.  [namespaces] resolves prefixed names in request
-    shapes and prefixes reply Turtle. *)
+    shapes and prefixes reply Turtle.
+
+    [shard] and [restrict] turn the server into a cluster shard worker
+    (see {!Shard}): [shard] is echoed on [ping] replies, and [restrict]
+    limits which candidate nodes [validate] / [fragment] requests
+    enumerate — the graph itself stays whole, so each restricted answer
+    is exact over the nodes the shard owns. *)
+
+val write_port_file : string -> int -> unit
+(** Atomically publish a bound port at [path]: written to a temp file in
+    the same directory, then renamed into place, so a polling reader
+    never observes a torn or empty file. *)
 
 val port : t -> int
 (** The actually bound port (useful with [port = 0]). *)

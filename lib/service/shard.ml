@@ -1,0 +1,18 @@
+(* A shard worker is a plain [Server] whose candidate enumeration is
+   restricted to the nodes its ring slot owns.  The worker still loads
+   the *whole* graph: neighborhoods reach arbitrarily far from their
+   candidate node, so partitioning the data would change answers, while
+   partitioning the candidate set keeps every per-shard answer exact
+   and makes the shard union equal the single-process answer (each node
+   is owned by exactly one shard). *)
+
+let owns ring ~shard term = Ring.owner_term ring term = shard
+
+let partition ring ~shard g =
+  Rdf.Graph.freeze_filter ~keep:(owns ring ~shard) g
+
+let start ?namespaces ~ring ~shard config ~schema ~graph =
+  if shard < 0 || shard >= Ring.shards ring then
+    invalid_arg "Shard.start: shard id out of range";
+  Server.start ?namespaces ~shard ~restrict:(owns ring ~shard) config ~schema
+    ~graph

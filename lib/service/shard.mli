@@ -1,0 +1,32 @@
+(** Shard worker: a {!Server} restricted to the nodes its {!Ring} slot
+    owns.
+
+    The worker loads the {e whole} graph and restricts only {e which
+    candidate nodes} it enumerates for [validate] / [fragment]
+    requests.  This is what keeps sharded answers exact: a neighborhood
+    B(v, G, φ) may reach any distance from [v], so cutting the data
+    would silently change results, whereas cutting the candidate set
+    only splits the union [⋃{_v} B(v, G, φ)] (Thm 4.1) along shard
+    ownership — the per-shard fragments are disjoint pieces of the
+    same union and merge back exactly. *)
+
+val owns : Ring.t -> shard:int -> Rdf.Term.t -> bool
+(** Whether this shard's ring slot owns the node. *)
+
+val partition : Ring.t -> shard:int -> Rdf.Graph.t -> Rdf.Graph.t
+(** The frozen subject partition of the graph owned by the shard (via
+    [Rdf.Graph.freeze_filter]) — the shard's "own" triples, used for
+    partition-size reporting and locality statistics, {e not} as the
+    evaluation graph. *)
+
+val start :
+  ?namespaces:Rdf.Namespace.t ->
+  ring:Ring.t ->
+  shard:int ->
+  Server.config ->
+  schema:Shacl.Schema.t ->
+  graph:Rdf.Graph.t ->
+  Server.t
+(** [Server.start] with the shard's restriction installed and the shard
+    id echoed on [ping] replies.  Raises [Invalid_argument] when the
+    shard id is outside the ring. *)

@@ -244,6 +244,7 @@ type op =
   | Neighborhood of { node : string; shape : string }
   | Health
   | Stats
+  | Ping
   | Sleep of int
 
 type request = {
@@ -283,7 +284,9 @@ type reply =
   | Neighborhoods of { conforms : bool; turtle : string }
   | Healthy of { uptime : float }
   | Statistics of stats
+  | Pong of { shard : int option }
   | Slept of int
+  | Partial of { value : reply; missing : Runtime.Outcome.gap list }
   | Overloaded of { queued : int }
   | Failed of { reason : failure; detail : string }
   | Error of string
@@ -339,6 +342,7 @@ let op_name = function
   | Neighborhood _ -> "neighborhood"
   | Health -> "health"
   | Stats -> "stats"
+  | Ping -> "ping"
   | Sleep _ -> "sleep"
 
 let encode_request r =
@@ -389,6 +393,7 @@ let decode_request line =
         | _ -> Result.Error "neighborhood requires \"node\" and \"shape\"")
     | Some "health" -> Ok Health
     | Some "stats" -> Ok Stats
+    | Some "ping" -> Ok Ping
     | Some "sleep" -> (
         let* ms = int_field "ms" json in
         match ms with
@@ -426,37 +431,6 @@ let stats_fields s =
     "in_flight", Num (float_of_int s.in_flight);
     "queued", Num (float_of_int s.queued) ]
 
-let encode_reply ?id reply =
-  let open Json in
-  let fields =
-    match reply with
-    | Validated { conforms; checks; violations } ->
-        [ "status", Str "ok"; "op", Str "validate"; "conforms", Bool conforms;
-          "checks", Num (float_of_int checks);
-          "violations", Num (float_of_int violations) ]
-    | Fragmented { triples; turtle } ->
-        [ "status", Str "ok"; "op", Str "fragment";
-          "triples", Num (float_of_int triples); "turtle", Str turtle ]
-    | Neighborhoods { conforms; turtle } ->
-        [ "status", Str "ok"; "op", Str "neighborhood";
-          "conforms", Bool conforms; "turtle", Str turtle ]
-    | Healthy { uptime } ->
-        [ "status", Str "ok"; "op", Str "health"; "uptime", Num uptime ]
-    | Statistics s -> [ "status", Str "ok"; "op", Str "stats" ] @ stats_fields s
-    | Slept ms ->
-        [ "status", Str "ok"; "op", Str "sleep"; "ms", Num (float_of_int ms) ]
-    | Overloaded { queued } ->
-        [ "status", Str "overloaded"; "queued", Num (float_of_int queued) ]
-    | Failed { reason; detail } ->
-        [ "status", Str "failed"; "reason", Str (failure_name reason);
-          "detail", Str detail ]
-    | Error message -> [ "status", Str "error"; "message", Str message ]
-  in
-  let fields =
-    match id with None -> fields | Some id -> ("id", Str id) :: fields
-  in
-  to_string (Obj fields)
-
 let required what = function
   | Ok (Some v) -> Ok v
   | Ok None -> Result.Error (Printf.sprintf "reply is missing %S" what)
@@ -466,6 +440,139 @@ let bool_field key json =
   match field key json with
   | Some (Json.Bool b) -> Ok b
   | _ -> Result.Error (Printf.sprintf "field %S must be a boolean" key)
+
+let encode_gap (g : Runtime.Outcome.gap) =
+  let open Json in
+  let reason, detail = failure_of_outcome g.reason in
+  Obj
+    [ "shard", Num (float_of_int g.shard);
+      "ranges",
+      Arr
+        (List.map
+           (fun (lo, hi) ->
+             Arr [ Num (float_of_int lo); Num (float_of_int hi) ])
+           g.ranges);
+      "reason", Str (failure_name reason);
+      "detail", Str detail ]
+
+let decode_gap json =
+  let* shard = required "gap shard" (int_field "shard" json) in
+  let* reason = required "gap reason" (string_field "reason" json) in
+  let* detail = required "gap detail" (string_field "detail" json) in
+  let* reason =
+    match failure_of_name reason with
+    | Some Timeout -> Ok Runtime.Outcome.Timed_out
+    | Some Fuel -> Ok Runtime.Outcome.Fuel_exhausted
+    | Some Crash -> Ok (Runtime.Outcome.Crashed detail)
+    | None -> Result.Error (Printf.sprintf "unknown gap reason %S" reason)
+  in
+  (* ring positions reach 2^30, past [int_field]'s bound, so the pairs
+     are decoded from raw numbers *)
+  let* ranges =
+    match field "ranges" json with
+    | Some (Json.Arr l) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | Json.Arr [ Json.Num lo; Json.Num hi ] :: rest
+            when Float.is_integer lo && Float.is_integer hi ->
+              go ((int_of_float lo, int_of_float hi) :: acc) rest
+          | _ ->
+              Result.Error "gap \"ranges\" must be an array of [lo,hi] pairs"
+        in
+        go [] l
+    | _ -> Result.Error "gap is missing \"ranges\""
+  in
+  Ok { Runtime.Outcome.shard; ranges; reason }
+
+let rec reply_fields reply =
+  let open Json in
+  match reply with
+  | Validated { conforms; checks; violations } ->
+      [ "status", Str "ok"; "op", Str "validate"; "conforms", Bool conforms;
+        "checks", Num (float_of_int checks);
+        "violations", Num (float_of_int violations) ]
+  | Fragmented { triples; turtle } ->
+      [ "status", Str "ok"; "op", Str "fragment";
+        "triples", Num (float_of_int triples); "turtle", Str turtle ]
+  | Neighborhoods { conforms; turtle } ->
+      [ "status", Str "ok"; "op", Str "neighborhood";
+        "conforms", Bool conforms; "turtle", Str turtle ]
+  | Healthy { uptime } ->
+      [ "status", Str "ok"; "op", Str "health"; "uptime", Num uptime ]
+  | Statistics s -> [ "status", Str "ok"; "op", Str "stats" ] @ stats_fields s
+  | Pong { shard } ->
+      [ "status", Str "ok"; "op", Str "ping" ]
+      @ (match shard with
+        | None -> []
+        | Some i -> [ "shard", Num (float_of_int i) ])
+  | Slept ms ->
+      [ "status", Str "ok"; "op", Str "sleep"; "ms", Num (float_of_int ms) ]
+  | Partial { value; missing } ->
+      (* an [ok] payload, demoted: same op-specific fields, with the
+         status discriminator flipped and the silent shards appended *)
+      List.map
+        (fun (k, v) -> if k = "status" then k, Str "partial" else k, v)
+        (reply_fields value)
+      @ [ "missing", Arr (List.map encode_gap missing) ]
+  | Overloaded { queued } ->
+      [ "status", Str "overloaded"; "queued", Num (float_of_int queued) ]
+  | Failed { reason; detail } ->
+      [ "status", Str "failed"; "reason", Str (failure_name reason);
+        "detail", Str detail ]
+  | Error message -> [ "status", Str "error"; "message", Str message ]
+
+let encode_reply ?id reply =
+  let fields = reply_fields reply in
+  let fields =
+    match id with None -> fields | Some id -> ("id", Json.Str id) :: fields
+  in
+  Json.to_string (Json.Obj fields)
+
+(* The op-specific payload shared by [ok] and [partial] replies. *)
+let decode_ok json =
+  let* op = required "op" (string_field "op" json) in
+  match op with
+  | "validate" ->
+      let* conforms = bool_field "conforms" json in
+      let* checks = required "checks" (int_field "checks" json) in
+      let* violations = required "violations" (int_field "violations" json) in
+      Ok (Validated { conforms; checks; violations })
+  | "fragment" ->
+      let* triples = required "triples" (int_field "triples" json) in
+      let* turtle = required "turtle" (string_field "turtle" json) in
+      Ok (Fragmented { triples; turtle })
+  | "neighborhood" ->
+      let* conforms = bool_field "conforms" json in
+      let* turtle = required "turtle" (string_field "turtle" json) in
+      Ok (Neighborhoods { conforms; turtle })
+  | "health" ->
+      let* uptime = required "uptime" (number_field "uptime" json) in
+      Ok (Healthy { uptime })
+  | "stats" ->
+      let num key = required key (int_field key json) in
+      let* uptime = required "uptime" (number_field "uptime" json) in
+      let* jobs = num "jobs" in
+      let* queue_bound = num "queue_bound" in
+      let* accepted = num "accepted" in
+      let* served = num "served" in
+      let* shed = num "shed" in
+      let* failed = num "failed" in
+      let* rejected = num "rejected" in
+      let* dropped = num "dropped" in
+      let* crashes = num "crashes" in
+      let* in_flight = num "in_flight" in
+      let* queued = num "queued" in
+      Ok
+        (Statistics
+           { uptime; jobs; queue_bound; accepted; served; shed; failed;
+             rejected; dropped; crashes; in_flight; queued })
+  | "ping" ->
+      let* shard = int_field "shard" json in
+      Ok (Pong { shard })
+  | "sleep" ->
+      let* ms = required "ms" (int_field "ms" json) in
+      Ok (Slept ms)
+  | other -> Result.Error (Printf.sprintf "unknown ok op %S" other)
 
 let decode_reply line =
   let* json =
@@ -478,49 +585,26 @@ let decode_reply line =
   let* status = required "status" (string_field "status" json) in
   let* reply =
     match status with
-    | "ok" -> (
-        let* op = required "op" (string_field "op" json) in
-        match op with
-        | "validate" ->
-            let* conforms = bool_field "conforms" json in
-            let* checks = required "checks" (int_field "checks" json) in
-            let* violations =
-              required "violations" (int_field "violations" json)
-            in
-            Ok (Validated { conforms; checks; violations })
-        | "fragment" ->
-            let* triples = required "triples" (int_field "triples" json) in
-            let* turtle = required "turtle" (string_field "turtle" json) in
-            Ok (Fragmented { triples; turtle })
-        | "neighborhood" ->
-            let* conforms = bool_field "conforms" json in
-            let* turtle = required "turtle" (string_field "turtle" json) in
-            Ok (Neighborhoods { conforms; turtle })
-        | "health" ->
-            let* uptime = required "uptime" (number_field "uptime" json) in
-            Ok (Healthy { uptime })
-        | "stats" ->
-            let num key = required key (int_field key json) in
-            let* uptime = required "uptime" (number_field "uptime" json) in
-            let* jobs = num "jobs" in
-            let* queue_bound = num "queue_bound" in
-            let* accepted = num "accepted" in
-            let* served = num "served" in
-            let* shed = num "shed" in
-            let* failed = num "failed" in
-            let* rejected = num "rejected" in
-            let* dropped = num "dropped" in
-            let* crashes = num "crashes" in
-            let* in_flight = num "in_flight" in
-            let* queued = num "queued" in
-            Ok
-              (Statistics
-                 { uptime; jobs; queue_bound; accepted; served; shed; failed;
-                   rejected; dropped; crashes; in_flight; queued })
-        | "sleep" ->
-            let* ms = required "ms" (int_field "ms" json) in
-            Ok (Slept ms)
-        | other -> Result.Error (Printf.sprintf "unknown ok op %S" other))
+    | "ok" -> decode_ok json
+    | "partial" ->
+        let* value = decode_ok json in
+        let* missing =
+          match field "missing" json with
+          | Some (Json.Arr l) ->
+              let rec go acc = function
+                | [] -> Ok (List.rev acc)
+                | (Json.Obj _ as g) :: rest ->
+                    let* g = decode_gap g in
+                    go (g :: acc) rest
+                | _ ->
+                    Result.Error "\"missing\" must be an array of gap objects"
+              in
+              go [] l
+          | _ -> Result.Error "partial reply is missing \"missing\""
+        in
+        if missing = [] then
+          Result.Error "partial reply must list at least one gap"
+        else Ok (Partial { value; missing })
     | "overloaded" ->
         let* queued = required "queued" (int_field "queued" json) in
         Ok (Overloaded { queued })

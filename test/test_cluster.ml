@@ -1,0 +1,433 @@
+(* The sharded, replicated fragment cluster (lib/service: Ring, Shard,
+   Router, Cluster).
+
+   - Ring: deterministic layout, every key owned by exactly one shard,
+     the coalesced ranges of all shards tile the hash space exactly.
+   - Wire: ping/pong and partial-reply roundtrips, including gap
+     manifests.
+   - Graph.freeze_filter ≡ filter-then-rebuild reference.
+   - Engine [?restrict] exactness: fragments union and validate counts
+     sum across a shard partition into the unrestricted answers.
+   - Retry deadline: an injectable clock proves the overall wall-clock
+     cap cuts the attempt loop, independent of per-attempt outcomes.
+   - Server.write_port_file: atomic publication.
+   - End-to-end (in-process 3×2 cluster on ephemeral ports): the
+     healthy scatter-gather fragment is byte-identical to the local
+     engine's, one dead replica is survived by failover, a whole dead
+     shard degrades to a partial result whose gap names exactly that
+     shard's ranges. *)
+
+open Service
+
+(* ---------------- Ring ---------------------------------------------- *)
+
+let sample_keys =
+  List.init 200 (fun i -> Printf.sprintf "http://example.org/node%d" i)
+
+let test_ring_deterministic () =
+  let a = Ring.make ~vnodes:32 ~seed:7 ~shards:5 () in
+  let b = Ring.make ~vnodes:32 ~seed:7 ~shards:5 () in
+  List.iter
+    (fun k ->
+      Alcotest.(check int) k (Ring.owner a k) (Ring.owner b k))
+    sample_keys;
+  let c = Ring.make ~vnodes:32 ~seed:8 ~shards:5 () in
+  Alcotest.(check bool) "seed changes the layout" true
+    (List.exists (fun k -> Ring.owner a k <> Ring.owner c k) sample_keys)
+
+let test_ring_ranges_tile_space () =
+  List.iter
+    (fun (shards, vnodes, seed) ->
+      let ring = Ring.make ~vnodes ~seed ~shards () in
+      let arcs =
+        List.concat_map (Ring.ranges ring) (List.init shards Fun.id)
+      in
+      let arcs = List.sort compare arcs in
+      (* arcs are non-empty, non-overlapping, gap-free, and cover
+         [0, space) *)
+      let last =
+        List.fold_left
+          (fun expected (lo, hi) ->
+            Alcotest.(check int) "gap-free and non-overlapping" expected lo;
+            Alcotest.(check bool) "non-empty arc" true (lo < hi);
+            hi)
+          0 arcs
+      in
+      Alcotest.(check int) "covers the whole space" Ring.space last)
+    [ 1, 64, 0; 3, 64, 0; 5, 32, 7; 4, 1, 3 ]
+
+let test_ring_owner_matches_ranges () =
+  let ring = Ring.make ~vnodes:16 ~seed:1 ~shards:4 () in
+  List.iter
+    (fun k ->
+      let pos = Ring.position ~seed:(Ring.seed ring) k in
+      let shard = Ring.owner ring k in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s in its owner's ranges" k)
+        true
+        (List.exists
+           (fun (lo, hi) -> lo <= pos && pos < hi)
+           (Ring.ranges ring shard)))
+    sample_keys
+
+let test_ring_replica_order () =
+  let ring = Ring.make ~shards:3 () in
+  List.iter
+    (fun k ->
+      let order = Ring.replica_order ring ~replicas:4 k in
+      Alcotest.(check (list int))
+        "a permutation of 0..3"
+        [ 0; 1; 2; 3 ]
+        (List.sort compare order);
+      Alcotest.(check (list int))
+        "deterministic" order
+        (Ring.replica_order ring ~replicas:4 k))
+    sample_keys
+
+(* ---------------- Wire: ping and partial replies --------------------- *)
+
+let roundtrip_reply ?id r =
+  match Wire.decode_reply (Wire.encode_reply ?id r) with
+  | Ok (id', r') -> id' = id && r' = r
+  | Error _ -> false
+
+let test_wire_ping_roundtrip () =
+  (match Wire.decode_request {|{"op":"ping"}|} with
+  | Ok { Wire.op = Wire.Ping; _ } -> ()
+  | _ -> Alcotest.fail "ping request should decode");
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (Wire.encode_reply r) true (roundtrip_reply r))
+    [ Wire.Pong { shard = None }; Wire.Pong { shard = Some 2 } ]
+
+let test_wire_partial_roundtrip () =
+  let gap shard reason =
+    { Runtime.Outcome.shard; ranges = [ 0, 1024; 99_000, Ring.space ]; reason }
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (Wire.encode_reply r) true (roundtrip_reply r);
+      Alcotest.(check bool) "with id" true (roundtrip_reply ~id:"9" r))
+    [ Wire.Partial
+        { value = Wire.Validated { conforms = true; checks = 2; violations = 0 };
+          missing = [ gap 1 (Runtime.Outcome.Crashed "connection refused") ] };
+      Wire.Partial
+        { value = Wire.Fragmented { triples = 1; turtle = "a b c .\n" };
+          missing =
+            [ gap 0 Runtime.Outcome.Timed_out;
+              gap 2 Runtime.Outcome.Fuel_exhausted ] } ];
+  (* an empty manifest is not a partial reply *)
+  match
+    Wire.decode_reply
+      {|{"status":"partial","result":"pong","missing":[]}|}
+  with
+  | Ok _ -> Alcotest.fail "empty missing should be rejected"
+  | Error _ -> ()
+
+(* ---------------- fixtures ------------------------------------------ *)
+
+let data_ttl =
+  {|@prefix ex: <http://example.org/> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+ex:p1 rdf:type ex:Paper ; ex:author ex:bob .
+ex:bob rdf:type ex:Student .
+ex:p2 rdf:type ex:Paper ; ex:author ex:carl .
+ex:carl rdf:type ex:Prof .
+ex:p3 rdf:type ex:Paper ; ex:author ex:dana ; ex:author ex:bob .
+ex:dana rdf:type ex:Student .|}
+
+let shapes_ttl =
+  {|@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix ex: <http://example.org/> .
+ex:WorkshopShape a sh:NodeShape ;
+  sh:targetClass ex:Paper ;
+  sh:property [ sh:path ex:author ; sh:qualifiedMinCount 1 ;
+                sh:qualifiedValueShape [ sh:class ex:Student ] ] .|}
+
+let graph = Rdf.Turtle.parse_exn data_ttl
+
+let schema =
+  match Shacl.Shapes_graph.load (Rdf.Turtle.parse_exn shapes_ttl) with
+  | Ok schema -> schema
+  | Error _ -> assert false
+
+(* ---------------- Graph.freeze_filter ------------------------------- *)
+
+let test_freeze_filter_matches_reference () =
+  let keep t = Rdf.Term.to_string t < "http://example.org/p2" in
+  let filtered = Rdf.Graph.freeze_filter ~keep graph in
+  let reference =
+    Rdf.Graph.of_list
+      (List.filter
+         (fun tr -> keep (Rdf.Triple.subject tr))
+         (Rdf.Graph.to_list graph))
+  in
+  Alcotest.(check bool) "same triples" true
+    (Rdf.Graph.equal filtered reference);
+  Alcotest.(check bool) "frozen" true (Rdf.Graph.frozen filtered);
+  (* degenerate filters *)
+  Alcotest.(check bool) "keep-all is the whole graph" true
+    (Rdf.Graph.equal graph (Rdf.Graph.freeze_filter ~keep:(fun _ -> true) graph));
+  Alcotest.(check bool) "keep-none is empty" true
+    (Rdf.Graph.is_empty (Rdf.Graph.freeze_filter ~keep:(fun _ -> false) graph))
+
+(* ---------------- Engine ?restrict exactness ------------------------ *)
+
+let shard_partition shards =
+  let ring = Ring.make ~seed:3 ~shards () in
+  List.init shards (fun i term -> Ring.owner_term ring term = i)
+
+let test_restrict_fragments_union_to_full () =
+  let requests = Provenance.Engine.requests_of_schema schema in
+  let full, _ = Provenance.Engine.run ~schema graph requests in
+  List.iter
+    (fun shards ->
+      let union =
+        List.fold_left
+          (fun acc restrict ->
+            let frag, _ =
+              Provenance.Engine.run ~schema ~restrict graph requests
+            in
+            Rdf.Graph.union acc frag)
+          Rdf.Graph.empty (shard_partition shards)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d-shard union = full fragment" shards)
+        true
+        (Rdf.Graph.equal full union))
+    [ 1; 2; 3; 5 ]
+
+let test_restrict_validate_counts_sum () =
+  let report, _ = Provenance.Engine.validate schema graph in
+  let count f = List.length (List.filter f report.Shacl.Validate.results) in
+  ignore (count (fun _ -> true));
+  let full_results = List.length report.Shacl.Validate.results in
+  List.iter
+    (fun shards ->
+      let results, conforms =
+        List.fold_left
+          (fun (n, ok) restrict ->
+            let r, _ = Provenance.Engine.validate ~restrict schema graph in
+            (n + List.length r.Shacl.Validate.results,
+             ok && r.Shacl.Validate.conforms))
+          (0, true) (shard_partition shards)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%d-shard results sum" shards)
+        full_results results;
+      Alcotest.(check bool) "conjunction of conforms" report.Shacl.Validate.conforms
+        conforms)
+    [ 2; 3 ]
+
+(* ---------------- Retry deadline ------------------------------------ *)
+
+(* A fake clock: [now] reads it, [sleep] advances it.  No real time
+   passes in these tests. *)
+let fake_clock start =
+  let t = ref start in
+  (fun () -> !t), (fun d -> t := !t +. d)
+
+let test_retry_deadline_cuts_attempts () =
+  let now, sleep = fake_clock 0.0 in
+  let attempts = ref 0 in
+  let policy =
+    Runtime.Retry.policy ~max_attempts:100 ~base_delay:1.0 ~cap_delay:1.0 ()
+  in
+  let result =
+    Runtime.Retry.run ~sleep ~rand:(fun f -> f) ~now ~deadline:3.5 policy
+      ~retryable:(fun _ -> true)
+      (fun _ -> incr attempts; Error `Transient)
+  in
+  Alcotest.(check bool) "still the error" true (result = Error `Transient);
+  (* attempts at t=0,1,2,3; the next sleep would land past 3.5 *)
+  Alcotest.(check int) "deadline cut the loop" 4 !attempts
+
+let test_retry_deadline_clamps_last_sleep () =
+  let now, sleep = fake_clock 0.0 in
+  let slept = ref [] in
+  let sleep d = slept := d :: !slept; sleep d in
+  let policy =
+    Runtime.Retry.policy ~max_attempts:10 ~base_delay:10.0 ~cap_delay:10.0 ()
+  in
+  ignore
+    (Runtime.Retry.run ~sleep ~rand:(fun f -> f) ~now ~deadline:4.0 policy
+       ~retryable:(fun _ -> true)
+       (fun _ -> Error `Transient)
+      : (unit, _) result);
+  List.iter
+    (fun d -> Alcotest.(check bool) "sleep within deadline" true (d <= 4.0))
+    !slept
+
+let test_retry_no_deadline_unchanged () =
+  let now, sleep = fake_clock 0.0 in
+  let attempts = ref 0 in
+  let policy = Runtime.Retry.policy ~max_attempts:5 ~base_delay:1.0 () in
+  ignore
+    (Runtime.Retry.run ~sleep ~rand:(fun f -> f) ~now policy
+       ~retryable:(fun _ -> true)
+       (fun _ -> incr attempts; Error `Transient)
+      : (unit, _) result);
+  Alcotest.(check int) "all attempts used" 5 !attempts
+
+(* ---------------- Server.write_port_file ----------------------------- *)
+
+let test_write_port_file_atomic () =
+  let path = Filename.temp_file "shaclprov_port" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Server.write_port_file path 4321;
+      let read () =
+        let ic = open_in path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> input_line ic)
+      in
+      Alcotest.(check string) "content" "4321" (read ());
+      (* overwriting is atomic too: the rename replaces the old file *)
+      Server.write_port_file path 65000;
+      Alcotest.(check string) "overwritten" "65000" (read ());
+      (* no temp litter left beside the file *)
+      let dir = Filename.dirname path and base = Filename.basename path in
+      let litter =
+        Array.to_list (Sys.readdir dir)
+        |> List.filter (fun f ->
+               f <> base
+               && String.length f > String.length base
+               && String.sub f 0 (String.length base) = base)
+      in
+      Alcotest.(check (list string)) "no temp litter" [] litter)
+
+(* ---------------- end-to-end cluster --------------------------------- *)
+
+let quiet_config = { Server.default_config with jobs = 2; queue_bound = 16 }
+
+let with_cluster ?(replicas = 2) ?(shards = 3) f =
+  let cluster =
+    Cluster.launch ~replicas ~config:quiet_config ~shards ~schema ~graph ()
+  in
+  Fun.protect ~finally:(fun () -> Cluster.shutdown cluster) (fun () -> f cluster)
+
+(* no-backoff probe/call policies: tests should not sleep *)
+let fast_router cluster =
+  Cluster.router
+    ~policy:(Runtime.Retry.policy ~max_attempts:2 ~base_delay:0.0 ())
+    ~call_timeout:10.0 ~deadline:30.0
+    ~probe_policy:(Runtime.Retry.policy ~max_attempts:1 ~base_delay:0.0 ())
+    cluster
+
+let local_fragment () =
+  let frag, _ =
+    Provenance.Engine.run ~schema graph
+      (Provenance.Engine.requests_of_schema schema)
+  in
+  Rdf.Turtle.to_string ~prefixes:Rdf.Namespace.default frag
+
+let test_cluster_healthy_byte_identity () =
+  with_cluster (fun cluster ->
+      let router = fast_router cluster in
+      match Router.call router (Wire.request (Wire.Fragment [])) with
+      | Ok (Wire.Fragmented { turtle; _ }) ->
+          Alcotest.(check string)
+            "cluster fragment ≡ local fragment (same bytes)"
+            (local_fragment ()) turtle
+      | Ok _ -> Alcotest.fail "expected Fragmented"
+      | Error e -> Alcotest.failf "healthy cluster failed: %a" Client.pp_error e)
+
+let test_cluster_validate_merges () =
+  with_cluster (fun cluster ->
+      let router = fast_router cluster in
+      let report, _ = Provenance.Engine.validate schema graph in
+      let violations =
+        List.length
+          (List.filter
+             (fun (r : Shacl.Validate.result) -> not r.conforms)
+             report.Shacl.Validate.results)
+      in
+      match Router.call router (Wire.request Wire.Validate) with
+      | Ok (Wire.Validated v) ->
+          Alcotest.(check bool) "conforms" report.Shacl.Validate.conforms
+            v.conforms;
+          Alcotest.(check int) "checks" (List.length report.Shacl.Validate.results)
+            v.checks;
+          Alcotest.(check int) "violations" violations v.violations
+      | Ok _ -> Alcotest.fail "expected Validated"
+      | Error e -> Alcotest.failf "healthy cluster failed: %a" Client.pp_error e)
+
+let test_cluster_failover_survives_dead_replica () =
+  with_cluster (fun cluster ->
+      Cluster.kill cluster ~shard:1 ~replica:0;
+      let router = fast_router cluster in
+      match Router.call router (Wire.request (Wire.Fragment [])) with
+      | Ok (Wire.Fragmented { turtle; _ }) ->
+          Alcotest.(check string) "full result via failover"
+            (local_fragment ()) turtle
+      | Ok (Wire.Partial _) ->
+          Alcotest.fail "one dead replica must not degrade the result"
+      | Ok _ -> Alcotest.fail "expected Fragmented"
+      | Error e -> Alcotest.failf "failover failed: %a" Client.pp_error e)
+
+let test_cluster_dead_shard_degrades_to_partial () =
+  with_cluster (fun cluster ->
+      Cluster.kill cluster ~shard:2 ~replica:0;
+      Cluster.kill cluster ~shard:2 ~replica:1;
+      let router = fast_router cluster in
+      match Router.call router (Wire.request (Wire.Fragment [])) with
+      | Ok (Wire.Partial { value = Wire.Fragmented _; missing }) ->
+          Alcotest.(check int) "one gap" 1 (List.length missing);
+          let gap = List.hd missing in
+          Alcotest.(check int) "names the dead shard" 2
+            gap.Runtime.Outcome.shard;
+          Alcotest.(check bool) "manifests its exact ranges" true
+            (gap.Runtime.Outcome.ranges = Ring.ranges (Cluster.ring cluster) 2)
+      | Ok _ -> Alcotest.fail "expected a partial Fragmented"
+      | Error e -> Alcotest.failf "degrade failed: %a" Client.pp_error e)
+
+let test_cluster_neighborhood_any_shard () =
+  with_cluster (fun cluster ->
+      (* single-node ops work whatever replica answers: every worker
+         holds the whole graph *)
+      let router = fast_router cluster in
+      match
+        Router.call router
+          (Wire.request
+             (Wire.Neighborhood
+                { node = "ex:p1";
+                  shape = ">=1 ex:author . >=1 rdf:type . hasValue(ex:Student)" }))
+      with
+      | Ok (Wire.Neighborhoods { conforms; turtle }) ->
+          Alcotest.(check bool) "conforms" true conforms;
+          Alcotest.(check bool) "non-empty" false (turtle = "")
+      | Ok _ -> Alcotest.fail "expected Neighborhoods"
+      | Error e -> Alcotest.failf "neighborhood failed: %a" Client.pp_error e)
+
+let suite =
+  [ "ring: deterministic layout", `Quick, test_ring_deterministic;
+    "ring: ranges tile the space", `Quick, test_ring_ranges_tile_space;
+    "ring: owner matches ranges", `Quick, test_ring_owner_matches_ranges;
+    "ring: replica order is a permutation", `Quick, test_ring_replica_order;
+    "wire: ping/pong roundtrip", `Quick, test_wire_ping_roundtrip;
+    "wire: partial-reply roundtrip", `Quick, test_wire_partial_roundtrip;
+    "graph: freeze_filter matches reference", `Quick,
+    test_freeze_filter_matches_reference;
+    "engine: restricted fragments union to full", `Quick,
+    test_restrict_fragments_union_to_full;
+    "engine: restricted validate counts sum", `Quick,
+    test_restrict_validate_counts_sum;
+    "retry: deadline cuts the attempt loop", `Quick,
+    test_retry_deadline_cuts_attempts;
+    "retry: deadline clamps backoff sleeps", `Quick,
+    test_retry_deadline_clamps_last_sleep;
+    "retry: no deadline leaves the loop alone", `Quick,
+    test_retry_no_deadline_unchanged;
+    "server: port file is written atomically", `Quick,
+    test_write_port_file_atomic;
+    "cluster: healthy scatter-gather is byte-identical", `Quick,
+    test_cluster_healthy_byte_identity;
+    "cluster: validate merges exactly", `Quick, test_cluster_validate_merges;
+    "cluster: failover survives a dead replica", `Quick,
+    test_cluster_failover_survives_dead_replica;
+    "cluster: dead shard degrades to a partial result", `Quick,
+    test_cluster_dead_shard_degrades_to_partial;
+    "cluster: single-node ops answered by any shard", `Quick,
+    test_cluster_neighborhood_any_shard ]

@@ -152,6 +152,32 @@ let test_bqueue_close_wakes_blocked_consumers () =
     (fun d -> Alcotest.(check bool) "woken with None" true (Domain.join d = None))
     consumers
 
+let test_bqueue_push_blocks_until_pop () =
+  let q : int Bqueue.t = Bqueue.create ~capacity:1 in
+  Alcotest.(check bool) "fills" true (Bqueue.try_push q 1 = `Queued);
+  let producer = Domain.spawn (fun () -> Bqueue.push q 2) in
+  (* the producer is parked on the full queue; popping frees a slot *)
+  Unix.sleepf 0.05;
+  Alcotest.(check bool) "pop head" true (Bqueue.pop q = Some 1);
+  Alcotest.(check bool) "producer queued" true (Domain.join producer = `Queued);
+  Alcotest.(check bool) "pushed value arrives" true (Bqueue.pop q = Some 2)
+
+let test_bqueue_close_wakes_blocked_producer () =
+  let q : int Bqueue.t = Bqueue.create ~capacity:1 in
+  ignore (Bqueue.try_push q 1 : [ `Queued | `Shed | `Closed ]);
+  let producers =
+    List.init 3 (fun i -> Domain.spawn (fun () -> Bqueue.push q (i + 2)))
+  in
+  Unix.sleepf 0.05;
+  Bqueue.close q;
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "woken with `Closed" true (Domain.join d = `Closed))
+    producers;
+  (* close still drains what was queued before it *)
+  Alcotest.(check bool) "drains head" true (Bqueue.pop q = Some 1);
+  Alcotest.(check bool) "then None" true (Bqueue.pop q = None)
+
 let test_bqueue_capacity_clamped () =
   let q = Bqueue.create ~capacity:0 in
   Alcotest.(check int) "capacity >= 1" 1 (Bqueue.capacity q);
@@ -435,6 +461,9 @@ let suite =
     "bqueue: close drains", `Quick, test_bqueue_close_drains;
     "bqueue: close wakes consumers", `Quick,
     test_bqueue_close_wakes_blocked_consumers;
+    "bqueue: push blocks until pop", `Quick, test_bqueue_push_blocks_until_pop;
+    "bqueue: close wakes blocked producers", `Quick,
+    test_bqueue_close_wakes_blocked_producer;
     "bqueue: capacity clamped", `Quick, test_bqueue_capacity_clamped;
     "pool: processes everything", `Quick, test_pool_processes_all;
     "pool: replaces crashed workers", `Quick,
