@@ -17,7 +17,9 @@ let experiments =
     "ablations", ("Design-choice ablations", Exp_ablation.run);
     "parallel", ("Parallel fragment engine scaling", Exp_parallel.run);
     "containment", ("Cross-shape containment planner", Exp_containment.run);
-    "cluster", ("Sharded cluster: scatter-gather and failover", Exp_cluster.run) ]
+    "cluster", ("Sharded cluster: scatter-gather and failover", Exp_cluster.run);
+    "incremental",
+    ("Incremental revalidation vs full recomputation", Exp_incremental.run) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

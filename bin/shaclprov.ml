@@ -678,21 +678,98 @@ let serve_cmd =
     in
     Arg.(value & opt pos_float_conv 5.0 & info [ "drain-timeout" ] ~docv:"SECS" ~doc)
   in
+  let journal_arg =
+    let doc =
+      "Accept 'update' requests against a crash-recoverable write-ahead \
+       journal in $(docv) (created if missing).  Each delta is appended \
+       and fsynced before it is acknowledged; on startup the journal is \
+       recovered (snapshot plus replay, a torn tail from a crash is \
+       discarded) and the recovered graph supersedes the data file.  A \
+       corrupt journal — damage before the tail — aborts startup with \
+       its byte offset (exit 123).  Incompatible with --shard."
+    in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"DIR" ~doc)
+  in
+  let fsync_conv =
+    let parse s =
+      match Runtime.Journal.policy_of_string s with
+      | Ok p -> Ok p
+      | Error msg -> Error (`Msg msg)
+    in
+    Arg.conv ~docv:"POLICY" (parse, Runtime.Journal.pp_policy)
+  in
+  let fsync_arg =
+    let doc =
+      "Journal durability policy: $(b,always) (fsync every record — an \
+       acknowledged update survives power loss), $(b,every:N) (fsync \
+       every N records) or $(b,never) (leave flushing to the OS)."
+    in
+    Arg.(
+      value
+      & opt fsync_conv Runtime.Journal.Always
+      & info [ "fsync" ] ~docv:"POLICY" ~doc)
+  in
+  let snapshot_every_arg =
+    let doc =
+      "Snapshot the graph and truncate the journal segment once it holds \
+       $(docv) records, bounding replay time at the next startup."
+    in
+    Arg.(
+      value & opt pos_int_conv 1024 & info [ "snapshot-every" ] ~docv:"N" ~doc)
+  in
   let run data shapes prefixes host port port_file jobs queue request_timeout
-      request_fuel drain shard ring_seed vnodes =
+      request_fuel drain shard ring_seed vnodes journal fsync snapshot_every =
     wrap (fun () ->
+        if journal <> None && shard <> None then
+          die "--journal and --shard are incompatible: shard workers hold \
+               static replicas";
         let namespaces = namespaces_of prefixes in
         let graph = load_graph data in
         let schema = load_schema shapes in
         if shapes <> None then warn_schema schema;
+        let graph, journal =
+          match journal with
+          | None -> graph, None
+          | Some dir -> (
+              match Runtime.Journal.recover ~policy:fsync dir with
+              | exception Runtime.Journal.Corrupt { path; offset; reason } ->
+                  die "journal corrupt: %s: byte offset %d: %s" path offset
+                    reason
+              | r ->
+                  if r.fresh then begin
+                    (* seed the journal so recovery no longer needs the
+                       data file *)
+                    Runtime.Journal.snapshot r.journal graph;
+                    Format.printf
+                      "shaclprov: journal initialized in %s (%d triples)@."
+                      dir
+                      (Rdf.Graph.cardinal graph);
+                    graph, Some r.journal
+                  end
+                  else begin
+                    Format.printf
+                      "shaclprov: journal recovered from %s: seq %d, %d \
+                       record(s) replayed%s, %d triples@."
+                      dir r.last_seq r.replayed
+                      (if r.discarded > 0 then
+                         Printf.sprintf ", %d torn byte(s) discarded"
+                           r.discarded
+                       else "")
+                      (Rdf.Graph.cardinal r.graph);
+                    r.graph, Some r.journal
+                  end)
+        in
         let config =
-          { Service.Server.host; port; port_file; jobs; queue_bound = queue;
-            request_timeout; request_fuel; drain_timeout = drain }
+          { Service.Server.default_config with
+            host; port; port_file; jobs; queue_bound = queue;
+            request_timeout; request_fuel; drain_timeout = drain;
+            snapshot_every }
         in
         let server =
           try
             match shard with
-            | None -> Service.Server.start ~namespaces config ~schema ~graph
+            | None ->
+                Service.Server.start ~namespaces ?journal config ~schema ~graph
             | Some (i, n) ->
                 let ring =
                   Service.Ring.make ~vnodes ~seed:ring_seed ~shards:n ()
@@ -746,7 +823,8 @@ let serve_cmd =
     Term.(
       const run $ data_arg $ shapes_arg $ prefix_arg $ host_arg $ port_arg
       $ port_file_arg $ serve_jobs_arg $ queue_arg $ request_timeout_arg
-      $ request_fuel_arg $ drain_arg $ shard_arg $ ring_seed_arg $ vnodes_arg)
+      $ request_fuel_arg $ drain_arg $ shard_arg $ ring_seed_arg $ vnodes_arg
+      $ journal_arg $ fsync_arg $ snapshot_every_arg)
 
 (* ---------------- request ------------------------------------------ *)
 
@@ -774,6 +852,13 @@ let rec print_reply = function
       else Format.printf "does not conform; why-not explanation:@.";
       print_string turtle;
       0
+  | Service.Wire.Updated { seq; added; removed; dirty; rechecked; conforms } ->
+      Format.printf
+        "updated: seq %d, +%d/-%d triple(s), %d pair(s) dirty, %d \
+         rechecked; %s@."
+        seq added removed dirty rechecked
+        (if conforms then "conforms" else "does not conform");
+      0
   | Service.Wire.Healthy { uptime } ->
       Format.printf "ok, up %.3fs@." uptime;
       0
@@ -788,6 +873,15 @@ let rec print_reply = function
         s.Service.Wire.rejected s.Service.Wire.dropped
         s.Service.Wire.crashes s.Service.Wire.in_flight
         s.Service.Wire.queued;
+      (match s.Service.Wire.journal with
+      | None -> ()
+      | Some j ->
+          Format.printf
+            "journal: %d record(s), %d byte(s), %d fsync(s), seq %d, %d \
+             dirty, %d rechecked@."
+            j.Service.Wire.j_records j.Service.Wire.j_bytes
+            j.Service.Wire.j_fsyncs j.Service.Wire.j_seq
+            j.Service.Wire.j_dirty j.Service.Wire.j_rechecked);
       0
   | Service.Wire.Pong { shard } ->
       (match shard with
@@ -813,7 +907,8 @@ let rec print_reply = function
 let op_arg =
   let doc =
     "Operation: $(b,validate), $(b,fragment), $(b,neighborhood), \
-     $(b,health), $(b,stats), $(b,ping) or $(b,sleep) (diagnostic)."
+     $(b,update), $(b,health), $(b,stats), $(b,ping) or $(b,sleep) \
+     (diagnostic)."
   in
   Arg.(
     required
@@ -821,12 +916,26 @@ let op_arg =
         (some
            (enum
               [ "validate", `Validate; "fragment", `Fragment;
-                "neighborhood", `Neighborhood; "health", `Health;
-                "stats", `Stats; "ping", `Ping; "sleep", `Sleep ]))
+                "neighborhood", `Neighborhood; "update", `Update;
+                "health", `Health; "stats", `Stats; "ping", `Ping;
+                "sleep", `Sleep ]))
         None
     & info [] ~docv:"OP" ~doc)
 
-let wire_op ~shapes ~node ~ms = function
+(* --add/--remove accept inline Turtle or @FILE indirection, since real
+   deltas rarely fit comfortably on a command line. *)
+let delta_side src =
+  if String.length src > 1 && src.[0] = '@' then
+    let path = String.sub src 1 (String.length src - 1) in
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg -> die "cannot read %s: %s" path msg
+  else src
+
+let wire_op ~shapes ~node ~ms ~add ~remove = function
   | `Validate -> Service.Wire.Validate
   | `Fragment -> Service.Wire.Fragment shapes
   | `Health -> Service.Wire.Health
@@ -837,6 +946,11 @@ let wire_op ~shapes ~node ~ms = function
       match node, shapes with
       | Some node, [ shape ] -> Service.Wire.Neighborhood { node; shape }
       | _ -> die "neighborhood requires --node and exactly one --shape")
+  | `Update ->
+      let add = delta_side add and remove = delta_side remove in
+      if add = "" && remove = "" then
+        die "update requires --add and/or --remove";
+      Service.Wire.Update { add; remove }
 
 let node_opt_arg =
   let doc = "Focus node for $(b,neighborhood)." in
@@ -845,6 +959,20 @@ let node_opt_arg =
 let ms_arg =
   let doc = "Milliseconds for the $(b,sleep) diagnostic op." in
   Arg.(value & opt pos_int_conv 100 & info [ "ms" ] ~docv:"MS" ~doc)
+
+let add_arg =
+  let doc =
+    "Triples to add for $(b,update): a Turtle document, or $(b,@FILE) to \
+     read one."
+  in
+  Arg.(value & opt string "" & info [ "add" ] ~docv:"TTL" ~doc)
+
+let remove_arg =
+  let doc =
+    "Triples to remove for $(b,update): a Turtle document, or $(b,@FILE) \
+     to read one."
+  in
+  Arg.(value & opt string "" & info [ "remove" ] ~docv:"TTL" ~doc)
 
 let request_cmd =
   let req_port_arg =
@@ -882,9 +1010,9 @@ let request_cmd =
       & info [ "retry-deadline" ] ~docv:"SECS" ~doc)
   in
   let run op host port shapes node timeout fuel retries retry_base retry_cap
-      retry_deadline ms =
+      retry_deadline ms add remove =
     wrap (fun () ->
-        let op = wire_op ~shapes ~node ~ms op in
+        let op = wire_op ~shapes ~node ~ms ~add ~remove op in
         let request = Service.Wire.request ?timeout ?fuel op in
         let policy =
           Runtime.Retry.policy ~max_attempts:retries ~base_delay:retry_base
@@ -922,7 +1050,7 @@ let request_cmd =
     Term.(
       const run $ op_arg $ host_arg $ req_port_arg $ shape_exprs_arg
       $ node_opt_arg $ timeout_arg $ fuel_arg $ retries_arg $ retry_base_arg
-      $ retry_cap_arg $ retry_deadline_arg $ ms_arg)
+      $ retry_cap_arg $ retry_deadline_arg $ ms_arg $ add_arg $ remove_arg)
 
 (* ---------------- cluster-request ---------------------------------- *)
 
@@ -1056,7 +1184,7 @@ let cluster_request_cmd =
     Arg.(value & opt pos_int_conv 2 & info [ "retries" ] ~docv:"N" ~doc)
   in
   let run op shapes prefixes node timeout fuel endpoints ports_file ring_seed
-      vnodes call_timeout deadline hedge_delay retries ms =
+      vnodes call_timeout deadline hedge_delay retries ms add remove =
     wrap (fun () ->
         let namespaces = namespaces_of prefixes in
         let members =
@@ -1074,7 +1202,7 @@ let cluster_request_cmd =
             (Service.Router.config ~namespaces ~policy ~call_timeout ?deadline
                ?hedge_delay ~ring ~replicas ())
         in
-        let op = wire_op ~shapes ~node ~ms op in
+        let op = wire_op ~shapes ~node ~ms ~add ~remove op in
         let request = Service.Wire.request ?timeout ?fuel op in
         match Service.Router.call router request with
         | Ok reply -> print_reply reply
@@ -1109,7 +1237,7 @@ let cluster_request_cmd =
       const run $ op_arg $ shape_exprs_arg $ prefix_arg $ node_opt_arg
       $ timeout_arg $ fuel_arg $ endpoint_arg $ ports_file_arg $ ring_seed_arg
       $ vnodes_arg $ call_timeout_arg $ deadline_arg $ hedge_delay_arg
-      $ retries_arg $ ms_arg)
+      $ retries_arg $ ms_arg $ add_arg $ remove_arg)
 
 (* ---------------- cluster ------------------------------------------ *)
 

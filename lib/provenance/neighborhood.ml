@@ -216,25 +216,39 @@ let b ?budget ?schema g v phi =
 (* ------------------------------------------------------------------ *)
 
 let make_instrumented ?counters ?(budget = Runtime.Budget.unlimited)
-    ?(schema = Schema.empty) ?path_memo g =
+    ?(schema = Schema.empty) ?path_memo ?touched g =
   let memo : (Term.t * Shape.t, bool * Graph.t) Hashtbl.t =
     Hashtbl.create 256
   in
+  (* [touched] collects the anchor of every graph probe this instance
+     makes: each focus node entering [compute] (all non-path probes —
+     [Graph.objects]/[out_predicates]/[subject_triples] — are anchored
+     at the focus) plus every path-evaluation and trace anchor via
+     [Path]'s [?visit] hook.  The resulting set is a sound dependency
+     set for the verdict and the neighborhood: a re-run on a graph
+     whose changed triples have neither endpoint in it makes exactly
+     the same probes with exactly the same answers.  [path_memo] is
+     bypassed while collecting — a memo hit would hide the probes the
+     cached evaluation made, attributing them to the wrong focus. *)
   let eval e v =
     match path_memo with
-    | Some table -> Path_memo.eval ?counters table budget g e v
-    | None ->
+    | Some table when touched = None ->
+        Path_memo.eval ?counters table budget g e v
+    | _ ->
         Runtime.Budget.tick budget;
         (match counters with
         | Some c -> c.Counters.path_evals <- c.Counters.path_evals + 1
         | None -> ());
         Rdf.Path.eval
           ~step:(Runtime.Budget.step_hook budget)
-          ~lookup:(count_store_lookup counters) g e v
+          ~lookup:(count_store_lookup counters) ?visit:touched g e v
   in
   let trace_all e v ~targets =
-    Rdf.Path.trace_all ~step:(Runtime.Budget.step_hook budget) g e v ~targets
+    Rdf.Path.trace_all
+      ~step:(Runtime.Budget.step_hook budget)
+      ?visit:touched g e v ~targets
   in
+  let touch v = match touched with Some f -> f v | None -> () in
   let rec go v phi =
     match phi with
     | Shape.Top | Shape.Bottom | Shape.Test _ | Shape.Has_value _
@@ -253,6 +267,7 @@ let make_instrumented ?counters ?(budget = Runtime.Budget.unlimited)
             Hashtbl.add memo (v, phi) result;
             result)
   and compute v phi =
+    touch v;
     match phi with
     | Shape.Top -> (true, Graph.empty)
     | Shape.Bottom -> (false, Graph.empty)
@@ -465,8 +480,8 @@ let make_instrumented ?counters ?(budget = Runtime.Budget.unlimited)
 let check ?budget ?schema g v phi =
   make_instrumented ?budget ?schema g v (Shape.nnf phi)
 
-let checker ?counters ?budget ?schema ?path_memo g phi =
-  let go = make_instrumented ?counters ?budget ?schema ?path_memo g in
+let checker ?counters ?budget ?schema ?path_memo ?touched g phi =
+  let go = make_instrumented ?counters ?budget ?schema ?path_memo ?touched g in
   let normalized = Shape.nnf phi in
   fun v -> go v normalized
 

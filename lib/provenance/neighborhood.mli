@@ -48,6 +48,7 @@ val checker :
   ?budget:Runtime.Budget.t ->
   ?schema:Shacl.Schema.t ->
   ?path_memo:Shacl.Path_memo.t ->
+  ?touched:(Rdf.Term.t -> unit) ->
   Rdf.Graph.t -> Shacl.Shape.t -> (Rdf.Term.t -> bool * Rdf.Graph.t)
 (** Batch variant of {!check}: the shape is normalized once and one memo
     table is shared across all focus nodes, which is how an instrumented
@@ -59,7 +60,18 @@ val checker :
     raise [Runtime.Budget.Exhausted] at those safe points.  When
     [path_memo] is given, [[E]](v) evaluations are shared through it —
     including across separate [checker] instances handed the same
-    table. *)
+    table.
+
+    When [touched] is given, it receives the anchor of every graph
+    probe the evaluation makes — each focus node visited plus every
+    path-probe anchor (see {!Rdf.Path.eval}'s [visit]).  The collected
+    anchors are a sound dependency set for the (verdict, neighborhood)
+    pair: an update whose triples have neither endpoint among them
+    cannot change the result.  Supplying [touched] bypasses
+    [path_memo] (a memo hit would hide probes from the collector), and
+    anchors accumulate across {e all} nodes checked through one
+    [checker] instance — use one instance per focus node when per-node
+    attribution matters, as the incremental engine does. *)
 
 val naive_checker :
   ?counters:Shacl.Counters.t ->

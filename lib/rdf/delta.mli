@@ -1,0 +1,58 @@
+(** Batch graph deltas.
+
+    A delta is a pair of triple sets: the triples to remove and the
+    triples to add, applied in that order (so a triple appearing in both
+    ends up present).  Deltas are the unit of change of the update
+    journal and the incremental engine: {!apply} produces the updated
+    graph, {!terms} lists the endpoints a change can affect (the terms
+    the dependency index is probed with), and {!encode}/{!decode} give a
+    self-contained byte representation for write-ahead logging.
+
+    Application preserves the graph's representation contract: updating
+    bumps {!Graph.uid} (via {!Graph.add}/{!Graph.remove}, which drop the
+    frozen store), and {!apply} re-freezes when the input was frozen, so
+    downstream caches keyed by uid — {!Shacl.Path_memo} in particular —
+    can never serve hits computed against the pre-delta triple set. *)
+
+type t = private {
+  removes : Triple.t list;  (** applied first, in list order *)
+  adds : Triple.t list;     (** applied second *)
+}
+
+val make : ?removes:Triple.t list -> ?adds:Triple.t list -> unit -> t
+
+val empty : t
+val is_empty : t -> bool
+
+val size : t -> int
+(** Number of triples mentioned ([removes] plus [adds]). *)
+
+val apply : t -> Graph.t -> Graph.t
+(** [apply d g] removes [d.removes] from [g], then adds [d.adds].
+    Removing an absent triple and adding a present one are no-ops, as in
+    {!Graph.remove}/{!Graph.add}.  If [g] was {!Graph.freeze}d the
+    result is frozen again (with a fresh uid whenever the triple set
+    actually changed). *)
+
+val effective : t -> Graph.t -> t
+(** [effective d g] drops the no-ops: removals of triples absent from
+    [g] and additions of triples already present.  The result applies to
+    [g] exactly like [d] but its {!size} counts real changes. *)
+
+val terms : t -> Term.Set.t
+(** The subjects and objects of every mentioned triple — the probe
+    anchors a delta can invalidate (predicates are not terms and no
+    evaluation is anchored at one). *)
+
+val encode : t -> string
+(** A self-contained byte encoding (big-endian length header plus two
+    Turtle documents).  May contain arbitrary bytes, including newlines;
+    callers needing framing must length-prefix it. *)
+
+val decode : string -> (t, string) result
+(** Inverse of {!encode} up to set semantics: the decoded delta has the
+    same removal and addition {e sets} (duplicates collapsed, canonical
+    order). *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per triple, ["- <triple>"] then ["+ <triple>"]. *)

@@ -51,6 +51,16 @@ let closure step seeds =
    adjacency-index probe (a [Prop]/[Inv Prop] application at one node),
    so instrumented callers can report index traffic.
 
+   [visit] is invoked with the {e anchor term} of every adjacency-index
+   probe — the node at which a forward probe ([Graph.objects g a p]) or
+   an inverse probe ([Graph.subjects g p b]) is rooted.  The set of
+   anchors is a sound dependency set for the evaluation: a triple
+   (s, p, o) can only change the result of forward probes anchored at
+   [s] and inverse probes anchored at [o], so an evaluation whose
+   anchors avoid both endpoints of every changed triple returns the
+   same set on the updated graph.  The incremental engine records
+   anchors to decide which verdicts a delta can affect.
+
    Two interchangeable cores compute [[E]](a).  The map core walks the
    graph's persistent indexes on terms.  The interned core — used when
    the graph has been [Graph.freeze]d — runs the same recursion on
@@ -59,44 +69,51 @@ let closure step seeds =
    in [Term.compare] order, so both cores visit nodes in the same
    order, call [step]/[lookup] identically, and agree exactly; the
    interned core replaces every term comparison (string and literal
-   compares) on the hot path with an int comparison. *)
-let rec eval_maps ~step ~lookup g e a =
+   compares) on the hot path with an int comparison.  When a [visit]
+   hook is present the map core is used unconditionally — the hook
+   needs the anchor as a term, and decoding ids probe-by-probe would
+   cost the interned core its advantage. *)
+let rec eval_maps ~step ~lookup ~visit g e a =
   step ();
   match e with
   | Prop p ->
       lookup ();
+      visit a;
       Graph.objects g a p
-  | Inv e -> eval_inv_maps ~step ~lookup g e a
+  | Inv e -> eval_inv_maps ~step ~lookup ~visit g e a
   | Seq (e1, e2) ->
       Term.Set.fold
-        (fun m acc -> Term.Set.union acc (eval_maps ~step ~lookup g e2 m))
-        (eval_maps ~step ~lookup g e1 a)
-        Term.Set.empty
-  | Alt (e1, e2) ->
-      Term.Set.union (eval_maps ~step ~lookup g e1 a) (eval_maps ~step ~lookup g e2 a)
-  | Opt e -> Term.Set.add a (eval_maps ~step ~lookup g e a)
-  | Star e ->
-      closure (fun x -> eval_maps ~step ~lookup g e x) (Term.Set.singleton a)
-
-and eval_inv_maps ~step ~lookup g e b =
-  step ();
-  match e with
-  | Prop p ->
-      lookup ();
-      Graph.subjects g p b
-  | Inv e -> eval_maps ~step ~lookup g e b
-  | Seq (e1, e2) ->
-      Term.Set.fold
-        (fun m acc -> Term.Set.union acc (eval_inv_maps ~step ~lookup g e1 m))
-        (eval_inv_maps ~step ~lookup g e2 b)
+        (fun m acc -> Term.Set.union acc (eval_maps ~step ~lookup ~visit g e2 m))
+        (eval_maps ~step ~lookup ~visit g e1 a)
         Term.Set.empty
   | Alt (e1, e2) ->
       Term.Set.union
-        (eval_inv_maps ~step ~lookup g e1 b)
-        (eval_inv_maps ~step ~lookup g e2 b)
-  | Opt e -> Term.Set.add b (eval_inv_maps ~step ~lookup g e b)
+        (eval_maps ~step ~lookup ~visit g e1 a)
+        (eval_maps ~step ~lookup ~visit g e2 a)
+  | Opt e -> Term.Set.add a (eval_maps ~step ~lookup ~visit g e a)
   | Star e ->
-      closure (fun x -> eval_inv_maps ~step ~lookup g e x) (Term.Set.singleton b)
+      closure (fun x -> eval_maps ~step ~lookup ~visit g e x) (Term.Set.singleton a)
+
+and eval_inv_maps ~step ~lookup ~visit g e b =
+  step ();
+  match e with
+  | Prop p ->
+      lookup ();
+      visit b;
+      Graph.subjects g p b
+  | Inv e -> eval_maps ~step ~lookup ~visit g e b
+  | Seq (e1, e2) ->
+      Term.Set.fold
+        (fun m acc -> Term.Set.union acc (eval_inv_maps ~step ~lookup ~visit g e1 m))
+        (eval_inv_maps ~step ~lookup ~visit g e2 b)
+        Term.Set.empty
+  | Alt (e1, e2) ->
+      Term.Set.union
+        (eval_inv_maps ~step ~lookup ~visit g e1 b)
+        (eval_inv_maps ~step ~lookup ~visit g e2 b)
+  | Opt e -> Term.Set.add b (eval_inv_maps ~step ~lookup ~visit g e b)
+  | Star e ->
+      closure (fun x -> eval_inv_maps ~step ~lookup ~visit g e x) (Term.Set.singleton b)
 
 (* ---------------- interned core ------------------------------------ *)
 
@@ -185,43 +202,55 @@ let decode st ids =
    graph run entirely in id space.  A start node the dictionary has
    never seen falls back to the map core (all its adjacency lookups
    answer empty there, so the call is cheap). *)
-let eval ?(step = ignore) ?(lookup = ignore) g e a =
+let ignore_term (_ : Term.t) = ()
+
+let eval ?(step = ignore) ?(lookup = ignore) ?visit g e a =
   match e with
   | Prop p ->
       step ();
       lookup ();
+      (match visit with Some f -> f a | None -> ());
       Graph.objects g a p
   | Inv (Prop p) ->
       step ();
       step ();
       lookup ();
+      (match visit with Some f -> f a | None -> ());
       Graph.subjects g p a
   | _ -> (
-      match Graph.store g with
-      | Some st -> (
-          match Store.id st a with
-          | Some aid -> decode st (eval_ids ~step ~lookup st e aid)
-          | None -> eval_maps ~step ~lookup g e a)
-      | None -> eval_maps ~step ~lookup g e a)
+      match visit with
+      | Some visit -> eval_maps ~step ~lookup ~visit g e a
+      | None -> (
+          match Graph.store g with
+          | Some st -> (
+              match Store.id st a with
+              | Some aid -> decode st (eval_ids ~step ~lookup st e aid)
+              | None -> eval_maps ~step ~lookup ~visit:ignore_term g e a)
+          | None -> eval_maps ~step ~lookup ~visit:ignore_term g e a))
 
-and eval_inv ?(step = ignore) ?(lookup = ignore) g e b =
+and eval_inv ?(step = ignore) ?(lookup = ignore) ?visit g e b =
   match e with
   | Prop p ->
       step ();
       lookup ();
+      (match visit with Some f -> f b | None -> ());
       Graph.subjects g p b
   | Inv (Prop p) ->
       step ();
       step ();
       lookup ();
+      (match visit with Some f -> f b | None -> ());
       Graph.objects g b p
   | _ -> (
-      match Graph.store g with
-      | Some st -> (
-          match Store.id st b with
-          | Some bid -> decode st (eval_inv_ids ~step ~lookup st e bid)
-          | None -> eval_inv_maps ~step ~lookup g e b)
-      | None -> eval_inv_maps ~step ~lookup g e b)
+      match visit with
+      | Some visit -> eval_inv_maps ~step ~lookup ~visit g e b
+      | None -> (
+          match Graph.store g with
+          | Some st -> (
+              match Store.id st b with
+              | Some bid -> decode st (eval_inv_ids ~step ~lookup st e bid)
+              | None -> eval_inv_maps ~step ~lookup ~visit:ignore_term g e b)
+          | None -> eval_inv_maps ~step ~lookup ~visit:ignore_term g e b))
 
 let holds g e a b = Term.Set.mem b (eval g e a)
 
@@ -236,14 +265,14 @@ let pairs g e =
         (eval g e a) acc)
     ns []
 
-let eval_set ?step g e sources =
+let eval_set ?step ?visit g e sources =
   Term.Set.fold
-    (fun a acc -> Term.Set.union acc (eval ?step g e a))
+    (fun a acc -> Term.Set.union acc (eval ?step ?visit g e a))
     sources Term.Set.empty
 
-let eval_inv_set ?step g e targets =
+let eval_inv_set ?step ?visit g e targets =
   Term.Set.fold
-    (fun b acc -> Term.Set.union acc (eval_inv ?step g e b))
+    (fun b acc -> Term.Set.union acc (eval_inv ?step ?visit g e b))
     targets Term.Set.empty
 
 (* trace_set computes, in one pass per path operator,
@@ -253,7 +282,7 @@ let eval_inv_set ?step g e targets =
    of targets), and each contributed leg belongs to some valid (a, b)
    pair; similarly for star via the forward/backward reachability zones
    (cf. the Q construction of Lemma 5.1). *)
-let rec trace_set ?(step = ignore) g e ~sources ~targets =
+let rec trace_set ?(step = ignore) ?visit g e ~sources ~targets =
   step ();
   if Term.Set.is_empty sources || Term.Set.is_empty targets then Graph.empty
   else
@@ -261,42 +290,43 @@ let rec trace_set ?(step = ignore) g e ~sources ~targets =
     | Prop p ->
         Term.Set.fold
           (fun a acc ->
+            (match visit with Some f -> f a | None -> ());
             Term.Set.fold
               (fun b acc ->
                 if Term.Set.mem b targets then Graph.add a p b acc else acc)
               (Graph.objects g a p) acc)
           sources Graph.empty
-    | Inv e -> trace_set ~step g e ~sources:targets ~targets:sources
+    | Inv e -> trace_set ~step ?visit g e ~sources:targets ~targets:sources
     | Alt (e1, e2) ->
         Graph.union
-          (trace_set ~step g e1 ~sources ~targets)
-          (trace_set ~step g e2 ~sources ~targets)
-    | Opt e -> trace_set ~step g e ~sources ~targets
+          (trace_set ~step ?visit g e1 ~sources ~targets)
+          (trace_set ~step ?visit g e2 ~sources ~targets)
+    | Opt e -> trace_set ~step ?visit g e ~sources ~targets
     | Seq (e1, e2) ->
         let mids =
           Term.Set.inter
-            (eval_set ~step g e1 sources)
-            (eval_inv_set ~step g e2 targets)
+            (eval_set ~step ?visit g e1 sources)
+            (eval_inv_set ~step ?visit g e2 targets)
         in
         if Term.Set.is_empty mids then Graph.empty
         else
           Graph.union
-            (trace_set ~step g e1 ~sources ~targets:mids)
-            (trace_set ~step g e2 ~sources:mids ~targets)
+            (trace_set ~step ?visit g e1 ~sources ~targets:mids)
+            (trace_set ~step ?visit g e2 ~sources:mids ~targets)
     | Star e ->
-        let forward = eval_set ~step g (Star e) sources in
-        let backward = eval_inv_set ~step g (Star e) targets in
+        let forward = eval_set ~step ?visit g (Star e) sources in
+        let backward = eval_inv_set ~step ?visit g (Star e) targets in
         let from_zone = Term.Set.inter forward backward in
         (* every E-step inside the forward/backward zone lies on a valid
            star path between some source and some target *)
-        trace_set ~step g e ~sources:from_zone ~targets:from_zone
+        trace_set ~step ?visit g e ~sources:from_zone ~targets:from_zone
 
-let trace ?step g e a b =
-  trace_set ?step g e ~sources:(Term.Set.singleton a)
+let trace ?step ?visit g e a b =
+  trace_set ?step ?visit g e ~sources:(Term.Set.singleton a)
     ~targets:(Term.Set.singleton b)
 
-let trace_all ?step g e a ~targets =
-  trace_set ?step g e ~sources:(Term.Set.singleton a) ~targets
+let trace_all ?step ?visit g e a ~targets =
+  trace_set ?step ?visit g e ~sources:(Term.Set.singleton a) ~targets
 
 let rec pp_prec pp_iri prec ppf e =
   let paren needed body =

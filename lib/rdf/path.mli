@@ -39,6 +39,7 @@ val compare : t -> t -> int
 
 val eval :
   ?step:(unit -> unit) -> ?lookup:(unit -> unit) ->
+  ?visit:(Term.t -> unit) ->
   Graph.t -> t -> Term.t -> Term.Set.t
 (** [eval g e a] is [[[E]]^G(a) = {b | (a,b) ∈ [[E]]^G}].  For [E*] and
     [E?] this includes [a] itself (the identity is over all of [N]).
@@ -46,12 +47,22 @@ val eval :
     evaluation budgets; any exception it raises aborts the evaluation.
     [lookup] is called once per adjacency-index probe (each [Prop] /
     inverse-[Prop] application at a node) — a hook for index-traffic
-    counters.  On a {!Graph.freeze}d graph, compound paths are evaluated
-    on the interned store's int ids; both cores call [step] and [lookup]
-    identically and return the same set. *)
+    counters.  [visit] is called with the {e anchor} of every such
+    probe: the node a forward probe reads outgoing edges of, or an
+    inverse probe reads incoming edges of.  The anchors form a sound
+    dependency set — a triple (s, p, o) can only change probes anchored
+    at [s] (forward) or [o] (inverse), so an evaluation whose anchors
+    avoid both endpoints of every changed triple is unaffected by the
+    change; the incremental engine keys its dirtiness index on them.
+    On a {!Graph.freeze}d graph, compound paths are evaluated on the
+    interned store's int ids; both cores call [step] and [lookup]
+    identically and return the same set.  When [visit] is supplied the
+    term-map core is used (the hook wants terms, not ids) — same
+    result and same hook sequence, without per-probe id decoding. *)
 
 val eval_inv :
   ?step:(unit -> unit) -> ?lookup:(unit -> unit) ->
+  ?visit:(Term.t -> unit) ->
   Graph.t -> t -> Term.t -> Term.Set.t
 (** [eval_inv g e b] is [{a | (a,b) ∈ [[E]]^G}]. *)
 
@@ -64,21 +75,26 @@ val pairs : Graph.t -> t -> (Term.t * Term.t) list
 
 (** {1 Path tracing} *)
 
-val trace : ?step:(unit -> unit) -> Graph.t -> t -> Term.t -> Term.t -> Graph.t
+val trace :
+  ?step:(unit -> unit) -> ?visit:(Term.t -> unit) ->
+  Graph.t -> t -> Term.t -> Term.t -> Graph.t
 (** [trace g e a b] is [graph(paths(E, G, a, b))]: the union of the triples
     underlying every [E]-path from [a] to [b] in [g].  Empty when no such
     path exists.  Note that zero-length paths (through [E?] or [E*]) trace
     no triples, per the paper's definition [paths(E?, G) = paths(E, G)].
-    [step] is forwarded to the internal path evaluations, as in {!eval}. *)
+    [step] and [visit] are forwarded to the internal path evaluations, as
+    in {!eval}; tracing probes backwards from the targets too, so its
+    anchor set is not contained in the forward evaluation's. *)
 
 val trace_all :
-  ?step:(unit -> unit) -> Graph.t -> t -> Term.t -> targets:Term.Set.t ->
+  ?step:(unit -> unit) -> ?visit:(Term.t -> unit) ->
+  Graph.t -> t -> Term.t -> targets:Term.Set.t ->
   Graph.t
 (** [trace_all g e a ~targets] is [⋃ {trace g e a x | x ∈ targets}],
     computed with shared traversal state. *)
 
 val trace_set :
-  ?step:(unit -> unit) ->
+  ?step:(unit -> unit) -> ?visit:(Term.t -> unit) ->
   Graph.t -> t -> sources:Term.Set.t -> targets:Term.Set.t -> Graph.t
 (** [⋃ {trace g e a b | a ∈ sources, b ∈ targets}] in one pass per path
     operator (midpoints and star zones are aggregated over the whole

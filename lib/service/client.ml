@@ -56,7 +56,10 @@ let round_trip ?(timeout = 30.0) ~host ~port request =
           | () -> (
               match
                 Wire.write_line sock (Wire.encode_request request);
-                Wire.read_line sock
+                (* overall frame deadline: a server dripping bytes keeps
+                   resetting SO_RCVTIMEO, but not this — the timeout then
+                   surfaces as a retryable Io error like any other *)
+                Wire.read_line ~deadline:(Unix.gettimeofday () +. timeout) sock
               with
               | exception Unix.Unix_error (e, fn, arg) ->
                   Error (Io (unix_error_msg (e, fn, arg)))

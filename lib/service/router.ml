@@ -416,6 +416,10 @@ let call t (req : Wire.request) =
          hash to spread load deterministically *)
       call_shard t ~key:node ~stop_at:(stop_at_of t) req
         (Ring.owner t.cfg.ring node)
+  | Wire.Update _ ->
+      (* shard workers hold static graph replicas; there is no durable,
+         coordinated way to mutate them through the router *)
+      Ok (Wire.Error "update is not supported through a shard router")
   | Wire.Health | Wire.Stats | Wire.Ping | Wire.Sleep _ ->
       let key = fresh_key t req in
       call_shard t ~key ~stop_at:(stop_at_of t) req

@@ -11,6 +11,8 @@ type config = {
   request_timeout : float option;
   request_fuel : int option;
   drain_timeout : float;
+  receive_timeout : float;
+  snapshot_every : int;
 }
 
 let default_config =
@@ -21,7 +23,9 @@ let default_config =
     queue_bound = 64;
     request_timeout = Some 30.0;
     request_fuel = None;
-    drain_timeout = 5.0 }
+    drain_timeout = 5.0;
+    receive_timeout = 10.0;
+    snapshot_every = 1024 }
 
 type counters = {
   accepted : int Atomic.t;
@@ -33,11 +37,23 @@ type counters = {
   in_flight : int Atomic.t;
 }
 
+(* Mutable state of a journalled server.  Updates mutate [inc] (and
+   through it the current graph) under [lock]; read paths take the lock
+   only long enough to snapshot an immutable view — a frozen graph, a
+   report — and evaluate outside it, so a long fragment request never
+   blocks the update stream. *)
+type live = {
+  journal : Runtime.Journal.t;
+  inc : Provenance.Incremental.t;
+  lock : Mutex.t;
+}
+
 type t = {
   config : config;
   namespaces : Rdf.Namespace.t;
   schema : Shacl.Schema.t;
-  graph : Rdf.Graph.t;
+  graph : Rdf.Graph.t;  (* the graph at startup; live servers move on *)
+  live : live option;
   shard : int option;
   restrict : (Rdf.Term.t -> bool) option;
   lsock : Unix.file_descr;
@@ -56,6 +72,18 @@ let request_stop t = Atomic.set t.stop true
 let stop_requested t = Atomic.get t.stop
 
 let safe_close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* The graph requests evaluate against: the startup graph, or — on a
+   journalled server — the current one.  Frozen graphs are immutable
+   values, so the snapshot taken under the lock stays valid outside. *)
+let current_graph t =
+  match t.live with
+  | None -> t.graph
+  | Some live -> locked live.lock (fun () -> Provenance.Incremental.graph live.inc)
 
 (* A reply write to a peer that already hung up must not take the worker
    down with it — the connection is simply lost. *)
@@ -78,7 +106,25 @@ let stats t : Wire.stats =
     dropped = Atomic.get t.counters.dropped;
     crashes = (match t.pool with Some p -> Pool.crashes p | None -> 0);
     in_flight = Atomic.get t.counters.in_flight;
-    queued = Bqueue.length t.queue }
+    queued = Bqueue.length t.queue;
+    journal =
+      (match t.live with
+      | None -> None
+      | Some live ->
+          Some
+            (locked live.lock (fun () ->
+                 let js : Runtime.Journal.stats =
+                   Runtime.Journal.stats live.journal
+                 in
+                 let is : Provenance.Incremental.stats =
+                   Provenance.Incremental.stats live.inc
+                 in
+                 { Wire.j_records = js.records;
+                   j_bytes = js.bytes;
+                   j_fsyncs = js.fsyncs;
+                   j_seq = Runtime.Journal.last_seq live.journal;
+                   j_dirty = is.total_dirty;
+                   j_rechecked = is.total_rechecked }))) }
 
 (* ---------------- request evaluation -------------------------------- *)
 
@@ -108,19 +154,29 @@ let turtle t g = Rdf.Turtle.to_string ~prefixes:t.namespaces g
 (* Evaluate one parsed request under [budget].  Returns an [Error _]
    reply for malformed payloads; lets [Budget.Exhausted] (and real
    crashes) escape to the caller's isolation layer. *)
+let validated (report : Shacl.Validate.report) =
+  Wire.Validated
+    { conforms = report.Shacl.Validate.conforms;
+      checks = List.length report.Shacl.Validate.results;
+      violations = List.length (Shacl.Validate.violations report) }
+
 let execute t budget : Wire.op -> Wire.reply = function
   | Wire.Validate ->
       if Shacl.Schema.defs t.schema = [] then
         Wire.Error "no schema loaded (start the server with --shapes)"
       else begin
-        let report, _stats =
-          Provenance.Engine.validate ?restrict:t.restrict ~jobs:1 ~budget
-            t.schema t.graph
-        in
-        Wire.Validated
-          { conforms = report.Shacl.Validate.conforms;
-            checks = List.length report.Shacl.Validate.results;
-            violations = List.length (Shacl.Validate.violations report) }
+        match t.live with
+        | Some live ->
+            (* the report is maintained; no re-validation happens *)
+            validated
+              (locked live.lock (fun () ->
+                   Provenance.Incremental.report live.inc))
+        | None ->
+            let report, _stats =
+              Provenance.Engine.validate ?restrict:t.restrict ~jobs:1 ~budget
+                t.schema t.graph
+            in
+            validated report
       end
   | Wire.Fragment shape_srcs -> (
       let parsed =
@@ -148,6 +204,15 @@ let execute t budget : Wire.op -> Wire.reply = function
       | Result.Error msg -> Wire.Error msg
       | Ok [] when Shacl.Schema.defs t.schema = [] ->
           Wire.Error "no request shapes given and no schema loaded"
+      | Ok [] when t.live <> None ->
+          (* the schema fragment is maintained; serve it as-is *)
+          let live = Option.get t.live in
+          let fragment =
+            locked live.lock (fun () -> Provenance.Incremental.fragment live.inc)
+          in
+          Wire.Fragmented
+            { triples = Rdf.Graph.cardinal fragment;
+              turtle = turtle t fragment }
       | Ok requests ->
           let requests =
             match requests with
@@ -156,7 +221,7 @@ let execute t budget : Wire.op -> Wire.reply = function
           in
           let fragment, _stats =
             Provenance.Engine.run ?restrict:t.restrict ~schema:t.schema ~jobs:1
-              ~budget t.graph requests
+              ~budget (current_graph t) requests
           in
           Wire.Fragmented
             { triples = Rdf.Graph.cardinal fragment;
@@ -168,9 +233,9 @@ let execute t budget : Wire.op -> Wire.reply = function
             (Format.asprintf "shape %S: %a" shape Shacl.Shape_syntax.pp_error e)
       | Ok shape -> (
           let v = parse_node t.namespaces node in
+          let g = current_graph t in
           match
-            Provenance.Neighborhood.check ~budget ~schema:t.schema t.graph v
-              shape
+            Provenance.Neighborhood.check ~budget ~schema:t.schema g v shape
           with
           | true, neighborhood ->
               Wire.Neighborhoods
@@ -179,11 +244,55 @@ let execute t budget : Wire.op -> Wire.reply = function
               (* why-not provenance (Remark 3.7): B(v, ¬shape), computed
                  under the same budget. *)
               let _, explanation =
-                Provenance.Neighborhood.check ~budget ~schema:t.schema t.graph
-                  v (Shacl.Shape.Not shape)
+                Provenance.Neighborhood.check ~budget ~schema:t.schema g v
+                  (Shacl.Shape.Not shape)
               in
               Wire.Neighborhoods
                 { conforms = false; turtle = turtle t explanation }))
+  | Wire.Update { add; remove } -> (
+      match t.live with
+      | None ->
+          Wire.Error
+            "server has no journal (start it with --journal to accept updates)"
+      | Some live -> (
+          let parse what src =
+            if src = "" then Ok []
+            else
+              match Rdf.Turtle.parse src with
+              | Ok g -> Ok (Rdf.Graph.to_list g)
+              | Result.Error e ->
+                  Result.Error
+                    (Format.asprintf "update %s section: %a" what
+                       Rdf.Turtle.pp_error e)
+          in
+          match parse "add" add, parse "remove" remove with
+          | Result.Error msg, _ | _, Result.Error msg -> Wire.Error msg
+          | Ok adds, Ok removes ->
+              let delta = Rdf.Delta.make ~removes ~adds () in
+              locked live.lock (fun () ->
+                  (* Write-ahead: the record is durable before the state
+                     moves or the ack is sent.  An append or fsync
+                     failure rolls the segment back and escapes as a
+                     crash reply — nothing was acknowledged, nothing is
+                     persisted. *)
+                  let seq = Runtime.Journal.append live.journal delta in
+                  let st : Provenance.Incremental.update_stats =
+                    Provenance.Incremental.apply live.inc delta
+                  in
+                  let js : Runtime.Journal.stats =
+                    Runtime.Journal.stats live.journal
+                  in
+                  if js.records >= t.config.snapshot_every then
+                    Runtime.Journal.snapshot live.journal
+                      (Provenance.Incremental.graph live.inc);
+                  let report = Provenance.Incremental.report live.inc in
+                  Wire.Updated
+                    { seq;
+                      added = st.added;
+                      removed = st.removed;
+                      dirty = st.dirty;
+                      rechecked = st.rechecked;
+                      conforms = report.Shacl.Validate.conforms })))
   | Wire.Health -> Wire.Healthy { uptime = Unix.gettimeofday () -. t.started }
   | Wire.Stats -> Wire.Statistics (stats t)
   | Wire.Ping -> Wire.Pong { shard = t.shard }
@@ -211,11 +320,14 @@ let handle t fd =
     safe_close fd;
     Atomic.decr t.counters.in_flight
   in
-  (* Reading the frame is bounded: a client that connects and then goes
-     silent times out instead of parking the worker forever. *)
-  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0
+  (* Reading the frame is bounded twice: the socket receive timeout
+     catches a peer that goes silent, and the overall deadline catches a
+     slow-loris peer that drips bytes to keep resetting it.  Either way
+     the worker is released instead of parked. *)
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.receive_timeout
    with Unix.Unix_error _ -> ());
-  match Wire.read_line fd with
+  let deadline = Unix.gettimeofday () +. t.config.receive_timeout in
+  match Wire.read_line ~deadline fd with
   | None | (exception Unix.Unix_error _) | (exception Failure _) ->
       Atomic.incr t.counters.dropped;
       safe_close fd;
@@ -320,11 +432,23 @@ let write_port_file path port =
      raise e);
   Sys.rename tmp path
 
-let start ?(namespaces = Rdf.Namespace.default) ?shard ?restrict config
-    ~schema ~graph =
+let start ?(namespaces = Rdf.Namespace.default) ?shard ?restrict ?journal
+    config ~schema ~graph =
+  if journal <> None && (shard <> None || restrict <> None) then
+    invalid_arg "Server.start: a journalled server cannot be a shard worker";
   (* Freeze once at load: every request evaluates against the same
      interned store instead of each engine run freezing its own copy. *)
   let graph = Rdf.Graph.freeze graph in
+  (* Initial full evaluation of the incremental engine — the one
+     from-scratch run; every later update pays only for its dirty set. *)
+  let live =
+    Option.map
+      (fun journal ->
+        { journal;
+          inc = Provenance.Incremental.create ~schema graph;
+          lock = Mutex.create () })
+      journal
+  in
   (* A peer hanging up mid-write must surface as EPIPE, not kill the
      process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -351,7 +475,7 @@ let start ?(namespaces = Rdf.Namespace.default) ?shard ?restrict config
           in_flight = Atomic.make 0 }
       in
       let t =
-        { config; namespaces; schema; graph; shard; restrict; lsock;
+        { config; namespaces; schema; graph; live; shard; restrict; lsock;
           bound_port;
           started = Unix.gettimeofday ();
           stop = Atomic.make false;
@@ -396,6 +520,12 @@ let shutdown t =
   | `Drained ->
       (* queue closed and empty: workers retire promptly *)
       Option.iter Pool.join t.pool;
+      Option.iter
+        (fun live ->
+          locked live.lock (fun () ->
+              Runtime.Journal.sync live.journal;
+              Runtime.Journal.close live.journal))
+        t.live;
       Option.iter
         (fun path -> try Sys.remove path with Sys_error _ -> ())
         t.config.port_file;

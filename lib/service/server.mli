@@ -41,11 +41,20 @@ type config = {
   request_timeout : float option; (** per-request wall-clock cap, seconds *)
   request_fuel : int option;      (** per-request evaluation-fuel cap *)
   drain_timeout : float;          (** graceful-shutdown drain deadline *)
+  receive_timeout : float;
+      (** bound on reading one request frame, seconds — both the socket
+          receive timeout and an overall per-frame deadline, so neither
+          a silent nor a byte-dripping (slow-loris) peer can park a
+          worker *)
+  snapshot_every : int;
+      (** journalled servers only: snapshot the graph and truncate the
+          log segment once it holds this many records *)
 }
 
 val default_config : config
 (** 127.0.0.1, ephemeral port, 4 workers, queue bound 64, 30 s request
-    timeout, no fuel cap, 5 s drain deadline. *)
+    timeout, no fuel cap, 5 s drain deadline, 10 s receive timeout,
+    snapshot every 1024 records. *)
 
 type t
 
@@ -53,6 +62,7 @@ val start :
   ?namespaces:Rdf.Namespace.t ->
   ?shard:int ->
   ?restrict:(Rdf.Term.t -> bool) ->
+  ?journal:Runtime.Journal.t ->
   config ->
   schema:Shacl.Schema.t ->
   graph:Rdf.Graph.t ->
@@ -66,7 +76,16 @@ val start :
     (see {!Shard}): [shard] is echoed on [ping] replies, and [restrict]
     limits which candidate nodes [validate] / [fragment] requests
     enumerate — the graph itself stays whole, so each restricted answer
-    is exact over the nodes the shard owns. *)
+    is exact over the nodes the shard owns.
+
+    [journal] makes the server accept [update] requests against the
+    (already recovered — see {!Runtime.Journal.recover}) write-ahead
+    log: [graph] must be the recovered graph, each delta is appended
+    and fsynced before its acknowledgment, and [validate] / schema
+    [fragment] requests are answered from the incrementally maintained
+    report and fragment.  Mutually exclusive with [shard] / [restrict]
+    (raises [Invalid_argument]).  Startup pays one full evaluation to
+    seed the incremental state. *)
 
 val write_port_file : string -> int -> unit
 (** Atomically publish a bound port at [path]: written to a temp file in

@@ -242,6 +242,7 @@ type op =
   | Validate
   | Fragment of string list
   | Neighborhood of { node : string; shape : string }
+  | Update of { add : string; remove : string }
   | Health
   | Stats
   | Ping
@@ -263,6 +264,15 @@ let failure_of_outcome = function
   | Runtime.Outcome.Fuel_exhausted -> Fuel, "evaluation-fuel bound exhausted"
   | Runtime.Outcome.Crashed msg -> Crash, msg
 
+type jstats = {
+  j_records : int;
+  j_bytes : int;
+  j_fsyncs : int;
+  j_seq : int;
+  j_dirty : int;
+  j_rechecked : int;
+}
+
 type stats = {
   uptime : float;
   jobs : int;
@@ -276,12 +286,21 @@ type stats = {
   crashes : int;
   in_flight : int;
   queued : int;
+  journal : jstats option;
 }
 
 type reply =
   | Validated of { conforms : bool; checks : int; violations : int }
   | Fragmented of { triples : int; turtle : string }
   | Neighborhoods of { conforms : bool; turtle : string }
+  | Updated of {
+      seq : int;
+      added : int;
+      removed : int;
+      dirty : int;
+      rechecked : int;
+      conforms : bool;
+    }
   | Healthy of { uptime : float }
   | Statistics of stats
   | Pong of { shard : int option }
@@ -340,6 +359,7 @@ let op_name = function
   | Validate -> "validate"
   | Fragment _ -> "fragment"
   | Neighborhood _ -> "neighborhood"
+  | Update _ -> "update"
   | Health -> "health"
   | Stats -> "stats"
   | Ping -> "ping"
@@ -354,6 +374,9 @@ let encode_request r =
         fields @ [ "shapes", Arr (List.map (fun s -> Str s) shapes) ]
     | Neighborhood { node; shape } ->
         fields @ [ "node", Str node; "shape", Str shape ]
+    | Update { add; remove } ->
+        let fields = if add = "" then fields else fields @ [ "add", Str add ] in
+        if remove = "" then fields else fields @ [ "remove", Str remove ]
     | Sleep ms -> fields @ [ "ms", Num (float_of_int ms) ]
     | _ -> fields
   in
@@ -391,6 +414,14 @@ let decode_request line =
         match node, shape with
         | Some node, Some shape -> Ok (Neighborhood { node; shape })
         | _ -> Result.Error "neighborhood requires \"node\" and \"shape\"")
+    | Some "update" ->
+        let* add = string_field "add" json in
+        let* remove = string_field "remove" json in
+        let add = Option.value add ~default:"" in
+        let remove = Option.value remove ~default:"" in
+        if add = "" && remove = "" then
+          Result.Error "update requires \"add\" and/or \"remove\""
+        else Ok (Update { add; remove })
     | Some "health" -> Ok Health
     | Some "stats" -> Ok Stats
     | Some "ping" -> Ok Ping
@@ -430,6 +461,18 @@ let stats_fields s =
     "crashes", Num (float_of_int s.crashes);
     "in_flight", Num (float_of_int s.in_flight);
     "queued", Num (float_of_int s.queued) ]
+  @
+  match s.journal with
+  | None -> []
+  | Some j ->
+      [ "journal",
+        Obj
+          [ "records", Num (float_of_int j.j_records);
+            "bytes", Num (float_of_int j.j_bytes);
+            "fsyncs", Num (float_of_int j.j_fsyncs);
+            "seq", Num (float_of_int j.j_seq);
+            "dirty", Num (float_of_int j.j_dirty);
+            "rechecked", Num (float_of_int j.j_rechecked) ] ]
 
 let required what = function
   | Ok (Some v) -> Ok v
@@ -497,6 +540,14 @@ let rec reply_fields reply =
   | Neighborhoods { conforms; turtle } ->
       [ "status", Str "ok"; "op", Str "neighborhood";
         "conforms", Bool conforms; "turtle", Str turtle ]
+  | Updated { seq; added; removed; dirty; rechecked; conforms } ->
+      [ "status", Str "ok"; "op", Str "update";
+        "seq", Num (float_of_int seq);
+        "added", Num (float_of_int added);
+        "removed", Num (float_of_int removed);
+        "dirty", Num (float_of_int dirty);
+        "rechecked", Num (float_of_int rechecked);
+        "conforms", Bool conforms ]
   | Healthy { uptime } ->
       [ "status", Str "ok"; "op", Str "health"; "uptime", Num uptime ]
   | Statistics s -> [ "status", Str "ok"; "op", Str "stats" ] @ stats_fields s
@@ -545,6 +596,15 @@ let decode_ok json =
       let* conforms = bool_field "conforms" json in
       let* turtle = required "turtle" (string_field "turtle" json) in
       Ok (Neighborhoods { conforms; turtle })
+  | "update" ->
+      let num key = required key (int_field key json) in
+      let* seq = num "seq" in
+      let* added = num "added" in
+      let* removed = num "removed" in
+      let* dirty = num "dirty" in
+      let* rechecked = num "rechecked" in
+      let* conforms = bool_field "conforms" json in
+      Ok (Updated { seq; added; removed; dirty; rechecked; conforms })
   | "health" ->
       let* uptime = required "uptime" (number_field "uptime" json) in
       Ok (Healthy { uptime })
@@ -562,10 +622,25 @@ let decode_ok json =
       let* crashes = num "crashes" in
       let* in_flight = num "in_flight" in
       let* queued = num "queued" in
+      let* journal =
+        match field "journal" json with
+        | None -> Ok None
+        | Some (Json.Obj _ as j) ->
+            let jnum key = required ("journal " ^ key) (int_field key j) in
+            let* j_records = jnum "records" in
+            let* j_bytes = jnum "bytes" in
+            let* j_fsyncs = jnum "fsyncs" in
+            let* j_seq = jnum "seq" in
+            let* j_dirty = jnum "dirty" in
+            let* j_rechecked = jnum "rechecked" in
+            Ok (Some { j_records; j_bytes; j_fsyncs; j_seq; j_dirty;
+                       j_rechecked })
+        | Some _ -> Result.Error "field \"journal\" must be an object"
+      in
       Ok
         (Statistics
            { uptime; jobs; queue_bound; accepted; served; shed; failed;
-             rejected; dropped; crashes; in_flight; queued })
+             rejected; dropped; crashes; in_flight; queued; journal })
   | "ping" ->
       let* shard = int_field "shard" json in
       Ok (Pong { shard })
@@ -631,10 +706,28 @@ let write_line fd s =
     written := !written + Unix.write fd line !written (len - !written)
   done
 
-let read_line ?(max = 16 * 1024 * 1024) fd =
+let read_line ?(max = 16 * 1024 * 1024) ?deadline fd =
   let chunk = Bytes.create 4096 in
   let buf = Buffer.create 256 in
+  (* The per-read socket timeout only bounds silence; a drip-feeding
+     peer resets it with every byte.  The overall deadline caps the
+     whole frame, so a slow-loris sender cannot pin a handler. *)
+  let await () =
+    match deadline with
+    | None -> ()
+    | Some d ->
+        let left = d -. Unix.gettimeofday () in
+        if left <= 0. then
+          raise (Unix.Unix_error (Unix.ETIMEDOUT, "read_line", ""))
+        else begin
+          match Unix.select [ fd ] [] [] left with
+          | [], _, _ ->
+              raise (Unix.Unix_error (Unix.ETIMEDOUT, "read_line", ""))
+          | _ -> ()
+        end
+  in
   let rec go () =
+    await ();
     match Unix.read fd chunk 0 (Bytes.length chunk) with
     | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
     | n -> (

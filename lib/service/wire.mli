@@ -55,6 +55,12 @@ type op =
           syntax), or of the preloaded schema when the list is empty *)
   | Neighborhood of { node : string; shape : string }
       (** provenance of one node: neighborhood, or why-not explanation *)
+  | Update of { add : string; remove : string }
+      (** apply a graph delta, each side a Turtle document (either may
+          be empty, not both).  Only honored by servers started with a
+          journal: the delta is appended and fsynced to the write-ahead
+          log {e before} the {!Updated} acknowledgment is sent, then
+          folded into the live graph by incremental revalidation. *)
   | Health
   | Stats
   | Ping
@@ -79,6 +85,19 @@ val failure_of_outcome : Runtime.Outcome.reason -> failure * string
 (** The wire rendering of an {!Runtime.Outcome.reason}: the failure
     class plus a human-readable detail string. *)
 
+(** Journal counters, present in {!stats} when the server runs with a
+    write-ahead log.  [j_records]/[j_bytes] describe the current log
+    segment (both reset by a snapshot); [j_dirty]/[j_rechecked] are the
+    cumulative incremental-revalidation totals. *)
+type jstats = {
+  j_records : int;
+  j_bytes : int;
+  j_fsyncs : int;
+  j_seq : int;       (** highest sequence number written *)
+  j_dirty : int;     (** stored pairs invalidated, summed over updates *)
+  j_rechecked : int; (** pair evaluations performed, summed over updates *)
+}
+
 (** Server statistics, as reported by the [stats] op.  Counters are
     cumulative since startup; [in_flight] and [queued] are gauges. *)
 type stats = {
@@ -94,6 +113,7 @@ type stats = {
   crashes : int;   (** worker domains replaced after a crash *)
   in_flight : int;
   queued : int;
+  journal : jstats option;  (** [None] on servers without a journal *)
 }
 
 type reply =
@@ -102,6 +122,14 @@ type reply =
   | Neighborhoods of { conforms : bool; turtle : string }
       (** [turtle] is the neighborhood when [conforms], the why-not
           explanation otherwise *)
+  | Updated of {
+      seq : int;        (** journal sequence number — durable on receipt *)
+      added : int;      (** triples actually added (no-ops dropped) *)
+      removed : int;    (** triples actually removed *)
+      dirty : int;      (** stored pairs invalidated by the delta *)
+      rechecked : int;  (** pair evaluations the update cost *)
+      conforms : bool;  (** overall verdict after the update *)
+    }
   | Healthy of { uptime : float }
   | Statistics of stats
   | Pong of { shard : int option }
@@ -130,8 +158,12 @@ val write_line : Unix.file_descr -> string -> unit
 (** Append ['\n'] and write fully; raises [Unix.Unix_error] on a closed
     or timed-out peer. *)
 
-val read_line : ?max:int -> Unix.file_descr -> string option
+val read_line : ?max:int -> ?deadline:float -> Unix.file_descr -> string option
 (** Read up to the first ['\n'] (discarded) or EOF; [None] on an empty
     stream.  [max] (default 16 MiB) bounds the frame; a longer frame
     raises [Failure].  Honors socket receive timeouts by letting
-    [Unix.Unix_error] escape. *)
+    [Unix.Unix_error] escape.  [deadline] (absolute, from
+    [Unix.gettimeofday]) bounds the {e whole} frame — a peer can evade a
+    per-read receive timeout by dripping one byte at a time, but not
+    the deadline; crossing it raises [Unix.Unix_error (ETIMEDOUT, _, _)],
+    which clients classify as a retryable transport failure. *)

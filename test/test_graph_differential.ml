@@ -339,6 +339,47 @@ let test_uid_contract () =
   Alcotest.(check bool) "remove changes uid" false
     (Graph.uid g3 = Graph.uid g4)
 
+(* Removal from a frozen graph: the interned store is stale for the new
+   triple set, so it must be dropped (the result is unfrozen) and the
+   uid must move; a no-op removal touches nothing.  Deltas lean on
+   exactly these properties, so pin them down. *)
+let test_frozen_remove () =
+  let g = Graph.freeze (Graph.add a p b (Graph.add b q c Graph.empty)) in
+  Alcotest.(check bool) "fixture is frozen" true (Graph.frozen g);
+  let g' = Graph.remove (Triple.make a p b) g in
+  Alcotest.(check bool) "store dropped" false (Graph.frozen g');
+  Alcotest.(check bool) "uid moved" false (Graph.uid g = Graph.uid g');
+  Alcotest.(check bool) "triple gone" false (Graph.mem (Triple.make a p b) g');
+  Alcotest.(check bool) "other triple kept" true
+    (Graph.mem (Triple.make b q c) g');
+  Alcotest.(check int) "size" 1 (Graph.cardinal g');
+  (* the frozen original is a value: untouched *)
+  Alcotest.(check bool) "original still frozen" true (Graph.frozen g);
+  Alcotest.(check bool) "original still has the triple" true
+    (Graph.mem (Triple.make a p b) g);
+  (* removing an absent triple is the identity, store and uid intact *)
+  let g'' = Graph.remove (Triple.make a q c) g in
+  Alcotest.(check int) "no-op keeps uid" (Graph.uid g) (Graph.uid g'');
+  Alcotest.(check bool) "no-op keeps the store" true (Graph.frozen g'');
+  (* a re-frozen removal result queries like a from-scratch build *)
+  Alcotest.check Tgen.graph_testable "re-freeze equals rebuild"
+    (Graph.add b q c Graph.empty)
+    (Graph.freeze g')
+
+(* Removing the last triple of a subject/predicate/object must also
+   clear the index buckets, or iteration and path evaluation would see
+   ghosts.  Exercise all three index orders through the public API. *)
+let test_frozen_remove_clears_indexes () =
+  let g = Graph.freeze (Graph.add a p b Graph.empty) in
+  let g' = Graph.remove (Triple.make a p b) g in
+  Alcotest.(check bool) "now empty" true (Graph.is_empty g');
+  Alcotest.(check int) "no triples listed" 0 (List.length (Graph.to_list g'));
+  Alcotest.check Tgen.term_set_testable "spo bucket cleared" Term.Set.empty
+    (Path.eval g' (Path.Prop p) a);
+  Alcotest.check Tgen.term_set_testable "pos/osp buckets cleared"
+    Term.Set.empty
+    (Path.eval g' (Path.Inv (Path.Prop p)) b)
+
 let test_freeze_empty () =
   let g = Graph.freeze Graph.empty in
   Alcotest.(check bool) "empty graph has no store" false (Graph.frozen g);
@@ -359,5 +400,8 @@ let suite =
     Alcotest.test_case "path memo: shared across freeze" `Quick
       test_path_memo_across_freeze;
     Alcotest.test_case "graph uid contract" `Quick test_uid_contract;
+    Alcotest.test_case "frozen remove" `Quick test_frozen_remove;
+    Alcotest.test_case "frozen remove clears indexes" `Quick
+      test_frozen_remove_clears_indexes;
     Alcotest.test_case "freeze of the empty graph" `Quick test_freeze_empty;
     Alcotest.test_case "store lookup hook" `Quick test_store_counts_probes ]

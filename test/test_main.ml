@@ -46,6 +46,8 @@ let () =
       Tgen.qsuite "analysis:props" Test_analysis.props;
       "containment", Test_containment.suite;
       Tgen.qsuite "containment:props" Test_containment.props;
+      "incremental", Test_incremental.suite;
+      Tgen.qsuite "incremental:props" Test_incremental.props;
       "misc", Test_misc.suite;
       "extensions", Test_extensions.suite;
       Tgen.qsuite "extensions:props" Test_extensions.props ]

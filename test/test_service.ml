@@ -79,6 +79,11 @@ let test_request_roundtrip () =
       Wire.request (Wire.Fragment [ ">=1 ex:author . top"; "top" ]);
       Wire.request
         (Wire.Neighborhood { node = "ex:p1"; shape = ">=1 ex:author . top" });
+      Wire.request (Wire.Update { add = "ex:a ex:p ex:b .\n"; remove = "" });
+      Wire.request
+        (Wire.Update
+           { add = "@prefix ex: <http://example.org/> .\nex:a ex:p 1 .\n";
+             remove = "ex:a ex:q ex:c .\n" });
       Wire.request Wire.Health;
       Wire.request Wire.Stats;
       Wire.request (Wire.Sleep 250) ]
@@ -90,13 +95,18 @@ let test_request_decode_errors () =
       | Ok _ -> Alcotest.failf "%S should be rejected" line
       | Error _ -> ())
     [ "not json"; "[]"; "{}"; {|{"op":"frag"}|};
-      {|{"op":"neighborhood","node":"x"}|}; {|{"op":"sleep","ms":-1}|};
+      {|{"op":"neighborhood","node":"x"}|}; {|{"op":"update"}|};
+      {|{"op":"sleep","ms":-1}|};
       {|{"op":"validate","fuel":"ten"}|}; {|{"op":"validate","fuel":1.5}|} ]
 
 let sample_stats : Wire.stats =
   { uptime = 1.5; jobs = 4; queue_bound = 64; accepted = 10; served = 6;
     shed = 1; failed = 2; rejected = 1; dropped = 0; crashes = 2;
-    in_flight = 0; queued = 0 }
+    in_flight = 0; queued = 0; journal = None }
+
+let sample_jstats : Wire.jstats =
+  { j_records = 5; j_bytes = 640; j_fsyncs = 5; j_seq = 12; j_dirty = 9;
+    j_rechecked = 11 }
 
 let roundtrip_reply ?id r =
   match Wire.decode_reply (Wire.encode_reply ?id r) with
@@ -111,8 +121,12 @@ let test_reply_roundtrip () =
     [ Wire.Validated { conforms = false; checks = 3; violations = 1 };
       Wire.Fragmented { triples = 2; turtle = "a b c .\nd e f .\n" };
       Wire.Neighborhoods { conforms = true; turtle = "" };
+      Wire.Updated
+        { seq = 17; added = 2; removed = 1; dirty = 3; rechecked = 4;
+          conforms = true };
       Wire.Healthy { uptime = 0.25 };
       Wire.Statistics sample_stats;
+      Wire.Statistics { sample_stats with journal = Some sample_jstats };
       Wire.Slept 100;
       Wire.Overloaded { queued = 8 };
       Wire.Failed { reason = Wire.Crash; detail = "injected fault at x" };
@@ -449,6 +463,154 @@ let test_e2e_malformed_line () =
               | _ -> Alcotest.failf "expected an error reply, got %s" line)
           | None -> Alcotest.fail "no reply to a malformed line"))
 
+(* ---------------- frame deadlines (slow-loris) ----------------------- *)
+
+let test_read_line_deadline () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun fd -> try Unix.close fd with _ -> ()) [ a; b ])
+    (fun () ->
+      (* a silent peer: the deadline fires instead of blocking forever *)
+      (match Wire.read_line ~deadline:(Unix.gettimeofday () +. 0.1) a with
+      | _ -> Alcotest.fail "silent peer should time out"
+      | exception Unix.Unix_error (Unix.ETIMEDOUT, _, _) -> ());
+      (* a drip-feeding peer: partial bytes never extend the deadline *)
+      ignore (Unix.write_substring b "partial" 0 7 : int);
+      (match Wire.read_line ~deadline:(Unix.gettimeofday () +. 0.2) a with
+      | _ -> Alcotest.fail "drip-fed frame should time out"
+      | exception Unix.Unix_error (Unix.ETIMEDOUT, _, _) -> ());
+      (* a frame completed before the deadline is unaffected *)
+      ignore (Unix.write_substring b "whole\n" 0 6 : int);
+      match Wire.read_line ~deadline:(Unix.gettimeofday () +. 5.0) a with
+      | Some line -> Alcotest.(check string) "frame" "whole" line
+      | None -> Alcotest.fail "expected a frame")
+
+let test_e2e_slow_loris () =
+  with_server
+    ~config:{ Server.default_config with receive_timeout = 0.3 }
+    (fun server ->
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect ~finally:(fun () -> try Unix.close sock with _ -> ())
+        (fun () ->
+          Unix.connect sock
+            (Unix.ADDR_INET
+               (Unix.inet_addr_of_string "127.0.0.1", Server.port server));
+          (* drip a frame prefix and stall: the handler must give the
+             connection up rather than park a worker on it *)
+          ignore (Unix.write_substring sock "{\"op\":" 0 6 : int);
+          (match
+             Wire.read_line ~deadline:(Unix.gettimeofday () +. 5.0) sock
+           with
+          | None -> ()
+          | Some line -> (
+              match Wire.decode_reply line with
+              | Ok (_, (Wire.Failed _ | Wire.Error _)) -> ()
+              | _ -> Alcotest.failf "unexpected reply %s" line)
+          | exception Unix.Unix_error (Unix.ETIMEDOUT, _, _) ->
+              Alcotest.fail "server kept a drip-fed connection open");
+          (* and other clients are still being served *)
+          match expect_ok "health" (call server Wire.Health) with
+          | Wire.Healthy _ -> ()
+          | _ -> Alcotest.fail "expected Healthy"))
+
+(* ---------------- journalled updates end-to-end ---------------------- *)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+let with_journal_dir f =
+  let dir = Filename.temp_file "shaclprov-service" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* Mirror the CLI's recovery discipline: a fresh journal snapshots the
+   initial graph so later recoveries never need the data file again. *)
+let with_journal_server dir f =
+  let r = Runtime.Journal.recover dir in
+  let g =
+    if r.Runtime.Journal.fresh then begin
+      Runtime.Journal.snapshot r.Runtime.Journal.journal graph;
+      graph
+    end
+    else r.Runtime.Journal.graph
+  in
+  let server =
+    Server.start Server.default_config ~schema ~graph:g
+      ~journal:r.Runtime.Journal.journal
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_stop server;
+      ignore (Server.shutdown server))
+    (fun () -> f server)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let fix_ttl =
+  {|@prefix ex: <http://example.org/> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+ex:dave rdf:type ex:Student .
+ex:p2 ex:author ex:dave .|}
+
+let test_e2e_journal_update_and_recover () =
+  with_journal_dir (fun dir ->
+      with_journal_server dir (fun server ->
+          (* the seed data violates WorkshopShape on ex:p2 *)
+          (match expect_ok "validate" (call server Wire.Validate) with
+          | Wire.Validated { conforms; _ } ->
+              Alcotest.(check bool) "violated before fix" false conforms
+          | _ -> Alcotest.fail "expected Validated");
+          (match
+             expect_ok "update"
+               (call server (Wire.Update { add = fix_ttl; remove = "" }))
+           with
+          | Wire.Updated { seq; added; removed; conforms; _ } ->
+              Alcotest.(check int) "first journalled seq" 1 seq;
+              Alcotest.(check int) "added" 2 added;
+              Alcotest.(check int) "removed" 0 removed;
+              Alcotest.(check bool) "fix makes it conform" true conforms
+          | _ -> Alcotest.fail "expected Updated");
+          (match expect_ok "stats" (call server Wire.Stats) with
+          | Wire.Statistics { journal = Some js; _ } ->
+              Alcotest.(check int) "journal seq" 1 js.Wire.j_seq;
+              Alcotest.(check bool) "fsynced before the ack" true
+                (js.Wire.j_fsyncs >= 1)
+          | Wire.Statistics { journal = None; _ } ->
+              Alcotest.fail "journalled server must report journal stats"
+          | _ -> Alcotest.fail "expected Statistics");
+          (* the maintained fragment now contains the new author edge *)
+          match expect_ok "fragment" (call server (Wire.Fragment [])) with
+          | Wire.Fragmented { turtle; _ } ->
+              Alcotest.(check bool) "fragment mentions the fix" true
+                (contains ~sub:"dave" turtle)
+          | _ -> Alcotest.fail "expected Fragmented");
+      (* a restart on the same directory recovers the updated state
+         without ever seeing the data file *)
+      with_journal_server dir (fun server ->
+          match expect_ok "validate" (call server Wire.Validate) with
+          | Wire.Validated { conforms; _ } ->
+              Alcotest.(check bool) "recovered state conforms" true conforms
+          | _ -> Alcotest.fail "expected Validated"))
+
+let test_e2e_update_without_journal () =
+  with_server (fun server ->
+      match call server (Wire.Update { add = fix_ttl; remove = "" }) with
+      | Error (Client.Remote_error msg) ->
+          Alcotest.(check bool) "error names --journal" true
+            (contains ~sub:"journal" msg)
+      | Ok _ -> Alcotest.fail "update must be refused without a journal"
+      | Error e -> Alcotest.failf "expected Remote_error: %a" Client.pp_error e)
+
 let suite =
   [ "json: roundtrip", `Quick, test_json_roundtrip;
     "json: single line", `Quick, test_json_single_line;
@@ -478,7 +640,13 @@ let suite =
     "e2e: persistent fault never kills the server", `Quick,
     test_e2e_persistent_fault_not_fatal;
     "e2e: malformed frame gets an error reply", `Quick,
-    test_e2e_malformed_line ]
+    test_e2e_malformed_line;
+    "wire: read_line deadline", `Quick, test_read_line_deadline;
+    "e2e: slow-loris frame is abandoned", `Quick, test_e2e_slow_loris;
+    "e2e: journalled update and recovery", `Quick,
+    test_e2e_journal_update_and_recover;
+    "e2e: update refused without a journal", `Quick,
+    test_e2e_update_without_journal ]
 
 (* Wire codec property: any request roundtrips, including shapes with
    hostile bytes. *)
