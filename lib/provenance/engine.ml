@@ -3,6 +3,8 @@ open Shacl
 
 type on_error = [ `Fail | `Skip ]
 
+type kernel = [ `Batched | `Per_node ]
+
 module Stats = struct
   type shape_stat = {
     label : string;
@@ -32,6 +34,9 @@ module Stats = struct
     retries : int;
     interned_terms : int;
     store_lookups : int;
+    batch_calls : int;
+    batch_sources : int;
+    rows_materialized : int;
     planning : float;
     wall : float;
     shapes : shape_stat list;
@@ -60,9 +65,14 @@ module Stats = struct
       Format.fprintf ppf
         "@,containment: %d check(s) skipped, %d shared request(s)"
         t.checks_skipped t.requests_shared;
-    if t.interned_terms > 0 then
+    if t.interned_terms > 0 then begin
       Format.fprintf ppf "@,store: %d interned term(s), %d index probe(s)"
         t.interned_terms t.store_lookups;
+      if t.batch_calls > 0 then
+        Format.fprintf ppf
+          "; %d batch call(s), %d batched source(s), %d row(s) materialized"
+          t.batch_calls t.batch_sources t.rows_materialized
+    end;
     let failures = List.length (failed_shapes t) in
     if failures > 0 || t.retries > 0 then
       Format.fprintf ppf "@,degraded: %d shape(s) failed, %d chunk retry(s)"
@@ -258,6 +268,134 @@ let chunks_of ~jobs arr =
 
 let now = Unix.gettimeofday
 
+(* ---------------- batched priming ----------------------------------- *)
+
+(* Collect, in deterministic order, the (path, focus-node set) pairs a
+   set of shapes will evaluate: the focus paths of each shape paired
+   with its candidate array, unioned across shapes per path.  Only
+   paths the memo layer caches are kept. *)
+let collect_prime_items pairs =
+  let nodes_of : (Rdf.Path.t, Term.Set.t ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (paths, candidates) ->
+      List.iter
+        (fun e ->
+          if Path_memo.worth_memoizing e then begin
+            let add set =
+              Array.fold_left (fun s v -> Term.Set.add v s) set candidates
+            in
+            match Hashtbl.find_opt nodes_of e with
+            | Some set -> set := add !set
+            | None ->
+                Hashtbl.add nodes_of e (ref (add Term.Set.empty));
+                order := e :: !order
+          end)
+        paths)
+    pairs;
+  List.rev_map
+    (fun e ->
+      let set = !(Hashtbl.find nodes_of e) in
+      (e, Array.of_list (Term.Set.elements set)))
+    !order
+
+(* Fill [base] with one batched-kernel evaluation per (path, node set),
+   parallelized over paths: each worker primes into a private base
+   merged after the pool joins (per-(graph, path) tables are disjoint
+   across items, so the merge is a plain union).  Priming charges the
+   budget exactly what per-node evaluation of the same (path, node)
+   pairs would; on exhaustion the phase stops with a partial base and
+   the chunks that needed the missing fuel fail at their own budget
+   checks, as they would have unprimed. *)
+let prime_base ~jobs ~budget ~into_counters base g items =
+  match items with
+  | [] -> ()
+  | _ ->
+      let pop = make_queue items in
+      let n = max 1 jobs in
+      let worker_bases = Array.init n (fun _ -> Path_memo.base_create ()) in
+      let worker_counters = Array.init n (fun _ -> Counters.create ()) in
+      let worker w =
+        let wb = worker_bases.(w) and wc = worker_counters.(w) in
+        let rec drain () =
+          match pop () with
+          | None -> ()
+          | Some (e, nodes) ->
+              Path_memo.prime ~counters:wc wb budget g e nodes;
+              drain ()
+        in
+        try drain () with Runtime.Budget.Exhausted _ -> ()
+      in
+      spawn_pool ~jobs:n worker;
+      Array.iter (fun wb -> Path_memo.base_merge ~into:base wb) worker_bases;
+      Array.iter
+        (fun wc -> Counters.add ~into:into_counters wc)
+        worker_counters
+
+(* Id-space priming for the rows pipeline: the same (path, node set)
+   items, evaluated in per-worker kernel contexts whose memos are then
+   exported into one shared read-only [Rdf.Path.Batch.base].  Worker
+   contexts adopt primed entries on first touch and replay their
+   recorded charges, so budget and counter totals stay exactly what
+   per-node evaluation of the same pairs would have charged.  Stray
+   nodes the dictionary has never seen are left to the checkers'
+   per-node fallback. *)
+let prime_row_base ~jobs ~budget ~into_counters base st items =
+  match items with
+  | [] -> ()
+  | _ ->
+      let pop = make_queue items in
+      let n = max 1 jobs in
+      let worker_bases =
+        Array.init n (fun _ -> Rdf.Path.Batch.base_create ())
+      in
+      let worker_counters = Array.init n (fun _ -> Counters.create ()) in
+      let worker w =
+        let wc = worker_counters.(w) in
+        let step =
+          if Runtime.Budget.is_unlimited budget then None
+          else Some (Runtime.Budget.step_hook budget)
+        in
+        let ctx =
+          Rdf.Path.Batch.create ?step
+            ~lookup:(fun () ->
+              wc.Counters.store_lookups <- wc.Counters.store_lookups + 1)
+            ~lookup_n:(fun k ->
+              wc.Counters.store_lookups <- wc.Counters.store_lookups + k)
+            st
+        in
+        let rec drain () =
+          match pop () with
+          | None -> ()
+          | Some (e, nodes) ->
+              let sources =
+                Array.to_list nodes |> List.filter_map (Store.id st)
+              in
+              if sources <> [] then begin
+                let before = Rdf.Path.Batch.memo_size ctx in
+                List.iter
+                  (fun vid -> ignore (Rdf.Path.Batch.eval ctx e vid))
+                  sources;
+                wc.Counters.batch_calls <- wc.Counters.batch_calls + 1;
+                wc.Counters.batch_sources <-
+                  wc.Counters.batch_sources + List.length sources;
+                wc.Counters.rows_materialized <-
+                  wc.Counters.rows_materialized
+                  + (Rdf.Path.Batch.memo_size ctx - before)
+              end;
+              drain ()
+        in
+        (try drain () with Runtime.Budget.Exhausted _ -> ());
+        Rdf.Path.Batch.export ctx ~into:worker_bases.(w)
+      in
+      spawn_pool ~jobs:n worker;
+      Array.iter
+        (fun wb -> Rdf.Path.Batch.base_merge ~into:base wb)
+        worker_bases;
+      Array.iter
+        (fun wc -> Counters.add ~into:into_counters wc)
+        worker_counters
+
 (* ---------------- fault isolation ---------------------------------- *)
 
 (* Chunks are the engine's isolation unit: a chunk is evaluated into
@@ -285,7 +423,7 @@ let probe_sites label =
 
 let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
     ?(jobs = 1) ?(budget = Runtime.Budget.unlimited) ?(on_error = `Fail)
-    ?(optimize = false) ?restrict g requests =
+    ?(optimize = false) ?(kernel = `Batched) ?restrict g requests =
   let jobs = max 1 jobs in
   let t0 = now () in
   (* Freeze once up front: planning, checking and tracing all run
@@ -366,6 +504,46 @@ let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
     done
   end;
   let planning = now () -. t0 in
+  (* Batched kernel: evaluate each distinct (path, candidate set) of the
+     planned shapes once, set-at-a-time, into a read-only base shared by
+     every worker's memo table.  The per-chunk tables created over it
+     keep chunk statistics scheduling-independent, unlike the
+     per-worker tables of [~optimize]. *)
+  let prime_counters = Counters.create () in
+  let use_rows =
+    kernel = `Batched && store <> None && algorithm = Fragment.Instrumented
+  in
+  let prime_items () =
+    let pairs =
+      List.mapi
+        (fun i (_, candidates, _) ->
+          if shared_of.(i) <> None then ([], [||])
+          else (Conformance.focus_paths schema shapes.(i), candidates))
+        plans
+    in
+    collect_prime_items pairs
+  in
+  (* The rows pipeline primes straight into the kernel's id-space base;
+     the per-node pipelines (naive algorithm, or a graph that was never
+     frozen) prime a term-space [Path_memo] base instead. *)
+  let row_base =
+    match use_rows, store with
+    | true, Some st ->
+        let b = Rdf.Path.Batch.base_create () in
+        prime_row_base ~jobs ~budget ~into_counters:prime_counters b st
+          (prime_items ());
+        Some b
+    | _ -> None
+  in
+  let base =
+    match kernel, store with
+    | `Batched, Some _ when not use_rows ->
+        let b = Path_memo.base_create () in
+        prime_base ~jobs ~budget ~into_counters:prime_counters b g
+          (prime_items ());
+        Some b
+    | _ -> None
+  in
   let items =
     List.concat
       (List.mapi
@@ -385,7 +563,7 @@ let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
      budget exhaustion, or any crash inside shape evaluation.  Emitted
      triples become bits in a chunk-local row bitset: a neighborhood is
      a subgraph of [g], so on a frozen graph every triple has a row. *)
-  let eval_chunk ?path_memo (i, chunk) =
+  let eval_chunk ?path_memo ?env_for (i, chunk) =
     probe_sites labels.(i);
     Runtime.Budget.check budget;
     let t = now () in
@@ -401,23 +579,51 @@ let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
     in
     let counters = Counters.create () in
     let conforming = ref 0 in
-    let check =
-      match algorithm with
-      | Fragment.Instrumented ->
-          Neighborhood.checker ~counters ~budget ~schema ?path_memo g
-            shapes.(i)
-      | Fragment.Naive ->
-          Neighborhood.naive_checker ~counters ~budget ~schema ?path_memo g
-            shapes.(i)
-    in
-    Array.iter
-      (fun v ->
-        let conforms, neighborhood = check v in
-        if conforms then begin
-          incr conforming;
-          Graph.iter mark neighborhood
-        end)
-      chunk;
+    (if use_rows then begin
+       (* row neighborhoods OR straight into the chunk bitset — no
+          [Graph.t] is ever materialized on the hot path.  [env_for]
+          retargets the worker's shared kernel context at this chunk's
+          counters; kernel memo hits replay the recorded charges, so
+          per-chunk statistics are identical whether an entry was
+          computed in this chunk, an earlier one, or the priming
+          phase. *)
+       let env =
+         match env_for with
+         | Some f -> f counters
+         | None -> Neighborhood.row_env ~budget ~counters ?base:row_base g
+       in
+       let check =
+         Neighborhood.row_checker ~counters ~budget ~schema ?path_memo ~env g
+           shapes.(i)
+       in
+       Array.iter
+         (fun v ->
+           let conforms, rows = check v in
+           if conforms then begin
+             incr conforming;
+             Array.iter (fun r -> set_bit bits r) rows
+           end)
+         chunk
+     end
+     else begin
+       let check =
+         match algorithm with
+         | Fragment.Instrumented ->
+             Neighborhood.checker ~counters ~budget ~schema ?path_memo g
+               shapes.(i)
+         | Fragment.Naive ->
+             Neighborhood.naive_checker ~counters ~budget ~schema ?path_memo g
+               shapes.(i)
+       in
+       Array.iter
+         (fun v ->
+           let conforms, neighborhood = check v in
+           if conforms then begin
+             incr conforming;
+             Graph.iter mark neighborhood
+           end)
+         chunk
+     end);
     bits, !extra, counters, !conforming, Array.length chunk, now () -. t
   in
   (* Lock-free: [acc] is owned by the calling worker. *)
@@ -430,16 +636,60 @@ let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
     acc.walls.(i) <- acc.walls.(i) +. wall;
     acc.checked <- acc.checked + chunk_checked
   in
+  (* Memo policy: under the optimizer one table per worker domain,
+     shared across every chunk — and so across shapes — that worker
+     processes, never across domains.  Under the batched kernel alone,
+     one table {e per chunk} over the shared primed base: chunk-level
+     counters then do not depend on which worker drained which chunk,
+     preserving the fixed-[-j] determinism of the statistics. *)
+  let worker_memo () =
+    if optimize then Some (Path_memo.create ?base ()) else None
+  in
+  let chunk_memo worker_memo =
+    match worker_memo with
+    | Some _ -> worker_memo
+    | None -> (
+        match base with
+        | Some _ -> Some (Path_memo.create ?base ())
+        | None -> None)
+  in
   let worker w =
     let acc = accs.(w) in
-    (* One path memo per worker domain: shared across every chunk — and
-       so across shapes — this worker processes, never across domains. *)
-    let path_memo = if optimize then Some (Path_memo.create ()) else None in
+    let worker_memo = worker_memo () in
+    (* one id-space kernel context per worker, shared across every chunk
+       — and shape — it drains; the lookup hook charges whichever
+       chunk's counters are current *)
+    let env_for =
+      match use_rows, store with
+      | true, Some st ->
+          ignore st;
+          let cur = ref None in
+          let env =
+            Neighborhood.row_env ~budget
+              ~lookup:(fun () ->
+                match !cur with
+                | Some c ->
+                    c.Counters.store_lookups <- c.Counters.store_lookups + 1
+                | None -> ())
+              ~lookup_n:(fun k ->
+                match !cur with
+                | Some c ->
+                    c.Counters.store_lookups <- c.Counters.store_lookups + k
+                | None -> ())
+              ?base:row_base g
+          in
+          Some
+            (fun counters ->
+              cur := Some counters;
+              env)
+      | _ -> None
+    in
     let rec drain () =
       match pop () with
       | None -> ()
       | Some item ->
-          (match eval_chunk ?path_memo item with
+          (match eval_chunk ?path_memo:(chunk_memo worker_memo) ?env_for item
+           with
           | result -> merge acc item result
           | exception e -> acc.failed <- (item, e) :: acc.failed);
           drain ()
@@ -465,10 +715,7 @@ let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
       | Some _ -> final_failure e
       | None -> (
           incr retries;
-          let path_memo =
-            if optimize then Some (Path_memo.create ()) else None
-          in
-          match eval_chunk ?path_memo item with
+          match eval_chunk ?path_memo:(chunk_memo (worker_memo ())) item with
           | result -> merge accs.(0) item result
           | exception e' -> final_failure e'))
     (failed_of accs);
@@ -476,6 +723,7 @@ let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
   | `Fail, Some e -> raise e
   | _ -> ());
   let final = fold_accs accs in
+  Counters.add ~into:final.counters prime_counters;
   let totals = final.counters in
   let conforming = final.conf in
   let walls = final.walls in
@@ -548,6 +796,9 @@ let run ?(schema = Schema.empty) ?(algorithm = Fragment.Instrumented)
       retries = !retries;
       interned_terms = (match store with Some st -> Store.n_terms st | None -> 0);
       store_lookups = totals.Counters.store_lookups;
+      batch_calls = totals.Counters.batch_calls;
+      batch_sources = totals.Counters.batch_sources;
+      rows_materialized = totals.Counters.rows_materialized;
       planning;
       wall = now () -. t0;
       shapes = shape_stats }
@@ -563,7 +814,8 @@ let fragment_schema ?algorithm ?jobs schema g =
 (* ---------------- validation --------------------------------------- *)
 
 let validate ?(jobs = 1) ?(budget = Runtime.Budget.unlimited)
-    ?(on_error = `Fail) ?(optimize = false) ?restrict schema g =
+    ?(on_error = `Fail) ?(optimize = false) ?(kernel = `Batched) ?restrict
+    schema g =
   let jobs = max 1 jobs in
   let t0 = now () in
   let g = Graph.freeze g in
@@ -644,10 +896,21 @@ let validate ?(jobs = 1) ?(budget = Runtime.Budget.unlimited)
     let (def : Schema.def), _ = plans_arr.(i) in
     Term.to_string def.Schema.name
   in
+  (* Batched kernel: one shared base filled level by level — each
+     level's (shape focus-path × target array) pairs are primed
+     set-at-a-time just before the level runs, and already-primed
+     (path, node) entries are skipped, so deduped targets across levels
+     cost nothing twice. *)
+  let prime_counters = Counters.create () in
+  let base =
+    match kernel, store with
+    | `Batched, Some _ -> Some (Path_memo.base_create ())
+    | _ -> None
+  in
   (* At [-j 1] everything runs on this domain, so one table can serve
      the whole run; parallel workers each build their own per level. *)
   let solo_memo =
-    if optimize && jobs <= 1 then Some (Path_memo.create ()) else None
+    if optimize && jobs <= 1 then Some (Path_memo.create ?base ()) else None
   in
   (* Verdict writes go to disjoint slices of [verdicts], so they need no
      lock; a failed chunk's partial writes are harmless because a failed
@@ -695,6 +958,18 @@ let validate ?(jobs = 1) ?(budget = Runtime.Budget.unlimited)
   in
   let first_error = ref None in
   let run_level level_defs =
+    (match base with
+    | Some b ->
+        let pairs =
+          List.map
+            (fun i ->
+              let (def : Schema.def), targets = plans_arr.(i) in
+              (Conformance.focus_paths schema def.Schema.shape, targets))
+            level_defs
+        in
+        prime_base ~jobs ~budget ~into_counters:prime_counters b g
+          (collect_prime_items pairs)
+    | None -> ());
     (* Skip sets for this level: the union of the conforming targets of
        every proven-contained def that completed in an earlier level. *)
     (match plan_opt with
@@ -730,18 +1005,30 @@ let validate ?(jobs = 1) ?(budget = Runtime.Budget.unlimited)
         level_defs
     in
     let pop = make_queue items in
+    (* Same memo policy as [run]: per-worker tables under the optimizer
+       (the solo table at -j 1), per-chunk tables over the primed base
+       under the batched kernel alone. *)
+    let worker_memo () =
+      match solo_memo with
+      | Some _ -> solo_memo
+      | None -> if optimize then Some (Path_memo.create ?base ()) else None
+    in
+    let chunk_memo worker_memo =
+      match worker_memo with
+      | Some _ -> worker_memo
+      | None -> (
+          match base with
+          | Some _ -> Some (Path_memo.create ?base ())
+          | None -> None)
+    in
     let worker w =
       let acc = accs.(w) in
-      let path_memo =
-        match solo_memo with
-        | Some _ -> solo_memo
-        | None -> if optimize then Some (Path_memo.create ()) else None
-      in
+      let worker_memo = worker_memo () in
       let rec drain () =
         match pop () with
         | None -> ()
         | Some item ->
-            (match eval_chunk ?path_memo item with
+            (match eval_chunk ?path_memo:(chunk_memo worker_memo) item with
             | result -> merge acc item result
             | exception e -> acc.failed <- (item, e) :: acc.failed);
             drain ()
@@ -763,7 +1050,8 @@ let validate ?(jobs = 1) ?(budget = Runtime.Budget.unlimited)
         | None -> (
             incr retries;
             let path_memo =
-              if optimize then Some (Path_memo.create ()) else None
+              if optimize then Some (Path_memo.create ?base ())
+              else chunk_memo None
             in
             match eval_chunk ?path_memo item with
             | result -> merge accs.(0) item result
@@ -778,6 +1066,7 @@ let validate ?(jobs = 1) ?(budget = Runtime.Budget.unlimited)
   | `Fail, Some e -> raise e
   | _ -> ());
   let final = fold_accs accs in
+  Counters.add ~into:final.counters prime_counters;
   let totals = final.counters in
   let conforming = final.conf in
   let skipped = final.skip in
@@ -842,6 +1131,9 @@ let validate ?(jobs = 1) ?(budget = Runtime.Budget.unlimited)
       retries = !retries;
       interned_terms = (match store with Some st -> Store.n_terms st | None -> 0);
       store_lookups = totals.Counters.store_lookups;
+      batch_calls = totals.Counters.batch_calls;
+      batch_sources = totals.Counters.batch_sources;
+      rows_materialized = totals.Counters.rows_materialized;
       planning;
       wall = now () -. t0;
       shapes = shape_stats }

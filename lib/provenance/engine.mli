@@ -48,6 +48,20 @@ type on_error = [ `Fail | `Skip ]
     [`Fail] re-raises (after joining the pool), [`Skip] degrades to a
     partial result with the failure recorded in {!Stats}. *)
 
+type kernel = [ `Batched | `Per_node ]
+(** How path expressions are evaluated on a frozen graph.  [`Batched]
+    (the default) evaluates each distinct (path, candidate-set) pair of
+    the planned shapes once, set-at-a-time, through
+    {!Rdf.Path.eval_batch} into a read-only {!Shacl.Path_memo} base
+    shared by every worker, and — for instrumented fragment runs —
+    accumulates neighborhoods as store-row sets instead of graphs
+    ({!Neighborhood.row_checker}).  [`Per_node] is the classic engine:
+    every path evaluation anchored at one node at a time.  Fragments,
+    reports and verdicts are byte-identical between the two; statistics
+    differ ([batch_calls] &c. are zero under [`Per_node], and the
+    batched kernel may charge a budget for path evaluations the
+    per-node engine would have short-circuited past). *)
+
 (** Execution statistics for one engine run. *)
 module Stats : sig
   type shape_stat = {
@@ -92,6 +106,15 @@ module Stats : sig
     store_lookups : int;
         (** adjacency-index probes made by path evaluation (each [Prop]
             or inverse-[Prop] application at a node) *)
+    batch_calls : int;
+        (** batched path-kernel invocations ({!Rdf.Path.eval_batch};
+            one per (path, source-set) priming).  Zero under
+            [`Per_node]. *)
+    batch_sources : int;
+        (** source nodes evaluated across all batch calls *)
+    rows_materialized : int;
+        (** target cells materialized by batch calls (a dense-compacted
+            relation counts its shared row once) *)
     planning : float;      (** seconds spent planning candidate sets
                                (including the containment plan) *)
     wall : float;          (** end-to-end seconds for the run *)
@@ -133,6 +156,7 @@ val run :
   ?budget:Runtime.Budget.t ->
   ?on_error:on_error ->
   ?optimize:bool ->
+  ?kernel:kernel ->
   ?restrict:(Rdf.Term.t -> bool) ->
   Rdf.Graph.t -> request list -> Rdf.Graph.t * Stats.t
 (** [run g requests] computes [⋃ Frag(G, shape)] over the requests and
@@ -184,6 +208,7 @@ val validate :
   ?budget:Runtime.Budget.t ->
   ?on_error:on_error ->
   ?optimize:bool ->
+  ?kernel:kernel ->
   ?restrict:(Rdf.Term.t -> bool) ->
   Shacl.Schema.t -> Rdf.Graph.t -> Shacl.Validate.report * Stats.t
 (** Parallel, instrumented equivalent of [Validate.validate]: target

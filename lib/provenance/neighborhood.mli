@@ -48,6 +48,9 @@ val checker :
   ?budget:Runtime.Budget.t ->
   ?schema:Shacl.Schema.t ->
   ?path_memo:Shacl.Path_memo.t ->
+  ?path_cache:
+    (Rdf.Path.t -> Rdf.Term.t ->
+     (Rdf.Term.Set.t * Rdf.Term.Set.t) option) ->
   ?touched:(Rdf.Term.t -> unit) ->
   Rdf.Graph.t -> Shacl.Shape.t -> (Rdf.Term.t -> bool * Rdf.Graph.t)
 (** Batch variant of {!check}: the shape is normalized once and one memo
@@ -71,7 +74,63 @@ val checker :
     [path_memo] (a memo hit would hide probes from the collector), and
     anchors accumulate across {e all} nodes checked through one
     [checker] instance — use one instance per focus node when per-node
-    attribution matters, as the incremental engine does. *)
+    attribution matters, as the incremental engine does.
+
+    When [path_cache] is given it is consulted before every path
+    evaluation: a hit [(targets, anchors)] costs one budget tick, the
+    recorded [anchors] are replayed to [touched], and [targets] is
+    used as the evaluation result.  The incremental engine fills such
+    a cache with one batched kernel call per (path, dirty-node set)
+    and threads it into its per-pair checkers — entries must have been
+    computed on the same graph for the same (path, node) keys. *)
+
+type row_env
+(** A worker-lifetime id-space evaluation context shared across
+    {!row_checker} instances: the kernel's evaluation and whole-trace
+    memos are sound across shapes (entries depend only on the frozen
+    store) and every memo hit replays its recorded per-node-equivalent
+    budget charge, so sharing changes wall-clock but neither results
+    nor budget totals.  Not thread-safe: one per worker domain. *)
+
+val row_env :
+  ?budget:Runtime.Budget.t ->
+  ?counters:Shacl.Counters.t ->
+  ?lookup:(unit -> unit) ->
+  ?lookup_n:(int -> unit) ->
+  ?base:Rdf.Path.Batch.base ->
+  Rdf.Graph.t -> row_env
+(** [row_env ~budget g] is a fresh context over [g]'s frozen store,
+    charging step fuel to [budget] — pass the same budget the checkers
+    using it are given — and store probes to [counters] (the same
+    charges per-node evaluation would make).  When [base] is given,
+    kernel evaluations the engine primed up front are adopted from it:
+    a primed entry counts as a path-memo hit and replays its recorded
+    budget charge only when reached through {!Rdf.Path.Batch.eval}.
+    [lookup] overrides the [counters]-derived probe hook — the engine
+    passes an indirection so one worker-lifetime context can charge
+    whichever chunk's counter record is current — and [lookup_n] is its
+    bulk form for charge replay.  Raises [Invalid_argument] when [g]
+    has no frozen store. *)
+
+val row_checker :
+  ?counters:Shacl.Counters.t ->
+  ?budget:Runtime.Budget.t ->
+  ?schema:Shacl.Schema.t ->
+  ?path_memo:Shacl.Path_memo.t ->
+  ?env:row_env ->
+  Rdf.Graph.t -> Shacl.Shape.t -> (Rdf.Term.t -> bool * int array)
+(** Like {!checker}, but the neighborhood is returned as a sorted,
+    duplicate-free array of canonical SPO row ids of the frozen store —
+    the batched engine ORs these straight into its fragment bitset, and
+    tracing runs in the id-space kernel ({!Rdf.Path.Batch}) with the
+    same total budget charge as the term-space trace.  Compound-path
+    evaluations also run in the kernel (bare steps stay on the
+    persistent term maps, which already hold their answer).  When [env]
+    is given the kernel context is shared with other checkers of the
+    same worker instead of created fresh.  Decoding row [r] with
+    [Rdf.Store.row_triple] yields exactly the triples {!checker} would
+    have returned.  Raises [Invalid_argument] when [g] has no frozen
+    store ([Rdf.Graph.freeze] it first). *)
 
 val naive_checker :
   ?counters:Shacl.Counters.t ->

@@ -328,6 +328,567 @@ let trace ?step ?visit g e a b =
 let trace_all ?step ?visit g e a ~targets =
   trace_set ?step ?visit g e ~sources:(Term.Set.singleton a) ~targets
 
+(* ---------------- batched (set-at-a-time) kernel ------------------- *)
+
+(* Sorted-int-array set algebra for the batch kernel's results.  All
+   arrays are ascending and duplicate-free; ids ascend with terms, so
+   these arrays decode to ascending term sequences like [IdSet] folds
+   do. *)
+let merge_sorted a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 then b
+  else if lb = 0 then a
+  else begin
+    let out = Array.make (la + lb) 0 in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    while !i < la && !j < lb do
+      let x = a.(!i) and y = b.(!j) in
+      if x < y then begin out.(!k) <- x; incr i end
+      else if y < x then begin out.(!k) <- y; incr j end
+      else begin out.(!k) <- x; incr i; incr j end;
+      incr k
+    done;
+    while !i < la do out.(!k) <- a.(!i); incr i; incr k done;
+    while !j < lb do out.(!k) <- b.(!j); incr j; incr k done;
+    if !k = la + lb then out else Array.sub out 0 !k
+  end
+
+let mem_sorted arr x =
+  let rec go lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      let v = arr.(mid) in
+      if v = x then true else if v < x then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length arr)
+
+let insert_sorted arr x =
+  if mem_sorted arr x then arr else merge_sorted arr [| x |]
+
+let inter_sorted a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (min la lb) 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < la && !j < lb do
+    let x = a.(!i) and y = b.(!j) in
+    if x < y then incr i
+    else if y < x then incr j
+    else begin
+      out.(!k) <- x;
+      incr i;
+      incr j;
+      incr k
+    end
+  done;
+  if !k = Array.length out then out else Array.sub out 0 !k
+
+module Batch = struct
+  (* One memoized evaluation: the targets of [[E]](a) (or the inverse
+     image for [inv]), the probe anchors when tracked, and the exact
+     [step]/[lookup] charge the per-node core would have spent computing
+     it — replayed to the user hooks on every cache hit so the batch
+     kernel stays hook-for-hook equivalent in *total* charge to
+     evaluating each source independently.  Only the interleaving
+     differs (a hit replays its steps before its lookups); fuel is
+     spent by [step] alone, so exhaustion points in fuel terms are
+     unchanged. *)
+  type entry = {
+    targets : int array;
+    anchors : int array;
+    steps : int;
+    lookups : int;
+  }
+
+  (* A read-only second layer underneath per-worker contexts: filled by
+     the engine's set-at-a-time priming pass before the pool spawns,
+     then shared — an OCaml [Hashtbl] with no writers never resizes, so
+     concurrent reads are safe.  Tables are keyed structurally by path
+     (contexts resolve them to interned ids once) and per-source by the
+     same packed (direction, id) sub-key the context memo uses. *)
+  (* Int tables with the identity hash: every hot lookup in the kernel
+     is keyed by a packed non-negative int, and the generic [Hashtbl]
+     pays a C hash call per probe that dwarfs the bucket walk. *)
+  module ITbl = Hashtbl.Make (struct
+    type t = int
+
+    let equal (a : int) b = a = b
+    let hash (x : int) = x
+  end)
+
+  type base = { btables : (t, entry ITbl.t) Hashtbl.t }
+
+  type ctx = {
+    st : Store.t;
+    memo : entry ITbl.t;
+        (* keyed by [(path id, direction, source)] packed into one int *)
+    traces : (int array * entry) list ref ITbl.t;
+        (* whole-trace memo, keyed by packed (path id, source id) with
+           entries matched by {e physical} identity of the target array:
+           [targets] holds row ids; checkers re-trace the same (path,
+           focus, witnesses) triple once per shape that mentions the
+           path, and nearly always hand back the kernel's own memoized
+           evaluation array, so a pointer comparison replaces hashing
+           and comparing whole arrays.  A structurally equal but
+           physically fresh witness array merely recomputes — the
+           recorded charge equals the fresh cost, so totals cannot
+           tell the difference. *)
+    path_ids : (t, int) Hashtbl.t;
+        (* structurally equal paths (the same class path parsed in two
+           shapes) intern to one id, so memo entries are shared across
+           shapes without hashing IRI strings on every probe *)
+    mutable n_paths : int;
+    mutable last_path : t;
+        (* physical fast lane: a checker passes the same subterm object
+           on every call from a given constraint *)
+    mutable last_id : int;
+    base : base option;
+        (* read-only primed layer shared across worker contexts *)
+    base_cache : entry ITbl.t ITbl.t;
+        (* per-path-id resolution of the base's structural table *)
+    mutable scratch : Bitset.t list;     (* free list over the id universe *)
+    user_step : unit -> unit;
+    user_lookup : unit -> unit;
+    user_step_n : int -> unit;
+    user_lookup_n : int -> unit;
+        (* bulk variants used by charge replay: a memoized trace can
+           stand for thousands of recorded steps, and looping a closure
+           that many times costs more than the trace itself *)
+    charge_step : bool;
+    charge_lookup : bool;
+    track_anchors : bool;
+    mutable steps : int;
+    mutable lookups : int;
+  }
+
+  let base_create () = { btables = Hashtbl.create 64 }
+
+  let base_merge ~into b =
+    Hashtbl.iter
+      (fun path table ->
+        match Hashtbl.find_opt into.btables path with
+        | None -> Hashtbl.add into.btables path table
+        | Some existing ->
+            ITbl.iter (fun k ent -> ITbl.replace existing k ent) table)
+      b.btables
+
+  let create ?step ?step_n ?lookup ?lookup_n ?(anchors = false) ?base st =
+    let bulk hook = function
+      | Some f -> f
+      | None ->
+          fun k ->
+            for _ = 1 to k do
+              hook ()
+            done
+    in
+    let user_step = match step with Some f -> f | None -> ignore in
+    let user_lookup = match lookup with Some f -> f | None -> ignore in
+    { st;
+      memo = ITbl.create 1024;
+      traces = ITbl.create 1024;
+      base;
+      base_cache = ITbl.create 64;
+      path_ids = Hashtbl.create 64;
+      n_paths = 0;
+      last_path = Prop (Iri.of_string "urn:path-batch:none");
+      last_id = -1;
+      scratch = [];
+      user_step;
+      user_lookup;
+      user_step_n = bulk user_step step_n;
+      user_lookup_n = bulk user_lookup lookup_n;
+      charge_step = Option.is_some step;
+      charge_lookup = Option.is_some lookup;
+      track_anchors = anchors;
+      steps = 0;
+      lookups = 0 }
+
+  let intern ctx e =
+    if ctx.last_path == e then ctx.last_id
+    else begin
+      let id =
+        match Hashtbl.find_opt ctx.path_ids e with
+        | Some id -> id
+        | None ->
+            let id = ctx.n_paths in
+            ctx.n_paths <- id + 1;
+            Hashtbl.add ctx.path_ids e id;
+            (match ctx.base with
+            | Some b -> (
+                match Hashtbl.find_opt b.btables e with
+                | Some table -> ITbl.add ctx.base_cache id table
+                | None -> ())
+            | None -> ());
+            id
+      in
+      ctx.last_path <- e;
+      ctx.last_id <- id;
+      id
+    end
+
+  (* Sources are term ids (< 2^31 on any graph the store can hold) and
+     path ids are intern counts, so the packed key cannot collide.  The
+     low 32 bits — (direction, source) — are the base tables' sub-key,
+     identical across contexts with different interning orders. *)
+  let pack pid inv a = (((pid lsl 1) lor Bool.to_int inv) lsl 31) lor a
+  let sub_key key = key land ((1 lsl 32) - 1)
+
+  let base_find ctx key =
+    match ITbl.find_opt ctx.base_cache (key lsr 32) with
+    | None -> None
+    | Some table -> ITbl.find_opt table (sub_key key)
+
+  let step ctx =
+    ctx.steps <- ctx.steps + 1;
+    ctx.user_step ()
+
+  let lookup ctx =
+    ctx.lookups <- ctx.lookups + 1;
+    ctx.user_lookup ()
+
+  (* A cache hit re-charges the recorded per-node-equivalent cost.  The
+     counters accumulate into [ctx] too, so a parent computation's
+     recorded delta covers its memoized children — by induction every
+     entry carries the full cost a fresh per-node evaluation would
+     spend. *)
+  let replay ctx (e : entry) =
+    ctx.steps <- ctx.steps + e.steps;
+    ctx.lookups <- ctx.lookups + e.lookups;
+    if ctx.charge_step then ctx.user_step_n e.steps;
+    if ctx.charge_lookup then ctx.user_lookup_n e.lookups
+
+  let get_set ctx =
+    match ctx.scratch with
+    | s :: rest ->
+        ctx.scratch <- rest;
+        s
+    | [] -> Bitset.create (Store.n_terms ctx.st)
+
+  let put_set ctx s =
+    Bitset.clear s;
+    ctx.scratch <- s :: ctx.scratch
+
+  let anchor anch a = match anch with None -> () | Some s -> Bitset.add s a
+
+  let anchor_all anch arr =
+    match anch with
+    | None -> ()
+    | Some s -> Array.iter (fun i -> Bitset.add s i) arr
+
+  (* Adjacency scans: rows inside a (s,p) SPO range carry strictly
+     ascending objects, rows inside a (p,o) POS range strictly ascending
+     subjects, so the result arrays are sorted and duplicate-free by
+     construction. *)
+  let objects_arr st pid a =
+    let lo, hi = Store.objects_range st ~s:a ~p:pid in
+    Array.init (hi - lo) (fun k -> Store.spo_obj st (lo + k))
+
+  let subjects_arr st pid b =
+    let lo, hi = Store.subjects_range st ~p:pid ~o:b in
+    Array.init (hi - lo) (fun k -> Store.pos_subj st (lo + k))
+
+  (* The recursion mirrors [eval_ids]/[eval_inv_ids] charge-for-charge:
+     one [step] per operator application, one [lookup] per adjacency
+     probe, sub-evaluations in ascending id order (the order [IdSet.fold]
+     iterates in).  [inv] folds [Inv] into the direction flag so one memo
+     key space covers both directions. *)
+  let rec eval_entry ctx e inv a =
+    let key = pack (intern ctx e) inv a in
+    match ITbl.find_opt ctx.memo key with
+    | Some ent ->
+        replay ctx ent;
+        ent
+    | None ->
+        match base_find ctx key with
+        | Some ent ->
+            (* adopting a primed entry costs what re-evaluating would *)
+            replay ctx ent;
+            ITbl.add ctx.memo key ent;
+            ent
+        | None ->
+        let s0 = ctx.steps and l0 = ctx.lookups in
+        let anch = if ctx.track_anchors then Some (get_set ctx) else None in
+        let targets = compute ctx anch e inv a in
+        let anchors =
+          match anch with
+          | None -> [||]
+          | Some s ->
+              let arr = Bitset.to_array s in
+              put_set ctx s;
+              arr
+        in
+        let ent =
+          { targets; anchors; steps = ctx.steps - s0; lookups = ctx.lookups - l0 }
+        in
+        ITbl.add ctx.memo key ent;
+        ent
+
+  (* A sub-evaluation: its anchors flow into the parent's accumulator
+     so parent entries stay self-contained. *)
+  and sub ctx anch e inv a =
+    let ent = eval_entry ctx e inv a in
+    anchor_all anch ent.anchors;
+    ent.targets
+
+  and compute ctx anch e inv a =
+    step ctx;
+    match e with
+    | Prop p -> (
+        lookup ctx;
+        anchor anch a;
+        match Store.pred_id ctx.st p with
+        | None -> [||]
+        | Some pid ->
+            if inv then subjects_arr ctx.st pid a else objects_arr ctx.st pid a)
+    | Inv e -> sub ctx anch e (not inv) a
+    | Seq (e1, e2) ->
+        let first, second = if inv then (e2, e1) else (e1, e2) in
+        let mids = sub ctx anch first inv a in
+        if Array.length mids = 0 then [||]
+        else begin
+          (* per-mid results are sorted; a balanced merge is
+             size-proportional where a universe bitset round-trip would
+             cost a full scan per evaluation *)
+          let arrs = Array.map (fun m -> sub ctx anch second inv m) mids in
+          let rec reduce lo hi =
+            if hi - lo = 1 then arrs.(lo)
+            else
+              let mid = (lo + hi) / 2 in
+              merge_sorted (reduce lo mid) (reduce mid hi)
+          in
+          reduce 0 (Array.length arrs)
+        end
+    | Alt (e1, e2) ->
+        let t1 = sub ctx anch e1 inv a in
+        let t2 = sub ctx anch e2 inv a in
+        merge_sorted t1 t2
+    | Opt e -> insert_sorted (sub ctx anch e inv a) a
+    | Star e ->
+        (* Delta-driven fixpoint: each round expands only the frontier
+           discovered in the previous one, exactly like [closure_ids] —
+           but every one-step expansion is a memo entry shared across
+           all sources of the batch.  Visited stays a hash-plus-list so
+           the cost is proportional to the closure, not the universe;
+           each frontier is sorted so sub-evaluations run in ascending
+           id order like [closure_ids]'s. *)
+        let seen = Hashtbl.create 16 in
+        Hashtbl.add seen a ();
+        let acc = ref [ a ] and count = ref 1 in
+        let frontier = ref [| a |] in
+        while Array.length !frontier > 0 do
+          let fresh = ref [] and n = ref 0 in
+          Array.iter
+            (fun x ->
+              Array.iter
+                (fun y ->
+                  if not (Hashtbl.mem seen y) then begin
+                    Hashtbl.add seen y ();
+                    fresh := y :: !fresh;
+                    acc := y :: !acc;
+                    incr n;
+                    incr count
+                  end)
+                (sub ctx anch e inv x))
+            !frontier;
+          let fr = Array.make !n 0 in
+          List.iteri (fun k i -> fr.(!n - 1 - k) <- i) !fresh;
+          Array.sort (fun (x : int) y -> compare x y) fr;
+          frontier := fr
+        done;
+        let r = Array.make !count 0 in
+        List.iteri (fun k i -> r.(!count - 1 - k) <- i) !acc;
+        Array.sort (fun (x : int) y -> compare x y) r;
+        r
+
+
+  (* Uncharged reads for memo-layer bookkeeping above the kernel: the
+     batched checker classifies an evaluation as a memo hit before
+     asking for its result, and a hit must stay charge-free (one budget
+     tick at the caller) exactly like [Shacl.Path_memo]'s. *)
+  let eval_cached ctx e a =
+    let key = pack (intern ctx e) false a in
+    match ITbl.find_opt ctx.memo key with
+    | Some ent -> Some ent.targets
+    | None -> (
+        match base_find ctx key with
+        | Some ent ->
+            (* adopt without charge: a later [eval] replays normally *)
+            ITbl.add ctx.memo key ent;
+            Some ent.targets
+        | None -> None)
+
+  let base_mem ctx e a =
+    Option.is_some (base_find ctx (pack (intern ctx e) false a))
+
+  let memo_size ctx = ITbl.length ctx.memo
+
+  (* Publish every entry of [ctx] — sub-paths included — into a shared
+     base, keyed structurally so contexts with different interning
+     orders resolve them. *)
+  let export ctx ~into =
+    if ctx.n_paths > 0 then begin
+      let rev = Array.make ctx.n_paths None in
+      Hashtbl.iter (fun p id -> rev.(id) <- Some p) ctx.path_ids;
+      ITbl.iter
+        (fun key ent ->
+          match rev.(key lsr 32) with
+          | None -> ()
+          | Some path ->
+              let table =
+                match Hashtbl.find_opt into.btables path with
+                | Some t -> t
+                | None ->
+                    let t = ITbl.create 256 in
+                    Hashtbl.add into.btables path t;
+                    t
+              in
+              ITbl.replace table (sub_key key) ent)
+        ctx.memo
+    end
+
+  let eval ctx e a = (eval_entry ctx e false a).targets
+  let eval_inv ctx e a = (eval_entry ctx e true a).targets
+
+  let eval_anchored ctx e a =
+    if not ctx.track_anchors then
+      invalid_arg "Path.Batch.eval_anchored: context created without ~anchors";
+    let ent = eval_entry ctx e false a in
+    (ent.targets, ent.anchors)
+
+  (* Union of [[E]](x) (or its inverse) over a sorted node array — the
+     id-space counterpart of [eval_set]/[eval_inv_set].  Tracing calls
+     this with tiny node arrays (often a single focus node) and the
+     per-node results are already sorted, so a balanced array merge
+     beats filling and rescanning a whole-universe bitset. *)
+  let eval_union ctx e inv nodes =
+    match Array.length nodes with
+    | 0 -> [||]
+    | 1 -> (eval_entry ctx e inv nodes.(0)).targets
+    | n ->
+        let arrs =
+          Array.map (fun a -> (eval_entry ctx e inv a).targets) nodes
+        in
+        let rec reduce lo hi =
+          if hi - lo = 1 then arrs.(lo)
+          else
+            let mid = (lo + hi) / 2 in
+            merge_sorted (reduce lo mid) (reduce mid hi)
+        in
+        reduce 0 n
+
+  (* [trace_set] transcribed to id space, emitting canonical SPO row ids
+     instead of building a persistent graph: each [Prop] leg inside a
+     (s,p) range *is* a row index.  Same recursion, same [step] charge
+     per operator, same internal evaluations (answered from the memo,
+     with their charges replayed). *)
+  let rec trace_ids ctx add_row e ~sources ~targets =
+    step ctx;
+    if Array.length sources = 0 || Array.length targets = 0 then ()
+    else
+      match e with
+      | Prop p -> (
+          match Store.pred_id ctx.st p with
+          | None -> ()
+          | Some pid ->
+              Array.iter
+                (fun a ->
+                  let lo, hi = Store.objects_range ctx.st ~s:a ~p:pid in
+                  for r = lo to hi - 1 do
+                    if mem_sorted targets (Store.spo_obj ctx.st r) then
+                      add_row r
+                  done)
+                sources)
+      | Inv e -> trace_ids ctx add_row e ~sources:targets ~targets:sources
+      | Alt (e1, e2) ->
+          trace_ids ctx add_row e1 ~sources ~targets;
+          trace_ids ctx add_row e2 ~sources ~targets
+      | Opt e -> trace_ids ctx add_row e ~sources ~targets
+      | Seq (e1, e2) ->
+          let fwd = eval_union ctx e1 false sources in
+          let bwd = eval_union ctx e2 true targets in
+          let mids = inter_sorted fwd bwd in
+          if Array.length mids = 0 then ()
+          else begin
+            trace_ids ctx add_row e1 ~sources ~targets:mids;
+            trace_ids ctx add_row e2 ~sources:mids ~targets
+          end
+      | Star e ->
+          let forward = eval_union ctx (Star e) false sources in
+          let backward = eval_union ctx (Star e) true targets in
+          let zone = inter_sorted forward backward in
+          trace_ids ctx add_row e ~sources:zone ~targets:zone
+
+  (* Row yields per trace are tiny (a neighborhood's triples), so the
+     rows are collected into a list and sort-deduplicated — touching a
+     whole-triple-universe bitset per call would cost more than the
+     trace itself. *)
+  let trace_fresh ctx e ~sources ~targets =
+    let rows = ref [] in
+    trace_ids ctx (fun r -> rows := r :: !rows) e ~sources ~targets;
+    match !rows with
+    | [] -> [||]
+    | l ->
+        let arr = Array.of_list l in
+        Array.sort (fun (x : int) y -> compare x y) arr;
+        let n = Array.length arr in
+        let m = ref 0 in
+        for i = 0 to n - 1 do
+          if i = 0 || arr.(i) <> arr.(i - 1) then begin
+            arr.(!m) <- arr.(i);
+            incr m
+          end
+        done;
+        if !m = n then arr else Array.sub arr 0 !m
+
+  (* Whole-trace memo: checkers re-trace the same (path, focus,
+     witnesses) triple once per shape mentioning the path, and a trace
+     is deterministic in its arguments, so the rows — and the recorded
+     per-node-equivalent charge — can be replayed like any entry. *)
+  let trace ctx e ~sources ~targets =
+    if Array.length sources <> 1 then
+      (* multi-source traces (tests, ad-hoc callers) skip the memo: the
+         checkers always trace one focus node *)
+      trace_fresh ctx e ~sources ~targets
+    else begin
+      let key = pack (intern ctx e) false sources.(0) in
+      let bucket =
+        match ITbl.find_opt ctx.traces key with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            ITbl.add ctx.traces key l;
+            l
+      in
+      match List.find_opt (fun (t, _) -> t == targets) !bucket with
+      | Some (_, ent) ->
+          replay ctx ent;
+          ent.targets
+      | None ->
+          let s0 = ctx.steps and l0 = ctx.lookups in
+          let rows = trace_fresh ctx e ~sources ~targets in
+          bucket :=
+            ( targets,
+              { targets = rows;
+                anchors = [||];
+                steps = ctx.steps - s0;
+                lookups = ctx.lookups - l0 } )
+            :: !bucket;
+          rows
+    end
+end
+
+let eval_batch ?step ?lookup st e ~sources =
+  let ctx = Batch.create ?step ?lookup st in
+  let rel = Relation.create (Store.n_terms st) in
+  Bitset.iter (fun a -> Relation.set_row rel a (Batch.eval ctx e a)) sources;
+  Relation.compact rel
+
+let eval_batch_inv ?step ?lookup st e ~sources =
+  let ctx = Batch.create ?step ?lookup st in
+  let rel = Relation.create (Store.n_terms st) in
+  Bitset.iter (fun a -> Relation.set_row rel a (Batch.eval_inv ctx e a)) sources;
+  Relation.compact rel
+
 let rec pp_prec pp_iri prec ppf e =
   let paren needed body =
     if needed then Format.fprintf ppf "(%t)" body else body ppf

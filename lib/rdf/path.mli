@@ -100,6 +100,106 @@ val trace_set :
     operator (midpoints and star zones are aggregated over the whole
     source/target sets rather than per pair). *)
 
+(** {1 Batched (set-at-a-time) evaluation}
+
+    The per-node core above evaluates [[[E]]^G(a)] one anchor at a time;
+    the batch kernel below propagates a whole set of sources through the
+    frozen store's sorted-array indexes in one pass — bitset frontiers,
+    a delta-driven (semi-naive) fixpoint for [Star], and memoized
+    per-(sub-path, node) expansions shared across every source of the
+    batch.  Results are grouped by source in a {!Relation.t}.
+
+    {b Charge parity.}  The kernel calls [step] once per path-operator
+    application and [lookup] once per adjacency probe, exactly like the
+    per-node core; a memoized expansion {e replays} its recorded charge
+    to the hooks on every reuse.  Total charge — and therefore fuel
+    accounting — is identical to evaluating each source independently;
+    only the interleaving of [step]s and [lookup]s differs. *)
+
+module Batch : sig
+  type ctx
+  (** A batch-evaluation context over one frozen store: the charge-
+      replaying memo of per-(sub-path, direction, node) expansions plus
+      scratch frontiers.  Not thread-safe — one per domain, like
+      [Shacl.Path_memo]. *)
+
+  type base
+  (** A read-only second layer underneath per-worker contexts, filled by
+      {!export} after a set-at-a-time priming pass and shared across
+      domains.  Safe to read concurrently once nothing writes to it (a
+      [Hashtbl] with no writers never resizes). *)
+
+  val base_create : unit -> base
+
+  val base_merge : into:base -> base -> unit
+  (** Merge one worker's exported entries into a shared base. *)
+
+  val create :
+    ?step:(unit -> unit) -> ?step_n:(int -> unit) ->
+    ?lookup:(unit -> unit) -> ?lookup_n:(int -> unit) -> ?anchors:bool ->
+    ?base:base -> Store.t -> ctx
+  (** [anchors] (default false) additionally records the probe-anchor
+      set of every evaluation — the id-space counterpart of {!eval}'s
+      [visit] hook — for {!eval_anchored}.  Entries missing from the
+      context's own memo are adopted from [base] (when given) with
+      their recorded charges replayed, exactly as a memo hit would.
+      [step_n]/[lookup_n] are bulk equivalents of [step]/[lookup] used
+      when replaying a recorded charge of [n] units; they default to
+      calling the unit hook [n] times and exist because a counter
+      increment can be batched where a fuel tick sequence cannot. *)
+
+  val export : ctx -> into:base -> unit
+  (** Publish every memo entry of the context — sub-path expansions
+      included — into [into].  Call before the base is shared; never
+      after. *)
+
+  val eval_cached : ctx -> t -> int -> int array option
+  (** The memoized (or primed) forward targets of [(E, a)], without
+      replaying any charge — for memo layers above the kernel whose
+      hits must stay charge-free.  [None] when never evaluated. *)
+
+  val base_mem : ctx -> t -> int -> bool
+  (** Whether the primed base holds a forward entry for [(E, a)]. *)
+
+  val intern : ctx -> t -> int
+  (** The context's id for a path expression (assigned on first use);
+      structurally equal paths share one id.  Exposed so memo layers
+      above the kernel can build int keys without re-hashing path
+      structure. *)
+
+  val memo_size : ctx -> int
+  (** Number of memo entries currently held (priming statistics). *)
+
+  val eval : ctx -> t -> int -> int array
+  (** [[[E]]^G(a)] as a sorted, duplicate-free id array.  Equals the
+      per-node {!eval} result (decoded), with equal total hook charge. *)
+
+  val eval_inv : ctx -> t -> int -> int array
+
+  val eval_anchored : ctx -> t -> int -> int array * int array
+  (** [(targets, anchors)]; requires a context created with
+      [~anchors:true], else raises [Invalid_argument].  The anchor array
+      is the deduplicated set the per-node core's [visit] hook would
+      have received. *)
+
+  val trace : ctx -> t -> sources:int array -> targets:int array -> int array
+  (** {!trace_set} in id space: the canonical SPO row ids of
+      [⋃ graph(paths(E, G, a, b))] over the given (sorted) source and
+      target id arrays, sorted ascending.  Internal evaluations are
+      answered from the context's memo with their charges replayed, so
+      the [step] total matches the per-node trace. *)
+end
+
+val eval_batch :
+  ?step:(unit -> unit) -> ?lookup:(unit -> unit) ->
+  Store.t -> t -> sources:Bitset.t -> Relation.t
+(** [[[E]]^G] restricted to [sources], grouped by source; compacted to
+    the dense layout when every source saturates to the same row. *)
+
+val eval_batch_inv :
+  ?step:(unit -> unit) -> ?lookup:(unit -> unit) ->
+  Store.t -> t -> sources:Bitset.t -> Relation.t
+
 (** {1 Printing} *)
 
 val pp : Format.formatter -> t -> unit

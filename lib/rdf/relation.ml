@@ -1,0 +1,89 @@
+type repr =
+  | Rows of (int, int array) Hashtbl.t
+  | Dense of { sources : int array; row : int array }
+
+type t = { n : int; mutable repr : repr }
+
+let create n = { n; repr = Rows (Hashtbl.create 64) }
+let universe t = t.n
+
+let set_row t s targets =
+  match t.repr with
+  | Rows rows -> Hashtbl.replace rows s targets
+  | Dense _ -> invalid_arg "Relation.set_row: relation is compacted"
+
+let row t s =
+  match t.repr with
+  | Rows rows -> Hashtbl.find_opt rows s
+  | Dense { sources; row } ->
+      (* sources is sorted; binary search for membership *)
+      let rec go lo hi =
+        if lo >= hi then None
+        else
+          let mid = (lo + hi) / 2 in
+          let v = sources.(mid) in
+          if v = s then Some row
+          else if v < s then go (mid + 1) hi
+          else go lo mid
+      in
+      go 0 (Array.length sources)
+
+let mem_sorted arr x =
+  let rec go lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      let v = arr.(mid) in
+      if v = x then true else if v < x then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length arr)
+
+let mem t s x =
+  match row t s with None -> false | Some r -> mem_sorted r x
+
+let n_rows t =
+  match t.repr with
+  | Rows rows -> Hashtbl.length rows
+  | Dense { sources; _ } -> Array.length sources
+
+let cardinal t =
+  match t.repr with
+  | Rows rows -> Hashtbl.fold (fun _ r acc -> acc + Array.length r) rows 0
+  | Dense { sources; row } -> Array.length sources * Array.length row
+
+let materialized t =
+  match t.repr with
+  | Rows rows -> Hashtbl.fold (fun _ r acc -> acc + Array.length r) rows 0
+  | Dense { row; _ } -> Array.length row
+
+let sorted_sources rows =
+  let sources = Hashtbl.fold (fun s _ acc -> s :: acc) rows [] in
+  let arr = Array.of_list sources in
+  Array.sort compare arr;
+  arr
+
+let fold f t init =
+  match t.repr with
+  | Rows rows ->
+      Array.fold_left
+        (fun acc s -> f s (Hashtbl.find rows s) acc)
+        init (sorted_sources rows)
+  | Dense { sources; row } ->
+      Array.fold_left (fun acc s -> f s row acc) init sources
+
+let iter f t = fold (fun s r () -> f s r) t ()
+
+let compact t =
+  match t.repr with
+  | Dense _ -> t
+  | Rows rows when Hashtbl.length rows < 2 -> t
+  | Rows rows ->
+      let sources = sorted_sources rows in
+      let first = Hashtbl.find rows sources.(0) in
+      let all_equal =
+        Array.for_all (fun s -> Hashtbl.find rows s = first) sources
+      in
+      if all_equal then { t with repr = Dense { sources; row = first } }
+      else t
+
+let is_dense t = match t.repr with Dense _ -> true | Rows _ -> false

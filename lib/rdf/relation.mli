@@ -1,0 +1,59 @@
+(** Grouped binary relations over interned ids: the result type of the
+    batched path kernel.
+
+    A relation maps each evaluated source id to its (sorted, duplicate-
+    free) target-id row — [[[E]]^G] restricted to a source set, grouped
+    by source.  Two physical layouts:
+
+    - {b Rows}: one int array per source (the general case).
+    - {b Dense}: a single shared row for every source — the saturated
+      case a [Star] over a strongly connected component produces, where
+      per-source rows would multiply one answer by the source count.
+      {!compact} switches layouts when it detects saturation; lookups
+      are unaffected.
+
+    Mutable while being filled by the kernel; treat as read-only
+    afterwards (sharing across domains is then safe). *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty relation over id universe [{0, …, n-1}]. *)
+
+val universe : t -> int
+
+val set_row : t -> int -> int array -> unit
+(** [set_row r s targets] records the row of source [s].  [targets] must
+    be sorted ascending and duplicate-free; the array is shared, not
+    copied.  Replaces any previous row of [s]. *)
+
+val row : t -> int -> int array option
+(** The row of a source, [None] when the source was never evaluated
+    (distinct from [Some [||]], an evaluated source with no targets). *)
+
+val mem : t -> int -> int -> bool
+(** [mem r s x]: is [(s, x)] in the relation?  Binary search. *)
+
+val n_rows : t -> int
+(** Number of evaluated sources. *)
+
+val cardinal : t -> int
+(** Total number of (source, target) pairs.  For a {b Dense} relation
+    this counts the shared row once per source. *)
+
+val materialized : t -> int
+(** Number of target-array cells actually stored — equals {!cardinal}
+    for Rows, one row's length for Dense.  The [rows_materialized]
+    statistic reports this, so compaction is visible. *)
+
+val fold : (int -> int array -> 'a -> 'a) -> t -> 'a -> 'a
+(** Folds over (source, row) pairs in ascending source order. *)
+
+val iter : (int -> int array -> unit) -> t -> unit
+
+val compact : t -> t
+(** If every evaluated source has a structurally equal row (and there
+    are at least two), share one copy — the dense all-pairs layout.
+    Otherwise returns the relation unchanged. *)
+
+val is_dense : t -> bool

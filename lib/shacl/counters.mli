@@ -24,6 +24,15 @@ type t = {
   mutable store_lookups : int;
       (** adjacency-index probes made by path evaluation (the [lookup]
           hook of {!Rdf.Path.eval}) *)
+  mutable batch_calls : int;
+      (** invocations of the batched path kernel
+          ({!Rdf.Path.eval_batch}, one per (path, source-set) priming) *)
+  mutable batch_sources : int;
+      (** source nodes evaluated across all batch calls *)
+  mutable rows_materialized : int;
+      (** target-array cells materialized by batch calls
+          ({!Rdf.Relation.materialized} — a dense-compacted relation
+          counts its shared row once) *)
 }
 
 val create : unit -> t

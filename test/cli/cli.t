@@ -101,9 +101,10 @@ The parallel engine: --stats reports planning and execution counters
   $ shaclprov fragment -d data.ttl -s shapes.ttl --stats -j 2 2>&1 >/dev/null \
   >   | sed -E 's/[0-9]+\.[0-9]+s/_s/g'
   engine: 2 job(s), 2 candidate(s) checked, 1 conforming, 3 triple(s) emitted
-  memo: 11 lookup(s), 0 hit(s), 11 miss(es); 5 path evaluation(s)
+  memo: 11 lookup(s), 0 hit(s), 11 miss(es); 4 path evaluation(s)
   time: planning _s, total _s
-  store: 9 interned term(s), 8 index probe(s)
+  path memo: 3 lookup(s), 1 hit(s), 2 miss(es)
+  store: 9 interned term(s), 18 index probe(s); 1 batch call(s), 2 batched source(s), 6 row(s) materialized
   shape <http://example.org/WorkshopShape>: 2 candidate(s) (target-pruned), 1 conforming, _s
   shape _:genid0: 0 candidate(s) (target-pruned), 0 conforming, _s
   shape _:genid1: 0 candidate(s) (target-pruned), 0 conforming, _s
@@ -125,6 +126,7 @@ Validation on the parallel engine: same report, plus counters on request.
   engine: 2 job(s), 2 candidate(s) checked, 1 conforming, 0 triple(s) emitted
   memo: 8 lookup(s), 0 hit(s), 8 miss(es); 4 path evaluation(s)
   time: planning _s, total _s
+  path memo: 2 lookup(s), 0 hit(s), 2 miss(es)
   store: 9 interned term(s), 6 index probe(s)
   shape <http://example.org/WorkshopShape>: 2 candidate(s) (target-pruned), 1 conforming, _s
   shape _:genid0: 0 candidate(s) (target-pruned), 0 conforming, _s
@@ -167,7 +169,7 @@ completes, reports the failure in --stats, and exits 3.
   engine: 4 job(s), 0 candidate(s) checked, 0 conforming, 0 triple(s) emitted
   memo: 0 lookup(s), 0 hit(s), 0 miss(es); 0 path evaluation(s)
   time: planning _s, total _s
-  store: 9 interned term(s), 0 index probe(s)
+  store: 9 interned term(s), 4 index probe(s); 1 batch call(s), 2 batched source(s), 6 row(s) materialized
   degraded: 1 shape(s) failed, 2 chunk retry(s)
   shape <http://example.org/WorkshopShape>: 2 candidate(s) (target-pruned), 0 conforming, _s, FAILED: crashed: injected fault at shape:<http://example.org/WorkshopShape>
   shape _:genid0: 0 candidate(s) (target-pruned), 0 conforming, _s

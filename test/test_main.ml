@@ -47,6 +47,7 @@ let () =
       "containment", Test_containment.suite;
       Tgen.qsuite "containment:props" Test_containment.props;
       "incremental", Test_incremental.suite;
+      Tgen.qsuite "batch:props" Test_batch.props;
       Tgen.qsuite "incremental:props" Test_incremental.props;
       "misc", Test_misc.suite;
       "extensions", Test_extensions.suite;
